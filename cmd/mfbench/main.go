@@ -1,0 +1,175 @@
+// Command mfbench regenerates the paper's evaluation artefacts: the
+// actuation comparison of Figs. 2-3, the PCR schedule of Fig. 9, the chip
+// snapshots of Fig. 10, and Table 1.
+//
+// Usage:
+//
+//	mfbench                 # everything (Table 1 takes a few minutes)
+//	mfbench -figures        # only the figures
+//	mfbench -table1 -fast   # Table 1 with the greedy mapper (quick)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"mfsynth"
+	"mfsynth/internal/report"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("mfbench: ")
+
+	var (
+		figures    = flag.Bool("figures", false, "only regenerate the figures")
+		table1     = flag.Bool("table1", false, "only regenerate Table 1")
+		extensions = flag.Bool("extensions", false, "only run the extension experiments (speedup, wear, control)")
+		fast       = flag.Bool("fast", false, "use the greedy mapper (quick, slightly weaker)")
+	)
+	flag.Parse()
+	all := !*figures && !*table1 && !*extensions
+
+	if *figures || all {
+		printFigures()
+	}
+	if *table1 || all {
+		printTable1(*fast)
+	}
+	if *extensions || all {
+		printExtensions()
+	}
+}
+
+// printExtensions runs the experiments beyond the paper's evaluation: the
+// execution-speedup future-work direction, the wear/lifetime model and the
+// control-pin analysis.
+func printExtensions() {
+	fmt.Println("== Extension: execution speedup with dynamic devices (paper §5 future work) ==")
+	var rows []*mfsynth.Speedup
+	for _, name := range mfsynth.CaseNames() {
+		c, err := mfsynth.CaseByName(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for p := 1; p <= 3; p++ {
+			s, err := mfsynth.ExecutionSpeedup(c, p)
+			if err != nil {
+				log.Printf("%s p%d: %v", name, p, err)
+				continue
+			}
+			rows = append(rows, s)
+		}
+	}
+	fmt.Println(mfsynth.RenderSpeedups(rows))
+
+	fmt.Println("== Extension: chip service life (rated valve life 4000 actuations) ==")
+	model := mfsynth.WearModel{RatedActuations: 4000}
+	fmt.Printf("%-22s %-4s %12s %12s %8s %14s %14s\n",
+		"case", "po.", "runs trad.", "runs ours", "gain", "balance trad.", "balance ours")
+	for _, name := range mfsynth.CaseNames() {
+		c, _ := mfsynth.CaseByName(name)
+		des, err := mfsynth.Traditional(c, 1, mfsynth.DefaultCost)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := mfsynth.Synthesize(c.Assay, mfsynth.Options{
+			Policy: mfsynth.Resources{Mixers: des.Mixers, Detectors: c.Detectors},
+			Place:  mfsynth.PlaceConfig{Grid: c.GridSize, Mode: mfsynth.GreedyPlace},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		trad := mfsynth.TraditionalActuationCounts(des)
+		ours := mfsynth.ChipActuationCounts(res)
+		rt, ro := model.RunsToFirstWearout(trad), model.RunsToFirstWearout(ours)
+		fmt.Printf("%-22s p1   %12d %12d %7.2fx %14.3f %14.3f\n",
+			name, rt, ro, float64(ro)/float64(rt),
+			mfsynth.WearBalance(trad), mfsynth.WearBalance(ours))
+	}
+	fmt.Println()
+
+	fmt.Println("== Extension: control-layer effort and contamination risk ==")
+	for _, name := range mfsynth.CaseNames() {
+		c, _ := mfsynth.CaseByName(name)
+		res, err := mfsynth.Synthesize(c.Assay, mfsynth.Options{
+			Policy: mfsynth.Resources{Mixers: c.BaseMixers, Detectors: c.Detectors},
+			Place:  mfsynth.PlaceConfig{Grid: c.GridSize, Mode: mfsynth.GreedyPlace},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		ca := mfsynth.AnalyzeControl(res)
+		lay := mfsynth.RouteControlLayer(res, ca)
+		fmt.Printf("%-22s %s\n", name, ca)
+		fmt.Printf("%-22s control layer: %d/%d trees routed, %d extra pins, channel length %d\n",
+			"", lay.Routed, lay.Routed+lay.Failed, lay.ExtraPins, lay.TotalLength)
+		fmt.Printf("%-22s %s\n", "", mfsynth.AnalyzeContamination(res))
+		plan := mfsynth.PlanWashes(res)
+		fmt.Printf("%-22s wash plan: %d flushes clear %d/%d risks, vs1max %d -> %d\n",
+			"", len(plan.Washes), plan.Cleared, plan.Cleared+plan.Uncleared,
+			plan.VsMax1Before, plan.VsMax1After)
+	}
+	fmt.Println()
+
+	fmt.Println("== Extension: in-vitro diagnostics scaling (samples × reagents) ==")
+	fmt.Printf("%8s %8s %8s %10s %10s %8s\n", "size", "#op", "vs1max", "vs2max", "#valves", "makespan")
+	for s := 2; s <= 4; s++ {
+		r := s
+		a := mfsynth.InVitro(s, r, 8)
+		grid := 12 + 2*(s-2)
+		res, err := mfsynth.Synthesize(a, mfsynth.Options{
+			Policy: mfsynth.Resources{Mixers: map[int]int{8: s}, Detectors: s},
+			Place:  mfsynth.PlaceConfig{Grid: grid, Mode: mfsynth.GreedyPlace},
+		})
+		if err != nil {
+			log.Printf("InVitro %dx%d: %v", s, r, err)
+			continue
+		}
+		fmt.Printf("%5dx%-2d %8s %5d(%2d) %6d(%2d) %8d %8d\n",
+			s, r, a.Stats(), res.VsMax1, res.VsPump1, res.VsMax2, res.VsPump2,
+			res.UsedValves, res.Schedule.Makespan)
+	}
+	fmt.Println()
+}
+
+func printFigures() {
+	fmt.Println("== Fig. 2 vs Fig. 3: dedicated mixer vs valve-role-changing mixer ==")
+	fmt.Println(report.Fig2vs3())
+
+	c := mfsynth.PCR()
+	des, err := mfsynth.Traditional(c, 1, mfsynth.DefaultCost)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := mfsynth.Synthesize(c.Assay, mfsynth.Options{
+		Policy: mfsynth.Resources{Mixers: des.Mixers},
+		Place:  mfsynth.PlaceConfig{Grid: c.GridSize},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("== Fig. 9: scheduling result of case PCR in p1 ==")
+	fmt.Println(res.Schedule.Gantt())
+
+	fmt.Println("== Fig. 10: snapshots of the synthesis result of case PCR in p1 ==")
+	for _, t := range res.SnapshotTimes() {
+		fmt.Println(res.Snapshot(t))
+	}
+	fmt.Printf("result: %s\n\n", res)
+}
+
+func printTable1(fast bool) {
+	opts := mfsynth.Table1RowOptions{}
+	if fast {
+		opts.Mode = mfsynth.GreedyPlace
+	}
+	fmt.Println("== Table 1: comparison with optimal binding for traditional designs ==")
+	rows, err := mfsynth.Table1(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(mfsynth.RenderTable1(rows))
+}

@@ -1,0 +1,148 @@
+// Command mfsynth runs the reliability-aware synthesis on a benchmark or a
+// user assay and prints the resulting metrics, schedule and chip snapshots.
+//
+// Usage:
+//
+//	mfsynth -case PCR -policy 1 -snapshots
+//	mfsynth -assay my_assay.txt -grid 14 -mode greedy -gantt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"mfsynth"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("mfsynth: ")
+
+	var (
+		caseName  = flag.String("case", "PCR", "benchmark case: "+strings.Join(mfsynth.CaseNames(), ", "))
+		assayFile = flag.String("assay", "", "assay file in the mfsynth text format (overrides -case)")
+		policy    = flag.Int("policy", 1, "traditional-design policy index (1-3), fixes the input schedule")
+		grid      = flag.Int("grid", 0, "valve matrix side length (0 = case default)")
+		mode      = flag.String("mode", "rolling", "mapper: rolling, monolithic, greedy")
+		gantt     = flag.Bool("gantt", false, "print the scheduling result as a Gantt chart")
+		snapshots = flag.Bool("snapshots", false, "print Fig. 10-style chip snapshots")
+		compare   = flag.Bool("compare", true, "print the traditional-design comparison")
+		svgOut    = flag.String("svg", "", "write the chip layout as SVG to this file")
+		dotOut    = flag.String("dot", "", "write the assay graph as Graphviz DOT to this file")
+	)
+	flag.Parse()
+
+	placeMode, err := parseMode(*mode)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var c mfsynth.Case
+	if *assayFile != "" {
+		f, err := os.Open(*assayFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		a, err := mfsynth.ParseAssay(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		c = mfsynth.Case{Assay: a, GridSize: 12, BaseMixers: map[int]int{}}
+		for _, id := range a.MixOps() {
+			c.BaseMixers[a.Volume(id)] = 1
+		}
+	} else {
+		c, err = mfsynth.CaseByName(*caseName)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *grid > 0 {
+		c.GridSize = *grid
+	}
+
+	row, err := mfsynth.EvaluateRow(c, *policy, mfsynth.Table1RowOptions{Mode: placeMode, Grid: c.GridSize})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Re-run the synthesis to get the full result for rendering.
+	des, err := mfsynth.Traditional(c, *policy, mfsynth.DefaultCost)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := mfsynth.Synthesize(c.Assay, mfsynth.Options{
+		Policy: mfsynth.Resources{Mixers: des.Mixers, Detectors: c.Detectors},
+		Place:  mfsynth.PlaceConfig{Grid: c.GridSize, Mode: placeMode},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%s (policy p%d, %s mapping, %dx%d valve matrix)\n",
+		c.Assay.Name, *policy, *mode, c.GridSize, c.GridSize)
+	fmt.Printf("  operations:        %s\n", c.Assay.Stats())
+	fmt.Printf("  setting 1:         vs_max %d (pump %d)\n", res.VsMax1, res.VsPump1)
+	fmt.Printf("  setting 2:         vs_max %d (pump %d)\n", res.VsMax2, res.VsPump2)
+	fmt.Printf("  valves used:       %d of %d virtual\n", res.UsedValves, c.GridSize*c.GridSize)
+	if *compare {
+		fmt.Printf("  traditional:       vs_tmax %d with %d valves (#d %d, #m %s)\n",
+			des.VsTmax, des.Valves, des.NumDevices, des.MixVector())
+		fmt.Printf("  improvement:       %.2f%% (setting 1), %.2f%% (setting 2), %.2f%% valves\n",
+			row.Imp1, row.Imp2, row.ImpV)
+	}
+	fmt.Printf("  runtime:           %s\n", res.Runtime.Round(res.Runtime/100+1))
+
+	if *gantt {
+		fmt.Println("\nScheduling result:")
+		fmt.Println(res.Schedule.Gantt())
+	}
+	if *snapshots {
+		fmt.Println("\nChip snapshots:")
+		for _, t := range res.SnapshotTimes() {
+			fmt.Println(res.Snapshot(t))
+		}
+	}
+	if *svgOut != "" {
+		f, err := os.Create(*svgOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := mfsynth.WriteSVG(f, res, mfsynth.SVGOptions{At: -1}); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *svgOut)
+	}
+	if *dotOut != "" {
+		f, err := os.Create(*dotOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := mfsynth.WriteDOT(f, c.Assay); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *dotOut)
+	}
+}
+
+func parseMode(s string) (mfsynth.PlaceMode, error) {
+	switch s {
+	case "rolling":
+		return mfsynth.RollingHorizon, nil
+	case "monolithic":
+		return mfsynth.MonolithicILP, nil
+	case "greedy":
+		return mfsynth.GreedyPlace, nil
+	}
+	return 0, fmt.Errorf("unknown mode %q (want rolling, monolithic or greedy)", s)
+}

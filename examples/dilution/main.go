@@ -1,0 +1,63 @@
+// Dilution study: evaluates the two dilution benchmarks of Table 1 across
+// the three policies, and shows how a parametric serial-dilution chain
+// behaves as it grows — the workload class the paper's introduction
+// motivates (dilution preparation burns the most mixing operations).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"mfsynth"
+)
+
+func main() {
+	log.SetFlags(0)
+	full := flag.Bool("full", false, "use the rolling-horizon ILP mapper (slower, stronger)")
+	flag.Parse()
+
+	mode := mfsynth.GreedyPlace
+	if *full {
+		mode = mfsynth.RollingHorizon
+	}
+
+	fmt.Println("Table 1, dilution benchmarks:")
+	var rows []*mfsynth.Table1Row
+	for _, name := range []string{"InterpolatingDilution", "ExponentialDilution"} {
+		c, err := mfsynth.CaseByName(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for p := 1; p <= 3; p++ {
+			row, err := mfsynth.EvaluateRow(c, p, mfsynth.Table1RowOptions{Mode: mode})
+			if err != nil {
+				log.Fatal(err)
+			}
+			rows = append(rows, row)
+		}
+	}
+	fmt.Println(mfsynth.RenderTable1(rows))
+
+	fmt.Println("growing a serial 1:1 dilution chain (greedy mapper, 12x12 chip):")
+	fmt.Printf("%8s %10s %10s %8s\n", "steps", "vs1max", "vs2max", "#valves")
+	for steps := 2; steps <= 10; steps += 2 {
+		vols := make([]int, steps)
+		for i := range vols {
+			step := i / 2
+			if step > 3 {
+				step = 3
+			}
+			vols[i] = 10 - 2*step // 10,10,8,8,6,6,4,4,... (non-increasing)
+		}
+		a := mfsynth.SerialDilution(fmt.Sprintf("chain%d", steps), vols)
+		res, err := mfsynth.Synthesize(a, mfsynth.Options{
+			Place: mfsynth.PlaceConfig{Grid: 12, Mode: mfsynth.GreedyPlace},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%8d %6d(%2d) %6d(%2d) %8d\n",
+			steps, res.VsMax1, res.VsPump1, res.VsMax2, res.VsPump2, res.UsedValves)
+	}
+}

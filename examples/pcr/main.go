@@ -1,0 +1,65 @@
+// The paper's running example: PCR under policy p1. Reproduces the
+// scheduling Gantt of Fig. 9, the chip snapshots of Fig. 10, and the PCR
+// row of Table 1.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mfsynth"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	c := mfsynth.PCR()
+	des, err := mfsynth.Traditional(c, 1, mfsynth.DefaultCost)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("traditional design p1: #d=%d #m=%s vs_tmax=%d #v=%d storage=%d cells\n\n",
+		des.NumDevices, des.MixVector(), des.VsTmax, des.Valves, des.StorageCells)
+
+	res, err := mfsynth.Synthesize(c.Assay, mfsynth.Options{
+		Policy: mfsynth.Resources{Mixers: des.Mixers},
+		Place:  mfsynth.PlaceConfig{Grid: c.GridSize},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Fig. 9 — scheduling result of case PCR in p1:")
+	fmt.Println(res.Schedule.Gantt())
+
+	fmt.Println("Fig. 10 — snapshots of the synthesis result:")
+	for _, t := range res.SnapshotTimes() {
+		fmt.Println(res.Snapshot(t))
+	}
+
+	fmt.Println("transports (storage pass-through and crossing avoidance applied):")
+	for _, tr := range res.Transports {
+		fmt.Printf("  t=%2d  %-8s -> %-8s (%d valves)\n", tr.T, tr.From, tr.To, len(tr.Path))
+	}
+	fmt.Println()
+	fmt.Printf("our method:   vs1=%d(%d)  vs2=%d(%d)  #v=%d\n",
+		res.VsMax1, res.VsPump1, res.VsMax2, res.VsPump2, res.UsedValves)
+	fmt.Printf("traditional:  vs_tmax=%d  #v=%d\n", des.VsTmax, des.Valves)
+	fmt.Printf("improvement:  %.2f%% (setting 1), %.2f%% (setting 2)\n",
+		100*float64(des.VsTmax-res.VsMax1)/float64(des.VsTmax),
+		100*float64(des.VsTmax-res.VsMax2)/float64(des.VsTmax))
+
+	// Beyond the paper: lifetime and control-effort analyses.
+	model := mfsynth.WearModel{RatedActuations: 4000}
+	trad := mfsynth.TraditionalActuationCounts(des)
+	ours := mfsynth.ChipActuationCounts(res)
+	fmt.Printf("service life: %d assay runs traditional vs %d dynamic (balance %.2f -> %.2f)\n",
+		model.RunsToFirstWearout(trad), model.RunsToFirstWearout(ours),
+		mfsynth.WearBalance(trad), mfsynth.WearBalance(ours))
+	fmt.Printf("%s\n", mfsynth.AnalyzeControl(res))
+
+	if v := mfsynth.CheckResult(res); len(v) != 0 {
+		log.Fatalf("design rule violations: %v", v)
+	}
+	fmt.Println("design-rule check: clean")
+}

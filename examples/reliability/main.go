@@ -1,0 +1,95 @@
+// Reliability study: synthesizes a benchmark, then runs the full analysis
+// suite on the result — service-life estimation (how many assay runs until
+// the first valve wears out), wear balance, control-layer synthesis, and
+// cross-contamination risk. Optionally writes the chip layout as SVG.
+//
+//	go run ./examples/reliability [case] [layout.svg]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"mfsynth"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	name := "PCR"
+	if len(os.Args) > 1 {
+		name = os.Args[1]
+	}
+	c, err := mfsynth.CaseByName(name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	des, err := mfsynth.Traditional(c, 1, mfsynth.DefaultCost)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := mfsynth.Synthesize(c.Assay, mfsynth.Options{
+		Policy: mfsynth.Resources{Mixers: des.Mixers, Detectors: c.Detectors},
+		Place:  mfsynth.PlaceConfig{Grid: c.GridSize},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s synthesized: %s\n\n", name, res)
+
+	// Service life: repetitions until the first valve exceeds its rated
+	// 4000 actuations, plus a probabilistic survival curve.
+	model := mfsynth.WearModel{RatedActuations: 4000}
+	trad := mfsynth.TraditionalActuationCounts(des)
+	ours := mfsynth.ChipActuationCounts(res)
+	rt := model.RunsToFirstWearout(trad)
+	ro := model.RunsToFirstWearout(ours)
+	fmt.Println("service life (rated 4000 actuations/valve):")
+	fmt.Printf("  traditional design: %3d assay runs (wear balance %.2f)\n", rt, mfsynth.WearBalance(trad))
+	fmt.Printf("  dynamic devices:    %3d assay runs (wear balance %.2f)\n", ro, mfsynth.WearBalance(ours))
+	fmt.Printf("  lifetime gain:      %.2fx\n\n", float64(ro)/float64(rt))
+
+	fmt.Println("survival probability of the dynamic chip:")
+	for _, runs := range []int{ro / 2, ro, ro * 3 / 2} {
+		fmt.Printf("  after %3d runs: %.3f\n", runs, model.SurvivalProb(ours, runs))
+	}
+	fmt.Println()
+
+	// Control layer.
+	ca := mfsynth.AnalyzeControl(res)
+	lay := mfsynth.RouteControlLayer(res, ca)
+	fmt.Printf("%s\n", ca)
+	fmt.Printf("control layer: %d/%d channel trees routed, %d extra pins, total channel length %d\n\n",
+		lay.Routed, lay.Routed+lay.Failed, lay.ExtraPins, lay.TotalLength)
+
+	// Contamination and the cost of washing it away.
+	rep := mfsynth.AnalyzeContamination(res)
+	fmt.Printf("%s\n", rep)
+	for i, r := range rep.Risks {
+		if i >= 5 {
+			fmt.Printf("  ... and %d more\n", len(rep.Risks)-5)
+			break
+		}
+		fmt.Printf("  t=%2d valve %v: residue of %s joins %s\n",
+			r.At, r.Cell, res.Assay.Op(r.Prev).Name, res.Assay.Op(r.Next).Name)
+	}
+	plan := mfsynth.PlanWashes(res)
+	fmt.Printf("wash plan: %d flushes clear %d of %d risks; +%d actuations, vs1max %d -> %d\n",
+		len(plan.Washes), plan.Cleared, plan.Cleared+plan.Uncleared,
+		plan.ExtraActuations, plan.VsMax1Before, plan.VsMax1After)
+
+	if len(os.Args) > 2 {
+		f, err := os.Create(os.Args[2])
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := mfsynth.WriteSVG(f, res, mfsynth.SVGOptions{At: -1, ControlLayer: &lay}); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nwrote %s (flow + control layers)\n", os.Args[2])
+	}
+}

@@ -1,0 +1,114 @@
+package mfsynth
+
+import (
+	"strings"
+	"testing"
+)
+
+// Shared synthesized PCR result for the extension-API tests.
+func extResult(t *testing.T) *Result {
+	t.Helper()
+	c := PCR()
+	res, err := Synthesize(c.Assay, Options{
+		Policy: Resources{Mixers: c.BaseMixers},
+		Place:  PlaceConfig{Grid: c.GridSize, Mode: GreedyPlace},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestFacadeCheckResult(t *testing.T) {
+	res := extResult(t)
+	if v := CheckResult(res); len(v) != 0 {
+		t.Fatalf("violations: %v", v)
+	}
+}
+
+func TestFacadeWearAPI(t *testing.T) {
+	res := extResult(t)
+	c := PCR()
+	des, err := Traditional(c, 1, DefaultCost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ours := ChipActuationCounts(res)
+	trad := TraditionalActuationCounts(des)
+	if len(ours) != res.UsedValves {
+		t.Errorf("counts = %d, want %d", len(ours), res.UsedValves)
+	}
+	m := WearModel{RatedActuations: 4000}
+	if m.RunsToFirstWearout(ours) <= m.RunsToFirstWearout(trad) {
+		t.Error("dynamic chip should outlive the traditional design")
+	}
+	if WearBalance(ours) <= WearBalance(trad) {
+		t.Error("dynamic chip should balance wear better")
+	}
+}
+
+func TestFacadeControlAPI(t *testing.T) {
+	res := extResult(t)
+	a := AnalyzeControl(res)
+	if a.Pins <= 0 || a.UsedValves != res.UsedValves {
+		t.Fatalf("analysis = %+v", a)
+	}
+	lay := RouteControlLayer(res, a)
+	if lay.Routed+lay.Failed != a.Pins {
+		t.Errorf("routed %d + failed %d != %d pins", lay.Routed, lay.Failed, a.Pins)
+	}
+}
+
+func TestFacadeContaminationAPI(t *testing.T) {
+	res := extResult(t)
+	rep := AnalyzeContamination(res)
+	if !strings.Contains(rep.String(), "wash") {
+		t.Errorf("report = %q", rep.String())
+	}
+}
+
+func TestFacadeSpeedupAPI(t *testing.T) {
+	s, err := ExecutionSpeedup(PCR(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Factor < 1 {
+		t.Errorf("speedup = %.2f", s.Factor)
+	}
+	out := RenderSpeedups([]*Speedup{s})
+	if !strings.Contains(out, "PCR") {
+		t.Errorf("render:\n%s", out)
+	}
+}
+
+func TestFacadeSVGAndDOT(t *testing.T) {
+	res := extResult(t)
+	var svgOut strings.Builder
+	if err := WriteSVG(&svgOut, res, SVGOptions{At: -1}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(svgOut.String(), "<svg") {
+		t.Error("no svg output")
+	}
+	var dotOut strings.Builder
+	if err := WriteDOT(&dotOut, res.Assay); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(dotOut.String(), "digraph") {
+		t.Error("no dot output")
+	}
+}
+
+func TestFacadeRandomAndInVitro(t *testing.T) {
+	a := RandomAssay(5, RandomAssayOptions{MixOps: 4})
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	iv := InVitro(2, 2, 8)
+	if err := iv.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(iv.MixOps()) != 4 {
+		t.Errorf("InVitro mixes = %d", len(iv.MixOps()))
+	}
+}

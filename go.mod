@@ -1,0 +1,3 @@
+module mfsynth
+
+go 1.22

@@ -1,0 +1,277 @@
+// Package arch models the valve-centered architecture of the paper's
+// Section 3.1: a regular matrix of virtual valves (after Fidalgo & Maerkl's
+// programmable valve matrix) from which dynamic devices are formed by
+// assigning valve roles — control, pump, or wall — that may change over the
+// course of the bioassay.
+//
+// A dynamic mixer is a w×h block of valves whose perimeter forms the
+// peristaltic circulation ring (all 2(w+h)-4 perimeter valves act as pump
+// valves while the mixer runs, exactly as the paper treats the 2×4 mixer of
+// Fig. 5(b) as using 8 pump valves). The lattice ring length is the mixer's
+// volume in units. The valves in the band immediately around the block act
+// as wall valves; two devices may share a wall band but never a footprint.
+package arch
+
+import (
+	"fmt"
+	"sort"
+
+	"mfsynth/internal/grid"
+)
+
+// Shape is a device footprint in valves.
+type Shape struct {
+	W, H int
+}
+
+// String returns "WxH".
+func (s Shape) String() string { return fmt.Sprintf("%dx%d", s.W, s.H) }
+
+// Volume returns the ring length 2(W+H)-4, the fluid capacity in units.
+func (s Shape) Volume() int {
+	if s.W <= 2 || s.H <= 2 {
+		return s.W * s.H
+	}
+	return 2*(s.W+s.H) - 4
+}
+
+// MinDim returns the smaller footprint dimension.
+func (s Shape) MinDim() int {
+	if s.W < s.H {
+		return s.W
+	}
+	return s.H
+}
+
+// ShapesForVolume enumerates every shape (location-free device type in the
+// paper's sense: shape and orientation) whose peristaltic ring holds exactly
+// v units: all w×h with w,h ≥ 2 and w+h = v/2+2. The paper's example types
+// for volume 8 are 3×3, 2×4 and 4×2. v must be even and ≥ 4.
+func ShapesForVolume(v int) []Shape {
+	if v < 4 || v%2 != 0 {
+		return nil
+	}
+	sum := v/2 + 2
+	var shapes []Shape
+	for w := 2; sum-w >= 2; w++ {
+		shapes = append(shapes, Shape{W: w, H: sum - w})
+	}
+	// Square-most first: they tend to give the most compact placements.
+	sort.SliceStable(shapes, func(i, j int) bool {
+		return absInt(shapes[i].W-shapes[i].H) < absInt(shapes[j].W-shapes[j].H)
+	})
+	return shapes
+}
+
+func absInt(a int) int {
+	if a < 0 {
+		return -a
+	}
+	return a
+}
+
+// MinShapeDim returns the smallest footprint dimension over every shape of
+// every given volume — the constant d of the paper's routing-convenient
+// constraints (13)-(16).
+func MinShapeDim(volumes []int) int {
+	min := 0
+	for _, v := range volumes {
+		for _, s := range ShapesForVolume(v) {
+			if min == 0 || s.MinDim() < min {
+				min = s.MinDim()
+			}
+		}
+	}
+	if min == 0 {
+		min = 2
+	}
+	return min
+}
+
+// Placement is a device instance: a shape at a left-bottom corner.
+type Placement struct {
+	At    grid.Point
+	Shape Shape
+}
+
+// String returns "WxH@(x,y)".
+func (p Placement) String() string { return fmt.Sprintf("%v@%v", p.Shape, p.At) }
+
+// Footprint returns the valve block covered by the device.
+func (p Placement) Footprint() grid.Rect {
+	return grid.RectWH(p.At.X, p.At.Y, p.Shape.W, p.Shape.H)
+}
+
+// Ring returns the pump-valve coordinates: the footprint perimeter.
+func (p Placement) Ring() []grid.Point { return p.Footprint().Perimeter() }
+
+// WallBox returns the footprint expanded by the one-valve wall band; its
+// edges are the wall-valve coordinates b_le, b_ri, b_do, b_up of the paper's
+// constraints (3)-(16).
+func (p Placement) WallBox() grid.Rect { return p.Footprint().Expand(1) }
+
+// Volume returns the ring length.
+func (p Placement) Volume() int { return p.Shape.Volume() }
+
+// CompatibleWith reports whether two placements may exist at the same time:
+// their footprints must not touch or overlap (the one-valve band between
+// devices is shared wall), which is the paper's non-overlap constraint (3)
+// expressed through the wall coordinates.
+func (p Placement) CompatibleWith(q Placement) bool {
+	return p.Footprint().Distance(q.Footprint()) >= 1
+}
+
+// PortKind distinguishes chip ports.
+type PortKind int
+
+// Port kinds.
+const (
+	InPort  PortKind = iota // connected to an off-chip sample/reagent pump
+	OutPort                 // connected to a waste sink or collector
+)
+
+// Port is a fixed opening on the chip boundary.
+type Port struct {
+	Kind PortKind
+	At   grid.Point
+	Name string
+}
+
+// Chip is a W×H virtual-valve matrix with per-valve actuation counters. It
+// records what the synthesis result does to each valve; the counters are the
+// paper's v(x,y) values plus the control-actuation bookkeeping.
+type Chip struct {
+	W, H  int
+	Ports []Port
+
+	pump [][]int // peristaltic actuations per valve
+	ctrl [][]int // control (transport/loading) actuations per valve
+}
+
+// NewChip returns a chip with w×h virtual valves and the standard port set:
+// two input ports on the left edge and one output port on the right edge
+// (as in the paper's PCR example, "two input ports for samples and
+// reagents, and one output port for waste and final product").
+func NewChip(w, h int) *Chip {
+	if w < 4 || h < 4 {
+		panic(fmt.Sprintf("arch: chip %dx%d is too small", w, h))
+	}
+	c := &Chip{W: w, H: h}
+	c.pump = make([][]int, h)
+	c.ctrl = make([][]int, h)
+	for y := 0; y < h; y++ {
+		c.pump[y] = make([]int, w)
+		c.ctrl[y] = make([]int, w)
+	}
+	c.Ports = []Port{
+		{Kind: InPort, At: grid.Point{X: 0, Y: h / 3}, Name: "in1"},
+		{Kind: InPort, At: grid.Point{X: 0, Y: 2 * h / 3}, Name: "in2"},
+		{Kind: OutPort, At: grid.Point{X: w - 1, Y: h / 2}, Name: "out"},
+	}
+	return c
+}
+
+// Bounds returns the valve lattice rectangle.
+func (c *Chip) Bounds() grid.Rect { return grid.RectWH(0, 0, c.W, c.H) }
+
+// PlacementArea returns the rectangle of admissible left-bottom corners for
+// a device of the given shape: the footprint and its wall band must fit on
+// the lattice.
+func (c *Chip) PlacementArea(s Shape) grid.Rect {
+	return grid.Rect{X0: 1, Y0: 1, X1: c.W - s.W, Y1: c.H - s.H}
+}
+
+// InBounds reports whether p is on the lattice.
+func (c *Chip) InBounds(p grid.Point) bool { return c.Bounds().Contains(p) }
+
+// AddPump adds n peristaltic actuations to every ring valve of pl.
+func (c *Chip) AddPump(pl Placement, n int) {
+	for _, pt := range pl.Ring() {
+		c.pump[pt.Y][pt.X] += n
+	}
+}
+
+// AddPumpAt adds n peristaltic actuations to the valve at pt.
+func (c *Chip) AddPumpAt(pt grid.Point, n int) {
+	c.pump[pt.Y][pt.X] += n
+}
+
+// AddCtrl adds n control actuations to each given valve.
+func (c *Chip) AddCtrl(points []grid.Point, n int) {
+	for _, pt := range points {
+		c.ctrl[pt.Y][pt.X] += n
+	}
+}
+
+// PumpAt returns the peristaltic actuation count of the valve at (x, y).
+func (c *Chip) PumpAt(x, y int) int { return c.pump[y][x] }
+
+// CtrlAt returns the control actuation count of the valve at (x, y).
+func (c *Chip) CtrlAt(x, y int) int { return c.ctrl[y][x] }
+
+// TotalAt returns the total actuation count of the valve at (x, y).
+func (c *Chip) TotalAt(x, y int) int { return c.pump[y][x] + c.ctrl[y][x] }
+
+// MaxPump returns the largest peristaltic actuation count over all valves —
+// the paper's optimisation objective w.
+func (c *Chip) MaxPump() int {
+	max := 0
+	for y := 0; y < c.H; y++ {
+		for x := 0; x < c.W; x++ {
+			if c.pump[y][x] > max {
+				max = c.pump[y][x]
+			}
+		}
+	}
+	return max
+}
+
+// MaxTotal returns the largest total actuation count over all valves — the
+// vs_max columns of Table 1.
+func (c *Chip) MaxTotal() int {
+	max := 0
+	for y := 0; y < c.H; y++ {
+		for x := 0; x < c.W; x++ {
+			if t := c.pump[y][x] + c.ctrl[y][x]; t > max {
+				max = t
+			}
+		}
+	}
+	return max
+}
+
+// UsedValves counts valves with at least one actuation. Virtual valves that
+// never actuate are not manufactured (they become functionless PDMS walls or
+// permanently open chambers), so this is the #v column for our method.
+func (c *Chip) UsedValves() int {
+	n := 0
+	for y := 0; y < c.H; y++ {
+		for x := 0; x < c.W; x++ {
+			if c.pump[y][x]+c.ctrl[y][x] > 0 {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Reset zeroes all actuation counters.
+func (c *Chip) Reset() {
+	for y := 0; y < c.H; y++ {
+		for x := 0; x < c.W; x++ {
+			c.pump[y][x] = 0
+			c.ctrl[y][x] = 0
+		}
+	}
+}
+
+// Clone returns a deep copy of the chip.
+func (c *Chip) Clone() *Chip {
+	n := NewChip(c.W, c.H)
+	n.Ports = append([]Port(nil), c.Ports...)
+	for y := 0; y < c.H; y++ {
+		copy(n.pump[y], c.pump[y])
+		copy(n.ctrl[y], c.ctrl[y])
+	}
+	return n
+}

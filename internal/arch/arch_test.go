@@ -1,0 +1,258 @@
+package arch
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mfsynth/internal/grid"
+)
+
+func TestShapesForVolume(t *testing.T) {
+	tests := []struct {
+		v    int
+		want []Shape
+	}{
+		{4, []Shape{{2, 2}}},
+		{6, []Shape{{2, 3}, {3, 2}}},
+		{8, []Shape{{3, 3}, {2, 4}, {4, 2}}},
+		{10, []Shape{{3, 4}, {4, 3}, {2, 5}, {5, 2}}},
+	}
+	for _, tt := range tests {
+		got := ShapesForVolume(tt.v)
+		if len(got) != len(tt.want) {
+			t.Fatalf("ShapesForVolume(%d) = %v, want %v", tt.v, got, tt.want)
+		}
+		seen := map[Shape]bool{}
+		for _, s := range got {
+			seen[s] = true
+			if s.Volume() != tt.v {
+				t.Errorf("shape %v has volume %d, want %d", s, s.Volume(), tt.v)
+			}
+		}
+		for _, s := range tt.want {
+			if !seen[s] {
+				t.Errorf("ShapesForVolume(%d) misses %v", tt.v, s)
+			}
+		}
+		// Square-most shape first (paper's 3×3 before 2×4 for volume 8).
+		if tt.v == 8 && got[0] != (Shape{3, 3}) {
+			t.Errorf("volume 8 should lead with 3x3, got %v", got[0])
+		}
+	}
+}
+
+func TestShapesForVolumeInvalid(t *testing.T) {
+	for _, v := range []int{0, 2, 3, 5, 7, -4} {
+		if got := ShapesForVolume(v); got != nil {
+			t.Errorf("ShapesForVolume(%d) = %v, want nil", v, got)
+		}
+	}
+}
+
+// Property: every generated shape has the requested ring volume, and shape
+// count grows linearly (v/2 - 1 shapes).
+func TestShapesForVolumeProperty(t *testing.T) {
+	f := func(raw uint8) bool {
+		v := 4 + 2*int(raw%20)
+		shapes := ShapesForVolume(v)
+		if len(shapes) != v/2-1 {
+			return false
+		}
+		for _, s := range shapes {
+			if s.Volume() != v || s.W < 2 || s.H < 2 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinShapeDim(t *testing.T) {
+	if d := MinShapeDim([]int{4, 6, 8, 10}); d != 2 {
+		t.Fatalf("MinShapeDim = %d, want 2", d)
+	}
+	if d := MinShapeDim(nil); d != 2 {
+		t.Fatalf("MinShapeDim(nil) = %d, want fallback 2", d)
+	}
+}
+
+func TestPlacementGeometry(t *testing.T) {
+	p := Placement{At: grid.Point{X: 2, Y: 3}, Shape: Shape{2, 4}}
+	if fp := p.Footprint(); fp != grid.RectWH(2, 3, 2, 4) {
+		t.Fatalf("Footprint = %v", fp)
+	}
+	if len(p.Ring()) != 8 || p.Volume() != 8 {
+		t.Fatalf("Ring len = %d, Volume = %d", len(p.Ring()), p.Volume())
+	}
+	if wb := p.WallBox(); wb != (grid.Rect{X0: 1, Y0: 2, X1: 5, Y1: 8}) {
+		t.Fatalf("WallBox = %v", wb)
+	}
+}
+
+func TestCompatibility(t *testing.T) {
+	a := Placement{At: grid.Point{X: 1, Y: 1}, Shape: Shape{3, 3}}
+	tests := []struct {
+		b    Placement
+		want bool
+	}{
+		{Placement{At: grid.Point{X: 1, Y: 1}, Shape: Shape{3, 3}}, false}, // same place
+		{Placement{At: grid.Point{X: 3, Y: 1}, Shape: Shape{3, 3}}, false}, // overlapping
+		{Placement{At: grid.Point{X: 4, Y: 1}, Shape: Shape{3, 3}}, false}, // touching
+		{Placement{At: grid.Point{X: 5, Y: 1}, Shape: Shape{3, 3}}, true},  // shared wall band
+		{Placement{At: grid.Point{X: 5, Y: 5}, Shape: Shape{2, 2}}, true},  // diagonal gap
+	}
+	for _, tt := range tests {
+		if got := a.CompatibleWith(tt.b); got != tt.want {
+			t.Errorf("CompatibleWith(%v) = %v, want %v", tt.b, got, tt.want)
+		}
+		if got := tt.b.CompatibleWith(a); got != tt.want {
+			t.Errorf("CompatibleWith not symmetric for %v", tt.b)
+		}
+	}
+}
+
+// The paper's Fig. 5(d): a 2×4 and a 4×2 mixer in the same region have
+// completely different pump valves only for specific offsets; here we check
+// the underlying fact the figure illustrates — overlapping rings of the two
+// orientations can be disjoint.
+func TestOrientationSharingFig5(t *testing.T) {
+	h := Placement{At: grid.Point{X: 1, Y: 2}, Shape: Shape{4, 2}}
+	v := Placement{At: grid.Point{X: 2, Y: 1}, Shape: Shape{2, 4}}
+	if !h.Footprint().Overlaps(v.Footprint()) {
+		t.Fatal("test placements should overlap in area")
+	}
+	ringSet := map[grid.Point]bool{}
+	for _, pt := range h.Ring() {
+		ringSet[pt] = true
+	}
+	shared := 0
+	for _, pt := range v.Ring() {
+		if ringSet[pt] {
+			shared++
+		}
+	}
+	// A 4×2 ring is its full footprint; a 2×4 too. Their overlap region is
+	// 2×2, so 4 pump valves coincide — the figure's exact disjointness needs
+	// offset placements; what matters for the architecture is that pump sets
+	// are position-dependent. Verify the overlap is strictly smaller than
+	// either ring.
+	if shared >= len(v.Ring()) {
+		t.Fatalf("rings identical: %d shared", shared)
+	}
+	// And a shifted pair is fully disjoint.
+	v2 := Placement{At: grid.Point{X: 6, Y: 1}, Shape: Shape{2, 4}}
+	for _, pt := range v2.Ring() {
+		if ringSet[pt] {
+			t.Fatalf("shifted rings share %v", pt)
+		}
+	}
+}
+
+func TestChipCountersAndMax(t *testing.T) {
+	c := NewChip(10, 10)
+	pl := Placement{At: grid.Point{X: 2, Y: 2}, Shape: Shape{3, 3}}
+	c.AddPump(pl, 40)
+	if c.MaxPump() != 40 || c.MaxTotal() != 40 {
+		t.Fatalf("MaxPump/MaxTotal = %d/%d", c.MaxPump(), c.MaxTotal())
+	}
+	if got := c.UsedValves(); got != 8 {
+		t.Fatalf("UsedValves = %d, want 8 (ring of 3x3)", got)
+	}
+	if c.PumpAt(3, 3) != 0 {
+		t.Fatal("ring must not include the 3x3 centre")
+	}
+	if c.PumpAt(2, 2) != 40 {
+		t.Fatalf("corner pump = %d", c.PumpAt(2, 2))
+	}
+	c.AddCtrl([]grid.Point{{X: 2, Y: 2}, {X: 9, Y: 9}}, 5)
+	if c.MaxTotal() != 45 {
+		t.Fatalf("MaxTotal = %d, want 45", c.MaxTotal())
+	}
+	if c.TotalAt(2, 2) != 45 || c.CtrlAt(9, 9) != 5 {
+		t.Fatal("counter bookkeeping wrong")
+	}
+	if c.UsedValves() != 9 {
+		t.Fatalf("UsedValves = %d, want 9", c.UsedValves())
+	}
+	c.Reset()
+	if c.MaxTotal() != 0 || c.UsedValves() != 0 {
+		t.Fatal("Reset did not zero counters")
+	}
+}
+
+// Pump-valve disjointness across time (Fig. 5(d)): two overlapping devices
+// used at different times accumulate counts independently; the max stays at
+// one op's worth when their rings are disjoint.
+func TestTimeSharedAreaKeepsMaxLow(t *testing.T) {
+	c := NewChip(10, 10)
+	h := Placement{At: grid.Point{X: 2, Y: 3}, Shape: Shape{4, 2}}
+	v := Placement{At: grid.Point{X: 7, Y: 2}, Shape: Shape{2, 4}}
+	c.AddPump(h, 40)
+	c.AddPump(v, 40)
+	if c.MaxPump() != 40 {
+		t.Fatalf("MaxPump = %d, want 40 for disjoint rings", c.MaxPump())
+	}
+}
+
+func TestPlacementArea(t *testing.T) {
+	c := NewChip(10, 10)
+	area := c.PlacementArea(Shape{3, 3})
+	if area != (grid.Rect{X0: 1, Y0: 1, X1: 7, Y1: 7}) {
+		t.Fatalf("PlacementArea = %v", area)
+	}
+	for _, pt := range area.Points() {
+		pl := Placement{At: pt, Shape: Shape{3, 3}}
+		if !c.Bounds().ContainsRect(pl.WallBox()) {
+			t.Fatalf("placement %v wall box %v leaves the chip", pl, pl.WallBox())
+		}
+	}
+	// One step outside the area must overflow.
+	out := Placement{At: grid.Point{X: 7, Y: 1}, Shape: Shape{3, 3}}
+	if c.Bounds().ContainsRect(out.WallBox()) {
+		t.Fatal("placement outside area unexpectedly fits")
+	}
+}
+
+func TestChipPorts(t *testing.T) {
+	c := NewChip(12, 12)
+	if len(c.Ports) != 3 {
+		t.Fatalf("ports = %d, want 3", len(c.Ports))
+	}
+	ins, outs := 0, 0
+	for _, p := range c.Ports {
+		if !c.InBounds(p.At) {
+			t.Errorf("port %v off-chip", p)
+		}
+		switch p.Kind {
+		case InPort:
+			ins++
+		case OutPort:
+			outs++
+		}
+	}
+	if ins != 2 || outs != 1 {
+		t.Fatalf("ins/outs = %d/%d", ins, outs)
+	}
+}
+
+func TestClone(t *testing.T) {
+	c := NewChip(8, 8)
+	c.AddCtrl([]grid.Point{{X: 1, Y: 1}}, 3)
+	d := c.Clone()
+	d.AddCtrl([]grid.Point{{X: 1, Y: 1}}, 3)
+	if c.CtrlAt(1, 1) != 3 || d.CtrlAt(1, 1) != 6 {
+		t.Fatal("Clone shares counter storage")
+	}
+}
+
+func TestNewChipPanicsOnTiny(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for 2x2 chip")
+		}
+	}()
+	NewChip(2, 2)
+}

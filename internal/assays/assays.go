@@ -1,0 +1,275 @@
+// Package assays provides the benchmark bioassays used in the paper's
+// evaluation (Table 1): PCR, Mixing Tree, Interpolating Dilution and
+// Exponential Dilution, all from widely used laboratory protocols.
+//
+// The paper does not publish the exact sequencing graphs, so they are
+// reconstructed here from the published summary data: the operation counts
+// (#op column: 15(7), 37(18), 71(35), 103(47)) and the per-mixer-size
+// operation distributions (#m4-6-8-10 column). The reconstruction rules are:
+//
+//   - #op counts inputs plus mixing operations (PCR: 8 inputs + 7 mixes).
+//   - Tree-shaped cases (PCR, Mixing Tree, Interpolating Dilution) are full
+//     binary mixing trees: a tree with n mixing nodes has n+1 input leaves,
+//     which reproduces the #op arithmetic of all three cases.
+//   - Exponential Dilution is a set of serial dilution chains; each chain of
+//     length L has L+1 inputs (sample + buffer for the first step, one
+//     buffer per later step). Nine chains totalling 47 steps give
+//     47 + 9 + 47 = 103 operations.
+//   - Mixing volumes are drawn from the four mixer sizes {4, 6, 8, 10} so
+//     that the per-size mixing-operation counts match the p1 binding vector
+//     of Table 1 exactly (e.g. PCR: 1-0-4-2 → one size-4, four size-8 and
+//     two size-10 mixes).
+//   - Within a tree, deeper mixes get larger volumes, so a parent always
+//     draws at most half of any child product (fluid conservation holds).
+package assays
+
+import (
+	"fmt"
+	"sort"
+
+	"mfsynth/internal/graph"
+)
+
+// DefaultMixDuration is the mixing-operation duration in time units used by
+// all benchmark assays.
+const DefaultMixDuration = 6
+
+// DefaultDetectDuration is the detection duration in time units.
+const DefaultDetectDuration = 4
+
+// MixerSizes lists the dedicated mixer volumes available in the traditional
+// designs of the paper's evaluation ("we assume there are 4 different sizes
+// of mixers: 4, 6, 8, and 10").
+var MixerSizes = []int{4, 6, 8, 10}
+
+// Case bundles a benchmark assay with the evaluation parameters that the
+// paper attaches to it.
+type Case struct {
+	// Assay is the sequencing graph.
+	Assay *graph.Assay
+	// Detectors is the number of dedicated detectors in the traditional
+	// design of this case (derived from Table 1's #d column).
+	Detectors int
+	// GridSize is the side length of the valve-centered architecture used
+	// for the dynamic-device synthesis of this case.
+	GridSize int
+	// BaseMixers is the traditional design's policy-p1 mixer count per size
+	// (from Table 1's #m column; sizes with zero bound operations still get
+	// a mixer which the design then drops).
+	BaseMixers map[int]int
+}
+
+// PCR returns the polymerase chain reaction benchmark: 15 operations, 7 of
+// which are mixing operations, arranged as a three-level binary mixing tree
+// over 8 inputs. Mixing volumes: 4×8-unit (first level), 2×10-unit (second
+// level), 1×4-unit (final mix), matching the p1 binding vector 1-0-4-2.
+func PCR() Case {
+	a := graph.New("PCR")
+	var l1 []*graph.Op
+	for i := 0; i < 4; i++ {
+		s := a.Add(graph.Input, fmt.Sprintf("s%d", i+1), 0)
+		r := a.Add(graph.Input, fmt.Sprintf("r%d", i+1), 0)
+		m := a.Add(graph.Mix, fmt.Sprintf("o%d", i+1), DefaultMixDuration)
+		a.Connect(s, m, 4)
+		a.Connect(r, m, 4)
+		l1 = append(l1, m)
+	}
+	var l2 []*graph.Op
+	for i := 0; i < 2; i++ {
+		m := a.Add(graph.Mix, fmt.Sprintf("o%d", 5+i), DefaultMixDuration)
+		a.Connect(l1[2*i], m, 5)
+		a.Connect(l1[2*i+1], m, 5)
+		l2 = append(l2, m)
+	}
+	final := a.Add(graph.Mix, "o7", DefaultMixDuration)
+	a.Connect(l2[0], final, 2)
+	a.Connect(l2[1], final, 2)
+	return Case{Assay: a, Detectors: 0, GridSize: 12,
+		BaseMixers: map[int]int{4: 1, 6: 1, 8: 1, 10: 1}}
+}
+
+// MixingTree returns the mixing-tree benchmark: 37 operations, 18 mixes in a
+// balanced binary tree over 19 inputs. Mix volumes realise the p1 binding
+// vector 2-4-5-7 (two size-4, four size-6, five size-8, seven size-10).
+func MixingTree() Case {
+	a := buildBinaryTree("MixingTree", volumeMultiset(map[int]int{4: 2, 6: 4, 8: 5, 10: 7}))
+	return Case{Assay: a, Detectors: 0, GridSize: 12,
+		BaseMixers: map[int]int{4: 1, 6: 1, 8: 1, 10: 1}}
+}
+
+// InterpolatingDilution returns the interpolating-dilution benchmark [Ren et
+// al. 2003]: 71 operations, 35 mixes over 36 inputs. Mix volumes realise the
+// p1 binding vector 5-9-9-(6,6) (five size-4, nine size-6, nine size-8,
+// twelve size-10 mixing operations).
+func InterpolatingDilution() Case {
+	a := buildBinaryTree("InterpolatingDilution", volumeMultiset(map[int]int{4: 5, 6: 9, 8: 9, 10: 12}))
+	return Case{Assay: a, Detectors: 2, GridSize: 16,
+		BaseMixers: map[int]int{4: 1, 6: 1, 8: 1, 10: 2}}
+}
+
+// ExponentialDilution returns the exponential-dilution benchmark
+// [Chakrabarty & Su 2006]: 103 operations, 47 mixes arranged as nine serial
+// 1:1 dilution chains (lengths 6,6,6,6,5,5,5,4,4). Mix volumes realise the
+// p1 binding vector 6-(8,8)-(7,6)-(6,6) (six size-4, sixteen size-6,
+// thirteen size-8, twelve size-10).
+func ExponentialDilution() Case {
+	chains := []int{6, 6, 6, 6, 5, 5, 5, 4, 4}
+	vols := volumeMultiset(map[int]int{4: 6, 6: 16, 8: 13, 10: 12})
+	a := buildDilutionChains("ExponentialDilution", chains, vols)
+	return Case{Assay: a, Detectors: 3, GridSize: 16,
+		BaseMixers: map[int]int{4: 1, 6: 2, 8: 2, 10: 2}}
+}
+
+// ByName returns the benchmark case with the given name. Recognised names
+// (case-sensitive): "PCR", "MixingTree", "InterpolatingDilution",
+// "ExponentialDilution".
+func ByName(name string) (Case, error) {
+	switch name {
+	case "PCR":
+		return PCR(), nil
+	case "MixingTree":
+		return MixingTree(), nil
+	case "InterpolatingDilution":
+		return InterpolatingDilution(), nil
+	case "ExponentialDilution":
+		return ExponentialDilution(), nil
+	}
+	return Case{}, fmt.Errorf("assays: unknown benchmark %q", name)
+}
+
+// Names lists the benchmark names accepted by ByName, in Table 1 order.
+func Names() []string {
+	return []string{"PCR", "MixingTree", "InterpolatingDilution", "ExponentialDilution"}
+}
+
+// volumeMultiset flattens a volume histogram into a descending-sorted slice.
+func volumeMultiset(hist map[int]int) []int {
+	var vols []int
+	for v, n := range hist {
+		for i := 0; i < n; i++ {
+			vols = append(vols, v)
+		}
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(vols)))
+	return vols
+}
+
+// buildBinaryTree builds a full binary mixing tree with len(vols) internal
+// nodes in heap layout (node i's children are 2i and 2i+1). Deeper nodes are
+// assigned larger volumes so that every parent draws at most half of any
+// child product. Leaves become alternating sample/buffer inputs.
+func buildBinaryTree(name string, vols []int) *graph.Assay {
+	n := len(vols)
+	a := graph.New(name)
+
+	// Heap indices 1..n are mixes; deeper (larger) indices get the larger
+	// volumes. vols is sorted descending, so assign in reverse heap order.
+	volOf := make([]int, n+1)
+	for i := 0; i < n; i++ {
+		volOf[n-i] = vols[i]
+	}
+	mixes := make([]*graph.Op, n+1)
+	// Create input leaves and mixes bottom-up so that Connect sees both ends.
+	inputs := 0
+	newInput := func() *graph.Op {
+		inputs++
+		role := "b" // buffer
+		if inputs%2 == 1 {
+			role = "s" // sample
+		}
+		return a.Add(graph.Input, fmt.Sprintf("%s%d", role, inputs), 0)
+	}
+	for i := n; i >= 1; i-- {
+		mixes[i] = a.Add(graph.Mix, fmt.Sprintf("o%d", i), DefaultMixDuration)
+	}
+	for i := n; i >= 1; i-- {
+		half := volOf[i] / 2
+		for _, c := range []int{2 * i, 2*i + 1} {
+			if c <= n {
+				a.Connect(mixes[c], mixes[i], half)
+			} else {
+				a.Connect(newInput(), mixes[i], half)
+			}
+		}
+	}
+	return a
+}
+
+// buildDilutionChains builds serial 1:1 dilution chains. chainLens gives the
+// number of mixing steps per chain; vols is the descending multiset of step
+// volumes, dealt round-robin so every chain ends up with a descending volume
+// sequence (a step never draws more than the previous step produced).
+func buildDilutionChains(name string, chainLens []int, vols []int) *graph.Assay {
+	total := 0
+	for _, l := range chainLens {
+		total += l
+	}
+	if total != len(vols) {
+		panic(fmt.Sprintf("assays: %d chain steps but %d volumes", total, len(vols)))
+	}
+	// Deal volumes round-robin; each chain's hand stays descending because
+	// the deck is descending.
+	hands := make([][]int, len(chainLens))
+	deck := 0
+	for len(vols) > deck {
+		for c := range hands {
+			if len(hands[c]) < chainLens[c] && deck < len(vols) {
+				hands[c] = append(hands[c], vols[deck])
+				deck++
+			}
+		}
+	}
+
+	a := graph.New(name)
+	op := 0
+	for c, hand := range hands {
+		var prev *graph.Op
+		for step, v := range hand {
+			op++
+			m := a.Add(graph.Mix, fmt.Sprintf("o%d", op), DefaultMixDuration)
+			buf := a.Add(graph.Input, fmt.Sprintf("b%d.%d", c+1, step+1), 0)
+			a.Connect(buf, m, v/2)
+			if prev == nil {
+				smp := a.Add(graph.Input, fmt.Sprintf("s%d", c+1), 0)
+				a.Connect(smp, m, v/2)
+			} else {
+				a.Connect(prev, m, v/2)
+			}
+			prev = m
+		}
+	}
+	return a
+}
+
+// SerialDilution returns a single 1:1 serial dilution chain with the given
+// step volumes (a simple parametric assay for examples and tests).
+func SerialDilution(name string, stepVolumes []int) *graph.Assay {
+	return buildDilutionChains(name, []int{len(stepVolumes)}, stepVolumes)
+}
+
+// InVitro returns an in-vitro diagnostics assay: every one of samples
+// physiological fluids is mixed with every one of reagents and the product
+// detected — the classic samples×reagents benchmark family of the digital
+// and flow-based biochip literature. Each mix uses the given volume and is
+// followed by a detection.
+func InVitro(samples, reagents, volume int) *graph.Assay {
+	a := graph.New(fmt.Sprintf("InVitro%dx%d", samples, reagents))
+	ss := make([]*graph.Op, samples)
+	for i := range ss {
+		ss[i] = a.Add(graph.Input, fmt.Sprintf("s%d", i+1), 0)
+	}
+	rs := make([]*graph.Op, reagents)
+	for j := range rs {
+		rs[j] = a.Add(graph.Input, fmt.Sprintf("r%d", j+1), 0)
+	}
+	for i, s := range ss {
+		for j, r := range rs {
+			m := a.Add(graph.Mix, fmt.Sprintf("m%d.%d", i+1, j+1), DefaultMixDuration)
+			a.Connect(s, m, volume/2)
+			a.Connect(r, m, volume-volume/2)
+			d := a.Add(graph.Detect, fmt.Sprintf("d%d.%d", i+1, j+1), DefaultDetectDuration)
+			a.Connect(m, d, volume)
+		}
+	}
+	return a
+}

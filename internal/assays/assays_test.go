@@ -1,0 +1,258 @@
+package assays
+
+import (
+	"strings"
+	"testing"
+
+	"mfsynth/internal/graph"
+)
+
+// table1 captures the #op column and p1 per-size mixing-op distribution of
+// the paper's Table 1 for each benchmark.
+var table1 = []struct {
+	name      string
+	ops       int
+	mixes     int
+	hist      map[int]int // mixer size -> mixing ops of that size
+	detectors int
+}{
+	{"PCR", 15, 7, map[int]int{4: 1, 8: 4, 10: 2}, 0},
+	{"MixingTree", 37, 18, map[int]int{4: 2, 6: 4, 8: 5, 10: 7}, 0},
+	{"InterpolatingDilution", 71, 35, map[int]int{4: 5, 6: 9, 8: 9, 10: 12}, 2},
+	{"ExponentialDilution", 103, 47, map[int]int{4: 6, 6: 16, 8: 13, 10: 12}, 3},
+}
+
+func TestBenchmarksMatchTable1(t *testing.T) {
+	for _, tt := range table1 {
+		t.Run(tt.name, func(t *testing.T) {
+			c, err := ByName(tt.name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			a := c.Assay
+			if err := a.Validate(); err != nil {
+				t.Fatalf("Validate: %v", err)
+			}
+			s := a.Stats()
+			if s.Ops != tt.ops {
+				t.Errorf("#op = %d, want %d", s.Ops, tt.ops)
+			}
+			if s.MixOps != tt.mixes {
+				t.Errorf("#mix = %d, want %d", s.MixOps, tt.mixes)
+			}
+			for size, want := range tt.hist {
+				if got := s.VolumeHistogram[size]; got != want {
+					t.Errorf("size-%d mixes = %d, want %d", size, got, want)
+				}
+			}
+			for size := range s.VolumeHistogram {
+				if _, ok := tt.hist[size]; !ok {
+					t.Errorf("unexpected mixing volume %d", size)
+				}
+			}
+			if c.Detectors != tt.detectors {
+				t.Errorf("Detectors = %d, want %d", c.Detectors, tt.detectors)
+			}
+			if c.GridSize < 8 {
+				t.Errorf("GridSize = %d is too small", c.GridSize)
+			}
+		})
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("ByName accepted unknown benchmark")
+	}
+}
+
+func TestNamesRoundTrip(t *testing.T) {
+	names := Names()
+	if len(names) != 4 {
+		t.Fatalf("Names = %v", names)
+	}
+	for _, n := range names {
+		if _, err := ByName(n); err != nil {
+			t.Errorf("ByName(%q): %v", n, err)
+		}
+	}
+}
+
+// Every mix must be able to draw its inputs: each incoming edge from another
+// mix must not exceed that producer's volume.
+func TestFluidConservation(t *testing.T) {
+	for _, name := range Names() {
+		c, _ := ByName(name)
+		a := c.Assay
+		for _, id := range a.MixOps() {
+			for _, e := range a.In(id) {
+				src := a.Op(e.From)
+				if src.Kind != graph.Mix {
+					continue
+				}
+				if e.Volume > a.Volume(src.ID) {
+					t.Errorf("%s: %s draws %d from %s which produces %d",
+						name, a.Op(id).Name, e.Volume, src.Name, a.Volume(src.ID))
+				}
+			}
+		}
+	}
+}
+
+// All mixing volumes must be even (1:1 draws of halves) and within the mixer
+// size catalog.
+func TestMixVolumesInCatalog(t *testing.T) {
+	catalog := map[int]bool{}
+	for _, s := range MixerSizes {
+		catalog[s] = true
+	}
+	for _, name := range Names() {
+		c, _ := ByName(name)
+		for _, id := range c.Assay.MixOps() {
+			v := c.Assay.Volume(id)
+			if !catalog[v] {
+				t.Errorf("%s: mix %s volume %d outside catalog", name, c.Assay.Op(id).Name, v)
+			}
+		}
+	}
+}
+
+func TestPCRTreeShape(t *testing.T) {
+	c := PCR()
+	a := c.Assay
+	// Final mix o7 has two mix parents, which have two mix parents each.
+	var final int = -1
+	for _, id := range a.MixOps() {
+		if len(a.Children(id)) == 0 {
+			if final != -1 {
+				t.Fatal("more than one root mix")
+			}
+			final = id
+		}
+	}
+	if final == -1 {
+		t.Fatal("no root mix")
+	}
+	if v := a.Volume(final); v != 4 {
+		t.Fatalf("final mix volume = %d, want 4", v)
+	}
+	l2 := a.DeviceParents(final)
+	if len(l2) != 2 {
+		t.Fatalf("final mix has %d device parents, want 2", len(l2))
+	}
+	for _, p := range l2 {
+		if v := a.Volume(p); v != 10 {
+			t.Errorf("second-level mix volume = %d, want 10", v)
+		}
+		if l1 := a.DeviceParents(p); len(l1) != 2 {
+			t.Errorf("second-level mix has %d device parents, want 2", len(l1))
+		}
+	}
+}
+
+func TestExponentialDilutionChains(t *testing.T) {
+	c := ExponentialDilution()
+	a := c.Assay
+	chains := 0
+	for _, id := range a.MixOps() {
+		if len(a.DeviceParents(id)) == 0 {
+			chains++ // chain head: only input parents
+		}
+		if n := len(a.DeviceParents(id)); n > 1 {
+			t.Errorf("mix %s has %d device parents, chains allow at most 1", a.Op(id).Name, n)
+		}
+	}
+	if chains != 9 {
+		t.Errorf("found %d chain heads, want 9", chains)
+	}
+}
+
+func TestSerialDilution(t *testing.T) {
+	a := SerialDilution("sd", []int{8, 6, 4})
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s := a.Stats()
+	if s.MixOps != 3 || s.Ops != 3+4 {
+		t.Fatalf("Stats = %+v", s)
+	}
+}
+
+func TestParseWriteRoundTrip(t *testing.T) {
+	for _, name := range Names() {
+		c, _ := ByName(name)
+		var sb strings.Builder
+		if err := Write(&sb, c.Assay); err != nil {
+			t.Fatalf("%s: Write: %v", name, err)
+		}
+		got, err := Parse(strings.NewReader(sb.String()))
+		if err != nil {
+			t.Fatalf("%s: Parse: %v", name, err)
+		}
+		if got.Name != c.Assay.Name || got.Len() != c.Assay.Len() || got.NumEdges() != c.Assay.NumEdges() {
+			t.Fatalf("%s: round trip changed shape: %d/%d ops, %d/%d edges",
+				name, got.Len(), c.Assay.Len(), got.NumEdges(), c.Assay.NumEdges())
+		}
+		w1, w2 := got.Stats(), c.Assay.Stats()
+		if w1.String() != w2.String() {
+			t.Fatalf("%s: round trip stats %v != %v", name, w1, w2)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, in, want string
+	}{
+		{"empty", "", "missing assay"},
+		{"no assay first", "op a input", "before assay"},
+		{"bad directive", "assay x\nfoo bar", "unknown directive"},
+		{"dup assay", "assay x\nassay y", "duplicate assay"},
+		{"dup op", "assay x\nop a input\nop a input", "duplicate op"},
+		{"bad kind", "assay x\nop a blender", "unknown kind"},
+		{"bad duration", "assay x\nop a mix nope", "bad duration"},
+		{"unknown edge op", "assay x\nop a input\nedge a b 4", "unknown op"},
+		{"bad volume", "assay x\nop a input\nop b mix\nedge a b vol", "bad volume"},
+		{"edge arity", "assay x\nop a input\nop b mix\nedge a b", "want \"edge"},
+		{"invalid graph", "assay x\nop a input\nop b mix\nedge a b 1", "volume 1 < 2"},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := Parse(strings.NewReader(tt.in))
+			if err == nil {
+				t.Fatalf("Parse accepted %q", tt.in)
+			}
+			if !strings.Contains(err.Error(), tt.want) {
+				t.Fatalf("error %q does not contain %q", err, tt.want)
+			}
+		})
+	}
+}
+
+func TestParseCommentsAndDurations(t *testing.T) {
+	in := `
+# a tiny assay
+assay tiny
+op s1 input
+op s2 input
+op m1 mix 9
+edge s1 m1 2
+edge s2 m1 2
+`
+	a, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Name != "tiny" || a.Len() != 3 {
+		t.Fatalf("parsed %q with %d ops", a.Name, a.Len())
+	}
+	var mix *graph.Op
+	for _, op := range a.Ops() {
+		if op.Kind == graph.Mix {
+			mix = op
+		}
+	}
+	if mix == nil || mix.Duration != 9 {
+		t.Fatalf("mix duration not honoured: %+v", mix)
+	}
+}

@@ -1,0 +1,145 @@
+package assays
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"mfsynth/internal/graph"
+)
+
+// The assay text format is line oriented:
+//
+//	# comment
+//	assay PCR
+//	op s1 input
+//	op m1 mix 6
+//	op d1 detect 4
+//	op w1 output
+//	edge s1 m1 4
+//
+// Operation lines are "op <name> <kind> [duration]"; duration defaults to 0
+// for input/output, DefaultMixDuration for mix and DefaultDetectDuration for
+// detect. Edges are "edge <from> <to> <volume>" and may only reference
+// earlier op lines. Exactly one "assay <name>" line must come first.
+
+// Parse reads an assay in the text format from r.
+func Parse(r io.Reader) (*graph.Assay, error) {
+	sc := bufio.NewScanner(r)
+	var a *graph.Assay
+	ops := map[string]*graph.Op{}
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		switch fields[0] {
+		case "assay":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("assays: line %d: want \"assay <name>\"", line)
+			}
+			if a != nil {
+				return nil, fmt.Errorf("assays: line %d: duplicate assay line", line)
+			}
+			a = graph.New(fields[1])
+		case "op":
+			if a == nil {
+				return nil, fmt.Errorf("assays: line %d: op before assay line", line)
+			}
+			if len(fields) != 3 && len(fields) != 4 {
+				return nil, fmt.Errorf("assays: line %d: want \"op <name> <kind> [duration]\"", line)
+			}
+			name := fields[1]
+			if _, dup := ops[name]; dup {
+				return nil, fmt.Errorf("assays: line %d: duplicate op %q", line, name)
+			}
+			kind, dur, err := parseKind(fields[2])
+			if err != nil {
+				return nil, fmt.Errorf("assays: line %d: %v", line, err)
+			}
+			if len(fields) == 4 {
+				dur, err = strconv.Atoi(fields[3])
+				if err != nil || dur < 0 {
+					return nil, fmt.Errorf("assays: line %d: bad duration %q", line, fields[3])
+				}
+			}
+			ops[name] = a.Add(kind, name, dur)
+		case "edge":
+			if a == nil {
+				return nil, fmt.Errorf("assays: line %d: edge before assay line", line)
+			}
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("assays: line %d: want \"edge <from> <to> <volume>\"", line)
+			}
+			from, ok := ops[fields[1]]
+			if !ok {
+				return nil, fmt.Errorf("assays: line %d: unknown op %q", line, fields[1])
+			}
+			to, ok := ops[fields[2]]
+			if !ok {
+				return nil, fmt.Errorf("assays: line %d: unknown op %q", line, fields[2])
+			}
+			vol, err := strconv.Atoi(fields[3])
+			if err != nil {
+				return nil, fmt.Errorf("assays: line %d: bad volume %q", line, fields[3])
+			}
+			a.Connect(from, to, vol)
+		default:
+			return nil, fmt.Errorf("assays: line %d: unknown directive %q", line, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("assays: %v", err)
+	}
+	if a == nil {
+		return nil, fmt.Errorf("assays: missing assay line")
+	}
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+func parseKind(s string) (graph.Kind, int, error) {
+	switch s {
+	case "input":
+		return graph.Input, 0, nil
+	case "mix":
+		return graph.Mix, DefaultMixDuration, nil
+	case "detect":
+		return graph.Detect, DefaultDetectDuration, nil
+	case "output":
+		return graph.Output, 0, nil
+	}
+	return 0, 0, fmt.Errorf("unknown kind %q", s)
+}
+
+// Write serialises a in the text format. Parse(Write(a)) reproduces a.
+func Write(w io.Writer, a *graph.Assay) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "assay %s\n", a.Name)
+	order, err := a.TopoOrder()
+	if err != nil {
+		return err
+	}
+	for _, id := range order {
+		op := a.Op(id)
+		fmt.Fprintf(bw, "op %s %s %d\n", op.Name, op.Kind, op.Duration)
+	}
+	// Emit edges grouped by destination in topological order for stable
+	// round-tripping.
+	for _, id := range order {
+		in := append([]graph.Edge(nil), a.In(id)...)
+		sort.Slice(in, func(i, j int) bool { return in[i].From < in[j].From })
+		for _, e := range in {
+			fmt.Fprintf(bw, "edge %s %s %d\n", a.Op(e.From).Name, a.Op(e.To).Name, e.Volume)
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,74 @@
+package assays
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// Property: Write→Parse round-trips every random assay.
+func TestRandomRoundTripProperty(t *testing.T) {
+	f := func(seed int64, detRaw uint8) bool {
+		a := Random(seed, RandomOptions{MixOps: 3 + int(uint(seed)%6), Detects: int(detRaw % 3)})
+		if a.Validate() != nil {
+			return false
+		}
+		var sb strings.Builder
+		if Write(&sb, a) != nil {
+			return false
+		}
+		got, err := Parse(strings.NewReader(sb.String()))
+		if err != nil {
+			return false
+		}
+		return got.Len() == a.Len() &&
+			got.NumEdges() == a.NumEdges() &&
+			got.Stats().String() == a.Stats().String()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the parser never panics on arbitrary junk and never returns
+// both a nil error and an invalid assay.
+func TestParseJunkNeverPanics(t *testing.T) {
+	f := func(junk string) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		a, err := Parse(strings.NewReader(junk))
+		if err == nil && a.Validate() != nil {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+	// Adversarial fragments the generator is unlikely to hit.
+	for _, s := range []string{
+		"assay x\nop a mix -1",
+		"assay x\nop a mix 999999999999999999999999",
+		"assay\n",
+		"assay x\nedge",
+		"assay x\nop",
+		strings.Repeat("assay x\n", 3),
+		"assay x\nop a input\nedge a a 4",
+	} {
+		func() {
+			defer func() {
+				if recover() != nil {
+					t.Errorf("panic on %q", s)
+				}
+			}()
+			if a, err := Parse(strings.NewReader(s)); err == nil {
+				if verr := a.Validate(); verr != nil {
+					t.Errorf("Parse accepted %q but Validate fails: %v", s, verr)
+				}
+			}
+		}()
+	}
+}

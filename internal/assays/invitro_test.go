@@ -1,0 +1,56 @@
+package assays
+
+import (
+	"strings"
+	"testing"
+
+	"mfsynth/internal/graph"
+)
+
+func TestInVitroShape(t *testing.T) {
+	a := InVitro(3, 4, 8)
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s := a.Stats()
+	if s.MixOps != 12 {
+		t.Errorf("mixes = %d, want 3*4", s.MixOps)
+	}
+	if got := a.CountKind(graph.Detect); got != 12 {
+		t.Errorf("detects = %d, want 12", got)
+	}
+	if got := a.CountKind(graph.Input); got != 7 {
+		t.Errorf("inputs = %d, want 3+4", got)
+	}
+	for _, id := range a.MixOps() {
+		if v := a.Volume(id); v != 8 {
+			t.Errorf("mix volume = %d, want 8", v)
+		}
+	}
+}
+
+func TestInVitroOddVolume(t *testing.T) {
+	a := InVitro(2, 2, 7)
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range a.MixOps() {
+		if v := a.Volume(id); v != 7 {
+			t.Errorf("mix volume = %d, want 7", v)
+		}
+	}
+}
+
+func TestInVitroDOT(t *testing.T) {
+	a := InVitro(2, 2, 8)
+	var sb strings.Builder
+	if err := graph.WriteDOT(&sb, a); err != nil {
+		t.Fatal(err)
+	}
+	dot := sb.String()
+	for _, want := range []string{"digraph", "shape=box", "shape=diamond", "vol 8", `"s1" -> "m1.1"`} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+}

@@ -1,0 +1,164 @@
+// Package contam analyses cross-contamination risk in a synthesis result.
+// The paper's conclusion notes that "we assume that we can freely
+// manipulate sample flows, which needs to be restricted and will be
+// considered in the future": reusing valves for different fluids leaves
+// residue. This package makes the risk measurable — it reconstructs the
+// fluid occupancy of every valve over time and flags successions where a
+// valve carries fluid B after fluid A although A is not an ingredient of B
+// (an ingredient's residue is already part of the mixture and harmless).
+// It also estimates how many wash flushes would clear all risks.
+package contam
+
+import (
+	"fmt"
+	"sort"
+
+	"mfsynth/internal/core"
+	"mfsynth/internal/graph"
+	"mfsynth/internal/grid"
+)
+
+// Risk is one contamination hazard: a valve that carried the product of
+// Prev and later the fluid of Next without Prev being an ingredient of
+// Next.
+type Risk struct {
+	Cell grid.Point
+	// Prev and Next are the operation IDs whose fluids meet (input
+	// operations stand for their reagent).
+	Prev, Next int
+	// At is the time Next's fluid reaches the dirty valve.
+	At int
+}
+
+// Report summarises the contamination analysis.
+type Report struct {
+	// Risks lists every risky succession, time-ordered.
+	Risks []Risk
+	// SharedCells is the number of valves used by more than one fluid.
+	SharedCells int
+	// WashFlushes estimates the number of wash operations needed: one
+	// flush per distinct time at which dirty valves must be cleaned.
+	WashFlushes int
+}
+
+// String renders a one-line summary.
+func (r Report) String() string {
+	return fmt.Sprintf("contamination: %d risky successions on %d shared valves, %d wash flushes needed",
+		len(r.Risks), r.SharedCells, r.WashFlushes)
+}
+
+// occupancy is one fluid visit of one valve. residue is what the visit
+// leaves behind (the fluid that physically passed); mixture is the
+// operation whose mixture the visit's contents join (-1 for drains to the
+// waste port, which cannot be contaminated on-chip).
+type occupancy struct {
+	t       int
+	phase   int // 0 = transport (loading), 1 = peristalsis — loads come first
+	residue int
+	mixture int
+}
+
+// Analyze reconstructs per-valve fluid occupancy from the result's pump
+// events and transports and reports the risky successions: residue of an
+// earlier visit joining a later mixture it is not an ingredient of.
+func Analyze(res *core.Result) Report {
+	anc := ancestors(res.Assay)
+	visits := map[grid.Point][]occupancy{}
+
+	add := func(cells []grid.Point, o occupancy) {
+		for _, c := range cells {
+			visits[c] = append(visits[c], o)
+		}
+	}
+	// Device executions: the ring carries the operation's mixture.
+	for id, pl := range res.Mapping.Placements {
+		add(pl.Ring(), occupancy{t: res.Schedule.Start[id], phase: 1, residue: id, mixture: id})
+	}
+	// Transports: the path carries the source product toward the
+	// destination mixture.
+	for _, tr := range res.Transports {
+		if tr.InPlace || tr.FromID < 0 {
+			continue
+		}
+		add(tr.Path, occupancy{t: tr.T, phase: 0, residue: tr.FromID, mixture: tr.ToID})
+	}
+
+	var rep Report
+	washAt := map[int]bool{}
+	for cell, occ := range visits {
+		sort.SliceStable(occ, func(i, j int) bool {
+			if occ[i].t != occ[j].t {
+				return occ[i].t < occ[j].t
+			}
+			return occ[i].phase < occ[j].phase
+		})
+		shared := false
+		for i := 1; i < len(occ); i++ {
+			prev, next := occ[i-1], occ[i]
+			if prev.residue == next.residue && prev.mixture == next.mixture {
+				continue
+			}
+			shared = true
+			if next.mixture < 0 {
+				continue // waste stream; nothing on-chip is polluted
+			}
+			if anc.isIngredient(prev.residue, next.mixture) {
+				continue
+			}
+			rep.Risks = append(rep.Risks, Risk{Cell: cell, Prev: prev.residue, Next: next.mixture, At: next.t})
+			washAt[next.t] = true
+		}
+		if shared {
+			rep.SharedCells++
+		}
+	}
+	sort.Slice(rep.Risks, func(i, j int) bool {
+		if rep.Risks[i].At != rep.Risks[j].At {
+			return rep.Risks[i].At < rep.Risks[j].At
+		}
+		a, b := rep.Risks[i].Cell, rep.Risks[j].Cell
+		if a.Y != b.Y {
+			return a.Y < b.Y
+		}
+		return a.X < b.X
+	})
+	rep.WashFlushes = len(washAt)
+	return rep
+}
+
+// ancestry holds, per operation, the set of operations whose product flows
+// (transitively) into it.
+type ancestry struct {
+	in []map[int]bool
+}
+
+func ancestors(a *graph.Assay) *ancestry {
+	an := &ancestry{in: make([]map[int]bool, a.Len())}
+	order, err := a.TopoOrder()
+	if err != nil {
+		order = nil // validated assays are acyclic; nil keeps sets empty
+	}
+	for _, id := range order {
+		set := map[int]bool{}
+		for _, p := range a.Parents(id) {
+			set[p] = true
+			for q := range an.in[p] {
+				set[q] = true
+			}
+		}
+		an.in[id] = set
+	}
+	return an
+}
+
+// isIngredient reports whether prev's fluid is part of next's mixture:
+// prev is next itself or a transitive producer of one of its inputs.
+func (an *ancestry) isIngredient(prev, next int) bool {
+	if prev == next {
+		return true
+	}
+	if next < 0 || next >= len(an.in) || an.in[next] == nil {
+		return false
+	}
+	return an.in[next][prev]
+}

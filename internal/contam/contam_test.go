@@ -1,0 +1,120 @@
+package contam
+
+import (
+	"strings"
+	"testing"
+
+	"mfsynth/internal/assays"
+	"mfsynth/internal/core"
+	"mfsynth/internal/graph"
+	"mfsynth/internal/place"
+	"mfsynth/internal/schedule"
+)
+
+func synth(t *testing.T, a *graph.Assay, grid int, pol map[int]int) *core.Result {
+	t.Helper()
+	res, err := core.Synthesize(a, core.Options{
+		Policy: schedule.Resources{Mixers: pol},
+		Place:  place.Config{Grid: grid, Mode: place.Greedy},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestChainHasNoRisk(t *testing.T) {
+	// A serial dilution chain: every later fluid contains every earlier
+	// product, so valve reuse along the chain is never risky.
+	a := assays.SerialDilution("sd", []int{8, 6, 4})
+	res := synth(t, a, 10, nil)
+	rep := Analyze(res)
+	if len(rep.Risks) != 0 {
+		t.Errorf("chain produced risks: %v", rep.Risks)
+	}
+	if rep.WashFlushes != 0 {
+		t.Errorf("chain needs %d washes, want 0", rep.WashFlushes)
+	}
+}
+
+func TestIndependentBranchesShareRisk(t *testing.T) {
+	// Two unrelated mixes forced onto the same mixer region in sequence:
+	// with one size-8 mixer slot the dynamic devices will reuse valves on a
+	// small chip, creating real residue risk.
+	a := graph.New("pair")
+	for i := 0; i < 2; i++ {
+		x := a.Add(graph.Input, "x", 0)
+		y := a.Add(graph.Input, "y", 0)
+		m := a.Add(graph.Mix, "m", assays.DefaultMixDuration)
+		a.Connect(x, m, 4)
+		a.Connect(y, m, 4)
+	}
+	res := synth(t, a, 10, map[int]int{8: 1})
+	rep := Analyze(res)
+	// Paths from the shared input ports overlap at least near the port, so
+	// unrelated fluids meet somewhere.
+	if rep.SharedCells == 0 {
+		t.Skip("placements happened to be fully disjoint")
+	}
+	if len(rep.Risks) == 0 {
+		t.Error("unrelated fluids share valves but no risk flagged")
+	}
+	if rep.WashFlushes == 0 {
+		t.Error("risks present but no wash flushes proposed")
+	}
+}
+
+func TestPCRReport(t *testing.T) {
+	c := assays.PCR()
+	res := synth(t, c.Assay, c.GridSize, c.BaseMixers)
+	rep := Analyze(res)
+	if rep.SharedCells < 0 || rep.WashFlushes < 0 {
+		t.Fatal("negative counts")
+	}
+	// Risks are time-sorted.
+	for i := 1; i < len(rep.Risks); i++ {
+		if rep.Risks[i].At < rep.Risks[i-1].At {
+			t.Fatal("risks not time-ordered")
+		}
+	}
+	s := rep.String()
+	if !strings.Contains(s, "wash") {
+		t.Errorf("String = %q", s)
+	}
+	// Every risk's fluids must be genuinely unrelated.
+	an := ancestors(res.Assay)
+	for _, r := range rep.Risks {
+		if an.isIngredient(r.Prev, r.Next) {
+			t.Errorf("risk %v between related fluids", r)
+		}
+	}
+}
+
+func TestIngredientRelation(t *testing.T) {
+	a := graph.New("lineage")
+	i1 := a.Add(graph.Input, "i1", 0)
+	i2 := a.Add(graph.Input, "i2", 0)
+	m1 := a.Add(graph.Mix, "m1", 6)
+	a.Connect(i1, m1, 2)
+	a.Connect(i2, m1, 2)
+	i3 := a.Add(graph.Input, "i3", 0)
+	m2 := a.Add(graph.Mix, "m2", 6)
+	a.Connect(m1, m2, 2)
+	a.Connect(i3, m2, 2)
+	an := ancestors(a)
+	if !an.isIngredient(m1.ID, m2.ID) {
+		t.Error("m1 must be an ingredient of m2")
+	}
+	if !an.isIngredient(i1.ID, m2.ID) {
+		t.Error("transitive input i1 must be an ingredient of m2")
+	}
+	if an.isIngredient(m2.ID, m1.ID) {
+		t.Error("descendant flagged as ingredient")
+	}
+	if an.isIngredient(i3.ID, m1.ID) {
+		t.Error("unrelated input flagged as ingredient")
+	}
+	if !an.isIngredient(m1.ID, m1.ID) {
+		t.Error("self must be an ingredient")
+	}
+}

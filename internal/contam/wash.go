@@ -1,0 +1,162 @@
+package contam
+
+import (
+	"sort"
+
+	"mfsynth/internal/arch"
+	"mfsynth/internal/core"
+	"mfsynth/internal/grid"
+	"mfsynth/internal/route"
+)
+
+// Wash is one flush: buffer from an input port through dirty valves to the
+// waste port, immediately before the transports at time T.
+type Wash struct {
+	// T is the flush time.
+	T int
+	// Path is the routed flush channel.
+	Path route.Path
+	// Dirty counts the risky valves this flush clears.
+	Dirty int
+}
+
+// WashPlan is a set of flushes clearing contamination risks, with the
+// reliability price they exact.
+type WashPlan struct {
+	// Washes lists the flushes in time order.
+	Washes []Wash
+	// Cleared and Uncleared count the risky valves that could / could not
+	// be washed (a valve inside a running device cannot be flushed).
+	Cleared, Uncleared int
+	// ExtraActuations is the total number of additional valve state
+	// changes the washing costs.
+	ExtraActuations int
+	// VsMax1Before and VsMax1After are the largest per-valve totals
+	// (setting 1) without and with the wash traffic — the reliability
+	// price of contamination-free operation.
+	VsMax1Before, VsMax1After int
+}
+
+// PlanWashes analyses res and routes a flush before every transport time
+// at which residue would otherwise join an unrelated mixture. Flushes run
+// from an input port to the output port through the dirty valves; valves
+// that sit inside a device that is alive at flush time cannot be cleared.
+func PlanWashes(res *core.Result) WashPlan {
+	rep := Analyze(res)
+	plan := WashPlan{VsMax1Before: res.VsMax1}
+	if len(rep.Risks) == 0 {
+		plan.VsMax1After = res.VsMax1
+		return plan
+	}
+
+	// Dirty valves per flush time, with the number of risks at each.
+	byTime := map[int]map[grid.Point]int{}
+	for _, r := range rep.Risks {
+		if byTime[r.At] == nil {
+			byTime[r.At] = map[grid.Point]int{}
+		}
+		byTime[r.At][r.Cell]++
+	}
+	var times []int
+	for t := range byTime {
+		times = append(times, t)
+	}
+	sort.Ints(times)
+
+	chip := arch.NewChip(res.Grid, res.Grid)
+	var inPorts, outPorts []grid.Point
+	for _, p := range chip.Ports {
+		if p.Kind == arch.InPort {
+			inPorts = append(inPorts, p.At)
+		} else {
+			outPorts = append(outPorts, p.At)
+		}
+	}
+
+	for _, t := range times {
+		riskCells := byTime[t]
+		dirty := make([]grid.Point, 0, len(riskCells))
+		for c := range riskCells {
+			dirty = append(dirty, c)
+		}
+		dirty = dedupPoints(dirty)
+		covered := map[grid.Point]bool{}
+		router := route.New(chip.Bounds())
+		// Devices alive at flush time block the wash; their dirty cells
+		// stay uncleared. Storages also block: buffer through a storage
+		// would dilute its content.
+		blocked := map[grid.Point]bool{}
+		for id, pl := range res.Mapping.Placements {
+			w := res.Mapping.Windows[id]
+			if t >= w[0] && t < w[1] {
+				router.Block(pl.Footprint())
+				for _, c := range pl.Footprint().Points() {
+					blocked[c] = true
+				}
+			}
+		}
+		for _, cell := range dirty {
+			if covered[cell] || blocked[cell] {
+				continue
+			}
+			// in-port → dirty valve → out-port.
+			seg1, err1 := router.Route(inPorts, []grid.Point{cell})
+			seg2, err2 := router.Route([]grid.Point{cell}, outPorts)
+			if err1 != nil || err2 != nil {
+				continue
+			}
+			path := append(append(route.Path{}, seg1...), seg2[1:]...)
+			washed := 0
+			for _, c := range path {
+				covered[c] = true
+			}
+			for _, d := range dirty {
+				if covered[d] {
+					washed++
+				}
+			}
+			plan.Washes = append(plan.Washes, Wash{T: t, Path: path, Dirty: washed})
+			plan.ExtraActuations += 2 * len(path)
+			router.Commit(path)
+		}
+		for c, n := range riskCells {
+			if covered[c] {
+				plan.Cleared += n
+			} else {
+				plan.Uncleared += n
+			}
+		}
+	}
+
+	plan.VsMax1After = washAdjustedMax(res, plan.Washes)
+	return plan
+}
+
+// washAdjustedMax replays the assay with the wash traffic added and returns
+// the new largest per-valve total (setting 1).
+func washAdjustedMax(res *core.Result, washes []Wash) int {
+	chip := res.ChipAt(-1, 1)
+	for _, w := range washes {
+		chip.AddCtrl(w.Path, 2)
+	}
+	return chip.MaxTotal()
+}
+
+// dedupPoints returns the sorted distinct points.
+func dedupPoints(pts []grid.Point) []grid.Point {
+	seen := map[grid.Point]bool{}
+	var out []grid.Point
+	for _, p := range pts {
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Y != out[j].Y {
+			return out[i].Y < out[j].Y
+		}
+		return out[i].X < out[j].X
+	})
+	return out
+}

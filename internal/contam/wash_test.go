@@ -1,0 +1,74 @@
+package contam
+
+import (
+	"testing"
+
+	"mfsynth/internal/assays"
+)
+
+func TestWashPlanPCR(t *testing.T) {
+	c := assays.PCR()
+	res := synth(t, c.Assay, c.GridSize, c.BaseMixers)
+	rep := Analyze(res)
+	plan := PlanWashes(res)
+	if plan.Cleared+plan.Uncleared != len(rep.Risks) {
+		t.Fatalf("cleared %d + uncleared %d != %d risks",
+			plan.Cleared, plan.Uncleared, len(rep.Risks))
+	}
+	if len(rep.Risks) > 0 {
+		if plan.Cleared == 0 {
+			t.Error("no risk cleared at all")
+		}
+		if len(plan.Washes) == 0 {
+			t.Error("risks present but no washes planned")
+		}
+	}
+	if plan.ExtraActuations <= 0 && len(plan.Washes) > 0 {
+		t.Error("washes cost nothing")
+	}
+	if plan.VsMax1Before != res.VsMax1 {
+		t.Errorf("VsMax1Before = %d, want %d", plan.VsMax1Before, res.VsMax1)
+	}
+	if plan.VsMax1After < plan.VsMax1Before {
+		t.Errorf("washing reduced the max actuations: %d -> %d",
+			plan.VsMax1Before, plan.VsMax1After)
+	}
+	// Washes are time-ordered and their paths connect port to port.
+	for i, w := range plan.Washes {
+		if i > 0 && w.T < plan.Washes[i-1].T {
+			t.Fatal("washes not time-ordered")
+		}
+		if len(w.Path) < 2 {
+			t.Fatalf("wash %d has trivial path", i)
+		}
+		first, last := w.Path[0], w.Path[len(w.Path)-1]
+		if first.X != 0 {
+			t.Errorf("wash %d does not start at an input port: %v", i, first)
+		}
+		if last.X != res.Grid-1 {
+			t.Errorf("wash %d does not end at the output port: %v", i, last)
+		}
+	}
+}
+
+func TestWashPlanCleanAssay(t *testing.T) {
+	a := assays.SerialDilution("sd", []int{8, 6, 4})
+	res := synth(t, a, 10, nil)
+	plan := PlanWashes(res)
+	if len(plan.Washes) != 0 || plan.Cleared != 0 || plan.Uncleared != 0 {
+		t.Fatalf("clean assay got a plan: %+v", plan)
+	}
+	if plan.VsMax1After != plan.VsMax1Before {
+		t.Error("clean assay changed metrics")
+	}
+}
+
+func TestWashAdjustedMaxMonotone(t *testing.T) {
+	c := assays.PCR()
+	res := synth(t, c.Assay, c.GridSize, c.BaseMixers)
+	plan := PlanWashes(res)
+	grow := washAdjustedMax(res, append(plan.Washes, plan.Washes...))
+	if grow < plan.VsMax1After {
+		t.Errorf("doubling washes lowered the max: %d < %d", grow, plan.VsMax1After)
+	}
+}

@@ -1,0 +1,97 @@
+// Package control analyses the control-layer effort of a synthesis result.
+// The paper notes that a fully programmable valve matrix (Fidalgo &
+// Maerkl's) needs per-valve control, "which leads to much control effort";
+// after synthesis, however, many of the remaining valves switch in exactly
+// the same pattern over the whole assay and can therefore share one
+// pressure source and control channel. This package derives the per-valve
+// switching traces from the event log and counts the distinct traces — the
+// number of control pins the synthesized chip actually needs.
+package control
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mfsynth/internal/core"
+	"mfsynth/internal/grid"
+)
+
+// Analysis summarises the control layer of one synthesis result.
+type Analysis struct {
+	// VirtualValves is the full matrix size.
+	VirtualValves int
+	// UsedValves is the number of manufactured valves (≥1 actuation).
+	UsedValves int
+	// Pins is the number of distinct switching traces: valves with equal
+	// traces share one control channel.
+	Pins int
+	// LargestGroup is the size of the biggest pin-sharing class.
+	LargestGroup int
+	// Groups maps each pin (by index) to its valves, largest first.
+	Groups [][]grid.Point
+}
+
+// Sharing returns the average number of valves per pin.
+func (a Analysis) Sharing() float64 {
+	if a.Pins == 0 {
+		return 0
+	}
+	return float64(a.UsedValves) / float64(a.Pins)
+}
+
+// String renders a one-line summary.
+func (a Analysis) String() string {
+	return fmt.Sprintf("control: %d pins drive %d valves (%.2f valves/pin, largest group %d)",
+		a.Pins, a.UsedValves, a.Sharing(), a.LargestGroup)
+}
+
+// Analyze derives the pin-sharing structure from the result's event log.
+// Two valves may share a control pin iff they participate in exactly the
+// same actuation events over the whole assay (same times, same kinds, same
+// operations) — then their pressure profiles are identical.
+func Analyze(res *core.Result) Analysis {
+	traces := map[grid.Point][]string{}
+	for i, ev := range res.Events {
+		tag := fmt.Sprintf("%d/%d/%d", ev.T, int(ev.Kind), i)
+		for _, c := range ev.Cells {
+			traces[c] = append(traces[c], tag)
+		}
+	}
+	classes := map[string][]grid.Point{}
+	for c, tr := range traces {
+		key := strings.Join(tr, ",")
+		classes[key] = append(classes[key], c)
+	}
+	a := Analysis{
+		VirtualValves: res.Grid * res.Grid,
+		UsedValves:    len(traces),
+		Pins:          len(classes),
+	}
+	for _, pts := range classes {
+		sort.Slice(pts, func(i, j int) bool {
+			if pts[i].Y != pts[j].Y {
+				return pts[i].Y < pts[j].Y
+			}
+			return pts[i].X < pts[j].X
+		})
+		a.Groups = append(a.Groups, pts)
+		if len(pts) > a.LargestGroup {
+			a.LargestGroup = len(pts)
+		}
+	}
+	sort.Slice(a.Groups, func(i, j int) bool {
+		if len(a.Groups[i]) != len(a.Groups[j]) {
+			return len(a.Groups[i]) > len(a.Groups[j])
+		}
+		return less(a.Groups[i][0], a.Groups[j][0])
+	})
+	return a
+}
+
+func less(p, q grid.Point) bool {
+	if p.Y != q.Y {
+		return p.Y < q.Y
+	}
+	return p.X < q.X
+}

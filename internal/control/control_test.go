@@ -1,0 +1,91 @@
+package control
+
+import (
+	"strings"
+	"testing"
+
+	"mfsynth/internal/assays"
+	"mfsynth/internal/core"
+	"mfsynth/internal/place"
+	"mfsynth/internal/schedule"
+)
+
+func pcrResult(t *testing.T) *core.Result {
+	t.Helper()
+	c := assays.PCR()
+	res, err := core.Synthesize(c.Assay, core.Options{
+		Policy: schedule.Resources{Mixers: c.BaseMixers},
+		Place:  place.Config{Grid: c.GridSize, Mode: place.Greedy},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestAnalyzePCR(t *testing.T) {
+	res := pcrResult(t)
+	a := Analyze(res)
+	if a.VirtualValves != res.Grid*res.Grid {
+		t.Errorf("VirtualValves = %d", a.VirtualValves)
+	}
+	if a.UsedValves != res.UsedValves {
+		t.Errorf("UsedValves = %d, want %d", a.UsedValves, res.UsedValves)
+	}
+	if a.Pins <= 0 || a.Pins > a.UsedValves {
+		t.Errorf("Pins = %d outside (0, %d]", a.Pins, a.UsedValves)
+	}
+	// Sharing must actually happen: ring valves of a device pumped together
+	// and loaded together share a trace.
+	if a.Pins == a.UsedValves {
+		t.Error("no control sharing found; ring valves should group")
+	}
+	if a.Sharing() <= 1 {
+		t.Errorf("Sharing = %.2f, want > 1", a.Sharing())
+	}
+	if a.LargestGroup < 2 {
+		t.Errorf("LargestGroup = %d", a.LargestGroup)
+	}
+}
+
+func TestGroupsPartitionUsedValves(t *testing.T) {
+	res := pcrResult(t)
+	a := Analyze(res)
+	seen := map[[2]int]bool{}
+	total := 0
+	for _, g := range a.Groups {
+		for _, p := range g {
+			k := [2]int{p.X, p.Y}
+			if seen[k] {
+				t.Fatalf("valve %v in two groups", p)
+			}
+			seen[k] = true
+			total++
+		}
+	}
+	if total != a.UsedValves {
+		t.Errorf("groups cover %d valves, want %d", total, a.UsedValves)
+	}
+	// Groups sorted largest first.
+	for i := 1; i < len(a.Groups); i++ {
+		if len(a.Groups[i]) > len(a.Groups[i-1]) {
+			t.Fatal("groups not sorted by size")
+		}
+	}
+}
+
+func TestAnalysisString(t *testing.T) {
+	res := pcrResult(t)
+	a := Analyze(res)
+	s := a.String()
+	if !strings.Contains(s, "pins") || !strings.Contains(s, "valves") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestSharingEmptyAnalysis(t *testing.T) {
+	var a Analysis
+	if a.Sharing() != 0 {
+		t.Errorf("Sharing of empty analysis = %g", a.Sharing())
+	}
+}

@@ -1,0 +1,248 @@
+package control
+
+import (
+	"sort"
+
+	"mfsynth/internal/core"
+	"mfsynth/internal/grid"
+	"mfsynth/internal/route"
+)
+
+// Layout is a routed control layer: one pressure pin on the chip boundary
+// per pin group, connected to all of the group's valves by a channel tree.
+// Control channels live on their own PDMS layer, so they may cross flow
+// channels freely, but channels of different pins must not touch each
+// other and must not run over foreign valves (they would actuate them).
+// Routing happens on a lattice ctrlScale times as fine as the valve
+// matrix: channels run in the tracks between valve rows, with valve (x, y)
+// at control coordinate (ctrlScale·x, ctrlScale·y).
+type Layout struct {
+	// Pins maps group index (as in Analysis.Groups) to its boundary pin.
+	Pins []grid.Point
+	// Channels holds each group's routed channel cells (including the pin
+	// and the valves).
+	Channels [][]grid.Point
+	// Routed and Failed count the groups with complete/incomplete trees.
+	Routed, Failed int
+	// ExtraPins counts additional boundary pins used when a congested
+	// group had to be split across two pins (externally tied to the same
+	// pressure source).
+	ExtraPins int
+	// TotalLength is the summed channel cell count.
+	TotalLength int
+}
+
+// RouteControl builds the control layer for an analysis: each group is
+// routed from a boundary pin near its centroid, connecting terminals to
+// the growing tree nearest-first; other groups' channels and valves are
+// obstacles. Several rip-up passes reorder the groups (failures first) and
+// the best attempt is kept.
+func RouteControl(res *core.Result, a Analysis) Layout {
+	bounds := grid.RectWH(0, 0, ctrlScale*(res.Grid-1)+1, ctrlScale*(res.Grid-1)+1)
+	groups := make([][]grid.Point, len(a.Groups))
+	for gi, group := range a.Groups {
+		for _, v := range group {
+			groups[gi] = append(groups[gi], ctrlCoord(v))
+		}
+	}
+
+	// Initial order: largest groups first, they are the hardest to route.
+	order := make([]int, len(groups))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(x, y int) bool {
+		return len(groups[order[x]]) > len(groups[order[y]])
+	})
+
+	var best Layout
+	for attempt := 0; attempt < 4; attempt++ {
+		lay, failedSet := routeAttempt(bounds, groups, order)
+		if attempt == 0 || lay.Routed > best.Routed ||
+			(lay.Routed == best.Routed && lay.TotalLength < best.TotalLength) {
+			best = lay
+		}
+		if lay.Failed == 0 {
+			break
+		}
+		// Rip-up: move the failed groups to the front.
+		var front, back []int
+		for _, gi := range order {
+			if failedSet[gi] {
+				front = append(front, gi)
+			} else {
+				back = append(back, gi)
+			}
+		}
+		order = append(front, back...)
+	}
+	return best
+}
+
+// routeAttempt runs one full sequential routing pass in the given order.
+func routeAttempt(bounds grid.Rect, groups [][]grid.Point, order []int) (Layout, map[int]bool) {
+	lay := Layout{
+		Pins:     make([]grid.Point, len(groups)),
+		Channels: make([][]grid.Point, len(groups)),
+	}
+	usedPins := map[grid.Point]bool{}
+	occupied := map[grid.Point]int{} // control cell -> owning group
+	// Valve cells belong to their group before any channel is routed: a
+	// foreign channel over a valve would actuate it.
+	for gi, group := range groups {
+		for _, c := range group {
+			occupied[c] = gi
+		}
+	}
+	failed := map[int]bool{}
+	for _, gi := range order {
+		pin, ok := choosePin(bounds, centroid(groups[gi]), usedPins, occupied)
+		if !ok {
+			lay.Failed++
+			failed[gi] = true
+			continue
+		}
+		usedPins[pin] = true
+		lay.Pins[gi] = pin
+
+		tree, rest := routeTree(bounds, pin, groups[gi], gi, occupied)
+		if len(rest) > 0 {
+			// Congested: split the group onto a second pin near the
+			// unreached terminals (tied to the same source off-chip).
+			if pin2, ok := choosePin(bounds, centroid(rest), usedPins, occupied); ok {
+				usedPins[pin2] = true
+				tree2, rest2 := routeTree(bounds, pin2, rest, gi, occupied)
+				tree = append(tree, tree2...)
+				rest = rest2
+				lay.ExtraPins++
+			}
+		}
+		if len(rest) > 0 {
+			lay.Failed++
+			failed[gi] = true
+			// Keep the partial tree occupied so later groups stay clear.
+		} else {
+			lay.Routed++
+		}
+		lay.Channels[gi] = tree
+		lay.TotalLength += len(tree)
+	}
+	return lay, failed
+}
+
+// ctrlScale is the control-layer lattice refinement: the number of channel
+// tracks between adjacent valves plus one. Multilayer soft lithography
+// routes control lines far finer than the valve pitch.
+const ctrlScale = 4
+
+// ctrlCoord maps a valve position to its control-layer coordinate.
+func ctrlCoord(v grid.Point) grid.Point {
+	return grid.Point{X: ctrlScale * v.X, Y: ctrlScale * v.Y}
+}
+
+// routeTree connects the terminals to the pin, nearest-first, through
+// cells not owned by other groups. It returns the tree cells and any
+// terminals it could not reach.
+func routeTree(bounds grid.Rect, pin grid.Point, terminals []grid.Point, gi int, occupied map[grid.Point]int) (cells, unreached []grid.Point) {
+	tree := map[grid.Point]bool{pin: true}
+	remaining := map[grid.Point]bool{}
+	for _, t := range terminals {
+		if t != pin {
+			remaining[t] = true
+		}
+	}
+	occupied[pin] = gi
+	for len(remaining) > 0 {
+		r := route.New(bounds)
+		for c, owner := range occupied {
+			if owner != gi {
+				r.Block(grid.RectWH(c.X, c.Y, 1, 1))
+			}
+		}
+		var sources, targets []grid.Point
+		for c := range tree {
+			sources = append(sources, c)
+		}
+		for c := range remaining {
+			targets = append(targets, c)
+		}
+		sortPoints(sources)
+		sortPoints(targets)
+		path, err := r.Route(sources, targets)
+		if err != nil {
+			break
+		}
+		for _, c := range path {
+			tree[c] = true
+			occupied[c] = gi
+			delete(remaining, c)
+		}
+	}
+	for c := range remaining {
+		unreached = append(unreached, c)
+	}
+	sortPoints(unreached)
+	cells = make([]grid.Point, 0, len(tree))
+	for c := range tree {
+		cells = append(cells, c)
+	}
+	sortPoints(cells)
+	return cells, unreached
+}
+
+// choosePin picks the free boundary cell nearest to p.
+func choosePin(bounds grid.Rect, p grid.Point, usedPins map[grid.Point]bool, occupied map[grid.Point]int) (grid.Point, bool) {
+	best := grid.Point{}
+	bestD := -1
+	for _, c := range boundaryCells(bounds) {
+		if usedPins[c] {
+			continue
+		}
+		if _, taken := occupied[c]; taken {
+			continue
+		}
+		if d := c.Manhattan(p); bestD < 0 || d < bestD {
+			best, bestD = c, d
+		}
+	}
+	return best, bestD >= 0
+}
+
+// boundaryCells lists the chip edge cells clockwise from the origin.
+func boundaryCells(b grid.Rect) []grid.Point {
+	var out []grid.Point
+	for x := b.X0; x < b.X1; x++ {
+		out = append(out, grid.Point{X: x, Y: b.Y0})
+	}
+	for y := b.Y0 + 1; y < b.Y1; y++ {
+		out = append(out, grid.Point{X: b.X1 - 1, Y: y})
+	}
+	for x := b.X1 - 2; x >= b.X0; x-- {
+		out = append(out, grid.Point{X: x, Y: b.Y1 - 1})
+	}
+	for y := b.Y1 - 2; y > b.Y0; y-- {
+		out = append(out, grid.Point{X: b.X0, Y: y})
+	}
+	return out
+}
+
+func centroid(pts []grid.Point) grid.Point {
+	if len(pts) == 0 {
+		return grid.Point{}
+	}
+	sx, sy := 0, 0
+	for _, p := range pts {
+		sx += p.X
+		sy += p.Y
+	}
+	return grid.Point{X: sx / len(pts), Y: sy / len(pts)}
+}
+
+func sortPoints(pts []grid.Point) {
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].Y != pts[j].Y {
+			return pts[i].Y < pts[j].Y
+		}
+		return pts[i].X < pts[j].X
+	})
+}

@@ -1,0 +1,94 @@
+package control
+
+import (
+	"testing"
+
+	"mfsynth/internal/grid"
+)
+
+func TestRouteControlPCR(t *testing.T) {
+	res := pcrResult(t)
+	a := Analyze(res)
+	lay := RouteControl(res, a)
+	if lay.Routed+lay.Failed != len(a.Groups) {
+		t.Fatalf("routed %d + failed %d != %d groups", lay.Routed, lay.Failed, len(a.Groups))
+	}
+	// On a 12×12 chip with ~40 pins the vast majority of groups must route
+	// (channel congestion may strand the odd deeply-enclosed valve).
+	if lay.Routed < len(a.Groups)*8/10 {
+		t.Errorf("only %d of %d control trees routed", lay.Routed, len(a.Groups))
+	}
+	if lay.ExtraPins < 0 || lay.ExtraPins > len(a.Groups) {
+		t.Errorf("ExtraPins = %d", lay.ExtraPins)
+	}
+	if lay.TotalLength == 0 {
+		t.Fatal("no channel cells")
+	}
+
+	// Channels of different groups are disjoint.
+	owner := map[grid.Point]int{}
+	for gi, ch := range lay.Channels {
+		for _, c := range ch {
+			if prev, ok := owner[c]; ok && prev != gi {
+				t.Fatalf("cell %v owned by groups %d and %d", c, prev, gi)
+			}
+			owner[c] = gi
+		}
+	}
+	// Every complete tree contains its pin and all its valves.
+	for gi, ch := range lay.Channels {
+		if len(ch) == 0 {
+			continue
+		}
+		cells := map[grid.Point]bool{}
+		for _, c := range ch {
+			cells[c] = true
+		}
+		if !cells[lay.Pins[gi]] {
+			t.Errorf("group %d tree misses its pin %v", gi, lay.Pins[gi])
+		}
+	}
+}
+
+func TestBoundaryCells(t *testing.T) {
+	b := grid.RectWH(0, 0, 4, 4)
+	cells := boundaryCells(b)
+	if len(cells) != 12 {
+		t.Fatalf("boundary of 4x4 has %d cells, want 12", len(cells))
+	}
+	seen := map[grid.Point]bool{}
+	for _, c := range cells {
+		if seen[c] {
+			t.Fatalf("duplicate boundary cell %v", c)
+		}
+		seen[c] = true
+		if c.X != 0 && c.X != 3 && c.Y != 0 && c.Y != 3 {
+			t.Fatalf("interior cell %v on boundary", c)
+		}
+	}
+}
+
+func TestCentroid(t *testing.T) {
+	c := centroid([]grid.Point{{X: 0, Y: 0}, {X: 4, Y: 2}})
+	if c != (grid.Point{X: 2, Y: 1}) {
+		t.Fatalf("centroid = %v", c)
+	}
+	if centroid(nil) != (grid.Point{}) {
+		t.Fatal("empty centroid")
+	}
+}
+
+func TestChoosePinSkipsUsed(t *testing.T) {
+	b := grid.RectWH(0, 0, 6, 6)
+	used := map[grid.Point]bool{}
+	occ := map[grid.Point]int{}
+	p1, ok := choosePin(b, grid.Point{X: 3, Y: 0}, used, occ)
+	if !ok {
+		t.Fatal("no pin found")
+	}
+	used[p1] = true
+	p2, ok := choosePin(b, grid.Point{X: 3, Y: 0}, used, occ)
+	if !ok || p2 == p1 {
+		t.Fatalf("second pin = %v (first %v)", p2, p1)
+	}
+}

@@ -1,0 +1,441 @@
+// Package core implements the paper's overall reliability-aware synthesis
+// (Algorithm 1): it takes a bioassay and a scheduling policy, produces the
+// scheduling result, maps every operation to a dynamic device on the
+// valve-centered architecture (internal/place), routes all fluid transports
+// with storage pass-through and rip-up & re-route (internal/route), and
+// simulates the per-valve actuation counts that Table 1 reports.
+//
+// Two evaluation settings are produced, as in the paper's Section 4:
+//
+//   - Setting 1: every ring valve of a dynamic mixer is actuated 40 times
+//     per mixing operation — the same per-valve effort as a dedicated
+//     mixer's pump valve (conservative).
+//   - Setting 2: the same synthesis result, but the per-valve count is
+//     scaled so a mixing operation costs 120 total actuations (three
+//     dedicated pump valves × 40), e.g. 15 per valve on an 8-valve ring.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"mfsynth/internal/arch"
+	"mfsynth/internal/graph"
+	"mfsynth/internal/grid"
+	"mfsynth/internal/place"
+	"mfsynth/internal/route"
+	"mfsynth/internal/schedule"
+)
+
+// DefaultPumpActuations is the per-valve actuation count of one mixing
+// operation in setting 1 (from the paper, after [9]).
+const DefaultPumpActuations = 40
+
+// DefaultDedicatedPumpValves is the number of pump valves in a traditional
+// dedicated mixer (Fig. 2), fixing setting 2's per-operation total at
+// 3 × 40 = 120 actuations.
+const DefaultDedicatedPumpValves = 3
+
+// Options configures a synthesis run.
+type Options struct {
+	// Policy bounds device concurrency during scheduling (the traditional
+	// design whose schedule is reused, as in the paper's evaluation).
+	Policy schedule.Resources
+	// TransportDelay in time units (default schedule.DefaultTransportDelay).
+	TransportDelay int
+	// Place configures the dynamic-device mapper. Place.Grid must be set.
+	Place place.Config
+	// PumpActuations is setting 1's per-valve per-operation count
+	// (default 40).
+	PumpActuations int
+	// DedicatedPumpValves fixes setting 2's per-operation total as
+	// DedicatedPumpValves × PumpActuations (default 3).
+	DedicatedPumpValves int
+	// DisableStoragePassthrough treats in situ storages as routing
+	// obstacles (the Fig. 8(a) behaviour; ablation of Section 3.5).
+	DisableStoragePassthrough bool
+}
+
+// EventKind classifies actuation events.
+type EventKind int
+
+// Event kinds.
+const (
+	// PumpEvent is a mixing operation's peristalsis on its ring valves.
+	PumpEvent EventKind = iota
+	// CtrlEvent is a transport path being opened and closed once.
+	CtrlEvent
+)
+
+// Event is one actuation event of the synthesis result.
+type Event struct {
+	// T is the time the event occurs.
+	T int
+	// Kind classifies the event.
+	Kind EventKind
+	// Cells are the valves involved.
+	Cells []grid.Point
+	// Op is the operation that caused the event.
+	Op int
+	// Ring is the ring length of the pumping device (PumpEvent only); it
+	// determines the per-valve count in setting 2.
+	Ring int
+}
+
+// Transport is one routed fluid movement.
+type Transport struct {
+	// T is the transport time.
+	T int
+	// From and To name the endpoints (operation names or port names).
+	From, To string
+	// FromID and ToID are the endpoint operation IDs, -1 for chip ports.
+	FromID, ToID int
+	// Path is the routed cell sequence.
+	Path route.Path
+	// InPlace marks a transfer whose source and destination devices share
+	// cells: the product is already inside the in situ storage, no valve
+	// actuates (the paper's Section 3.3 benefit of turning a storage into
+	// its device directly, "saving the transportation effort").
+	InPlace bool
+}
+
+// Result is a complete synthesis result with both evaluation settings.
+type Result struct {
+	Assay    *graph.Assay
+	Schedule *schedule.Result
+	Mapping  *place.Mapping
+	Grid     int
+
+	// Events is the full actuation event log in time order.
+	Events []Event
+	// Transports lists every routed fluid movement.
+	Transports []Transport
+
+	// VsMax1 and VsPump1 are setting 1's largest total and pump-only
+	// per-valve actuation counts (Table 1's "vs 1max" as "45(40)").
+	VsMax1, VsPump1 int
+	// VsMax2 and VsPump2 are setting 2's counterparts.
+	VsMax2, VsPump2 int
+	// UsedValves is the number of virtual valves that actuate at least
+	// once — the valves actually manufactured (#v).
+	UsedValves int
+	// FailedRoutes counts transports that could not be routed (0 on all
+	// benchmarks; kept for diagnostics on dense custom assays).
+	FailedRoutes int
+	// Runtime is the wall-clock synthesis time.
+	Runtime time.Duration
+
+	opts Options
+}
+
+// Synthesize runs the full flow on the assay.
+func Synthesize(a *graph.Assay, opts Options) (*Result, error) {
+	start := time.Now()
+	if opts.PumpActuations == 0 {
+		opts.PumpActuations = DefaultPumpActuations
+	}
+	if opts.DedicatedPumpValves == 0 {
+		opts.DedicatedPumpValves = DefaultDedicatedPumpValves
+	}
+	if opts.Place.Grid == 0 {
+		opts.Place.Grid = 10
+	}
+	sched, err := schedule.List(a, schedule.Options{
+		TransportDelay: opts.TransportDelay,
+		Resources:      opts.Policy,
+	})
+	if err != nil {
+		return nil, err
+	}
+	mapping, err := place.Map(sched, opts.Place)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Assay:    a,
+		Schedule: sched,
+		Mapping:  mapping,
+		Grid:     opts.Place.Grid,
+		opts:     opts,
+	}
+	if err := res.routeAndSimulate(); err != nil {
+		return nil, err
+	}
+	res.computeMetrics()
+	res.Runtime = time.Since(start)
+	return res, nil
+}
+
+// routeAndSimulate builds the event log: pump events from the schedule and
+// control events from routing every transport (Algorithm 1 L10-L19).
+func (r *Result) routeAndSimulate() error {
+	a := r.Assay
+	sched := r.Schedule
+	m := r.Mapping
+	chip := arch.NewChip(r.Grid, r.Grid)
+
+	// Pump events at operation start.
+	for id, pl := range m.Placements {
+		if a.Op(id).Kind != graph.Mix {
+			continue
+		}
+		r.Events = append(r.Events, Event{
+			T: sched.Start[id], Kind: PumpEvent,
+			Cells: pl.Ring(), Op: id, Ring: pl.Volume(),
+		})
+	}
+
+	// Transport demands grouped by time.
+	var demands []net
+	inPorts, outPorts := portCells(chip)
+
+	for _, op := range a.Ops() {
+		if op.Kind == graph.Output {
+			continue
+		}
+		if _, placed := m.Placements[op.ID]; !placed && op.Kind != graph.Input {
+			continue
+		}
+		if op.Kind != graph.Input {
+			pl := m.Placements[op.ID]
+			// Input-port loads arrive at operation start.
+			for _, e := range a.In(op.ID) {
+				if a.Op(e.From).Kind != graph.Input {
+					continue
+				}
+				demands = append(demands, net{
+					t: sched.Start[op.ID], from: inPorts, to: pl.Ring(),
+					fromName: a.Op(e.From).Name, toName: op.Name,
+					fromID: e.From, toID: op.ID, op: op.ID,
+					exclude: map[int]bool{op.ID: true},
+				})
+			}
+			// Product transports to children devices at finish.
+			for _, e := range a.Out(op.ID) {
+				child := a.Op(e.To)
+				switch child.Kind {
+				case graph.Output:
+					demands = append(demands, net{
+						t: sched.Finish[op.ID], from: pl.Ring(), to: outPorts,
+						fromName: op.Name, toName: child.Name,
+						fromID: op.ID, toID: e.To, op: op.ID,
+						exclude: map[int]bool{op.ID: true},
+					})
+				default:
+					cpl, ok := m.Placements[e.To]
+					if !ok {
+						continue
+					}
+					demands = append(demands, net{
+						t: sched.Finish[op.ID], from: pl.Ring(), to: cpl.Ring(),
+						fromName: op.Name, toName: child.Name,
+						fromID: op.ID, toID: e.To, op: e.To,
+						exclude: map[int]bool{op.ID: true, e.To: true},
+					})
+				}
+			}
+			// Childless products drain to the waste/output port.
+			if len(a.Out(op.ID)) == 0 {
+				demands = append(demands, net{
+					t: sched.Finish[op.ID], from: pl.Ring(), to: outPorts,
+					fromName: op.Name, toName: "out",
+					fromID: op.ID, toID: -1, op: op.ID,
+					exclude: map[int]bool{op.ID: true},
+				})
+			}
+		}
+	}
+	sort.SliceStable(demands, func(i, j int) bool {
+		if demands[i].t != demands[j].t {
+			return demands[i].t < demands[j].t
+		}
+		return demands[i].op < demands[j].op
+	})
+
+	// Route time step by time step.
+	for i := 0; i < len(demands); {
+		j := i
+		for j < len(demands) && demands[j].t == demands[i].t {
+			j++
+		}
+		if err := r.routeStep(chip, demands[i].t, demands[i:j]); err != nil {
+			return err
+		}
+		i = j
+	}
+	sort.SliceStable(r.Events, func(i, j int) bool { return r.Events[i].T < r.Events[j].T })
+	return nil
+}
+
+// net is one routing request within a time step.
+type net struct {
+	t            int
+	from, to     []grid.Point
+	fromName     string
+	toName       string
+	fromID, toID int
+	op           int
+	exclude      map[int]bool
+}
+
+// routeStep routes all nets of one time step with shared congestion state,
+// applying the storage pass-through rule and rip-up & re-route.
+func (r *Result) routeStep(chip *arch.Chip, t int, nets []net) error {
+	m := r.Mapping
+	for _, n := range nets {
+		// In-place transfer: the endpoints share cells (a storage that
+		// overlaps its parent device); the fluid is already in position.
+		if shared := sharedCells(n.from, n.to); len(shared) > 0 {
+			r.Transports = append(r.Transports, Transport{
+				T: t, From: n.fromName, To: n.toName,
+				FromID: n.fromID, ToID: n.toID, Path: shared, InPlace: true,
+			})
+			continue
+		}
+		router := route.New(chip.Bounds())
+		// Build obstacles: devices alive at t. Ring cells of every device
+		// actuate anyway, so they are preferred path material whenever the
+		// device is not alive right now.
+		for id, pl := range m.Placements {
+			router.Prefer(pl.Ring())
+			if n.exclude[id] {
+				continue
+			}
+			w := m.Windows[id]
+			if t < w[0] || t >= w[1] {
+				continue
+			}
+			if tl := m.Storages[id]; tl != nil && tl.Active(t) && !r.opts.DisableStoragePassthrough {
+				router.AddStorage(id, pl.Footprint())
+				continue
+			}
+			router.Block(pl.Footprint())
+		}
+		// Replay congestion from already-routed nets of this step, and
+		// prefer cells any earlier path already actuates.
+		for _, tr := range r.Transports {
+			if tr.T == t {
+				router.Commit(tr.Path)
+			}
+			router.Prefer(tr.Path)
+		}
+
+		path, err := r.routeNet(router, n, t)
+		if err == route.ErrNoPath {
+			r.FailedRoutes++
+			continue
+		}
+		if err != nil {
+			return err
+		}
+		r.Transports = append(r.Transports, Transport{
+			T: t, From: n.fromName, To: n.toName,
+			FromID: n.fromID, ToID: n.toID, Path: path,
+		})
+		r.Events = append(r.Events, Event{T: t, Kind: CtrlEvent, Cells: path, Op: n.op})
+	}
+	return nil
+}
+
+// routeNet routes one net, enforcing the storage free-space rule with
+// rip-up & re-route (Algorithm 1 L13-L17).
+func (r *Result) routeNet(router *route.Router, n net, t int) (route.Path, error) {
+	m := r.Mapping
+	delay := r.Schedule.TransportDelay
+	for attempt := 0; attempt < 8; attempt++ {
+		path, err := router.Route(n.from, n.to)
+		if err != nil {
+			return nil, err
+		}
+		violated := -1
+		for sid, cells := range router.StoragesTouched(path) {
+			if n.exclude[sid] {
+				continue // the target storage receives the fluid; no check
+			}
+			tl := m.Storages[sid]
+			if tl == nil {
+				continue
+			}
+			if !tl.CanOverlap(cells, t, t+delay) {
+				violated = sid
+				break
+			}
+		}
+		if violated < 0 {
+			return path, nil
+		}
+		router.BlockStorage(violated)
+	}
+	return nil, route.ErrNoPath
+}
+
+// sharedCells returns the cells common to both terminal sets.
+func sharedCells(a, b []grid.Point) route.Path {
+	set := make(map[grid.Point]bool, len(a))
+	for _, p := range a {
+		set[p] = true
+	}
+	var out route.Path
+	for _, p := range b {
+		if set[p] {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// portCells returns the input and output port cell sets.
+func portCells(chip *arch.Chip) (in, out []grid.Point) {
+	for _, p := range chip.Ports {
+		switch p.Kind {
+		case arch.InPort:
+			in = append(in, p.At)
+		case arch.OutPort:
+			out = append(out, p.At)
+		}
+	}
+	return in, out
+}
+
+// computeMetrics derives the Table 1 numbers from the event log.
+func (r *Result) computeMetrics() {
+	c1 := r.ChipAt(-1, 1) // setting 1, full horizon
+	c2 := r.ChipAt(-1, 2)
+	r.VsMax1, r.VsPump1 = c1.MaxTotal(), c1.MaxPump()
+	r.VsMax2, r.VsPump2 = c2.MaxTotal(), c2.MaxPump()
+	r.UsedValves = c1.UsedValves()
+}
+
+// ChipAt replays the event log up to and including time t (t < 0 replays
+// everything) under the given setting (1 or 2) and returns the resulting
+// actuation counters.
+func (r *Result) ChipAt(t int, setting int) *arch.Chip {
+	chip := arch.NewChip(r.Grid, r.Grid)
+	for _, ev := range r.Events {
+		if t >= 0 && ev.T > t {
+			break
+		}
+		switch ev.Kind {
+		case PumpEvent:
+			n := r.opts.PumpActuations
+			if setting == 2 {
+				n = r.opts.DedicatedPumpValves * r.opts.PumpActuations / ev.Ring
+			}
+			for _, pt := range ev.Cells {
+				chip.AddPumpAt(pt, n)
+			}
+		case CtrlEvent:
+			// One transport opens and closes every path valve: two state
+			// changes, the same accounting as Fig. 2's control counts.
+			chip.AddCtrl(ev.Cells, 2)
+		}
+	}
+	return chip
+}
+
+// String summarises the result in Table 1 style.
+func (r *Result) String() string {
+	return fmt.Sprintf("%s: vs1=%d(%d) vs2=%d(%d) #v=%d",
+		r.Assay.Name, r.VsMax1, r.VsPump1, r.VsMax2, r.VsPump2, r.UsedValves)
+}

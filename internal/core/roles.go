@@ -1,0 +1,118 @@
+package core
+
+import (
+	"mfsynth/internal/graph"
+	"mfsynth/internal/grid"
+)
+
+// Role is what a virtual valve is doing at one instant — the paper's
+// valve-role-changing concept made inspectable (control, pump, wall).
+type Role int
+
+// Valve roles at a time instant, in ascending precedence (RolesAt keeps
+// the strongest role when several apply).
+const (
+	// Unused: the valve has not actuated yet and is not part of any active
+	// structure (a functionless wall if it never actuates).
+	Unused Role = iota
+	// Closed: a manufactured valve currently holding shut.
+	Closed
+	// WallRole: closed as the boundary of a device alive right now.
+	WallRole
+	// ControlRole: open on an active transport path.
+	ControlRole
+	// StorageRole: inside an in situ storage holding fluid.
+	StorageRole
+	// PumpRole: part of a running mixer's peristaltic ring.
+	PumpRole
+)
+
+// String returns the role name.
+func (r Role) String() string {
+	switch r {
+	case Unused:
+		return "unused"
+	case Closed:
+		return "closed"
+	case PumpRole:
+		return "pump"
+	case ControlRole:
+		return "control"
+	case WallRole:
+		return "wall"
+	case StorageRole:
+		return "storage"
+	default:
+		return "role?"
+	}
+}
+
+// RolesAt returns the role of every valve at time t, indexed [y][x].
+// Precedence: pump > storage > control > wall > closed/unused.
+func (r *Result) RolesAt(t int) [][]Role {
+	roles := make([][]Role, r.Grid)
+	for y := range roles {
+		roles[y] = make([]Role, r.Grid)
+	}
+	// Closed vs unused baseline from cumulative actuation.
+	chip := r.ChipAt(t, 1)
+	for y := 0; y < r.Grid; y++ {
+		for x := 0; x < r.Grid; x++ {
+			if chip.TotalAt(x, y) > 0 {
+				roles[y][x] = Closed
+			}
+		}
+	}
+	set := func(p grid.Point, role Role) {
+		if roles[p.Y][p.X] < role {
+			roles[p.Y][p.X] = role
+		}
+	}
+	for id, pl := range r.Mapping.Placements {
+		w := r.Mapping.Windows[id]
+		if t < w[0] || t >= w[1] {
+			continue
+		}
+		// Wall band around any alive device.
+		for _, c := range pl.WallBox().Points() {
+			if c.X < 0 || c.Y < 0 || c.X >= r.Grid || c.Y >= r.Grid {
+				continue
+			}
+			if !pl.Footprint().Contains(c) {
+				set(c, WallRole)
+			}
+		}
+		if tl := r.Mapping.Storages[id]; tl != nil && tl.Active(t) {
+			for _, c := range pl.Footprint().Points() {
+				set(c, StorageRole)
+			}
+			continue
+		}
+		if r.Assay.Op(id).Kind == graph.Mix &&
+			t >= r.Schedule.Start[id] && t < r.Schedule.Finish[id] {
+			for _, c := range pl.Ring() {
+				set(c, PumpRole)
+			}
+		}
+	}
+	for _, tr := range r.Transports {
+		if tr.T != t || tr.InPlace {
+			continue
+		}
+		for _, c := range tr.Path {
+			set(c, ControlRole)
+		}
+	}
+	return roles
+}
+
+// RoleCounts tallies the roles at time t.
+func (r *Result) RoleCounts(t int) map[Role]int {
+	out := map[Role]int{}
+	for _, row := range r.RolesAt(t) {
+		for _, role := range row {
+			out[role]++
+		}
+	}
+	return out
+}

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"mfsynth/internal/graph"
+)
+
+// Snapshot renders the chip state after time t in the style of the paper's
+// Fig. 10: a matrix of cumulative per-valve actuation counts (setting 1),
+// with '.' for virtual valves that have not actuated yet (functionless
+// walls if they never do) and the footprints of devices alive at t framed
+// by their operation names in the legend.
+func (r *Result) Snapshot(t int) string {
+	chip := r.ChipAt(t, 1)
+	// Mark cells of devices alive at t.
+	alive := map[[2]int]rune{}
+	var legend []string
+	for _, id := range r.aliveOps(t) {
+		pl := r.Mapping.Placements[id]
+		marker := rune('A' + len(legend)%26)
+		for _, pt := range pl.Footprint().Points() {
+			alive[[2]int{pt.X, pt.Y}] = marker
+		}
+		phase := "run"
+		if tl := r.Mapping.Storages[id]; tl != nil && tl.Active(t) {
+			phase = "store"
+		}
+		legend = append(legend, fmt.Sprintf("%c=%s(%s)", marker, r.Assay.Op(id).Name, phase))
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "t=%dtu", t)
+	if len(legend) > 0 {
+		fmt.Fprintf(&sb, "  %s", strings.Join(legend, " "))
+	}
+	sb.WriteByte('\n')
+	for y := r.Grid - 1; y >= 0; y-- {
+		for x := 0; x < r.Grid; x++ {
+			total := chip.TotalAt(x, y)
+			cell := "  ."
+			if total > 0 {
+				cell = fmt.Sprintf("%3d", total)
+			}
+			sb.WriteString(cell)
+			if m, ok := alive[[2]int{x, y}]; ok {
+				sb.WriteRune(m)
+			} else {
+				sb.WriteByte(' ')
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// aliveOps returns the on-chip operations whose device window covers t, in
+// ID order.
+func (r *Result) aliveOps(t int) []int {
+	var ids []int
+	for _, op := range r.Assay.Ops() {
+		if op.Kind == graph.Input || op.Kind == graph.Output {
+			continue
+		}
+		if _, ok := r.Mapping.Placements[op.ID]; !ok {
+			continue
+		}
+		w := r.Mapping.Windows[op.ID]
+		if t >= w[0] && t < w[1] {
+			ids = append(ids, op.ID)
+		}
+	}
+	return ids
+}
+
+// SnapshotTimes returns the interesting snapshot times: every device
+// creation, start and finish, deduplicated and sorted.
+func (r *Result) SnapshotTimes() []int {
+	seen := map[int]bool{}
+	var ts []int
+	add := func(t int) {
+		if !seen[t] {
+			seen[t] = true
+			ts = append(ts, t)
+		}
+	}
+	for id, w := range r.Mapping.Windows {
+		add(w[0])
+		add(r.Schedule.Start[id])
+		add(w[1])
+	}
+	// Insertion sort (short list, avoids importing sort twice... keep std).
+	for i := 1; i < len(ts); i++ {
+		for j := i; j > 0 && ts[j] < ts[j-1]; j-- {
+			ts[j], ts[j-1] = ts[j-1], ts[j]
+		}
+	}
+	return ts
+}

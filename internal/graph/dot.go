@@ -1,0 +1,38 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// WriteDOT renders the assay as a Graphviz digraph: inputs as plain nodes,
+// mixes as boxes labelled with their volume, detections as diamonds,
+// outputs as double circles, and edges labelled with the transported
+// volume.
+func WriteDOT(w io.Writer, a *Assay) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "digraph %q {\n", a.Name)
+	fmt.Fprintln(bw, "  rankdir=TB;")
+	for _, op := range a.Ops() {
+		switch op.Kind {
+		case Input:
+			fmt.Fprintf(bw, "  %q [shape=plaintext];\n", op.Name)
+		case Mix:
+			fmt.Fprintf(bw, "  %q [shape=box, label=\"%s\\nvol %d\"];\n",
+				op.Name, op.Name, a.Volume(op.ID))
+		case Detect:
+			fmt.Fprintf(bw, "  %q [shape=diamond];\n", op.Name)
+		case Output:
+			fmt.Fprintf(bw, "  %q [shape=doublecircle];\n", op.Name)
+		}
+	}
+	for _, op := range a.Ops() {
+		for _, e := range a.Out(op.ID) {
+			fmt.Fprintf(bw, "  %q -> %q [label=\"%d\"];\n",
+				op.Name, a.Op(e.To).Name, e.Volume)
+		}
+	}
+	fmt.Fprintln(bw, "}")
+	return bw.Flush()
+}

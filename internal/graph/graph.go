@@ -1,0 +1,351 @@
+// Package graph models bioassay sequencing graphs: directed acyclic graphs
+// whose nodes are assay operations (fluid inputs, mixing, detection, output)
+// and whose edges carry fluid volumes from producers to consumers.
+//
+// This is the first of the two synthesis inputs defined in the paper's
+// problem formulation: "a bioassay sequencing graph, which specifies
+// operation relations, durations, volumes and input proportions". Input
+// proportions are expressed by per-edge volumes: a 1:3 mix of total volume 8
+// has two incoming edges with volumes 2 and 6.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Kind enumerates the operation kinds supported by the synthesis flow.
+type Kind int
+
+// Operation kinds.
+const (
+	// Input dispenses a sample or reagent from an off-chip port. It has no
+	// duration and occupies no on-chip device.
+	Input Kind = iota
+	// Mix merges its incoming fluids in a (dynamic) mixer using peristalsis.
+	Mix
+	// Detect holds a fluid in a detector for optical readout.
+	Detect
+	// Output drains a fluid to a waste or collection port.
+	Output
+)
+
+// String returns the lower-case kind name.
+func (k Kind) String() string {
+	switch k {
+	case Input:
+		return "input"
+	case Mix:
+		return "mix"
+	case Detect:
+		return "detect"
+	case Output:
+		return "output"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Op is one operation of a bioassay.
+type Op struct {
+	// ID is the operation's index in Assay.Ops; assigned by Assay.Add.
+	ID int
+	// Kind classifies the operation.
+	Kind Kind
+	// Name is a human-readable label such as "o5".
+	Name string
+	// Duration is the execution time in time units (tu). Input operations
+	// have duration 0; mixing and detection durations come from the assay
+	// library.
+	Duration int
+
+	owner *Assay
+}
+
+// Edge transports Volume units of fluid from the product of From to the
+// input of To.
+type Edge struct {
+	From, To int
+	Volume   int
+}
+
+// Assay is a bioassay sequencing graph.
+type Assay struct {
+	// Name identifies the assay, e.g. "PCR".
+	Name string
+
+	ops   []*Op
+	in    [][]Edge // in[id] lists edges ending at id
+	out   [][]Edge // out[id] lists edges starting at id
+	edges int
+}
+
+// New returns an empty assay with the given name.
+func New(name string) *Assay {
+	return &Assay{Name: name}
+}
+
+// Add appends an operation, assigns its ID and returns it.
+func (a *Assay) Add(kind Kind, name string, duration int) *Op {
+	op := &Op{ID: len(a.ops), Kind: kind, Name: name, Duration: duration, owner: a}
+	a.ops = append(a.ops, op)
+	a.in = append(a.in, nil)
+	a.out = append(a.out, nil)
+	return op
+}
+
+// Connect adds an edge carrying volume units from the product of from to the
+// input of to. It panics on out-of-range IDs; volume validity is checked by
+// Validate.
+func (a *Assay) Connect(from, to *Op, volume int) {
+	if from == nil || to == nil {
+		panic("graph: Connect with nil operation")
+	}
+	if from.owner != a || to.owner != a {
+		panic(fmt.Sprintf("graph: Connect %q->%q with operation from another assay", from.Name, to.Name))
+	}
+	a.checkID(from.ID)
+	a.checkID(to.ID)
+	e := Edge{From: from.ID, To: to.ID, Volume: volume}
+	a.out[from.ID] = append(a.out[from.ID], e)
+	a.in[to.ID] = append(a.in[to.ID], e)
+	a.edges++
+}
+
+func (a *Assay) checkID(id int) {
+	if id < 0 || id >= len(a.ops) {
+		panic(fmt.Sprintf("graph: operation %d not in assay %q", id, a.Name))
+	}
+}
+
+// Len returns the number of operations.
+func (a *Assay) Len() int { return len(a.ops) }
+
+// NumEdges returns the number of edges.
+func (a *Assay) NumEdges() int { return a.edges }
+
+// Op returns the operation with the given ID.
+func (a *Assay) Op(id int) *Op {
+	a.checkID(id)
+	return a.ops[id]
+}
+
+// Ops returns all operations in ID order. The returned slice must not be
+// modified.
+func (a *Assay) Ops() []*Op { return a.ops }
+
+// In returns the edges entering id. The returned slice must not be modified.
+func (a *Assay) In(id int) []Edge {
+	a.checkID(id)
+	return a.in[id]
+}
+
+// Out returns the edges leaving id. The returned slice must not be modified.
+func (a *Assay) Out(id int) []Edge {
+	a.checkID(id)
+	return a.out[id]
+}
+
+// Volume returns the total fluid volume processed by operation id: the sum
+// of its incoming edge volumes. For Input operations it is the sum of the
+// outgoing volumes instead (the dispensed amount).
+func (a *Assay) Volume(id int) int {
+	a.checkID(id)
+	edges := a.in[id]
+	if a.ops[id].Kind == Input {
+		edges = a.out[id]
+	}
+	v := 0
+	for _, e := range edges {
+		v += e.Volume
+	}
+	return v
+}
+
+// Parents returns the IDs of the operations feeding id, in ascending order
+// without duplicates.
+func (a *Assay) Parents(id int) []int {
+	return neighborIDs(a.In(id), func(e Edge) int { return e.From })
+}
+
+// Children returns the IDs of the operations consuming id's product, in
+// ascending order without duplicates.
+func (a *Assay) Children(id int) []int {
+	return neighborIDs(a.Out(id), func(e Edge) int { return e.To })
+}
+
+func neighborIDs(edges []Edge, pick func(Edge) int) []int {
+	if len(edges) == 0 {
+		return nil
+	}
+	ids := make([]int, 0, len(edges))
+	seen := make(map[int]bool, len(edges))
+	for _, e := range edges {
+		id := pick(e)
+		if !seen[id] {
+			seen[id] = true
+			ids = append(ids, id)
+		}
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// DeviceParents returns the parents of id that occupy on-chip devices
+// (everything except Input operations). These are the "parent operations" of
+// the paper's Section 3.3: their finish times bound when the in situ storage
+// for id can appear.
+func (a *Assay) DeviceParents(id int) []int {
+	var ids []int
+	for _, p := range a.Parents(id) {
+		if a.ops[p].Kind != Input {
+			ids = append(ids, p)
+		}
+	}
+	return ids
+}
+
+// MixOps returns the IDs of all mixing operations in ID order.
+func (a *Assay) MixOps() []int {
+	var ids []int
+	for _, op := range a.ops {
+		if op.Kind == Mix {
+			ids = append(ids, op.ID)
+		}
+	}
+	return ids
+}
+
+// CountKind returns the number of operations of the given kind.
+func (a *Assay) CountKind(k Kind) int {
+	n := 0
+	for _, op := range a.ops {
+		if op.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+// TopoOrder returns the operation IDs in a topological order of the DAG. It
+// returns an error if the graph contains a cycle.
+func (a *Assay) TopoOrder() ([]int, error) {
+	indeg := make([]int, len(a.ops))
+	for id := range a.ops {
+		indeg[id] = len(a.Parents(id))
+	}
+	queue := make([]int, 0, len(a.ops))
+	for id, d := range indeg {
+		if d == 0 {
+			queue = append(queue, id)
+		}
+	}
+	order := make([]int, 0, len(a.ops))
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		order = append(order, id)
+		for _, c := range a.Children(id) {
+			indeg[c]--
+			if indeg[c] == 0 {
+				queue = append(queue, c)
+			}
+		}
+	}
+	if len(order) != len(a.ops) {
+		return nil, fmt.Errorf("graph: assay %q contains a cycle", a.Name)
+	}
+	return order, nil
+}
+
+// Validate checks structural well-formedness:
+//   - the graph is acyclic;
+//   - every edge volume is positive;
+//   - Input operations have no incoming edges and at least one outgoing one;
+//   - Mix operations have at least one incoming edge and total input volume
+//     of at least 2 units (a peristaltic ring needs at least a 2×2 block);
+//   - Detect operations have exactly one producer;
+//   - Output operations have no outgoing edges and at least one incoming;
+//   - for Mix and Detect the outgoing volume does not exceed the produced
+//     volume (waste is allowed, creation of fluid is not).
+func (a *Assay) Validate() error {
+	if _, err := a.TopoOrder(); err != nil {
+		return err
+	}
+	for id, op := range a.ops {
+		for _, e := range a.in[id] {
+			if e.Volume <= 0 {
+				return fmt.Errorf("graph: edge %s->%s has non-positive volume %d",
+					a.ops[e.From].Name, op.Name, e.Volume)
+			}
+		}
+		switch op.Kind {
+		case Input:
+			if len(a.in[id]) != 0 {
+				return fmt.Errorf("graph: input %s has incoming edges", op.Name)
+			}
+			if len(a.out[id]) == 0 {
+				return fmt.Errorf("graph: input %s feeds nothing", op.Name)
+			}
+		case Mix:
+			if len(a.in[id]) == 0 {
+				return fmt.Errorf("graph: mix %s has no inputs", op.Name)
+			}
+			if a.Volume(id) < 2 {
+				return fmt.Errorf("graph: mix %s has volume %d < 2", op.Name, a.Volume(id))
+			}
+		case Detect:
+			if len(a.Parents(id)) != 1 {
+				return fmt.Errorf("graph: detect %s needs exactly one producer, has %d",
+					op.Name, len(a.Parents(id)))
+			}
+		case Output:
+			if len(a.out[id]) != 0 {
+				return fmt.Errorf("graph: output %s has outgoing edges", op.Name)
+			}
+			if len(a.in[id]) == 0 {
+				return fmt.Errorf("graph: output %s consumes nothing", op.Name)
+			}
+		default:
+			return fmt.Errorf("graph: %s has unknown kind %d", op.Name, int(op.Kind))
+		}
+		if op.Kind == Mix || op.Kind == Detect {
+			outV := 0
+			for _, e := range a.out[id] {
+				outV += e.Volume
+			}
+			if outV > a.Volume(id) {
+				return fmt.Errorf("graph: %s outputs %d units but produces only %d",
+					op.Name, outV, a.Volume(id))
+			}
+		}
+	}
+	return nil
+}
+
+// Stats summarises an assay for reporting: total operations and mixing
+// operations, as the paper's Table 1 column "#op" (e.g. "15(7)").
+type Stats struct {
+	Ops, MixOps int
+	// VolumeHistogram maps mixing volume to the number of mixing operations
+	// with that volume.
+	VolumeHistogram map[int]int
+}
+
+// Stats computes summary statistics of the assay. Ops counts every
+// operation including inputs, matching the paper's #op column (PCR has 8
+// inputs + 7 mixes = "15(7)").
+func (a *Assay) Stats() Stats {
+	s := Stats{VolumeHistogram: map[int]int{}}
+	for _, op := range a.ops {
+		s.Ops++
+		if op.Kind == Mix {
+			s.MixOps++
+			s.VolumeHistogram[a.Volume(op.ID)]++
+		}
+	}
+	return s
+}
+
+// String renders the Table 1 form "ops(mixes)".
+func (s Stats) String() string { return fmt.Sprintf("%d(%d)", s.Ops, s.MixOps) }

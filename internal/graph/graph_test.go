@@ -1,0 +1,280 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+// tinyTree builds the smallest interesting assay: two inputs feeding one mix
+// whose product is drained.
+//
+//	in1(4)  in2(4)
+//	    \    /
+//	     mix(8)
+//	      |
+//	     out
+func tinyTree() (*Assay, *Op, *Op, *Op, *Op) {
+	a := New("tiny")
+	in1 := a.Add(Input, "in1", 0)
+	in2 := a.Add(Input, "in2", 0)
+	mix := a.Add(Mix, "mix", 6)
+	out := a.Add(Output, "out", 0)
+	a.Connect(in1, mix, 4)
+	a.Connect(in2, mix, 4)
+	a.Connect(mix, out, 8)
+	return a, in1, in2, mix, out
+}
+
+func TestTinyTreeStructure(t *testing.T) {
+	a, in1, in2, mix, out := tinyTree()
+	if err := a.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if a.Len() != 4 || a.NumEdges() != 3 {
+		t.Fatalf("Len/NumEdges = %d/%d", a.Len(), a.NumEdges())
+	}
+	if v := a.Volume(mix.ID); v != 8 {
+		t.Fatalf("mix volume = %d, want 8", v)
+	}
+	if v := a.Volume(in1.ID); v != 4 {
+		t.Fatalf("input volume = %d, want 4", v)
+	}
+	if got := a.Parents(mix.ID); len(got) != 2 || got[0] != in1.ID || got[1] != in2.ID {
+		t.Fatalf("Parents(mix) = %v", got)
+	}
+	if got := a.Children(mix.ID); len(got) != 1 || got[0] != out.ID {
+		t.Fatalf("Children(mix) = %v", got)
+	}
+	if got := a.DeviceParents(mix.ID); len(got) != 0 {
+		t.Fatalf("DeviceParents(mix) = %v, want none (inputs are off-chip)", got)
+	}
+	if got := a.DeviceParents(out.ID); len(got) != 1 || got[0] != mix.ID {
+		t.Fatalf("DeviceParents(out) = %v", got)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{Input: "input", Mix: "mix", Detect: "detect", Output: "output", Kind(9): "kind(9)"} {
+		if k.String() != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", int(k), k.String(), want)
+		}
+	}
+}
+
+func TestTopoOrder(t *testing.T) {
+	a, _, _, mix, out := tinyTree()
+	order, err := a.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := make(map[int]int)
+	for i, id := range order {
+		pos[id] = i
+	}
+	if len(order) != a.Len() {
+		t.Fatalf("TopoOrder len = %d", len(order))
+	}
+	for id := 0; id < a.Len(); id++ {
+		for _, p := range a.Parents(id) {
+			if pos[p] >= pos[id] {
+				t.Fatalf("parent %d not before %d in %v", p, id, order)
+			}
+		}
+	}
+	if pos[mix.ID] >= pos[out.ID] {
+		t.Fatal("mix must precede out")
+	}
+}
+
+func TestCycleDetected(t *testing.T) {
+	a := New("cyc")
+	m1 := a.Add(Mix, "m1", 6)
+	m2 := a.Add(Mix, "m2", 6)
+	a.Connect(m1, m2, 4)
+	a.Connect(m2, m1, 4)
+	if _, err := a.TopoOrder(); err == nil {
+		t.Fatal("TopoOrder accepted a cycle")
+	}
+	if err := a.Validate(); err == nil {
+		t.Fatal("Validate accepted a cycle")
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	t.Run("non-positive edge volume", func(t *testing.T) {
+		a := New("bad")
+		in := a.Add(Input, "in", 0)
+		m := a.Add(Mix, "m", 6)
+		a.Connect(in, m, 0)
+		wantErr(t, a, "non-positive volume")
+	})
+	t.Run("input with incoming edge", func(t *testing.T) {
+		a := New("bad")
+		m := a.Add(Mix, "m", 6)
+		in := a.Add(Input, "in", 0)
+		i2 := a.Add(Input, "i2", 0)
+		a.Connect(i2, m, 4)
+		a.Connect(m, in, 2) // acyclic, but inputs must not consume
+		wantErr(t, a, "incoming edges")
+	})
+	t.Run("dangling input", func(t *testing.T) {
+		a := New("bad")
+		a.Add(Input, "in", 0)
+		wantErr(t, a, "feeds nothing")
+	})
+	t.Run("mix without inputs", func(t *testing.T) {
+		a := New("bad")
+		a.Add(Mix, "m", 6)
+		wantErr(t, a, "no inputs")
+	})
+	t.Run("mix volume too small", func(t *testing.T) {
+		a := New("bad")
+		in := a.Add(Input, "in", 0)
+		m := a.Add(Mix, "m", 6)
+		a.Connect(in, m, 1)
+		wantErr(t, a, "volume 1 < 2")
+	})
+	t.Run("detect with two producers", func(t *testing.T) {
+		a := New("bad")
+		in1 := a.Add(Input, "i1", 0)
+		in2 := a.Add(Input, "i2", 0)
+		d := a.Add(Detect, "d", 4)
+		a.Connect(in1, d, 2)
+		a.Connect(in2, d, 2)
+		wantErr(t, a, "exactly one producer")
+	})
+	t.Run("output with outgoing edge", func(t *testing.T) {
+		a := New("bad")
+		in := a.Add(Input, "in", 0)
+		m := a.Add(Mix, "m", 6)
+		o := a.Add(Output, "o", 0)
+		m2 := a.Add(Mix, "m2", 6)
+		in2 := a.Add(Input, "in2", 0)
+		a.Connect(in, m, 4)
+		a.Connect(m, o, 4)
+		a.Connect(in2, m2, 4)
+		a.Connect(o, m2, 1) // acyclic, but outputs must be sinks
+		wantErr(t, a, "outgoing edges")
+	})
+	t.Run("fluid creation", func(t *testing.T) {
+		a := New("bad")
+		in := a.Add(Input, "in", 0)
+		m := a.Add(Mix, "m", 6)
+		o := a.Add(Output, "o", 0)
+		a.Connect(in, m, 4)
+		a.Connect(m, o, 9)
+		wantErr(t, a, "produces only 4")
+	})
+}
+
+func wantErr(t *testing.T, a *Assay, substr string) {
+	t.Helper()
+	err := a.Validate()
+	if err == nil {
+		t.Fatalf("Validate accepted invalid assay, want error containing %q", substr)
+	}
+	if !strings.Contains(err.Error(), substr) {
+		t.Fatalf("Validate error %q does not contain %q", err, substr)
+	}
+}
+
+func TestWasteAllowed(t *testing.T) {
+	// A mix may output less than it produced (rest goes to waste on unload).
+	a := New("waste")
+	i1 := a.Add(Input, "i1", 0)
+	i2 := a.Add(Input, "i2", 0)
+	m := a.Add(Mix, "m", 6)
+	o := a.Add(Output, "o", 0)
+	a.Connect(i1, m, 4)
+	a.Connect(i2, m, 4)
+	a.Connect(m, o, 2)
+	if err := a.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestRatioSupport(t *testing.T) {
+	// A 1:3 mix of total volume 8: edge volumes 2 and 6.
+	a := New("ratio")
+	i1 := a.Add(Input, "sample", 0)
+	i2 := a.Add(Input, "buffer", 0)
+	m := a.Add(Mix, "m", 6)
+	a.Connect(i1, m, 2)
+	a.Connect(i2, m, 6)
+	if err := a.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if a.Volume(m.ID) != 8 {
+		t.Fatalf("volume = %d, want 8", a.Volume(m.ID))
+	}
+	vols := []int{a.In(m.ID)[0].Volume, a.In(m.ID)[1].Volume}
+	if vols[0] != 2 || vols[1] != 6 {
+		t.Fatalf("edge volumes = %v, want [2 6]", vols)
+	}
+}
+
+func TestStats(t *testing.T) {
+	a, _, _, _, _ := tinyTree()
+	s := a.Stats()
+	if s.Ops != 4 || s.MixOps != 1 {
+		t.Fatalf("Stats = %+v", s)
+	}
+	if s.VolumeHistogram[8] != 1 {
+		t.Fatalf("VolumeHistogram = %v", s.VolumeHistogram)
+	}
+	if s.String() != "4(1)" {
+		t.Fatalf("Stats.String = %q", s.String())
+	}
+}
+
+func TestMixOpsAndCountKind(t *testing.T) {
+	a, _, _, mix, _ := tinyTree()
+	if got := a.MixOps(); len(got) != 1 || got[0] != mix.ID {
+		t.Fatalf("MixOps = %v", got)
+	}
+	if a.CountKind(Input) != 2 || a.CountKind(Output) != 1 || a.CountKind(Detect) != 0 {
+		t.Fatal("CountKind wrong")
+	}
+}
+
+func TestMultiConsumerProduct(t *testing.T) {
+	// One product split between two children, as in interpolating dilution.
+	a := New("split")
+	i1 := a.Add(Input, "i1", 0)
+	i2 := a.Add(Input, "i2", 0)
+	i3 := a.Add(Input, "i3", 0)
+	i4 := a.Add(Input, "i4", 0)
+	m1 := a.Add(Mix, "m1", 6)
+	a.Connect(i1, m1, 4)
+	a.Connect(i2, m1, 4)
+	m2 := a.Add(Mix, "m2", 6)
+	m3 := a.Add(Mix, "m3", 6)
+	a.Connect(m1, m2, 3)
+	a.Connect(i3, m2, 3)
+	a.Connect(m1, m3, 4)
+	a.Connect(i4, m3, 4)
+	if err := a.Validate(); err == nil {
+		// m1 produces 8, outputs 3+4=7 ≤ 8: valid.
+	} else {
+		t.Fatalf("Validate: %v", err)
+	}
+	if got := a.Children(m1.ID); len(got) != 2 {
+		t.Fatalf("Children(m1) = %v", got)
+	}
+	if got := a.DeviceParents(m2.ID); len(got) != 1 || got[0] != m1.ID {
+		t.Fatalf("DeviceParents(m2) = %v", got)
+	}
+}
+
+func TestPanicsOnForeignOp(t *testing.T) {
+	a := New("a")
+	b := New("b")
+	opA := a.Add(Input, "x", 0)
+	opB := b.Add(Mix, "y", 6)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Connect accepted op from another assay")
+		}
+	}()
+	a.Connect(opA, opB, 4)
+}

@@ -1,0 +1,175 @@
+// Package grid provides the integer-lattice geometry used by the
+// valve-centered architecture: points, axis-aligned rectangles, distances and
+// iteration helpers. All coordinates are valve indices, not physical microns;
+// one unit is the pitch of the virtual valve matrix.
+package grid
+
+import "fmt"
+
+// Point is a lattice point (a virtual valve position).
+type Point struct {
+	X, Y int
+}
+
+// String returns "(x,y)".
+func (p Point) String() string { return fmt.Sprintf("(%d,%d)", p.X, p.Y) }
+
+// Add returns p translated by q.
+func (p Point) Add(q Point) Point { return Point{p.X + q.X, p.Y + q.Y} }
+
+// Manhattan returns the L1 distance between p and q.
+func (p Point) Manhattan(q Point) int {
+	return abs(p.X-q.X) + abs(p.Y-q.Y)
+}
+
+// Chebyshev returns the L∞ distance between p and q.
+func (p Point) Chebyshev(q Point) int {
+	return max(abs(p.X-q.X), abs(p.Y-q.Y))
+}
+
+// Rect is a half-open axis-aligned rectangle [X0,X1)×[Y0,Y1) on the lattice.
+// A device of shape w×h placed at (x,y) covers Rect{x, y, x+w, y+h}.
+type Rect struct {
+	X0, Y0, X1, Y1 int
+}
+
+// RectWH returns the rectangle of width w and height h with its left-bottom
+// corner at (x, y).
+func RectWH(x, y, w, h int) Rect { return Rect{x, y, x + w, y + h} }
+
+// String returns "[x0,y0..x1,y1)".
+func (r Rect) String() string {
+	return fmt.Sprintf("[%d,%d..%d,%d)", r.X0, r.Y0, r.X1, r.Y1)
+}
+
+// W returns the width of r.
+func (r Rect) W() int { return r.X1 - r.X0 }
+
+// H returns the height of r.
+func (r Rect) H() int { return r.Y1 - r.Y0 }
+
+// Area returns the number of lattice cells covered by r; degenerate
+// rectangles have area 0.
+func (r Rect) Area() int {
+	if r.Empty() {
+		return 0
+	}
+	return r.W() * r.H()
+}
+
+// Empty reports whether r covers no cell.
+func (r Rect) Empty() bool { return r.X0 >= r.X1 || r.Y0 >= r.Y1 }
+
+// Contains reports whether p lies inside r.
+func (r Rect) Contains(p Point) bool {
+	return p.X >= r.X0 && p.X < r.X1 && p.Y >= r.Y0 && p.Y < r.Y1
+}
+
+// ContainsRect reports whether s lies entirely inside r.
+func (r Rect) ContainsRect(s Rect) bool {
+	if s.Empty() {
+		return true
+	}
+	return s.X0 >= r.X0 && s.Y0 >= r.Y0 && s.X1 <= r.X1 && s.Y1 <= r.Y1
+}
+
+// Intersect returns the intersection of r and s. The result may be empty.
+func (r Rect) Intersect(s Rect) Rect {
+	t := Rect{
+		X0: max(r.X0, s.X0),
+		Y0: max(r.Y0, s.Y0),
+		X1: min(r.X1, s.X1),
+		Y1: min(r.Y1, s.Y1),
+	}
+	if t.Empty() {
+		return Rect{}
+	}
+	return t
+}
+
+// Overlaps reports whether r and s share at least one cell.
+func (r Rect) Overlaps(s Rect) bool { return !r.Intersect(s).Empty() }
+
+// OverlapArea returns the number of cells shared by r and s.
+func (r Rect) OverlapArea(s Rect) int { return r.Intersect(s).Area() }
+
+// Expand returns r grown by m units on every side.
+func (r Rect) Expand(m int) Rect {
+	return Rect{r.X0 - m, r.Y0 - m, r.X1 + m, r.Y1 + m}
+}
+
+// Distance returns the Chebyshev gap between r and s: 0 when they touch or
+// overlap, otherwise the number of empty lattice units separating them.
+func (r Rect) Distance(s Rect) int {
+	dx := axisGap(r.X0, r.X1, s.X0, s.X1)
+	dy := axisGap(r.Y0, r.Y1, s.Y0, s.Y1)
+	return max(dx, dy)
+}
+
+func axisGap(a0, a1, b0, b1 int) int {
+	switch {
+	case a1 <= b0:
+		return b0 - a1
+	case b1 <= a0:
+		return a0 - b1
+	default:
+		return 0
+	}
+}
+
+// Points returns every lattice point covered by r in row-major order.
+func (r Rect) Points() []Point {
+	if r.Empty() {
+		return nil
+	}
+	pts := make([]Point, 0, r.Area())
+	for y := r.Y0; y < r.Y1; y++ {
+		for x := r.X0; x < r.X1; x++ {
+			pts = append(pts, Point{x, y})
+		}
+	}
+	return pts
+}
+
+// Perimeter returns the boundary cells of r in row-major order. For
+// rectangles with W or H ≤ 2 this is every cell of r. The perimeter of a
+// w×h rectangle has 2(w+h)-4 cells, which is the pump-ring volume of a
+// dynamic mixer of that footprint.
+func (r Rect) Perimeter() []Point {
+	if r.Empty() {
+		return nil
+	}
+	pts := make([]Point, 0, 2*(r.W()+r.H())-4)
+	for y := r.Y0; y < r.Y1; y++ {
+		for x := r.X0; x < r.X1; x++ {
+			if x == r.X0 || x == r.X1-1 || y == r.Y0 || y == r.Y1-1 {
+				pts = append(pts, Point{x, y})
+			}
+		}
+	}
+	return pts
+}
+
+// PerimeterLen returns len(r.Perimeter()) without allocating.
+func (r Rect) PerimeterLen() int {
+	if r.Empty() {
+		return 0
+	}
+	if r.W() <= 2 || r.H() <= 2 {
+		return r.Area()
+	}
+	return 2*(r.W()+r.H()) - 4
+}
+
+// Interior returns the non-perimeter cells of r.
+func (r Rect) Interior() []Point {
+	inner := Rect{r.X0 + 1, r.Y0 + 1, r.X1 - 1, r.Y1 - 1}
+	return inner.Points()
+}
+
+func abs(a int) int {
+	if a < 0 {
+		return -a
+	}
+	return a
+}

@@ -1,0 +1,237 @@
+package grid
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPointDistances(t *testing.T) {
+	tests := []struct {
+		p, q           Point
+		manhattan, che int
+	}{
+		{Point{0, 0}, Point{0, 0}, 0, 0},
+		{Point{0, 0}, Point{3, 4}, 7, 4},
+		{Point{-1, 2}, Point{2, -2}, 7, 4},
+		{Point{5, 5}, Point{5, 9}, 4, 4},
+	}
+	for _, tt := range tests {
+		if got := tt.p.Manhattan(tt.q); got != tt.manhattan {
+			t.Errorf("%v.Manhattan(%v) = %d, want %d", tt.p, tt.q, got, tt.manhattan)
+		}
+		if got := tt.p.Chebyshev(tt.q); got != tt.che {
+			t.Errorf("%v.Chebyshev(%v) = %d, want %d", tt.p, tt.q, got, tt.che)
+		}
+	}
+}
+
+func TestPointAddAndString(t *testing.T) {
+	p := Point{1, 2}.Add(Point{3, -1})
+	if p != (Point{4, 1}) {
+		t.Fatalf("Add = %v, want (4,1)", p)
+	}
+	if p.String() != "(4,1)" {
+		t.Fatalf("String = %q", p.String())
+	}
+}
+
+func TestRectBasics(t *testing.T) {
+	r := RectWH(2, 3, 4, 2)
+	if r != (Rect{2, 3, 6, 5}) {
+		t.Fatalf("RectWH = %v", r)
+	}
+	if r.W() != 4 || r.H() != 2 || r.Area() != 8 {
+		t.Fatalf("W/H/Area = %d/%d/%d", r.W(), r.H(), r.Area())
+	}
+	if r.Empty() {
+		t.Fatal("non-degenerate rect reported empty")
+	}
+	if !r.Contains(Point{2, 3}) || !r.Contains(Point{5, 4}) {
+		t.Fatal("Contains misses corner cells")
+	}
+	if r.Contains(Point{6, 4}) || r.Contains(Point{3, 5}) {
+		t.Fatal("Contains includes cells outside the half-open bounds")
+	}
+}
+
+func TestRectEmpty(t *testing.T) {
+	for _, r := range []Rect{{}, {3, 3, 3, 5}, {4, 2, 2, 6}} {
+		if !r.Empty() {
+			t.Errorf("%v should be empty", r)
+		}
+		if r.Area() != 0 {
+			t.Errorf("%v area = %d, want 0", r, r.Area())
+		}
+	}
+}
+
+func TestIntersect(t *testing.T) {
+	a := RectWH(0, 0, 4, 4)
+	b := RectWH(2, 2, 4, 4)
+	got := a.Intersect(b)
+	if got != (Rect{2, 2, 4, 4}) {
+		t.Fatalf("Intersect = %v", got)
+	}
+	if a.OverlapArea(b) != 4 {
+		t.Fatalf("OverlapArea = %d, want 4", a.OverlapArea(b))
+	}
+	c := RectWH(4, 0, 2, 2) // shares only an edge with a
+	if a.Overlaps(c) {
+		t.Fatal("edge-adjacent rects must not overlap (half-open)")
+	}
+}
+
+func TestContainsRect(t *testing.T) {
+	outer := RectWH(0, 0, 10, 10)
+	if !outer.ContainsRect(RectWH(0, 0, 10, 10)) {
+		t.Fatal("rect must contain itself")
+	}
+	if !outer.ContainsRect(Rect{}) {
+		t.Fatal("every rect contains the empty rect")
+	}
+	if outer.ContainsRect(RectWH(8, 8, 3, 3)) {
+		t.Fatal("overhanging rect reported contained")
+	}
+}
+
+func TestDistance(t *testing.T) {
+	a := RectWH(0, 0, 2, 2)
+	tests := []struct {
+		b Rect
+		d int
+	}{
+		{RectWH(0, 0, 2, 2), 0}, // identical
+		{RectWH(1, 1, 2, 2), 0}, // overlapping
+		{RectWH(2, 0, 2, 2), 0}, // touching edge
+		{RectWH(3, 0, 2, 2), 1}, // one unit gap in x
+		{RectWH(0, 5, 2, 2), 3}, // three unit gap in y
+		{RectWH(4, 4, 2, 2), 2}, // diagonal gap
+	}
+	for _, tt := range tests {
+		if got := a.Distance(tt.b); got != tt.d {
+			t.Errorf("Distance(%v, %v) = %d, want %d", a, tt.b, got, tt.d)
+		}
+		if got := tt.b.Distance(a); got != tt.d {
+			t.Errorf("Distance is not symmetric for %v", tt.b)
+		}
+	}
+}
+
+func TestPerimeter(t *testing.T) {
+	tests := []struct {
+		r    Rect
+		want int
+	}{
+		{RectWH(0, 0, 2, 2), 4},
+		{RectWH(0, 0, 2, 3), 6},
+		{RectWH(0, 0, 3, 3), 8},
+		{RectWH(0, 0, 2, 4), 8},
+		{RectWH(0, 0, 4, 2), 8},
+		{RectWH(0, 0, 3, 4), 10},
+		{RectWH(0, 0, 2, 5), 10},
+		{RectWH(0, 0, 5, 5), 16},
+	}
+	for _, tt := range tests {
+		per := tt.r.Perimeter()
+		if len(per) != tt.want {
+			t.Errorf("Perimeter(%v) has %d cells, want %d", tt.r, len(per), tt.want)
+		}
+		if tt.r.PerimeterLen() != tt.want {
+			t.Errorf("PerimeterLen(%v) = %d, want %d", tt.r, tt.r.PerimeterLen(), tt.want)
+		}
+		seen := map[Point]bool{}
+		for _, p := range per {
+			if seen[p] {
+				t.Errorf("Perimeter(%v) repeats %v", tt.r, p)
+			}
+			seen[p] = true
+			if !tt.r.Contains(p) {
+				t.Errorf("Perimeter(%v) includes outside point %v", tt.r, p)
+			}
+		}
+	}
+}
+
+func TestInteriorPlusPerimeterIsArea(t *testing.T) {
+	for w := 2; w <= 6; w++ {
+		for h := 2; h <= 6; h++ {
+			r := RectWH(1, 1, w, h)
+			if got := len(r.Interior()) + len(r.Perimeter()); got != r.Area() {
+				t.Errorf("%v: interior+perimeter = %d, want %d", r, got, r.Area())
+			}
+		}
+	}
+}
+
+func TestPointsRowMajor(t *testing.T) {
+	r := RectWH(1, 1, 2, 2)
+	want := []Point{{1, 1}, {2, 1}, {1, 2}, {2, 2}}
+	got := r.Points()
+	if len(got) != len(want) {
+		t.Fatalf("Points len = %d", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Points[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestExpand(t *testing.T) {
+	r := RectWH(2, 2, 2, 2).Expand(1)
+	if r != (Rect{1, 1, 5, 5}) {
+		t.Fatalf("Expand = %v", r)
+	}
+}
+
+// Property: intersection is commutative and its area never exceeds either
+// operand's area.
+func TestIntersectProperties(t *testing.T) {
+	norm := func(a, b int8) (int, int) {
+		lo, hi := int(a)%16, int(b)%16
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		return lo, hi + 1
+	}
+	f := func(ax0, ax1, ay0, ay1, bx0, bx1, by0, by1 int8) bool {
+		aX0, aX1 := norm(ax0, ax1)
+		aY0, aY1 := norm(ay0, ay1)
+		bX0, bX1 := norm(bx0, bx1)
+		bY0, bY1 := norm(by0, by1)
+		a := Rect{aX0, aY0, aX1, aY1}
+		b := Rect{bX0, bY0, bX1, bY1}
+		ab, ba := a.Intersect(b), b.Intersect(a)
+		if ab != ba {
+			return false
+		}
+		if ab.Area() > a.Area() || ab.Area() > b.Area() {
+			return false
+		}
+		return a.Overlaps(b) == (ab.Area() > 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Distance(a,b)==0 iff the 1-expanded rectangles overlap or touch,
+// and expanding either rect by Distance makes them touch or overlap.
+func TestDistanceProperty(t *testing.T) {
+	f := func(ax, ay, bx, by uint8) bool {
+		a := RectWH(int(ax%20), int(ay%20), 2, 2)
+		b := RectWH(int(bx%20), int(by%20), 3, 2)
+		d := a.Distance(b)
+		if d < 0 {
+			return false
+		}
+		if d == 0 {
+			return true
+		}
+		// Growing a by d must close the gap.
+		return a.Expand(d).Overlaps(b) || a.Expand(d).Distance(b) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,58 @@
+package lp
+
+import (
+	"math"
+	"testing"
+)
+
+// Klee-Minty cube: the classic worst case for Dantzig's rule. For
+//
+//	maximize Σ_j 2^(n-j) x_j
+//	s.t.     2 Σ_{j<i} 2^(i-j) x_j + x_i ≤ 5^i   (i = 1..n)
+//
+// the optimum is 5^n with x_n = 5^n and all other x_j = 0. The solver must
+// get the right answer even if it visits many vertices.
+func TestKleeMinty(t *testing.T) {
+	for _, n := range []int{3, 5, 7} {
+		p := NewProblem()
+		xs := make([]Var, n+1)
+		for j := 1; j <= n; j++ {
+			xs[j] = p.AddVar("x", 0, Inf, -math.Pow(2, float64(n-j)))
+		}
+		for i := 1; i <= n; i++ {
+			var terms []Term
+			for j := 1; j < i; j++ {
+				terms = append(terms, Term{xs[j], 2 * math.Pow(2, float64(i-j))})
+			}
+			terms = append(terms, Term{xs[i], 1})
+			p.AddRow(terms, LE, math.Pow(5, float64(i)))
+		}
+		s := solve(t, p)
+		want := -math.Pow(5, float64(n))
+		if s.Status != Optimal || math.Abs(s.Obj-want)/math.Abs(want) > 1e-9 {
+			t.Errorf("n=%d: status %v obj %g, want %g", n, s.Status, s.Obj, want)
+		}
+		if math.Abs(s.Value(xs[n])-math.Pow(5, float64(n))) > 1e-6*math.Pow(5, float64(n)) {
+			t.Errorf("n=%d: x_n = %g", n, s.Value(xs[n]))
+		}
+	}
+}
+
+// A cycling-prone degenerate LP (Beale's example); Bland's fallback must
+// terminate with the optimum -1/20... Beale: min -3/4x4 +150x5 -1/50x6 +6x7
+// s.t. 1/4x4 -60x5 -1/25x6 +9x7 ≤ 0; 1/2x4 -90x5 -1/50x6 +3x7 ≤ 0; x6 ≤ 1.
+// Optimum -1/20.
+func TestBealeCycling(t *testing.T) {
+	p := NewProblem()
+	x4 := p.AddVar("x4", 0, Inf, -0.75)
+	x5 := p.AddVar("x5", 0, Inf, 150)
+	x6 := p.AddVar("x6", 0, Inf, -0.02)
+	x7 := p.AddVar("x7", 0, Inf, 6)
+	p.AddRow([]Term{{x4, 0.25}, {x5, -60}, {x6, -0.04}, {x7, 9}}, LE, 0)
+	p.AddRow([]Term{{x4, 0.5}, {x5, -90}, {x6, -0.02}, {x7, 3}}, LE, 0)
+	p.AddRow([]Term{{x6, 1}}, LE, 1)
+	s := solve(t, p)
+	if s.Status != Optimal || math.Abs(s.Obj-(-0.05)) > 1e-9 {
+		t.Fatalf("status %v obj %g, want -0.05", s.Status, s.Obj)
+	}
+}

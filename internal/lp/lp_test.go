@@ -1,0 +1,425 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func solve(t *testing.T, p *Problem) *Solution {
+	t.Helper()
+	s, err := p.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	return s
+}
+
+func wantOptimal(t *testing.T, s *Solution, obj float64) {
+	t.Helper()
+	if s.Status != Optimal {
+		t.Fatalf("status = %v, want optimal", s.Status)
+	}
+	if math.Abs(s.Obj-obj) > 1e-6 {
+		t.Fatalf("obj = %g, want %g", s.Obj, obj)
+	}
+}
+
+func TestTrivialBounds(t *testing.T) {
+	// minimize x subject to 2 ≤ x ≤ 5 → x = 2.
+	p := NewProblem()
+	x := p.AddVar("x", 2, 5, 1)
+	s := solve(t, p)
+	wantOptimal(t, s, 2)
+	if s.Value(x) != 2 {
+		t.Fatalf("x = %g", s.Value(x))
+	}
+}
+
+func TestMaximizeViaNegation(t *testing.T) {
+	// maximize x+y s.t. x+y ≤ 4, x ≤ 3, y ≤ 2 → min -(x+y) = -4.
+	p := NewProblem()
+	x := p.AddVar("x", 0, 3, -1)
+	y := p.AddVar("y", 0, 2, -1)
+	p.AddRow([]Term{{x, 1}, {y, 1}}, LE, 4)
+	s := solve(t, p)
+	wantOptimal(t, s, -4)
+	if math.Abs(s.Value(x)+s.Value(y)-4) > 1e-7 {
+		t.Fatalf("x+y = %g", s.Value(x)+s.Value(y))
+	}
+}
+
+func TestClassicDiet(t *testing.T) {
+	// minimize 3x + 2y s.t. x + y ≥ 4, x + 3y ≥ 6, x,y ≥ 0.
+	// Optimum at (3,1): obj 11? Check corners: (4,0):12, (0,4):8!, wait
+	// (0,4): x+3y=12 ≥ 6 ok, x+y=4 ok, obj 8. (0,2): x+y=2 <4 no.
+	// Intersection x+y=4, x+3y=6 → y=1, x=3, obj 11. So optimum is (0,4)=8.
+	p := NewProblem()
+	x := p.AddVar("x", 0, Inf, 3)
+	y := p.AddVar("y", 0, Inf, 2)
+	p.AddRow([]Term{{x, 1}, {y, 1}}, GE, 4)
+	p.AddRow([]Term{{x, 1}, {y, 3}}, GE, 6)
+	s := solve(t, p)
+	wantOptimal(t, s, 8)
+	if math.Abs(s.Value(y)-4) > 1e-7 || math.Abs(s.Value(x)) > 1e-7 {
+		t.Fatalf("solution = (%g,%g), want (0,4)", s.Value(x), s.Value(y))
+	}
+}
+
+func TestEqualityRows(t *testing.T) {
+	// minimize x + 2y s.t. x + y = 10, x - y = 4 → x=7, y=3, obj 13.
+	p := NewProblem()
+	x := p.AddVar("x", 0, Inf, 1)
+	y := p.AddVar("y", 0, Inf, 2)
+	p.AddRow([]Term{{x, 1}, {y, 1}}, EQ, 10)
+	p.AddRow([]Term{{x, 1}, {y, -1}}, EQ, 4)
+	s := solve(t, p)
+	wantOptimal(t, s, 13)
+	if math.Abs(s.Value(x)-7) > 1e-7 || math.Abs(s.Value(y)-3) > 1e-7 {
+		t.Fatalf("solution = (%g,%g)", s.Value(x), s.Value(y))
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVar("x", 0, 1, 1)
+	p.AddRow([]Term{{x, 1}}, GE, 2)
+	s := solve(t, p)
+	if s.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", s.Status)
+	}
+}
+
+func TestInfeasibleEqualities(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVar("x", 0, Inf, 0)
+	y := p.AddVar("y", 0, Inf, 0)
+	p.AddRow([]Term{{x, 1}, {y, 1}}, EQ, 1)
+	p.AddRow([]Term{{x, 1}, {y, 1}}, EQ, 2)
+	s := solve(t, p)
+	if s.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", s.Status)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVar("x", 0, Inf, -1)
+	y := p.AddVar("y", 0, Inf, 0)
+	p.AddRow([]Term{{x, 1}, {y, -1}}, LE, 1)
+	s := solve(t, p)
+	if s.Status != Unbounded {
+		t.Fatalf("status = %v, want unbounded", s.Status)
+	}
+}
+
+func TestNegativeLowerBounds(t *testing.T) {
+	// minimize x + y with x ∈ [-5, 5], y ∈ [-2, ∞), x + y ≥ -4 → (-5,1)?
+	// x+y ≥ -4 binds: best x=-5 → y ≥ 1... but y ≥ -2 and x+y ≥ -4 →
+	// optimum x=-5,y=1 obj -4? Or x=-2,y=-2 obj -4. Objective equals -4
+	// anywhere on the binding line; min is -4.
+	p := NewProblem()
+	x := p.AddVar("x", -5, 5, 1)
+	y := p.AddVar("y", -2, Inf, 1)
+	p.AddRow([]Term{{x, 1}, {y, 1}}, GE, -4)
+	s := solve(t, p)
+	wantOptimal(t, s, -4)
+	if s.Value(x) < -5-1e-9 || s.Value(y) < -2-1e-9 {
+		t.Fatalf("bounds violated: (%g,%g)", s.Value(x), s.Value(y))
+	}
+}
+
+func TestUpperBoundFlips(t *testing.T) {
+	// maximize 2x + y with x ≤ 1, y ≤ 1 and x + y ≤ 1.5 → x=1, y=0.5.
+	p := NewProblem()
+	x := p.AddVar("x", 0, 1, -2)
+	y := p.AddVar("y", 0, 1, -1)
+	p.AddRow([]Term{{x, 1}, {y, 1}}, LE, 1.5)
+	s := solve(t, p)
+	wantOptimal(t, s, -2.5)
+	if math.Abs(s.Value(x)-1) > 1e-7 || math.Abs(s.Value(y)-0.5) > 1e-7 {
+		t.Fatalf("solution = (%g,%g)", s.Value(x), s.Value(y))
+	}
+}
+
+func TestDuplicateTermsSummed(t *testing.T) {
+	// x + x ≤ 4 must behave as 2x ≤ 4.
+	p := NewProblem()
+	x := p.AddVar("x", 0, Inf, -1)
+	p.AddRow([]Term{{x, 1}, {x, 1}}, LE, 4)
+	s := solve(t, p)
+	wantOptimal(t, s, -2)
+}
+
+func TestObjOffset(t *testing.T) {
+	p := NewProblem()
+	p.AddVar("x", 1, 1, 2)
+	p.AddObjOffset(10)
+	s := solve(t, p)
+	wantOptimal(t, s, 12)
+}
+
+func TestDegenerate(t *testing.T) {
+	// Several redundant constraints through one vertex.
+	p := NewProblem()
+	x := p.AddVar("x", 0, Inf, -1)
+	y := p.AddVar("y", 0, Inf, -1)
+	p.AddRow([]Term{{x, 1}}, LE, 1)
+	p.AddRow([]Term{{y, 1}}, LE, 1)
+	p.AddRow([]Term{{x, 1}, {y, 1}}, LE, 2)
+	p.AddRow([]Term{{x, 2}, {y, 2}}, LE, 4)
+	s := solve(t, p)
+	wantOptimal(t, s, -2)
+}
+
+func TestRedundantEqualities(t *testing.T) {
+	// Duplicate equality rows force a redundant artificial row.
+	p := NewProblem()
+	x := p.AddVar("x", 0, Inf, 1)
+	y := p.AddVar("y", 0, Inf, 1)
+	p.AddRow([]Term{{x, 1}, {y, 1}}, EQ, 5)
+	p.AddRow([]Term{{x, 2}, {y, 2}}, EQ, 10)
+	s := solve(t, p)
+	wantOptimal(t, s, 5)
+}
+
+func TestBigMDisjunctionShape(t *testing.T) {
+	// The non-overlap pattern used by the mapper: with c binary relaxed,
+	// b1r ≤ b2l + c*M. Fix c=0 and check the row binds.
+	const M = 100
+	p := NewProblem()
+	b1r := p.AddVar("b1r", 0, 10, 0)
+	b2l := p.AddVar("b2l", 0, 10, -1) // maximize b2l
+	c := p.AddVar("c", 0, 0, 0)       // fixed to 0
+	p.AddRow([]Term{{b1r, 1}, {b2l, -1}, {c, -M}}, LE, 0)
+	p.AddRow([]Term{{b1r, 1}}, GE, 4) // b1r ≥ 4 → b2l can grow to 10? b2l ≥ b1r? no:
+	// b1r ≤ b2l → b2l ≥ 4; maximize b2l hits its bound 10.
+	s := solve(t, p)
+	wantOptimal(t, s, -10)
+	if s.Value(b2l) < s.Value(b1r)-1e-7 {
+		t.Fatalf("disjunction violated: b1r=%g b2l=%g", s.Value(b1r), s.Value(b2l))
+	}
+}
+
+func TestAssignmentLP(t *testing.T) {
+	// 3×3 assignment problem; LP relaxation of assignment is integral.
+	cost := [3][3]float64{{4, 1, 3}, {2, 0, 5}, {3, 2, 2}}
+	p := NewProblem()
+	var v [3][3]Var
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			v[i][j] = p.AddVar("x", 0, 1, cost[i][j])
+		}
+	}
+	for i := 0; i < 3; i++ {
+		row := []Term{{v[i][0], 1}, {v[i][1], 1}, {v[i][2], 1}}
+		p.AddRow(row, EQ, 1)
+		col := []Term{{v[0][i], 1}, {v[1][i], 1}, {v[2][i], 1}}
+		p.AddRow(col, EQ, 1)
+	}
+	s := solve(t, p)
+	// Optimal assignment: (0,1)+(1,0)+(2,2) = 1+2+2 = 5.
+	wantOptimal(t, s, 5)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			x := s.Value(v[i][j])
+			if math.Abs(x) > 1e-6 && math.Abs(x-1) > 1e-6 {
+				t.Fatalf("fractional assignment x[%d][%d]=%g", i, j, x)
+			}
+		}
+	}
+}
+
+func TestMinimaxPattern(t *testing.T) {
+	// The mapper's core objective: minimize w with v_k ≤ w where v are
+	// fixed by equalities; w must equal max(v).
+	p := NewProblem()
+	w := p.AddVar("w", 0, Inf, 1)
+	vals := []float64{3, 9, 6}
+	for _, val := range vals {
+		v := p.AddVar("v", 0, Inf, 0)
+		p.AddRow([]Term{{v, 1}}, EQ, val)
+		p.AddRow([]Term{{v, 1}, {w, -1}}, LE, 0)
+	}
+	s := solve(t, p)
+	wantOptimal(t, s, 9)
+}
+
+func TestIterLimit(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVar("x", 0, Inf, -1)
+	y := p.AddVar("y", 0, Inf, -2)
+	p.AddRow([]Term{{x, 1}, {y, 1}}, LE, 10)
+	p.AddRow([]Term{{x, 1}, {y, 3}}, LE, 20)
+	p.SetIterLimit(1)
+	s := solve(t, p)
+	if s.Status != IterLimit && s.Status != Optimal {
+		t.Fatalf("status = %v", s.Status)
+	}
+}
+
+func TestBadModelRejected(t *testing.T) {
+	p := NewProblem()
+	p.AddRow([]Term{{Var(3), 1}}, LE, 1) // unknown variable
+	if _, err := p.Solve(); err == nil {
+		t.Fatal("Solve accepted row with unknown variable")
+	}
+}
+
+func TestAddVarPanics(t *testing.T) {
+	p := NewProblem()
+	t.Run("infinite lower", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("no panic")
+			}
+		}()
+		p.AddVar("x", math.Inf(-1), 0, 0)
+	})
+	t.Run("crossed bounds", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("no panic")
+			}
+		}()
+		p.AddVar("x", 2, 1, 0)
+	})
+}
+
+// Property: for random feasible-by-construction problems min c·x subject to
+// A·x ≤ A·x₀ (x₀ a random point within bounds), the solver must return
+// Optimal with obj ≤ c·x₀ and a feasible x.
+func TestRandomFeasibleProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed ^ rng.Int63()))
+		n := 2 + r.Intn(6)
+		m := 1 + r.Intn(6)
+		p := NewProblem()
+		x0 := make([]float64, n)
+		vars := make([]Var, n)
+		c := make([]float64, n)
+		for j := 0; j < n; j++ {
+			lo := float64(r.Intn(5)) - 2
+			hi := lo + float64(1+r.Intn(6))
+			c[j] = float64(r.Intn(11) - 5)
+			vars[j] = p.AddVar("x", lo, hi, c[j])
+			x0[j] = lo + r.Float64()*(hi-lo)
+		}
+		rows := make([][]float64, m)
+		for i := 0; i < m; i++ {
+			rows[i] = make([]float64, n)
+			var terms []Term
+			rhs := 0.0
+			for j := 0; j < n; j++ {
+				a := float64(r.Intn(7) - 3)
+				rows[i][j] = a
+				if a != 0 {
+					terms = append(terms, Term{vars[j], a})
+				}
+				rhs += a * x0[j]
+			}
+			if len(terms) == 0 {
+				continue
+			}
+			p.AddRow(terms, LE, rhs+0.001)
+		}
+		s, err := p.Solve()
+		if err != nil || s.Status != Optimal {
+			t.Logf("seed %d: status %v err %v", seed, s.Status, err)
+			return false
+		}
+		objAt := func(x []float64) float64 {
+			v := 0.0
+			for j := range x {
+				v += c[j] * x[j]
+			}
+			return v
+		}
+		if s.Obj > objAt(x0)+1e-6 {
+			t.Logf("seed %d: obj %g worse than feasible %g", seed, s.Obj, objAt(x0))
+			return false
+		}
+		// Feasibility of the returned point.
+		for j, v := range vars {
+			lo, hi := p.Bounds(v)
+			if s.X[j] < lo-1e-6 || s.X[j] > hi+1e-6 {
+				t.Logf("seed %d: bound violated", seed)
+				return false
+			}
+		}
+		for i := range rows {
+			lhs, rhs := 0.0, 0.0
+			for j := range rows[i] {
+				lhs += rows[i][j] * s.X[j]
+				rhs += rows[i][j] * x0[j]
+			}
+			if lhs > rhs+0.001+1e-5 {
+				t.Logf("seed %d: row %d violated: %g > %g", seed, i, lhs, rhs)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: adding a redundant constraint never changes the optimum.
+func TestRedundantRowInvariance(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := NewProblem()
+		x := p.AddVar("x", 0, 10, float64(1+r.Intn(5)))
+		y := p.AddVar("y", 0, 10, float64(1+r.Intn(5)))
+		p.AddRow([]Term{{x, 1}, {y, 1}}, GE, float64(2+r.Intn(8)))
+		s1, err := p.Solve()
+		if err != nil || s1.Status != Optimal {
+			return false
+		}
+		p.AddRow([]Term{{x, 1}, {y, 1}}, LE, 1000) // redundant
+		s2, err := p.Solve()
+		if err != nil || s2.Status != Optimal {
+			return false
+		}
+		return math.Abs(s1.Obj-s2.Obj) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSimplexMedium(b *testing.B) {
+	// A 40×80 random-ish LP, representative of a rolling-horizon node.
+	build := func() *Problem {
+		r := rand.New(rand.NewSource(7))
+		p := NewProblem()
+		n, m := 80, 40
+		vars := make([]Var, n)
+		for j := 0; j < n; j++ {
+			vars[j] = p.AddVar("x", 0, 1, r.Float64()-0.3)
+		}
+		for i := 0; i < m; i++ {
+			var terms []Term
+			for j := 0; j < n; j++ {
+				if r.Intn(4) == 0 {
+					terms = append(terms, Term{vars[j], float64(1 + r.Intn(3))})
+				}
+			}
+			if terms != nil {
+				p.AddRow(terms, LE, float64(3+r.Intn(5)))
+			}
+		}
+		return p
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p := build()
+		s, err := p.Solve()
+		if err != nil || s.Status != Optimal {
+			b.Fatalf("status %v err %v", s.Status, err)
+		}
+	}
+}

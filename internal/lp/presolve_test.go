@@ -1,0 +1,139 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPresolveFixedVariableSubstitution(t *testing.T) {
+	// min x + 2y with y fixed to 3 and x + y ≥ 5 → x = 2, obj 8.
+	p := NewProblem()
+	x := p.AddVar("x", 0, Inf, 1)
+	y := p.AddVar("y", 3, 3, 2)
+	p.AddRow([]Term{{x, 1}, {y, 1}}, GE, 5)
+	s := solve(t, p)
+	wantOptimal(t, s, 8)
+	if math.Abs(s.Value(x)-2) > 1e-7 || s.Value(y) != 3 {
+		t.Fatalf("solution = (%g, %g)", s.Value(x), s.Value(y))
+	}
+}
+
+func TestPresolveAllFixed(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVar("x", 2, 2, 3)
+	y := p.AddVar("y", -1, -1, 1)
+	p.AddRow([]Term{{x, 1}, {y, 1}}, LE, 2)
+	s := solve(t, p)
+	wantOptimal(t, s, 5)
+	if s.Value(x) != 2 || s.Value(y) != -1 {
+		t.Fatalf("solution = (%g, %g)", s.Value(x), s.Value(y))
+	}
+}
+
+func TestPresolveAllFixedInfeasible(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVar("x", 2, 2, 0)
+	p.AddRow([]Term{{x, 1}}, GE, 3)
+	s := solve(t, p)
+	if s.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", s.Status)
+	}
+}
+
+func TestPresolveConstantRowKinds(t *testing.T) {
+	for _, tt := range []struct {
+		rel  Rel
+		rhs  float64
+		want Status
+	}{
+		{LE, 1, Optimal}, {LE, -1, Infeasible},
+		{GE, -1, Optimal}, {GE, 1, Infeasible},
+		{EQ, 0, Optimal}, {EQ, 1, Infeasible},
+	} {
+		p := NewProblem()
+		x := p.AddVar("x", 0, 0, 0)
+		free := p.AddVar("free", 0, 1, -1)
+		_ = free
+		p.AddRow([]Term{{x, 1}}, tt.rel, tt.rhs)
+		s := solve(t, p)
+		if s.Status != tt.want {
+			t.Errorf("rel %v rhs %g: status %v, want %v", tt.rel, tt.rhs, s.Status, tt.want)
+		}
+	}
+}
+
+func TestPresolveObjectiveOffsetInteraction(t *testing.T) {
+	p := NewProblem()
+	p.AddObjOffset(10)
+	x := p.AddVar("x", 4, 4, 2) // contributes 8
+	y := p.AddVar("y", 0, 5, 1)
+	p.AddRow([]Term{{x, 1}, {y, 1}}, GE, 6) // y ≥ 2
+	s := solve(t, p)
+	wantOptimal(t, s, 20) // 10 + 8 + 2
+}
+
+// Property: fixing a variable at its optimal value must not change the
+// optimum; presolve then solves a smaller problem with the same answer.
+func TestPresolveEquivalenceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := NewProblem()
+		n := 3 + r.Intn(4)
+		vars := make([]Var, n)
+		for i := range vars {
+			vars[i] = p.AddVar("x", 0, float64(1+r.Intn(5)), float64(r.Intn(7)-3))
+		}
+		for k := 0; k < 2+r.Intn(3); k++ {
+			var terms []Term
+			for _, v := range vars {
+				if r.Intn(2) == 0 {
+					terms = append(terms, Term{v, float64(1 + r.Intn(3))})
+				}
+			}
+			if terms != nil {
+				p.AddRow(terms, LE, float64(2+r.Intn(9)))
+			}
+		}
+		s1, err := p.Solve()
+		if err != nil || s1.Status != Optimal {
+			return true // nothing to compare
+		}
+		// Fix the first variable at its optimal value and re-solve.
+		lo, hi := p.Bounds(vars[0])
+		p.SetBounds(vars[0], s1.Value(vars[0]), s1.Value(vars[0]))
+		s2, err := p.Solve()
+		p.SetBounds(vars[0], lo, hi)
+		if err != nil || s2.Status != Optimal {
+			return false
+		}
+		return math.Abs(s1.Obj-s2.Obj) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPresolveReducesSize(t *testing.T) {
+	p := NewProblem()
+	var vars []Var
+	for i := 0; i < 10; i++ {
+		hi := 1.0
+		if i%2 == 0 {
+			hi = 0 // fixed to zero
+		}
+		vars = append(vars, p.AddVar("x", 0, hi, 1))
+	}
+	var terms []Term
+	for _, v := range vars {
+		terms = append(terms, Term{v, 1})
+	}
+	p.AddRow(terms, GE, 2)
+	pr := p.reduce()
+	if pr.reduced.NumVars() != 5 {
+		t.Fatalf("reduced to %d vars, want 5", pr.reduced.NumVars())
+	}
+	s := solve(t, p)
+	wantOptimal(t, s, 2)
+}

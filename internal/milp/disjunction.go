@@ -1,0 +1,46 @@
+package milp
+
+import "fmt"
+
+// Disjunct is one alternative of a disjunction: Σ Terms ≤ RHS.
+type Disjunct struct {
+	Terms []Term
+	RHS   float64
+}
+
+// AddDisjunctionLE enforces that at least one of the given disjuncts holds,
+// using the paper's big-M linearisation (constraints (4)-(8)): for each
+// alternative k a binary c_k is created with
+//
+//	Σ terms_k ≤ rhs_k + c_k·M
+//	Σ_k c_k = len(disjuncts) - 1
+//
+// so exactly one alternative is forced active (c_k = 0 relaxes nothing).
+//
+// When relaxable is true, an extra binary c₅ is added and the cardinality
+// row becomes Σ c_k = len-1 + c₅ (the paper's constraint (12)): setting
+// c₅ = 1 lets every alternative go slack, which is how storage devices are
+// allowed to overlap their parent devices. The returned relax variable is
+// that c₅ (or -1 when relaxable is false).
+func (m *Model) AddDisjunctionLE(name string, disjuncts []Disjunct, bigM float64, relaxable bool) (choices []Var, relax Var) {
+	if len(disjuncts) == 0 {
+		panic("milp: empty disjunction")
+	}
+	card := make([]Term, 0, len(disjuncts)+1)
+	for k, d := range disjuncts {
+		c := m.AddBinary(fmt.Sprintf("%s.c%d", name, k+1), 0)
+		choices = append(choices, c)
+		row := make([]Term, 0, len(d.Terms)+1)
+		row = append(row, d.Terms...)
+		row = append(row, Term{c, -bigM})
+		m.AddRow(row, LE, d.RHS)
+		card = append(card, Term{c, 1})
+	}
+	relax = Var(-1)
+	if relaxable {
+		relax = m.AddBinary(name+".c5", 0)
+		card = append(card, Term{relax, -1})
+	}
+	m.AddRow(card, EQ, float64(len(disjuncts)-1))
+	return choices, relax
+}

@@ -1,0 +1,405 @@
+// Package milp implements a mixed-integer linear programming solver: branch
+// and bound with most-fractional branching, depth-first search guided toward
+// the LP-relaxation value, LP-rounding incumbents and node/time limits.
+//
+// Together with internal/lp it replaces the commercial ILP solver used by
+// the paper for the dynamic-device mapping model.
+package milp
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"mfsynth/internal/lp"
+)
+
+// Re-exported row relations, for convenience of model-building code.
+const (
+	LE = lp.LE
+	GE = lp.GE
+	EQ = lp.EQ
+)
+
+// Inf is the unbounded upper bound.
+var Inf = lp.Inf
+
+// Var is a variable handle, shared with the LP layer.
+type Var = lp.Var
+
+// Term is one linear coefficient.
+type Term struct {
+	Var  Var
+	Coef float64
+}
+
+// T builds a Term; convenient for callers outside this package, where
+// unkeyed Term literals trip go vet's composite-literal check.
+func T(v Var, coef float64) Term { return Term{Var: v, Coef: coef} }
+
+// Model is a MILP: an LP plus integrality marks.
+type Model struct {
+	lp      *lp.Problem
+	integer []bool
+	rows    []savedRow // kept for incumbent feasibility checks
+	sos1    [][]Var    // special-ordered sets for branching (see AddSOS1)
+}
+
+type savedRow struct {
+	terms []Term
+	rel   lp.Rel
+	rhs   float64
+}
+
+// NewModel returns an empty minimisation model.
+func NewModel() *Model {
+	return &Model{lp: lp.NewProblem()}
+}
+
+// AddVar adds a continuous variable.
+func (m *Model) AddVar(name string, lower, upper, obj float64) Var {
+	v := m.lp.AddVar(name, lower, upper, obj)
+	m.integer = append(m.integer, false)
+	return v
+}
+
+// AddInt adds an integer variable with inclusive bounds.
+func (m *Model) AddInt(name string, lower, upper, obj float64) Var {
+	v := m.lp.AddVar(name, lower, upper, obj)
+	m.integer = append(m.integer, true)
+	return v
+}
+
+// AddBinary adds a {0,1} variable.
+func (m *Model) AddBinary(name string, obj float64) Var {
+	return m.AddInt(name, 0, 1, obj)
+}
+
+// SetObj overwrites the objective coefficient of v.
+func (m *Model) SetObj(v Var, c float64) { m.lp.SetObj(v, c) }
+
+// AddRow adds the constraint Σ terms {rel} rhs.
+func (m *Model) AddRow(terms []Term, rel lp.Rel, rhs float64) {
+	own := make([]Term, len(terms))
+	copy(own, terms)
+	m.rows = append(m.rows, savedRow{own, rel, rhs})
+	low := make([]lp.Term, len(terms))
+	for i, t := range terms {
+		low[i] = lp.Term{Var: t.Var, Coef: t.Coef}
+	}
+	m.lp.AddRow(low, rel, rhs)
+}
+
+// Fix pins v to a value by collapsing its bounds.
+func (m *Model) Fix(v Var, value float64) { m.lp.SetBounds(v, value, value) }
+
+// Bounds returns the current bounds of v.
+func (m *Model) Bounds(v Var) (lo, hi float64) { return m.lp.Bounds(v) }
+
+// NumVars returns the number of variables.
+func (m *Model) NumVars() int { return len(m.integer) }
+
+// NumRows returns the number of constraints.
+func (m *Model) NumRows() int { return len(m.rows) }
+
+// Status reports the outcome of a MILP solve.
+type Status int
+
+// Solve outcomes.
+const (
+	// Optimal: incumbent proved optimal.
+	Optimal Status = iota
+	// Feasible: an integer solution was found but optimality was not proved
+	// (a node/time limit was hit).
+	Feasible
+	// Infeasible: no integer solution exists.
+	Infeasible
+	// Unbounded: the relaxation is unbounded below.
+	Unbounded
+	// Limit: a limit was hit before any integer solution was found.
+	Limit
+)
+
+// String returns the status name.
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Feasible:
+		return "feasible"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	case Limit:
+		return "limit"
+	default:
+		return fmt.Sprintf("status(%d)", int(s))
+	}
+}
+
+// Options configures Solve.
+type Options struct {
+	// MaxNodes bounds the number of branch-and-bound nodes (0 = 1<<20).
+	MaxNodes int
+	// Timeout bounds wall-clock time (0 = none).
+	Timeout time.Duration
+	// Incumbent, when non-nil, is a known feasible assignment used as the
+	// initial upper bound. It must be integer-feasible; otherwise it is
+	// ignored.
+	Incumbent []float64
+	// AbsGap stops the search when the incumbent is within AbsGap of the
+	// best bound (useful because actuation counts are integers: 0.999).
+	AbsGap float64
+}
+
+// Result is the outcome of a MILP solve.
+type Result struct {
+	Status Status
+	// Obj and X describe the incumbent (valid for Optimal and Feasible).
+	Obj float64
+	X   []float64
+	// Nodes is the number of branch-and-bound nodes explored.
+	Nodes int
+	// Bound is the best proven lower bound on the optimum.
+	Bound float64
+}
+
+const intTol = 1e-6
+
+// Solve runs branch and bound. The model's variable bounds are restored on
+// return, so a Model can be re-solved after adding rows.
+func (m *Model) Solve(opts Options) (*Result, error) {
+	maxNodes := opts.MaxNodes
+	if maxNodes <= 0 {
+		maxNodes = 1 << 20
+	}
+	s := &search{
+		m:        m,
+		maxNodes: maxNodes,
+		absGap:   opts.AbsGap,
+		bestObj:  math.Inf(1),
+		bound:    math.Inf(-1),
+	}
+	if opts.Timeout > 0 {
+		s.deadline = time.Now().Add(opts.Timeout)
+	}
+	if opts.Incumbent != nil {
+		if ok, obj := m.CheckFeasible(opts.Incumbent); ok {
+			s.bestObj = obj
+			s.bestX = append([]float64(nil), opts.Incumbent...)
+		}
+	}
+
+	// Save root bounds to restore afterwards.
+	saved := make([][2]float64, m.NumVars())
+	for v := range saved {
+		saved[v][0], saved[v][1] = m.lp.Bounds(lp.Var(v))
+	}
+	defer func() {
+		for v := range saved {
+			m.lp.SetBounds(lp.Var(v), saved[v][0], saved[v][1])
+		}
+	}()
+
+	st, err := s.node()
+	if err != nil {
+		return nil, err
+	}
+	s.complete = st == nodeDone
+	res := &Result{Nodes: s.nodes, Bound: s.bound}
+	switch {
+	case st == nodeUnbounded && s.bestX == nil:
+		res.Status = Unbounded
+	case s.bestX != nil && s.complete:
+		res.Status = Optimal
+		res.Obj = s.bestObj
+		res.X = s.bestX
+	case s.bestX != nil:
+		res.Status = Feasible
+		res.Obj = s.bestObj
+		res.X = s.bestX
+	case s.complete:
+		res.Status = Infeasible
+	default:
+		res.Status = Limit
+	}
+	return res, nil
+}
+
+// CheckFeasible evaluates x against all rows, bounds and integrality; when
+// feasible it returns the objective value.
+func (m *Model) CheckFeasible(x []float64) (bool, float64) {
+	if len(x) != m.NumVars() {
+		return false, 0
+	}
+	for v := 0; v < m.NumVars(); v++ {
+		lo, hi := m.lp.Bounds(lp.Var(v))
+		if x[v] < lo-intTol || x[v] > hi+intTol {
+			return false, 0
+		}
+		if m.integer[v] && math.Abs(x[v]-math.Round(x[v])) > intTol {
+			return false, 0
+		}
+	}
+	for _, r := range m.rows {
+		lhs := 0.0
+		for _, t := range r.terms {
+			lhs += t.Coef * x[t.Var]
+		}
+		switch r.rel {
+		case lp.LE:
+			if lhs > r.rhs+1e-6 {
+				return false, 0
+			}
+		case lp.GE:
+			if lhs < r.rhs-1e-6 {
+				return false, 0
+			}
+		case lp.EQ:
+			if math.Abs(lhs-r.rhs) > 1e-6 {
+				return false, 0
+			}
+		}
+	}
+	return true, m.Objective(x)
+}
+
+// Objective evaluates the model objective at x.
+func (m *Model) Objective(x []float64) float64 {
+	// The lp layer holds the coefficients; recompute via a probe.
+	obj := 0.0
+	for v := 0; v < m.NumVars(); v++ {
+		obj += m.objCoef(lp.Var(v)) * x[v]
+	}
+	return obj
+}
+
+// objCoef digs the objective coefficient out of the LP.
+func (m *Model) objCoef(v lp.Var) float64 { return m.lp.ObjCoef(v) }
+
+type nodeStatus int
+
+const (
+	nodeDone nodeStatus = iota
+	nodeUnbounded
+	nodeLimit
+)
+
+type search struct {
+	m        *Model
+	nodes    int
+	maxNodes int
+	deadline time.Time
+	absGap   float64
+
+	bestObj  float64
+	bestX    []float64
+	bound    float64 // best lower bound proven at the root
+	complete bool    // true when the whole tree was explored
+	rootSet  bool
+}
+
+// node solves the relaxation under the current bounds and recurses.
+func (s *search) node() (nodeStatus, error) {
+	if s.nodes >= s.maxNodes {
+		return nodeLimit, nil
+	}
+	if !s.deadline.IsZero() && time.Now().After(s.deadline) {
+		return nodeLimit, nil
+	}
+	s.nodes++
+
+	sol, err := s.m.lp.Solve()
+	if err != nil {
+		return nodeDone, err
+	}
+	switch sol.Status {
+	case lp.Infeasible:
+		return nodeDone, nil
+	case lp.Unbounded:
+		return nodeUnbounded, nil
+	case lp.IterLimit:
+		// Cannot trust the node; treat as explored-without-proof.
+		return nodeLimit, nil
+	}
+	if !s.rootSet {
+		s.bound = sol.Obj
+		s.rootSet = true
+	}
+	if sol.Obj >= s.bestObj-1e-9 || (s.absGap > 0 && sol.Obj >= s.bestObj-s.absGap) {
+		return nodeDone, nil // fathom by bound
+	}
+
+	// SOS1 branching first: splitting a fractional selection group in two
+	// kills far more symmetric subtrees per node than fixing one binary.
+	if branches := s.chooseSOS1(sol); branches[0] != nil {
+		return s.exploreBranches(branches)
+	}
+
+	// Find the most fractional integer variable.
+	branch, frac := -1, 0.0
+	for v := 0; v < s.m.NumVars(); v++ {
+		if !s.m.integer[v] {
+			continue
+		}
+		f := math.Abs(sol.X[v] - math.Round(sol.X[v]))
+		if f > intTol && f > frac {
+			branch, frac = v, f
+		}
+	}
+	if branch < 0 {
+		// Integer feasible.
+		if sol.Obj < s.bestObj-1e-9 {
+			s.bestObj = sol.Obj
+			s.bestX = roundInts(s.m, sol.X)
+		}
+		return nodeDone, nil
+	}
+
+	// Rounding heuristic: snap all integers and test.
+	if s.bestX == nil {
+		cand := roundInts(s.m, sol.X)
+		if ok, obj := s.m.CheckFeasible(cand); ok && obj < s.bestObj {
+			s.bestObj, s.bestX = obj, cand
+		}
+	}
+
+	v := lp.Var(branch)
+	lo, hi := s.m.lp.Bounds(v)
+	floor := math.Floor(sol.X[branch])
+	// Explore the side nearer the LP value first.
+	first, second := [2]float64{lo, floor}, [2]float64{floor + 1, hi}
+	if sol.X[branch]-floor > 0.5 {
+		first, second = second, first
+	}
+	for _, side := range [][2]float64{first, second} {
+		if side[0] > side[1] {
+			continue
+		}
+		s.m.lp.SetBounds(v, side[0], side[1])
+		cst, err := s.node()
+		s.m.lp.SetBounds(v, lo, hi)
+		if err != nil {
+			return nodeDone, err
+		}
+		if cst == nodeUnbounded {
+			return nodeUnbounded, nil
+		}
+		if cst == nodeLimit {
+			return nodeLimit, nil
+		}
+	}
+	return nodeDone, nil
+}
+
+// roundInts snaps integer variables of x to the nearest integer.
+func roundInts(m *Model, x []float64) []float64 {
+	out := append([]float64(nil), x...)
+	for v := range out {
+		if m.integer[v] {
+			out[v] = math.Round(out[v])
+		}
+	}
+	return out
+}

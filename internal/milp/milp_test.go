@@ -1,0 +1,414 @@
+package milp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func mustSolve(t *testing.T, m *Model, opts Options) *Result {
+	t.Helper()
+	r, err := m.Solve(opts)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	return r
+}
+
+func TestPureLPPassThrough(t *testing.T) {
+	m := NewModel()
+	x := m.AddVar("x", 0, 10, -1)
+	m.AddRow([]Term{{x, 1}}, LE, 7.5)
+	r := mustSolve(t, m, Options{})
+	if r.Status != Optimal || math.Abs(r.Obj+7.5) > 1e-6 {
+		t.Fatalf("got %v obj %g", r.Status, r.Obj)
+	}
+}
+
+func TestKnapsack(t *testing.T) {
+	// maximize 10x1 + 13x2 + 7x3 s.t. 5x1 + 7x2 + 4x3 ≤ 9, x binary.
+	// Best: x1+x3 (weight 9, value 17); x2 alone 13; x1 alone 10.
+	m := NewModel()
+	x1 := m.AddBinary("x1", -10)
+	x2 := m.AddBinary("x2", -13)
+	x3 := m.AddBinary("x3", -7)
+	m.AddRow([]Term{{x1, 5}, {x2, 7}, {x3, 4}}, LE, 9)
+	r := mustSolve(t, m, Options{})
+	if r.Status != Optimal {
+		t.Fatalf("status %v", r.Status)
+	}
+	if math.Abs(r.Obj+17) > 1e-6 {
+		t.Fatalf("obj = %g, want -17", r.Obj)
+	}
+	if math.Round(r.X[x1]) != 1 || math.Round(r.X[x2]) != 0 || math.Round(r.X[x3]) != 1 {
+		t.Fatalf("X = %v", r.X)
+	}
+}
+
+func TestIntegerRounding(t *testing.T) {
+	// min -x s.t. 2x ≤ 7, x integer → x = 3 (LP gives 3.5).
+	m := NewModel()
+	x := m.AddInt("x", 0, 100, -1)
+	m.AddRow([]Term{{x, 2}}, LE, 7)
+	r := mustSolve(t, m, Options{})
+	if r.Status != Optimal || math.Round(r.X[x]) != 3 {
+		t.Fatalf("status %v x = %g", r.Status, r.X[x])
+	}
+}
+
+func TestInfeasibleMILP(t *testing.T) {
+	// x + y = 1 with x,y binary and x ≥ 0.6, y ≥ 0.6 is LP-feasible?
+	// 0.6+0.6 = 1.2 > 1 → LP infeasible already. Make it integer-only
+	// infeasible instead: 2x + 2y = 3 has LP solutions but no integer ones.
+	m := NewModel()
+	x := m.AddBinary("x", 0)
+	y := m.AddBinary("y", 0)
+	m.AddRow([]Term{{x, 2}, {y, 2}}, EQ, 3)
+	r := mustSolve(t, m, Options{})
+	if r.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", r.Status)
+	}
+}
+
+func TestUnboundedMILP(t *testing.T) {
+	m := NewModel()
+	x := m.AddInt("x", 0, Inf, -1)
+	_ = x
+	r := mustSolve(t, m, Options{})
+	if r.Status != Unbounded {
+		t.Fatalf("status = %v, want unbounded", r.Status)
+	}
+}
+
+func TestAssignmentILP(t *testing.T) {
+	// 4×4 assignment with integer costs; compare against brute force.
+	cost := [4][4]float64{
+		{9, 2, 7, 8},
+		{6, 4, 3, 7},
+		{5, 8, 1, 8},
+		{7, 6, 9, 4},
+	}
+	m := NewModel()
+	var v [4][4]Var
+	for i := range v {
+		for j := range v[i] {
+			v[i][j] = m.AddBinary("x", cost[i][j])
+		}
+	}
+	for i := 0; i < 4; i++ {
+		var row, col []Term
+		for j := 0; j < 4; j++ {
+			row = append(row, Term{v[i][j], 1})
+			col = append(col, Term{v[j][i], 1})
+		}
+		m.AddRow(row, EQ, 1)
+		m.AddRow(col, EQ, 1)
+	}
+	r := mustSolve(t, m, Options{})
+	if r.Status != Optimal {
+		t.Fatalf("status %v", r.Status)
+	}
+	best := math.Inf(1)
+	perm := []int{0, 1, 2, 3}
+	var rec func(k int, used [4]bool, p [4]int)
+	rec = func(k int, used [4]bool, p [4]int) {
+		if k == 4 {
+			s := 0.0
+			for i, j := range p {
+				s += cost[i][j]
+			}
+			if s < best {
+				best = s
+			}
+			return
+		}
+		for _, j := range perm {
+			if !used[j] {
+				used[j] = true
+				p[k] = j
+				rec(k+1, used, p)
+				used[j] = false
+			}
+		}
+	}
+	rec(0, [4]bool{}, [4]int{})
+	if math.Abs(r.Obj-best) > 1e-6 {
+		t.Fatalf("ILP obj %g, brute force %g", r.Obj, best)
+	}
+}
+
+func TestMinimaxBinaryPlacement(t *testing.T) {
+	// A miniature of the paper's model: two operations, two slots; placing
+	// both on one slot costs 80, splitting costs 40 each. Minimise max.
+	m := NewModel()
+	w := m.AddVar("w", 0, Inf, 1)
+	// s[i][k]: op i on slot k.
+	var s [2][2]Var
+	for i := 0; i < 2; i++ {
+		s[i][0] = m.AddBinary("sA", 0)
+		s[i][1] = m.AddBinary("sB", 0)
+		m.AddRow([]Term{{s[i][0], 1}, {s[i][1], 1}}, EQ, 1)
+	}
+	for k := 0; k < 2; k++ {
+		m.AddRow([]Term{{s[0][k], 40}, {s[1][k], 40}, {w, -1}}, LE, 0)
+	}
+	r := mustSolve(t, m, Options{})
+	if r.Status != Optimal || math.Abs(r.Obj-40) > 1e-6 {
+		t.Fatalf("status %v obj %g, want 40", r.Status, r.Obj)
+	}
+	if math.Round(r.X[s[0][0]]) == math.Round(r.X[s[1][0]]) {
+		t.Fatal("operations not spread across slots")
+	}
+}
+
+func TestDisjunctionExactlyOneActive(t *testing.T) {
+	// x ≤ 2 OR x ≥ 8 (as -x ≤ -8), x integer in [0,10], maximise x → 10.
+	m := NewModel()
+	x := m.AddInt("x", 0, 10, -1)
+	m.AddDisjunctionLE("d", []Disjunct{
+		{Terms: []Term{{x, 1}}, RHS: 2},
+		{Terms: []Term{{x, -1}}, RHS: -8},
+	}, 100, false)
+	r := mustSolve(t, m, Options{})
+	if r.Status != Optimal || math.Round(r.X[x]) != 10 {
+		t.Fatalf("status %v x %g", r.Status, r.X[x])
+	}
+	// Now minimise x with x ≥ 3 → must jump to the x ≥ 8 branch? No:
+	// branch "x ≤ 2" conflicts with x ≥ 3, so x = 8.
+	m2 := NewModel()
+	y := m2.AddInt("y", 3, 10, 1)
+	m2.AddDisjunctionLE("d", []Disjunct{
+		{Terms: []Term{{y, 1}}, RHS: 2},
+		{Terms: []Term{{y, -1}}, RHS: -8},
+	}, 100, false)
+	r2 := mustSolve(t, m2, Options{})
+	if r2.Status != Optimal || math.Round(r2.X[y]) != 8 {
+		t.Fatalf("status %v y %g, want 8", r2.Status, r2.X[y])
+	}
+}
+
+func TestDisjunctionRelaxable(t *testing.T) {
+	// Same gap disjunction but relaxable: forcing relax=1 admits y=5.
+	m := NewModel()
+	y := m.AddInt("y", 5, 5, 0) // pinned in the "forbidden" gap
+	_, relax := m.AddDisjunctionLE("d", []Disjunct{
+		{Terms: []Term{{y, 1}}, RHS: 2},
+		{Terms: []Term{{y, -1}}, RHS: -8},
+	}, 100, true)
+	r := mustSolve(t, m, Options{})
+	if r.Status != Optimal {
+		t.Fatalf("status %v, want optimal via relax", r.Status)
+	}
+	if math.Round(r.X[relax]) != 1 {
+		t.Fatalf("relax = %g, want 1", r.X[relax])
+	}
+	// Pinning relax to 0 must make it infeasible.
+	m.Fix(relax, 0)
+	r2 := mustSolve(t, m, Options{})
+	if r2.Status != Infeasible {
+		t.Fatalf("status %v, want infeasible with relax pinned", r2.Status)
+	}
+}
+
+func TestIncumbentWarmStart(t *testing.T) {
+	m := NewModel()
+	x1 := m.AddBinary("x1", -10)
+	x2 := m.AddBinary("x2", -13)
+	x3 := m.AddBinary("x3", -7)
+	m.AddRow([]Term{{x1, 5}, {x2, 7}, {x3, 4}}, LE, 9)
+	inc := make([]float64, m.NumVars())
+	inc[x2] = 1 // value -13, feasible
+	r := mustSolve(t, m, Options{Incumbent: inc})
+	if r.Status != Optimal || math.Abs(r.Obj+17) > 1e-6 {
+		t.Fatalf("status %v obj %g", r.Status, r.Obj)
+	}
+}
+
+func TestBadIncumbentIgnored(t *testing.T) {
+	m := NewModel()
+	x := m.AddBinary("x", -1)
+	m.AddRow([]Term{{x, 1}}, LE, 1)
+	bad := []float64{5} // violates bounds
+	r := mustSolve(t, m, Options{Incumbent: bad})
+	if r.Status != Optimal || math.Round(r.X[x]) != 1 {
+		t.Fatalf("status %v x %g", r.Status, r.X[x])
+	}
+}
+
+func TestNodeLimit(t *testing.T) {
+	// A problem needing branching, with MaxNodes 1: limit (or feasible if
+	// the rounding heuristic lands).
+	m := NewModel()
+	x := m.AddInt("x", 0, 100, -1)
+	y := m.AddInt("y", 0, 100, -1)
+	m.AddRow([]Term{{x, 3}, {y, 7}}, LE, 20)
+	m.AddRow([]Term{{x, 7}, {y, 3}}, LE, 20)
+	r := mustSolve(t, m, Options{MaxNodes: 1})
+	if r.Status == Optimal && r.Nodes > 1 {
+		t.Fatalf("node limit ignored: %d nodes", r.Nodes)
+	}
+}
+
+func TestTimeout(t *testing.T) {
+	m := NewModel()
+	var vars []Var
+	for i := 0; i < 30; i++ {
+		vars = append(vars, m.AddBinary("x", float64(-1-i%5)))
+	}
+	var terms []Term
+	for i, v := range vars {
+		terms = append(terms, Term{v, float64(3 + i%7)})
+	}
+	m.AddRow(terms, LE, 37)
+	r := mustSolve(t, m, Options{Timeout: time.Nanosecond})
+	if r.Nodes > 2 {
+		t.Fatalf("timeout ignored: %d nodes", r.Nodes)
+	}
+	_ = r
+}
+
+func TestBoundsRestoredAfterSolve(t *testing.T) {
+	m := NewModel()
+	x := m.AddInt("x", 0, 9, -1)
+	m.AddRow([]Term{{x, 2}}, LE, 7)
+	_ = mustSolve(t, m, Options{})
+	lo, hi := m.Bounds(x)
+	if lo != 0 || hi != 9 {
+		t.Fatalf("bounds after solve = [%g,%g]", lo, hi)
+	}
+	// Re-solving after adding a row must work and see the new row.
+	m.AddRow([]Term{{x, 1}}, LE, 2)
+	r := mustSolve(t, m, Options{})
+	if math.Round(r.X[x]) != 2 {
+		t.Fatalf("re-solve x = %g, want 2", r.X[x])
+	}
+}
+
+func TestCheckFeasible(t *testing.T) {
+	m := NewModel()
+	x := m.AddBinary("x", 2)
+	y := m.AddVar("y", 0, 5, 1)
+	m.AddRow([]Term{{x, 1}, {y, 1}}, GE, 1)
+	if ok, _ := m.CheckFeasible([]float64{0.5, 1}); ok {
+		t.Error("fractional binary accepted")
+	}
+	if ok, _ := m.CheckFeasible([]float64{0, 0.5}); ok {
+		t.Error("violated GE row accepted")
+	}
+	ok, obj := m.CheckFeasible([]float64{1, 0.5})
+	if !ok || math.Abs(obj-2.5) > 1e-9 {
+		t.Errorf("feasible point rejected or obj %g", obj)
+	}
+	if ok, _ := m.CheckFeasible([]float64{1}); ok {
+		t.Error("wrong-length vector accepted")
+	}
+}
+
+// Property: branch and bound on random small knapsacks matches brute force.
+func TestRandomKnapsackProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 3 + r.Intn(8)
+		val := make([]float64, n)
+		wt := make([]float64, n)
+		cap := 0.0
+		for i := range val {
+			val[i] = float64(1 + r.Intn(20))
+			wt[i] = float64(1 + r.Intn(10))
+			cap += wt[i]
+		}
+		cap = math.Floor(cap / 2)
+		m := NewModel()
+		vars := make([]Var, n)
+		terms := make([]Term, n)
+		for i := range vars {
+			vars[i] = m.AddBinary("x", -val[i])
+			terms[i] = Term{vars[i], wt[i]}
+		}
+		m.AddRow(terms, LE, cap)
+		res, err := m.Solve(Options{})
+		if err != nil || res.Status != Optimal {
+			return false
+		}
+		// Brute force.
+		best := 0.0
+		for mask := 0; mask < 1<<n; mask++ {
+			w, v := 0.0, 0.0
+			for i := 0; i < n; i++ {
+				if mask&(1<<i) != 0 {
+					w += wt[i]
+					v += val[i]
+				}
+			}
+			if w <= cap && v > best {
+				best = v
+			}
+		}
+		return math.Abs(-res.Obj-best) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the incumbent returned always satisfies CheckFeasible.
+func TestSolutionAlwaysFeasibleProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := NewModel()
+		n := 4 + r.Intn(6)
+		vars := make([]Var, n)
+		for i := range vars {
+			vars[i] = m.AddBinary("x", float64(r.Intn(9)-4))
+		}
+		for k := 0; k < 3; k++ {
+			var terms []Term
+			for _, v := range vars {
+				if r.Intn(2) == 0 {
+					terms = append(terms, Term{v, float64(1 + r.Intn(3))})
+				}
+			}
+			if terms != nil {
+				m.AddRow(terms, LE, float64(2+r.Intn(6)))
+			}
+		}
+		res, err := m.Solve(Options{})
+		if err != nil {
+			return false
+		}
+		if res.Status != Optimal && res.Status != Feasible {
+			return true // nothing to check
+		}
+		ok, obj := m.CheckFeasible(res.X)
+		return ok && math.Abs(obj-res.Obj) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkKnapsack20(b *testing.B) {
+	r := rand.New(rand.NewSource(3))
+	val := make([]float64, 20)
+	wt := make([]float64, 20)
+	for i := range val {
+		val[i] = float64(1 + r.Intn(30))
+		wt[i] = float64(1 + r.Intn(12))
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m := NewModel()
+		terms := make([]Term, len(val))
+		for j := range val {
+			v := m.AddBinary("x", -val[j])
+			terms[j] = Term{v, wt[j]}
+		}
+		m.AddRow(terms, LE, 60)
+		res, err := m.Solve(Options{})
+		if err != nil || res.Status != Optimal {
+			b.Fatalf("status %v err %v", res.Status, err)
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package milp
+
+import (
+	"math"
+
+	"mfsynth/internal/lp"
+)
+
+// AddSOS1 declares that at most one of the given binary variables may be
+// non-zero (a special-ordered set of type 1). The caller must still add
+// the defining row (typically Σ vars = 1); the declaration only informs
+// the branch-and-bound search, which then branches by splitting the set
+// instead of fixing one variable at a time — vastly more effective on the
+// highly symmetric placement-selection models of internal/place.
+func (m *Model) AddSOS1(vars []Var) {
+	if len(vars) < 2 {
+		return
+	}
+	own := make([]Var, len(vars))
+	copy(own, vars)
+	m.sos1 = append(m.sos1, own)
+}
+
+// branchSet is one side of a branching decision: the variables forced to 0.
+type branchSet []Var
+
+// chooseSOS1 picks the SOS1 group whose LP mass is most spread out and
+// splits it at the weighted median into two zero-fix sets. Returns nil when
+// every group is integral (at most one member active).
+func (s *search) chooseSOS1(sol *lp.Solution) [2]branchSet {
+	bestGroup := -1
+	bestScore := 0.0
+	for gi, group := range s.m.sos1 {
+		active, mass, max := 0, 0.0, 0.0
+		for _, v := range group {
+			lo, hi := s.m.lp.Bounds(v)
+			if hi <= lo && hi == 0 {
+				continue // already fixed to zero
+			}
+			x := sol.X[v]
+			if x > intTol {
+				active++
+				mass += x
+				if x > max {
+					max = x
+				}
+			}
+		}
+		if active < 2 {
+			continue
+		}
+		// Spread score: how far the group is from having a single winner.
+		if score := mass - max; score > bestScore {
+			bestScore = score
+			bestGroup = gi
+		}
+	}
+	if bestGroup < 0 {
+		return [2]branchSet{}
+	}
+	group := s.m.sos1[bestGroup]
+	// Split at the weighted median (group order is the caller's spatial
+	// order, so halves are geometrically coherent).
+	total := 0.0
+	for _, v := range group {
+		total += math.Max(0, sol.X[v])
+	}
+	var left, right branchSet
+	acc := 0.0
+	splitDone := false
+	for _, v := range group {
+		if !splitDone && acc >= total/2 {
+			splitDone = true
+		}
+		if splitDone {
+			left = append(left, v) // fixing these explores the left half
+		} else {
+			right = append(right, v)
+		}
+		acc += math.Max(0, sol.X[v])
+	}
+	if len(left) == 0 || len(right) == 0 {
+		return [2]branchSet{}
+	}
+	return [2]branchSet{left, right}
+}
+
+// exploreBranches recurses into both zero-fix sets, restoring bounds.
+func (s *search) exploreBranches(branches [2]branchSet) (nodeStatus, error) {
+	for _, fix := range branches {
+		saved := make([][2]float64, len(fix))
+		for i, v := range fix {
+			lo, hi := s.m.lp.Bounds(v)
+			saved[i] = [2]float64{lo, hi}
+			s.m.lp.SetBounds(v, 0, 0)
+		}
+		st, err := s.node()
+		for i, v := range fix {
+			s.m.lp.SetBounds(v, saved[i][0], saved[i][1])
+		}
+		if err != nil {
+			return nodeDone, err
+		}
+		if st == nodeUnbounded {
+			return nodeUnbounded, nil
+		}
+		if st == nodeLimit {
+			return nodeLimit, nil
+		}
+	}
+	return nodeDone, nil
+}

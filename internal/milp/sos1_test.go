@@ -1,0 +1,198 @@
+package milp
+
+import (
+	"math"
+	"testing"
+)
+
+// Assignment-style model: n groups of m binaries, one selected per group,
+// with a shared minimax objective. SOS1 branching must find the optimum.
+func buildSelection(n, m int, cost func(g, k int) float64) (*Model, [][]Var, Var) {
+	mod := NewModel()
+	w := mod.AddVar("w", 0, Inf, 1)
+	groups := make([][]Var, n)
+	for g := 0; g < n; g++ {
+		var row []Term
+		for k := 0; k < m; k++ {
+			v := mod.AddBinary("s", 0)
+			groups[g] = append(groups[g], v)
+			row = append(row, T(v, 1))
+		}
+		mod.AddRow(row, EQ, 1)
+		mod.AddSOS1(groups[g])
+	}
+	// w ≥ per-slot load: slot k collects cost(g,k) from every group that
+	// picked k.
+	for k := 0; k < m; k++ {
+		terms := []Term{T(w, -1)}
+		for g := 0; g < n; g++ {
+			terms = append(terms, T(groups[g][k], cost(g, k)))
+		}
+		mod.AddRow(terms, LE, 0)
+	}
+	return mod, groups, w
+}
+
+func TestSOS1SpreadsLoad(t *testing.T) {
+	// 4 groups, 4 slots, unit cost: spreading gives w = 1.
+	mod, groups, _ := buildSelection(4, 4, func(g, k int) float64 { return 1 })
+	res, err := mod.Solve(Options{AbsGap: 0.999})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Optimal && res.Status != Feasible {
+		t.Fatalf("status %v", res.Status)
+	}
+	if math.Abs(res.Obj-1) > 1e-6 {
+		t.Fatalf("obj = %g, want 1", res.Obj)
+	}
+	// Each slot picked at most once.
+	slotUse := make([]int, 4)
+	for _, g := range groups {
+		for k, v := range g {
+			if math.Round(res.X[v]) == 1 {
+				slotUse[k]++
+			}
+		}
+	}
+	for k, u := range slotUse {
+		if u > 1 {
+			t.Errorf("slot %d used %d times", k, u)
+		}
+	}
+}
+
+func TestSOS1ForcedSharing(t *testing.T) {
+	// 5 groups over 2 slots: some slot carries ≥ 3.
+	mod, _, _ := buildSelection(5, 2, func(g, k int) float64 { return 1 })
+	res, err := mod.Solve(Options{AbsGap: 0.999})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Obj-3) > 1e-6 {
+		t.Fatalf("obj = %g, want 3", res.Obj)
+	}
+}
+
+func TestSOS1MatchesPlainBranching(t *testing.T) {
+	// Same model solved with and without the SOS1 declarations must agree.
+	cost := func(g, k int) float64 { return float64(1 + (g+k)%3) }
+	withSOS, _, _ := buildSelection(3, 3, cost)
+	r1, err := withSOS.Solve(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	plain := NewModel()
+	w := plain.AddVar("w", 0, Inf, 1)
+	groups := make([][]Var, 3)
+	for g := 0; g < 3; g++ {
+		var row []Term
+		for k := 0; k < 3; k++ {
+			v := plain.AddBinary("s", 0)
+			groups[g] = append(groups[g], v)
+			row = append(row, T(v, 1))
+		}
+		plain.AddRow(row, EQ, 1)
+	}
+	for k := 0; k < 3; k++ {
+		terms := []Term{T(w, -1)}
+		for g := 0; g < 3; g++ {
+			terms = append(terms, T(groups[g][k], cost(g, k)))
+		}
+		plain.AddRow(terms, LE, 0)
+	}
+	r2, err := plain.Solve(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r1.Obj-r2.Obj) > 1e-6 {
+		t.Fatalf("SOS1 obj %g != plain obj %g", r1.Obj, r2.Obj)
+	}
+}
+
+func TestSOS1NodeReduction(t *testing.T) {
+	// SOS1 branching should explore no more nodes than plain branching on
+	// a symmetric spread instance.
+	cost := func(g, k int) float64 { return 1 }
+	withSOS, _, _ := buildSelection(5, 5, cost)
+	r1, err := withSOS.Solve(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Status != Optimal {
+		t.Fatalf("status %v", r1.Status)
+	}
+	t.Logf("SOS1 nodes: %d", r1.Nodes)
+	if r1.Nodes > 4000 {
+		t.Errorf("SOS1 branching used %d nodes on a 5x5 spread instance", r1.Nodes)
+	}
+}
+
+func TestAddSOS1IgnoresTrivialGroups(t *testing.T) {
+	m := NewModel()
+	v := m.AddBinary("x", -1)
+	m.AddSOS1([]Var{v}) // single-member group: no-op
+	if len(m.sos1) != 0 {
+		t.Fatal("trivial group stored")
+	}
+	m.AddRow([]Term{T(v, 1)}, LE, 1)
+	r, err := m.Solve(Options{})
+	if err != nil || r.Status != Optimal {
+		t.Fatalf("status %v err %v", r.Status, err)
+	}
+}
+
+func TestSOS1SkipsFixedVariables(t *testing.T) {
+	// With most of a group pre-fixed to zero, branching must work on the
+	// remainder and still find the optimum.
+	m := NewModel()
+	w := m.AddVar("w", 0, Inf, 1)
+	var group []Var
+	var row []Term
+	for k := 0; k < 6; k++ {
+		v := m.AddBinary("s", 0)
+		group = append(group, v)
+		row = append(row, T(v, 1))
+	}
+	m.AddRow(row, EQ, 1)
+	m.AddSOS1(group)
+	// Slot costs: picking k costs k+1; w ≥ cost of the picked slot.
+	for k, v := range group {
+		m.AddRow([]Term{T(v, float64(k+1)), T(w, -1)}, LE, 0)
+	}
+	// Fix the two cheapest slots to zero.
+	m.Fix(group[0], 0)
+	m.Fix(group[1], 0)
+	r, err := m.Solve(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Status != Optimal {
+		t.Fatalf("status %v", r.Status)
+	}
+	if r.Obj < 3-1e-6 {
+		t.Fatalf("obj = %g, want ≥ 3 with slots 0,1 fixed", r.Obj)
+	}
+}
+
+func TestSOS1TimeoutReturnsIncumbent(t *testing.T) {
+	// A larger symmetric instance with a tiny node budget: the solver must
+	// return a feasible incumbent (found by rounding or branching), never
+	// an invalid state.
+	mod, _, _ := buildSelection(8, 8, func(g, k int) float64 { return 1 })
+	r, err := mod.Solve(Options{MaxNodes: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	switch r.Status {
+	case Optimal, Feasible:
+		if ok, _ := mod.CheckFeasible(r.X); !ok {
+			t.Fatal("returned infeasible incumbent")
+		}
+	case Limit:
+		// Acceptable: no solution within 3 nodes.
+	default:
+		t.Fatalf("status %v", r.Status)
+	}
+}

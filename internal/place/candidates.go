@@ -1,0 +1,133 @@
+package place
+
+import (
+	"sort"
+
+	"mfsynth/internal/arch"
+	"mfsynth/internal/grid"
+)
+
+// candOpts controls candidate enumeration.
+type candOpts struct {
+	// relaxRC ignores the routing-convenient pruning against fixed parents.
+	relaxRC bool
+	// rootOff shifts the thinned root-candidate lattice (multi-start).
+	rootOff grid.Point
+	// shapeRot rotates the shape preference order (multi-start).
+	shapeRot int
+	// fullRoots disables the root-lattice thinning (ILP models, so that
+	// every greedy incumbent candidate is representable).
+	fullRoots bool
+}
+
+// obstacle is a fixed placement alive during the candidate op's window.
+type obstacle struct {
+	pl        arch.Placement
+	overlapOK bool   // storage-parent relaxation applies
+	window    [2]int // the obstacle's device window
+}
+
+// candidates enumerates the admissible placements of op given the already
+// fixed placements. The rules, mirroring the ILP constraints against fixed
+// context:
+//
+//   - the footprint and wall band fit on the chip;
+//   - parentless operations use a thinned position lattice (RootStride);
+//   - fixed devices whose windows overlap op's window must stay at
+//     footprint distance ≥ 1 (shared wall allowed), except parent devices
+//     that op's storage may overlap under the c5 relaxation — those only
+//     admit overlaps that fit the storage's free space;
+//   - fixed device parents keep op within the routing-convenient distance d
+//     (constraints (13)-(16)) unless relaxRC is set.
+func (pr *problem) candidates(op int, fixed map[int]arch.Placement, o candOpts) []arch.Placement {
+	a := pr.res.Assay
+	var fixedParents []arch.Placement
+	for _, p := range a.DeviceParents(op) {
+		if pl, ok := fixed[p]; ok {
+			fixedParents = append(fixedParents, pl)
+		}
+	}
+	hasAnyParent := len(a.DeviceParents(op)) > 0
+
+	var obstacles []obstacle
+	for j, pl := range fixed {
+		if j == op || !pr.overlapsInTime(op, j) {
+			continue
+		}
+		obstacles = append(obstacles, obstacle{
+			pl:        pl,
+			overlapOK: pr.storagePair(op, j),
+			window:    pr.win[j],
+		})
+	}
+
+	shapes := pr.shp[op]
+	if r := o.shapeRot % len(shapes); r > 0 {
+		rotated := make([]arch.Shape, 0, len(shapes))
+		rotated = append(rotated, shapes[r:]...)
+		rotated = append(rotated, shapes[:r]...)
+		shapes = rotated
+	}
+	shapeRank := map[arch.Shape]int{}
+	for i, s := range shapes {
+		shapeRank[s] = i
+	}
+
+	var out []arch.Placement
+	for _, s := range shapes {
+		area := pr.chip.PlacementArea(s)
+		stride := 1
+		x0, y0 := area.X0, area.Y0
+		if !hasAnyParent && !o.fullRoots && pr.cfg.RootStride > 1 {
+			stride = pr.cfg.RootStride
+			x0 += o.rootOff.X % stride
+			y0 += o.rootOff.Y % stride
+		}
+		for y := y0; y < area.Y1; y += stride {
+			for x := x0; x < area.X1; x += stride {
+				pl := arch.Placement{At: grid.Point{X: x, Y: y}, Shape: s}
+				if pr.admissible(op, pl, fixedParents, obstacles, o) {
+					out = append(out, pl)
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Shape != b.Shape {
+			return shapeRank[a.Shape] < shapeRank[b.Shape]
+		}
+		if a.At.Y != b.At.Y {
+			return a.At.Y < b.At.Y
+		}
+		return a.At.X < b.At.X
+	})
+	return out
+}
+
+// admissible checks one placement against fixed context.
+func (pr *problem) admissible(op int, pl arch.Placement, fixedParents []arch.Placement, obstacles []obstacle, o candOpts) bool {
+	fp := pl.Footprint()
+	for _, ob := range obstacles {
+		if fp.Distance(ob.pl.Footprint()) >= 1 {
+			continue
+		}
+		if !ob.overlapOK {
+			return false
+		}
+		// Overlap with a parent device: pre-filter with the storage
+		// free-space test so most repair iterations are avoided.
+		area := fp.OverlapArea(ob.pl.Footprint())
+		if tl := pr.stor[op]; tl != nil && !tl.CanOverlap(area, ob.window[0], ob.window[1]) {
+			return false
+		}
+	}
+	if !o.relaxRC {
+		for _, parent := range fixedParents {
+			if fp.Distance(parent.Footprint()) > pr.d {
+				return false
+			}
+		}
+	}
+	return true
+}

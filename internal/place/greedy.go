@@ -1,0 +1,355 @@
+package place
+
+import (
+	"fmt"
+
+	"mfsynth/internal/arch"
+	"mfsynth/internal/graph"
+	"mfsynth/internal/grid"
+	"mfsynth/internal/storage"
+)
+
+// greedyRuns is the number of multi-start variants tried: combinations of
+// root-lattice offsets and shape-preference rotations, each with and
+// without port attraction (compact runs shorten routing and reduce #v;
+// unconstrained runs sometimes spread the pump load better — the primary
+// max-pump key picks whichever wins).
+const greedyRuns = 32
+
+// greedyState carries one constructive run.
+type greedyState struct {
+	fixed map[int]arch.Placement
+	pump  map[grid.Point]int
+	// variant knobs
+	rootOff  grid.Point
+	shapeRot int
+	noPull   bool // disable port attraction
+	// packLimit, when positive, switches the scoring into packing mode:
+	// placements may load valves up to this limit and prefer already-used
+	// valves, minimising the number of manufactured valves at equal
+	// worst-case wear.
+	packLimit int
+
+	rcRelaxed int
+	maxPump   int
+	usedCells int // distinct pump valves touched
+	sumSq     int // Σ load² over valves, the spread tie-breaker
+}
+
+// solveGreedy is the standalone greedy mapper: a multi-start constructive
+// heuristic over all operations.
+func (pr *problem) solveGreedy() (*Mapping, error) {
+	fixed, info, err := pr.multiStartGreedy(pr.ops, map[int]arch.Placement{}, map[grid.Point]int{})
+	if err != nil {
+		return nil, err
+	}
+	stats := Stats{Mode: Greedy, RCRelaxed: info.rcRelaxed}
+	return pr.finishMapping(fixed, stats), nil
+}
+
+// greedyInfo summarises a multi-start result.
+type greedyInfo struct {
+	maxPump   int
+	rcRelaxed int
+}
+
+// multiStartGreedy places the free operations on top of the fixed context,
+// trying several deterministic variants (root-lattice offsets × shape-order
+// rotations) and keeping the best by (max pump load, load spread, RC
+// relaxations).
+func (pr *problem) multiStartGreedy(free []int, fixed map[int]arch.Placement, pump map[grid.Point]int) (map[int]arch.Placement, greedyInfo, error) {
+	stride := pr.cfg.RootStride
+	if stride < 1 {
+		stride = 1
+	}
+	run1 := func(st *greedyState) bool {
+		for _, op := range free {
+			if err := pr.greedyPlace(st, op); err != nil {
+				return false
+			}
+		}
+		return true
+	}
+	var best *greedyState
+	var firstErr error
+	for run := 0; run < greedyRuns; run++ {
+		v := run / 2
+		st := &greedyState{
+			fixed:    clonePlacements(fixed),
+			pump:     clonePump(pump),
+			rootOff:  grid.Point{X: v % stride, Y: (v / stride) % stride},
+			shapeRot: v / (stride * stride),
+			noPull:   run%2 == 1,
+		}
+		ok := true
+		for _, op := range free {
+			if err := pr.greedyPlace(st, op); err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		if best == nil || st.better(best) {
+			best = st
+		}
+		if best.maxPump <= 1 && best.rcRelaxed == 0 {
+			break // cannot do better than one pump use per valve
+		}
+	}
+	if best == nil {
+		return nil, greedyInfo{}, firstErr
+	}
+	// Packing phase: with the achievable worst-case load known, re-place
+	// while preferring already-actuated valves up to that load — the same
+	// worst-case wear with fewer manufactured valves. Pointless at load 1,
+	// where every ring is necessarily fresh.
+	if best.maxPump > 1 {
+		for run := 0; run < greedyRuns/2; run++ {
+			st := &greedyState{
+				fixed:     clonePlacements(fixed),
+				pump:      clonePump(pump),
+				rootOff:   grid.Point{X: run % stride, Y: (run / stride) % stride},
+				shapeRot:  run / (stride * stride),
+				packLimit: best.maxPump,
+			}
+			if run1(st) && st.better(best) {
+				best = st
+			}
+		}
+	}
+	return best.fixed, greedyInfo{maxPump: best.maxPump, rcRelaxed: best.rcRelaxed}, nil
+}
+
+// better orders completed runs: pump quality first, then routing-convenient
+// fidelity, then the number of manufactured pump valves, then load spread;
+// among remaining ties prefer the compact (port-attracted) run, which needs
+// fewer control valves.
+func (st *greedyState) better(o *greedyState) bool {
+	if st.maxPump != o.maxPump {
+		return st.maxPump < o.maxPump
+	}
+	if st.rcRelaxed != o.rcRelaxed {
+		return st.rcRelaxed < o.rcRelaxed
+	}
+	if st.usedCells != o.usedCells {
+		return st.usedCells < o.usedCells
+	}
+	if st.sumSq != o.sumSq {
+		return st.sumSq < o.sumSq
+	}
+	return !st.noPull && o.noPull
+}
+
+// greedyPlace maps one operation within a run.
+func (pr *problem) greedyPlace(st *greedyState, op int) error {
+	pl, relaxed, err := pr.greedyPick(op, st)
+	if err != nil {
+		return err
+	}
+	if relaxed {
+		st.rcRelaxed++
+	}
+	st.fixed[op] = pl
+	if pr.pump[op] {
+		for _, pt := range pl.Ring() {
+			st.sumSq += 2*st.pump[pt] + 1 // (n+1)² - n²
+			if st.pump[pt] == 0 {
+				st.usedCells++
+			}
+			st.pump[pt]++
+			if st.pump[pt] > st.maxPump {
+				st.maxPump = st.pump[pt]
+			}
+		}
+	}
+	return nil
+}
+
+// greedyPick chooses the best placement for op; when the routing-convenient
+// window admits no candidate it retries with the constraint relaxed.
+func (pr *problem) greedyPick(op int, st *greedyState) (arch.Placement, bool, error) {
+	opts := candOpts{rootOff: st.rootOff, shapeRot: st.shapeRot}
+	cands := pr.candidates(op, st.fixed, opts)
+	relaxed := false
+	if len(cands) == 0 {
+		opts.relaxRC = true
+		cands = pr.candidates(op, st.fixed, opts)
+		relaxed = true
+	}
+	if len(cands) == 0 {
+		return arch.Placement{}, false, fmt.Errorf(
+			"place: no feasible placement for %s on a %dx%d chip",
+			pr.res.Assay.Op(op).Name, pr.cfg.Grid, pr.cfg.Grid)
+	}
+	best := cands[0]
+	bestKey := pr.greedyScore(op, best, st)
+	for _, c := range cands[1:] {
+		if key := pr.greedyScore(op, c, st); keyLess(key, bestKey) {
+			best, bestKey = c, key
+		}
+	}
+	return best, relaxed, nil
+}
+
+// greedyScore returns (resulting max load, added load, attraction distance).
+// The attraction term pulls an operation toward its placed device parents
+// (routing-convenient) and toward placed siblings — operations that share a
+// future child, which will need to sit within distance d of both.
+func (pr *problem) greedyScore(op int, pl arch.Placement, st *greedyState) [3]int {
+	maxLoad, added := 0, 0
+	if pr.pump[op] {
+		if st.packLimit > 0 {
+			// Packing mode: any load within the limit is free; prefer rings
+			// that open the fewest fresh valves.
+			over, fresh := 0, 0
+			for _, pt := range pl.Ring() {
+				if st.pump[pt]+1 > st.packLimit {
+					over += st.pump[pt] + 1 - st.packLimit
+				}
+				if st.pump[pt] == 0 {
+					fresh++
+				}
+			}
+			maxLoad, added = over, fresh
+		} else {
+			for _, pt := range pl.Ring() {
+				n := st.pump[pt] + 1
+				if n > maxLoad {
+					maxLoad = n
+				}
+				added += st.pump[pt]
+			}
+		}
+	}
+	fp := pl.Footprint()
+	dist := 0
+	a := pr.res.Assay
+	for _, p := range a.DeviceParents(op) {
+		if ppl, ok := st.fixed[p]; ok {
+			dist += 4 * fp.Distance(ppl.Footprint())
+		}
+	}
+	// Sibling attraction: the future child must reach both parents, so
+	// penalise spread beyond what a child of minimum dimension can span.
+	for _, sib := range pr.siblings(op) {
+		if spl, ok := st.fixed[sib]; ok {
+			if over := fp.Distance(spl.Footprint()) - (2*pr.d + 2); over > 0 {
+				dist += 16 * over
+			}
+		}
+	}
+	// Port attraction: operations loaded from input ports and operations
+	// draining to the output port prefer short routes, which keeps the
+	// number of control valves (and thus #v) low.
+	if !st.noPull {
+		dist += pr.portPull(op, fp)
+	}
+	return [3]int{maxLoad, added, dist}
+}
+
+// portPull returns the port-proximity penalty of placing op at fp.
+func (pr *problem) portPull(op int, fp grid.Rect) int {
+	a := pr.res.Assay
+	pull := 0
+	loads := 0
+	for _, e := range a.In(op) {
+		if a.Op(e.From).Kind == graph.Input {
+			loads++
+		}
+	}
+	if loads > 0 {
+		best := -1
+		for _, port := range pr.chip.Ports {
+			if port.Kind != arch.InPort {
+				continue
+			}
+			d := fp.Distance(grid.RectWH(port.At.X, port.At.Y, 1, 1))
+			if best < 0 || d < best {
+				best = d
+			}
+		}
+		if best > 0 {
+			pull += loads * best
+		}
+	}
+	if len(a.Children(op)) == 0 {
+		for _, port := range pr.chip.Ports {
+			if port.Kind == arch.OutPort {
+				pull += fp.Distance(grid.RectWH(port.At.X, port.At.Y, 1, 1))
+			}
+		}
+	}
+	return pull
+}
+
+// siblings lists the other device parents of op's children.
+func (pr *problem) siblings(op int) []int {
+	var out []int
+	seen := map[int]bool{op: true}
+	for _, child := range pr.res.Assay.Children(op) {
+		if _, onChip := pr.win[child]; !onChip {
+			continue
+		}
+		for _, p := range pr.res.Assay.DeviceParents(child) {
+			if !seen[p] {
+				seen[p] = true
+				out = append(out, p)
+			}
+		}
+	}
+	return out
+}
+
+func keyLess(a, b [3]int) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+func clonePlacements(m map[int]arch.Placement) map[int]arch.Placement {
+	out := make(map[int]arch.Placement, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func clonePump(m map[grid.Point]int) map[grid.Point]int {
+	out := make(map[grid.Point]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// finishMapping assembles the Mapping from chosen placements.
+func (pr *problem) finishMapping(fixed map[int]arch.Placement, stats Stats) *Mapping {
+	m := &Mapping{
+		Placements: fixed,
+		Windows:    map[int][2]int{},
+		Storages:   map[int]*storage.Timeline{},
+		Stats:      stats,
+	}
+	pump := map[grid.Point]int{}
+	for _, op := range pr.ops {
+		m.Windows[op] = pr.win[op]
+		m.Storages[op] = pr.stor[op]
+		if pr.pump[op] {
+			for _, pt := range fixed[op].Ring() {
+				pump[pt]++
+				if pump[pt] > m.MaxPumpOps {
+					m.MaxPumpOps = pump[pt]
+				}
+			}
+		}
+	}
+	return m
+}

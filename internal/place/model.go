@@ -1,0 +1,330 @@
+package place
+
+import (
+	"fmt"
+
+	"mfsynth/internal/arch"
+	"mfsynth/internal/grid"
+	"mfsynth/internal/milp"
+)
+
+// batchOpts controls one ILP build.
+type batchOpts struct {
+	// noRC drops the routing-convenient rows and candidate pruning
+	// (feasibility fallback).
+	noRC bool
+	// maxNodes overrides the config budget when positive.
+	maxNodes int
+}
+
+// batchInfo reports one ILP solve.
+type batchInfo struct {
+	nodes     int
+	exact     bool
+	rcRelaxed int
+	usedILP   bool
+}
+
+// opModel holds the per-operation model pieces.
+type opModel struct {
+	op    int
+	cands []arch.Placement
+	vars  []milp.Var
+	// Boundary coordinate expressions over the selection variables
+	// (replacing the paper's auxiliary integer variables b_i,le etc.).
+	left, right, bottom, top []milp.Term
+}
+
+// solveBatch maps the free operations via the paper's ILP, with already
+// fixed placements as context: their footprints prune candidates and their
+// peristaltic loads enter the v(x,y) accumulation as constants.
+func (pr *problem) solveBatch(free []int, fixed map[int]arch.Placement, pump map[grid.Point]int, opts batchOpts) (map[int]arch.Placement, batchInfo, error) {
+	info := batchInfo{exact: true}
+
+	// 1. Candidates.
+	oms := make([]*opModel, 0, len(free))
+	for _, op := range free {
+		cands := pr.candidates(op, fixed, candOpts{relaxRC: opts.noRC, fullRoots: true})
+		if len(cands) == 0 && !opts.noRC {
+			cands = pr.candidates(op, fixed, candOpts{relaxRC: true, fullRoots: true})
+			info.rcRelaxed++
+		}
+		if len(cands) == 0 {
+			return nil, info, fmt.Errorf("place: no feasible placement for %s on a %dx%d chip",
+				pr.res.Assay.Op(op).Name, pr.cfg.Grid, pr.cfg.Grid)
+		}
+		oms = append(oms, &opModel{op: op, cands: cands})
+	}
+
+	// 2. Model.
+	m := milp.NewModel()
+	maxPast := 0
+	for _, n := range pump {
+		if n > maxPast {
+			maxPast = n
+		}
+	}
+	w := m.AddVar("w", float64(maxPast), milp.Inf, 1)
+
+	// Tiny secondary objective: prefer compact placements (near fixed
+	// parents and the chip ports). The coefficient is far below the unit
+	// cost of one extra pump use, so w-optimality always dominates; it only
+	// breaks the huge positional symmetry, which both speeds up the search
+	// and keeps routing (and therefore #v) short.
+	// summed over a whole batch the secondary terms stay well below the
+	// 0.999 integrality gap of the objective w.
+	const eps = 0.0002
+
+	coordCover := map[grid.Point][]milp.Term{} // ring coverage terms per valve
+	for _, om := range oms {
+		assign := make([]milp.Term, 0, len(om.cands))
+		for ci, pl := range om.cands {
+			attract := pr.portPull(om.op, pl.Footprint())
+			for _, p := range pr.res.Assay.DeviceParents(om.op) {
+				if ppl, ok := fixed[p]; ok {
+					attract += 4 * pl.Footprint().Distance(ppl.Footprint())
+				}
+			}
+			v := m.AddBinary(fmt.Sprintf("s.%d.%d", om.op, ci), eps*float64(attract))
+			om.vars = append(om.vars, v)
+			assign = append(assign, milp.T(v, 1))
+			fp := pl.Footprint()
+			om.left = append(om.left, milp.T(v, float64(fp.X0)))
+			om.right = append(om.right, milp.T(v, float64(fp.X1)))
+			om.bottom = append(om.bottom, milp.T(v, float64(fp.Y0)))
+			om.top = append(om.top, milp.T(v, float64(fp.Y1)))
+			if pr.pump[om.op] {
+				for _, pt := range pl.Ring() {
+					coordCover[pt] = append(coordCover[pt], milp.T(v, 1))
+				}
+			}
+		}
+		m.AddRow(assign, milp.EQ, 1) // constraint (1)
+		m.AddSOS1(om.vars)           // branch by splitting the candidate set
+	}
+	// Constraints (2) and (9): w bounds the accumulated peristaltic load.
+	for pt, terms := range coordCover {
+		row := append(append([]milp.Term(nil), terms...), milp.T(w, -1))
+		m.AddRow(row, milp.LE, float64(-pump[pt]))
+	}
+
+	bigM := float64(3*pr.cfg.Grid + 8)
+	index := map[int]*opModel{}
+	for _, om := range oms {
+		index[om.op] = om
+	}
+
+	// Non-overlap disjunctions, constraints (3)-(8) and (12).
+	var disjs []disj
+	for i := 0; i < len(oms); i++ {
+		for j := i + 1; j < len(oms); j++ {
+			a, b := oms[i], oms[j]
+			if !pr.overlapsInTime(a.op, b.op) {
+				continue
+			}
+			relaxable := pr.storagePair(a.op, b.op) || pr.storagePair(b.op, a.op)
+			choices, relax := m.AddDisjunctionLE(
+				fmt.Sprintf("no%d.%d", a.op, b.op),
+				[]milp.Disjunct{
+					{Terms: subExpr(a.right, b.left), RHS: -1},
+					{Terms: subExpr(b.right, a.left), RHS: -1},
+					{Terms: subExpr(a.top, b.bottom), RHS: -1},
+					{Terms: subExpr(b.top, a.bottom), RHS: -1},
+				}, bigM, relaxable)
+			disjs = append(disjs, disj{choices: choices, relax: relax, a: a, b: b})
+		}
+	}
+
+	// Routing-convenient rows, constraints (13)-(16), for free-free pairs
+	// (fixed-parent pairs were enforced through candidate pruning).
+	if !opts.noRC {
+		for _, pc := range pr.rcPairs() {
+			p, c := index[pc[0]], index[pc[1]]
+			if p == nil || c == nil {
+				continue
+			}
+			pr.addProximityRows(m, p, c, pr.d)
+		}
+	}
+	// Parents of a common future child are pulled together by the greedy
+	// incumbent's sibling attraction; hard proximity rows between siblings
+	// are deliberately not added — they can make the model infeasible and
+	// reject the incumbent, while a scattered pair costs only a
+	// routing-convenient relaxation later.
+
+	// 3. Incumbent from the greedy heuristic.
+	incumbent := pr.buildIncumbent(m, oms, disjs, fixed, pump, w)
+
+	// 4. Solve.
+	maxNodes := pr.cfg.MaxNodes
+	if opts.maxNodes > 0 {
+		maxNodes = opts.maxNodes
+	}
+	res, err := m.Solve(milp.Options{
+		MaxNodes:  maxNodes,
+		Timeout:   pr.cfg.SolveTimeout,
+		Incumbent: incumbent,
+		AbsGap:    0.999, // w counts whole operations
+	})
+	if err != nil {
+		return nil, info, err
+	}
+	info.nodes = res.Nodes
+	info.usedILP = true
+	switch res.Status {
+	case milp.Optimal:
+		// exact stays true
+	case milp.Feasible:
+		info.exact = false
+	default:
+		// No solution from the ILP. Retry without routing-convenient rows,
+		// then fall back to pure greedy placements.
+		if !opts.noRC {
+			o2 := opts
+			o2.noRC = true
+			placements, inner, err := pr.solveBatch(free, fixed, pump, o2)
+			inner.rcRelaxed += len(free)
+			inner.exact = false
+			return placements, inner, err
+		}
+		placements, ginfo, gerr := pr.multiStartGreedy(free, fixed, pump)
+		if gerr != nil {
+			return nil, info, fmt.Errorf("place: ILP %v for batch of %d ops and greedy failed: %v",
+				res.Status, len(free), gerr)
+		}
+		info.exact = false
+		info.rcRelaxed += ginfo.rcRelaxed
+		out := map[int]arch.Placement{}
+		for _, op := range free {
+			out[op] = placements[op]
+		}
+		return out, info, nil
+	}
+
+	out := map[int]arch.Placement{}
+	for _, om := range oms {
+		chosen := -1
+		for ci, v := range om.vars {
+			if res.X[v] > 0.5 {
+				chosen = ci
+				break
+			}
+		}
+		if chosen < 0 {
+			return nil, info, fmt.Errorf("place: op %d has no selected placement", om.op)
+		}
+		out[om.op] = om.cands[chosen]
+	}
+	return out, info, nil
+}
+
+// addProximityRows adds the four directed-gap rows keeping the footprints
+// of a and b within Chebyshev distance dist.
+func (pr *problem) addProximityRows(m *milp.Model, a, b *opModel, dist int) {
+	d := float64(dist)
+	m.AddRow(subExpr(b.left, a.right), milp.LE, d)
+	m.AddRow(subExpr(a.left, b.right), milp.LE, d)
+	m.AddRow(subExpr(b.bottom, a.top), milp.LE, d)
+	m.AddRow(subExpr(a.bottom, b.top), milp.LE, d)
+}
+
+// subExpr returns the term list for (Σ a) - (Σ b).
+func subExpr(a, b []milp.Term) []milp.Term {
+	out := make([]milp.Term, 0, len(a)+len(b))
+	out = append(out, a...)
+	for _, t := range b {
+		out = append(out, milp.T(t.Var, -t.Coef))
+	}
+	return out
+}
+
+// disj records one built non-overlap disjunction.
+type disj struct {
+	choices []milp.Var
+	relax   milp.Var
+	a, b    *opModel
+}
+
+// buildIncumbent turns the multi-start greedy solution for the batch into a
+// full variable assignment (selection vars, disjunction binaries, w).
+// Returns nil when greedy fails or picks a candidate outside the model
+// (e.g. an RC-relaxed placement the model forbids).
+func (pr *problem) buildIncumbent(m *milp.Model, oms []*opModel, disjs []disj, fixed map[int]arch.Placement, pump map[grid.Point]int, w milp.Var) []float64 {
+	free := make([]int, len(oms))
+	for i, om := range oms {
+		free[i] = om.op
+	}
+	local, _, err := pr.multiStartGreedy(free, fixed, pump)
+	if err != nil {
+		return nil
+	}
+	chosen := map[int]int{} // op -> candidate index
+	localPump := clonePump(pump)
+	for _, om := range oms {
+		pl := local[om.op]
+		ci := -1
+		for k, c := range om.cands {
+			if c == pl {
+				ci = k
+				break
+			}
+		}
+		if ci < 0 {
+			return nil
+		}
+		chosen[om.op] = ci
+		if pr.pump[om.op] {
+			for _, pt := range pl.Ring() {
+				localPump[pt]++
+			}
+		}
+	}
+
+	x := make([]float64, m.NumVars())
+	maxLoad := 0
+	for _, n := range localPump {
+		if n > maxLoad {
+			maxLoad = n
+		}
+	}
+	x[w] = float64(maxLoad)
+	for _, om := range oms {
+		x[om.vars[chosen[om.op]]] = 1
+	}
+	// Disjunction binaries consistent with the chosen placements.
+	for _, dj := range disjs {
+		fa := om2fp(dj.a, chosen)
+		fb := om2fp(dj.b, chosen)
+		sat := -1
+		switch {
+		case fa.X1 <= fb.X0-1:
+			sat = 0
+		case fb.X1 <= fa.X0-1:
+			sat = 1
+		case fa.Y1 <= fb.Y0-1:
+			sat = 2
+		case fb.Y1 <= fa.Y0-1:
+			sat = 3
+		}
+		if sat < 0 {
+			if dj.relax < 0 {
+				return nil // infeasible greedy (should not happen)
+			}
+			x[dj.relax] = 1
+			for _, c := range dj.choices {
+				x[c] = 1
+			}
+			continue
+		}
+		for k, c := range dj.choices {
+			if k != sat {
+				x[c] = 1
+			}
+		}
+	}
+	return x
+}
+
+func om2fp(om *opModel, chosen map[int]int) grid.Rect {
+	return om.cands[chosen[om.op]].Footprint()
+}

@@ -1,0 +1,332 @@
+// Package place implements the paper's dynamic-device mapping (Section
+// 3.2): every scheduled on-chip operation is mapped to a device location,
+// shape and orientation on the valve-centered architecture so that the
+// largest number of peristaltic valve actuations is minimised, subject to
+// the non-overlap constraints (3)-(8), the storage-overlap relaxation (12)
+// and the routing-convenient constraints (13)-(16).
+//
+// Three mappers are provided:
+//
+//   - Monolithic: the paper's ILP, one model for the whole assay, solved by
+//     the internal branch-and-bound solver. Exact but only tractable for
+//     PCR-sized cases with a from-scratch MILP solver.
+//   - RollingHorizon (default): the same constraint system solved over
+//     batches of operations in device-creation order, with earlier
+//     placements fixed and their peristaltic load carried as constants.
+//   - Greedy: a constructive heuristic used as the solver incumbent and as
+//     an ablation baseline.
+//
+// The storage free-space repair loop of Algorithm 1 (L4-L9) wraps all
+// three: overlaps between a storage and a parent device that exceed the
+// storage's free space are forbidden and the mapping re-runs.
+package place
+
+import (
+	"fmt"
+	"time"
+
+	"mfsynth/internal/arch"
+	"mfsynth/internal/graph"
+	"mfsynth/internal/schedule"
+	"mfsynth/internal/storage"
+)
+
+// Mode selects the mapping algorithm.
+type Mode int
+
+// Mapping algorithms.
+const (
+	// RollingHorizon solves the ILP over creation-ordered batches.
+	RollingHorizon Mode = iota
+	// Monolithic solves the paper's single ILP over all operations.
+	Monolithic
+	// Greedy places operations one by one without search.
+	Greedy
+)
+
+// String returns the mode name.
+func (m Mode) String() string {
+	switch m {
+	case RollingHorizon:
+		return "rolling-horizon"
+	case Monolithic:
+		return "monolithic"
+	case Greedy:
+		return "greedy"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// Config tunes the mapper.
+type Config struct {
+	// Grid is the valve matrix side length.
+	Grid int
+	// Mode selects the algorithm (default RollingHorizon).
+	Mode Mode
+	// BatchSize is the rolling-horizon batch length (default 6).
+	BatchSize int
+	// MaxNodes bounds branch-and-bound nodes per ILP (default 4000).
+	MaxNodes int
+	// SolveTimeout bounds each ILP solve (default 20s).
+	SolveTimeout time.Duration
+	// RootStride thins the candidate lattice for operations without placed
+	// parents (default 2; 1 = every position).
+	RootStride int
+	// NoStorageOverlap disables the c5 relaxation entirely (ablation):
+	// storages may never overlap their parent devices.
+	NoStorageOverlap bool
+	// NoRoutingConvenient drops constraints (13)-(16) (ablation).
+	NoRoutingConvenient bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Grid == 0 {
+		c.Grid = 10
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 6
+	}
+	if c.MaxNodes == 0 {
+		c.MaxNodes = 4000
+	}
+	if c.SolveTimeout == 0 {
+		c.SolveTimeout = 20 * time.Second
+	}
+	if c.RootStride == 0 {
+		c.RootStride = 2
+	}
+	return c
+}
+
+// Mapping is the dynamic-device mapping result.
+type Mapping struct {
+	// Placements maps each on-chip operation to its device.
+	Placements map[int]arch.Placement
+	// Windows gives each device's lifetime [from, to) including the in situ
+	// storage phase.
+	Windows map[int][2]int
+	// Storages holds the in situ storage timeline per operation (nil for
+	// operations whose inputs all come from ports).
+	Storages map[int]*storage.Timeline
+	// MaxPumpOps is the largest number of mixing operations any single
+	// valve pumps for — the ILP objective w in per-operation units.
+	// Multiply by the per-operation pump actuation count (40 in the
+	// paper's setting 1) for the actuation figure.
+	MaxPumpOps int
+	// Stats describes the solve.
+	Stats Stats
+}
+
+// Stats reports how the mapping was obtained.
+type Stats struct {
+	Mode Mode
+	// ILPNodes is the total number of branch-and-bound nodes.
+	ILPNodes int
+	// ILPSolves is the number of ILP models solved.
+	ILPSolves int
+	// Repairs is the number of storage-overlap repair iterations.
+	Repairs int
+	// RCRelaxed counts operations whose routing-convenient constraints had
+	// to be dropped to keep the model feasible.
+	RCRelaxed int
+	// Exact is true when every ILP finished with a proven optimum.
+	Exact bool
+}
+
+// Map runs the configured mapper with the Algorithm 1 repair loop.
+func Map(res *schedule.Result, cfg Config) (*Mapping, error) {
+	cfg = cfg.withDefaults()
+	pr, err := newProblem(res, cfg)
+	if err != nil {
+		return nil, err
+	}
+	const maxRepairs = 16
+	for iter := 0; ; iter++ {
+		var m *Mapping
+		var err error
+		switch cfg.Mode {
+		case Monolithic:
+			m, err = pr.solveMonolithic()
+		case Greedy:
+			m, err = pr.solveGreedy()
+		default:
+			m, err = pr.solveRolling()
+		}
+		if err != nil {
+			return nil, err
+		}
+		m.Stats.Repairs = iter
+		bad := pr.storageViolations(m)
+		if len(bad) == 0 {
+			return m, nil
+		}
+		if iter >= maxRepairs {
+			return nil, fmt.Errorf("place: storage repair did not converge after %d iterations", maxRepairs)
+		}
+		for _, pair := range bad {
+			pr.forbidden[pair] = true
+		}
+	}
+}
+
+// pairKey identifies a (child, parent) overlap permission.
+type pairKey struct{ child, parent int }
+
+// problem is the shared mapping state.
+type problem struct {
+	res *schedule.Result
+	cfg Config
+
+	chip *arch.Chip
+	ops  []int          // on-chip operations in device-creation order
+	win  map[int][2]int // device lifetime incl. storage phase
+	vol  map[int]int    // device ring volume
+	shp  map[int][]arch.Shape
+	pump map[int]bool // contributes peristaltic load (mix ops)
+	stor map[int]*storage.Timeline
+	d    int // routing-convenient distance
+
+	forbidden map[pairKey]bool // (child,parent) pairs that may not overlap
+}
+
+func newProblem(res *schedule.Result, cfg Config) (*problem, error) {
+	pr := &problem{
+		res:       res,
+		cfg:       cfg,
+		chip:      arch.NewChip(cfg.Grid, cfg.Grid),
+		win:       map[int][2]int{},
+		vol:       map[int]int{},
+		shp:       map[int][]arch.Shape{},
+		pump:      map[int]bool{},
+		stor:      map[int]*storage.Timeline{},
+		forbidden: map[pairKey]bool{},
+	}
+	a := res.Assay
+	var volumes []int
+	for _, id := range res.OpsByCreation() {
+		op := a.Op(id)
+		if op.Kind == graph.Output {
+			continue // outputs drain to a port; no device
+		}
+		v := DeviceVolume(a.Volume(id))
+		shapes := arch.ShapesForVolume(v)
+		if len(shapes) == 0 {
+			return nil, fmt.Errorf("place: op %s has no shapes for volume %d", op.Name, v)
+		}
+		// Keep only shapes that fit on the chip.
+		var fit []arch.Shape
+		for _, s := range shapes {
+			if !pr.chip.PlacementArea(s).Empty() {
+				fit = append(fit, s)
+			}
+		}
+		if len(fit) == 0 {
+			return nil, fmt.Errorf("place: op %s (volume %d) does not fit a %dx%d chip",
+				op.Name, v, cfg.Grid, cfg.Grid)
+		}
+		pr.ops = append(pr.ops, id)
+		from, to := res.DeviceWindow(id)
+		pr.win[id] = [2]int{from, to}
+		pr.vol[id] = v
+		pr.shp[id] = fit
+		pr.pump[id] = op.Kind == graph.Mix
+		pr.stor[id] = storage.NewTimeline(res, id, v)
+		volumes = append(volumes, v)
+	}
+	if len(pr.ops) == 0 {
+		return nil, fmt.Errorf("place: assay %q has no on-chip operations", a.Name)
+	}
+	pr.d = arch.MinShapeDim(volumes)
+	return pr, nil
+}
+
+// DeviceVolume returns the ring volume of the device executing an operation
+// with the given fluid volume: at least 4 and even (a ring needs a 2×2
+// block and lattice rings have even length).
+func DeviceVolume(fluid int) int {
+	v := fluid
+	if v%2 == 1 {
+		v++
+	}
+	if v < 4 {
+		v = 4
+	}
+	return v
+}
+
+// overlapsInTime reports whether the device windows of a and b intersect.
+func (pr *problem) overlapsInTime(a, b int) bool {
+	wa, wb := pr.win[a], pr.win[b]
+	return wa[0] < wb[1] && wb[0] < wa[1]
+}
+
+// storagePair reports whether (child, parent) is a pair where the child's
+// in situ storage may overlap the parent's device under the c5 relaxation:
+// parent is a device parent of child, the child has a storage phase, and
+// the pair was not forbidden by a repair iteration.
+func (pr *problem) storagePair(child, parent int) bool {
+	if pr.cfg.NoStorageOverlap || pr.stor[child] == nil {
+		return false
+	}
+	if pr.forbidden[pairKey{child, parent}] {
+		return false
+	}
+	for _, p := range pr.res.Assay.DeviceParents(child) {
+		if p == parent {
+			return true
+		}
+	}
+	return false
+}
+
+// rcPairs lists the (parent, child) pairs subject to the routing-convenient
+// constraints: device parents and their consumers.
+func (pr *problem) rcPairs() [][2]int {
+	if pr.cfg.NoRoutingConvenient {
+		return nil
+	}
+	var out [][2]int
+	for _, id := range pr.ops {
+		for _, p := range pr.res.Assay.DeviceParents(id) {
+			if _, ok := pr.win[p]; !ok {
+				continue
+			}
+			out = append(out, [2]int{p, id})
+		}
+	}
+	return out
+}
+
+// storageViolations simulates the storage fill levels against the mapping
+// and returns the (child, parent) pairs whose overlap exceeds free space —
+// the check of Algorithm 1 L6.
+func (pr *problem) storageViolations(m *Mapping) []pairKey {
+	var bad []pairKey
+	for _, id := range pr.ops {
+		tl := pr.stor[id]
+		if tl == nil {
+			continue
+		}
+		child, ok := m.Placements[id]
+		if !ok {
+			continue
+		}
+		for _, p := range pr.res.Assay.DeviceParents(id) {
+			parent, ok := m.Placements[p]
+			if !ok {
+				continue
+			}
+			area := child.Footprint().OverlapArea(parent.Footprint())
+			if area == 0 {
+				continue
+			}
+			// The parent occupies the shared cells until it finishes.
+			pw := pr.win[p]
+			if !tl.CanOverlap(area, pw[0], pw[1]) {
+				bad = append(bad, pairKey{id, p})
+			}
+		}
+	}
+	return bad
+}

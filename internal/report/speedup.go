@@ -1,0 +1,78 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"mfsynth/internal/assays"
+	"mfsynth/internal/baseline"
+	"mfsynth/internal/core"
+	"mfsynth/internal/place"
+	"mfsynth/internal/schedule"
+)
+
+// Speedup is one row of the execution-speedup experiment — the paper's
+// stated future work ("the architecture may also bring benefits to some
+// aspects other than reliability, such as to speed up the bioassay
+// execution"): dynamic devices are not limited to a fixed mixer count, so
+// the assay can be scheduled with full parallelism as long as the devices
+// fit on the valve matrix.
+type Speedup struct {
+	Case   string
+	Policy int
+	// TraditionalMakespan is the assay completion time under the policy's
+	// dedicated mixer counts.
+	TraditionalMakespan int
+	// DynamicMakespan is the completion time with unlimited concurrent
+	// dynamic devices, verified to fit on a DynamicGrid² valve matrix.
+	DynamicMakespan int
+	// DynamicGrid is the smallest tried matrix that fits the parallel
+	// schedule.
+	DynamicGrid int
+	// Factor is TraditionalMakespan / DynamicMakespan.
+	Factor float64
+}
+
+// ExecutionSpeedup evaluates the speedup of case c against policy p's
+// traditional schedule. The unconstrained schedule is synthesized (greedy
+// mapper) on growing grids until the mapping fits, proving the parallel
+// schedule is realisable on a valve matrix.
+func ExecutionSpeedup(c assays.Case, policy int) (*Speedup, error) {
+	des, err := baseline.Traditional(c, policy, baseline.DefaultCost)
+	if err != nil {
+		return nil, err
+	}
+	s := &Speedup{
+		Case:                c.Assay.Name,
+		Policy:              policy,
+		TraditionalMakespan: des.Schedule.Makespan,
+	}
+	for grid := c.GridSize; grid <= c.GridSize+8; grid += 2 {
+		res, err := core.Synthesize(c.Assay, core.Options{
+			Policy: schedule.Resources{}, // unlimited devices
+			Place:  place.Config{Grid: grid, Mode: place.Greedy},
+		})
+		if err != nil {
+			continue // does not fit; try a larger matrix
+		}
+		s.DynamicMakespan = res.Schedule.Makespan
+		s.DynamicGrid = grid
+		s.Factor = float64(s.TraditionalMakespan) / float64(s.DynamicMakespan)
+		return s, nil
+	}
+	return nil, fmt.Errorf("report: %s does not fit an unconstrained schedule on up to %dx%d",
+		c.Assay.Name, c.GridSize+8, c.GridSize+8)
+}
+
+// RenderSpeedups formats the execution-speedup experiment.
+func RenderSpeedups(rows []*Speedup) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-22s %-4s %12s %10s %6s %8s\n",
+		"case", "po.", "trad. tu", "dyn. tu", "grid", "speedup")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-22s p%-3d %12d %10d %4dx%d %7.2fx\n",
+			r.Case, r.Policy, r.TraditionalMakespan, r.DynamicMakespan,
+			r.DynamicGrid, r.DynamicGrid, r.Factor)
+	}
+	return sb.String()
+}

@@ -1,0 +1,62 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"mfsynth/internal/assays"
+)
+
+func TestExecutionSpeedupPCR(t *testing.T) {
+	c := assays.PCR()
+	s, err := ExecutionSpeedup(c, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Case != "PCR" || s.Policy != 1 {
+		t.Fatalf("row = %+v", s)
+	}
+	if s.DynamicMakespan <= 0 || s.TraditionalMakespan <= 0 {
+		t.Fatalf("makespans = %d/%d", s.TraditionalMakespan, s.DynamicMakespan)
+	}
+	// PCR p1 serialises four size-8 mixes on one mixer; unlimited dynamic
+	// devices run them in parallel: the paper's dependency-limited makespan
+	// is 24 tu (see the schedule tests) versus ~42 tu under p1.
+	if s.DynamicMakespan > s.TraditionalMakespan {
+		t.Errorf("dynamic makespan %d exceeds traditional %d", s.DynamicMakespan, s.TraditionalMakespan)
+	}
+	if s.Factor < 1.2 {
+		t.Errorf("speedup = %.2f, want ≥ 1.2 on serialised PCR", s.Factor)
+	}
+	if s.DynamicGrid < c.GridSize {
+		t.Errorf("grid = %d below the case default", s.DynamicGrid)
+	}
+}
+
+func TestExecutionSpeedupLaterPoliciesShrink(t *testing.T) {
+	// More mixers in the traditional design → less serialisation → smaller
+	// speedup factor.
+	c := assays.PCR()
+	s1, err := ExecutionSpeedup(c, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s3, err := ExecutionSpeedup(c, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s3.Factor > s1.Factor {
+		t.Errorf("p3 speedup %.2f exceeds p1 speedup %.2f", s3.Factor, s1.Factor)
+	}
+}
+
+func TestRenderSpeedups(t *testing.T) {
+	rows := []*Speedup{{
+		Case: "X", Policy: 1, TraditionalMakespan: 40, DynamicMakespan: 20,
+		DynamicGrid: 12, Factor: 2,
+	}}
+	out := RenderSpeedups(rows)
+	if !strings.Contains(out, "2.00x") || !strings.Contains(out, "12x12") {
+		t.Errorf("render:\n%s", out)
+	}
+}

@@ -1,0 +1,143 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"mfsynth/internal/assays"
+	"mfsynth/internal/baseline"
+	"mfsynth/internal/core"
+	"mfsynth/internal/place"
+	"mfsynth/internal/schedule"
+)
+
+// Row is one line of Table 1: a benchmark under one policy, comparing the
+// optimal binding for the traditional design with our method in both
+// settings.
+type Row struct {
+	Case   string
+	Ops    string // #op, e.g. "15(7)"
+	Policy int
+
+	// Traditional design columns.
+	NumDevices int    // #d
+	MixVector  string // #m4-6-8-10
+	VsTmax     int    // largest actuations, optimal binding
+	TradValves int    // #v (traditional)
+
+	// Our method columns.
+	Vs1Max, Vs1Pump int     // setting 1: total (pump-only)
+	Imp1            float64 // improvement vs VsTmax, percent
+	Vs2Max, Vs2Pump int     // setting 2
+	Imp2            float64
+	OurValves       int     // #v (ours)
+	ImpV            float64 // valve-count improvement, percent
+	Runtime         time.Duration
+}
+
+// RowOptions tunes the synthesis side of a row.
+type RowOptions struct {
+	// Mode selects the mapper (default rolling horizon).
+	Mode place.Mode
+	// Grid overrides the case's grid size when positive.
+	Grid int
+}
+
+// Table1Row evaluates one benchmark × policy cell of Table 1.
+func Table1Row(c assays.Case, policy int, opts RowOptions) (*Row, error) {
+	des, err := baseline.Traditional(c, policy, baseline.DefaultCost)
+	if err != nil {
+		return nil, err
+	}
+	grid := c.GridSize
+	if opts.Grid > 0 {
+		grid = opts.Grid
+	}
+	res, err := core.Synthesize(c.Assay, core.Options{
+		Policy: schedule.Resources{Mixers: des.Mixers, Detectors: c.Detectors},
+		Place:  place.Config{Grid: grid, Mode: opts.Mode},
+	})
+	if err != nil {
+		return nil, err
+	}
+	row := &Row{
+		Case:       c.Assay.Name,
+		Ops:        c.Assay.Stats().String(),
+		Policy:     policy,
+		NumDevices: des.NumDevices,
+		MixVector:  des.MixVector(),
+		VsTmax:     des.VsTmax,
+		TradValves: des.Valves,
+		Vs1Max:     res.VsMax1,
+		Vs1Pump:    res.VsPump1,
+		Vs2Max:     res.VsMax2,
+		Vs2Pump:    res.VsPump2,
+		OurValves:  res.UsedValves,
+		Runtime:    res.Runtime,
+	}
+	row.Imp1 = improvement(des.VsTmax, res.VsMax1)
+	row.Imp2 = improvement(des.VsTmax, res.VsMax2)
+	row.ImpV = improvement(des.Valves, res.UsedValves)
+	return row, nil
+}
+
+// improvement returns the percentage reduction from base to ours.
+func improvement(base, ours int) float64 {
+	if base == 0 {
+		return 0
+	}
+	return 100 * float64(base-ours) / float64(base)
+}
+
+// Table1 evaluates all four benchmarks under policies p1..p3.
+func Table1(opts RowOptions) ([]*Row, error) {
+	var rows []*Row
+	for _, name := range assays.Names() {
+		c, err := assays.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		for p := 1; p <= 3; p++ {
+			row, err := Table1Row(c, p, opts)
+			if err != nil {
+				return nil, fmt.Errorf("%s p%d: %w", name, p, err)
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// Averages returns the mean improvements over the rows (the paper's bottom
+// line: 55.76%, 72.97%, 10.62%).
+func Averages(rows []*Row) (imp1, imp2, impV float64) {
+	if len(rows) == 0 {
+		return 0, 0, 0
+	}
+	for _, r := range rows {
+		imp1 += r.Imp1
+		imp2 += r.Imp2
+		impV += r.ImpV
+	}
+	n := float64(len(rows))
+	return imp1 / n, imp2 / n, impV / n
+}
+
+// Render formats the rows as a text table in the layout of Table 1.
+func Render(rows []*Row) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-22s %-8s %-3s %3s %-24s %8s %5s | %9s %8s %9s %8s %5s %7s %8s\n",
+		"case", "#op", "po.", "#d", "#m4-6-8-10", "vs_tmax", "#v",
+		"vs1max", "imp1", "vs2max", "imp2", "#v", "impv", "T")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-22s %-8s p%-2d %3d %-24s %8d %5d | %4d(%3d) %7.2f%% %4d(%3d) %7.2f%% %5d %6.2f%% %7.1fs\n",
+			r.Case, r.Ops, r.Policy, r.NumDevices, r.MixVector, r.VsTmax, r.TradValves,
+			r.Vs1Max, r.Vs1Pump, r.Imp1, r.Vs2Max, r.Vs2Pump, r.Imp2,
+			r.OurValves, r.ImpV, r.Runtime.Seconds())
+	}
+	i1, i2, iv := Averages(rows)
+	fmt.Fprintf(&sb, "%-22s %68s | %9s %7.2f%% %9s %7.2f%% %5s %6.2f%%\n",
+		"average", "", "", i1, "", i2, "", iv)
+	return sb.String()
+}

@@ -1,0 +1,271 @@
+// Package route decides the fluid transport paths of the synthesis result
+// (the paper's Sections 3.5 and Algorithm 1 L10-L19): Dijkstra's shortest
+// path on the valve lattice, with higher costs on cells already used by
+// previously-routed paths (so parallel transports avoid crossing), optional
+// pass-through of in situ storages that still have free space (Fig. 8), and
+// rip-up & re-route when a storage must become an obstacle.
+package route
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+
+	"mfsynth/internal/grid"
+)
+
+// Default cost weights. Costs are per cell entered.
+const (
+	// FreshCost is the cost of a cell no valve has used yet. It exceeds
+	// PreferredCost so paths reuse already-actuated valves (ring valves and
+	// earlier paths) instead of consuming fresh virtual valves, which keeps
+	// the manufactured valve count low.
+	FreshCost = 2
+	// PreferredCost is the cost of a cell marked by Prefer.
+	PreferredCost = 1
+	// StorageCost is the extra cost of crossing a storage cell; small, so a
+	// pass-through still beats a long detour, but free cells are preferred.
+	StorageCost = 1
+	// CrossCost is the extra cost per previous path using a cell within the
+	// same time step; high enough that crossings happen only when
+	// unavoidable.
+	CrossCost = 64
+)
+
+// ErrNoPath reports that no path exists between the given terminals.
+var ErrNoPath = errors.New("route: no path")
+
+// Path is a cell sequence from a source terminal to a target terminal.
+type Path []grid.Point
+
+// Router routes the transports of one time step over the valve lattice.
+type Router struct {
+	bounds grid.Rect
+
+	blocked map[grid.Point]bool
+	storage map[grid.Point]int  // cell -> storage id
+	used    map[grid.Point]int  // cell -> number of committed paths
+	prefer  map[grid.Point]bool // cells whose valves actuate anyway
+}
+
+// New returns a router over the given lattice bounds.
+func New(bounds grid.Rect) *Router {
+	return &Router{
+		bounds:  bounds,
+		blocked: map[grid.Point]bool{},
+		storage: map[grid.Point]int{},
+		used:    map[grid.Point]int{},
+		prefer:  map[grid.Point]bool{},
+	}
+}
+
+// Prefer marks cells whose valves are actuated anyway (device rings,
+// already-committed paths of earlier time steps): paths favour them over
+// fresh cells.
+func (ro *Router) Prefer(cells []grid.Point) {
+	for _, c := range cells {
+		ro.prefer[c] = true
+	}
+}
+
+// Block marks every cell of r as impassable (an active device footprint or a
+// full storage).
+func (ro *Router) Block(r grid.Rect) {
+	for _, p := range r.Points() {
+		ro.blocked[p] = true
+	}
+}
+
+// AddStorage marks the cells of rect as belonging to storage id: passable
+// with a small penalty until BlockStorage is called.
+func (ro *Router) AddStorage(id int, rect grid.Rect) {
+	for _, p := range rect.Points() {
+		ro.storage[p] = id
+	}
+}
+
+// BlockStorage turns storage id into an obstacle (Algorithm 1 L15: "Forbid
+// (s,p) from overlapping with each other").
+func (ro *Router) BlockStorage(id int) {
+	for p, sid := range ro.storage {
+		if sid == id {
+			ro.blocked[p] = true
+		}
+	}
+}
+
+// Commit records a routed path so later routes see its cells as expensive.
+func (ro *Router) Commit(p Path) {
+	for _, c := range p {
+		ro.used[c]++
+	}
+}
+
+// Rip removes a previously committed path (rip-up & re-route).
+func (ro *Router) Rip(p Path) {
+	for _, c := range p {
+		if ro.used[c] > 0 {
+			ro.used[c]--
+		}
+	}
+}
+
+// StorageCells returns how many cells of path lie inside storage id —
+// the intrusion area checked against the storage's free space.
+func (ro *Router) StorageCells(p Path, id int) int {
+	n := 0
+	for _, c := range p {
+		if sid, ok := ro.storage[c]; ok && sid == id {
+			n++
+		}
+	}
+	return n
+}
+
+// StoragesTouched returns the set of storage ids crossed by the path.
+func (ro *Router) StoragesTouched(p Path) map[int]int {
+	out := map[int]int{}
+	for _, c := range p {
+		if sid, ok := ro.storage[c]; ok {
+			out[sid]++
+		}
+	}
+	return out
+}
+
+// Route finds a cheapest path from any source to any target cell. Sources
+// and targets are terminals (device boundary cells or chip ports): they may
+// sit on blocked cells, but the interior of the path only uses passable
+// cells. The path includes its terminals.
+func (ro *Router) Route(sources, targets []grid.Point) (Path, error) {
+	if len(sources) == 0 || len(targets) == 0 {
+		return nil, fmt.Errorf("route: empty terminal set")
+	}
+	targetSet := make(map[grid.Point]bool, len(targets))
+	for _, t := range targets {
+		if !ro.bounds.Contains(t) {
+			return nil, fmt.Errorf("route: target %v out of bounds", t)
+		}
+		targetSet[t] = true
+	}
+
+	dist := map[grid.Point]int{}
+	prev := map[grid.Point]grid.Point{}
+	var pq pqueue
+	seq := 0
+	push := func(p grid.Point, d int, from grid.Point, hasFrom bool) {
+		if old, ok := dist[p]; ok && old <= d {
+			return
+		}
+		dist[p] = d
+		if hasFrom {
+			prev[p] = from
+		}
+		seq++
+		heap.Push(&pq, pqItem{p: p, dist: d, seq: seq})
+	}
+	for _, s := range sources {
+		if !ro.bounds.Contains(s) {
+			return nil, fmt.Errorf("route: source %v out of bounds", s)
+		}
+		push(s, 0, grid.Point{}, false)
+	}
+
+	dirs := []grid.Point{{X: 1, Y: 0}, {X: -1, Y: 0}, {X: 0, Y: 1}, {X: 0, Y: -1}}
+	for pq.Len() > 0 {
+		it := heap.Pop(&pq).(pqItem)
+		if it.dist > dist[it.p] {
+			continue // stale entry
+		}
+		if targetSet[it.p] {
+			return ro.walkBack(it.p, sources, prev), nil
+		}
+		for _, d := range dirs {
+			n := it.p.Add(d)
+			if !ro.bounds.Contains(n) {
+				continue
+			}
+			if ro.blocked[n] && !targetSet[n] {
+				continue
+			}
+			push(n, it.dist+ro.cellCost(n), it.p, true)
+		}
+	}
+	return nil, ErrNoPath
+}
+
+// cellCost returns the cost of entering cell p.
+func (ro *Router) cellCost(p grid.Point) int {
+	c := FreshCost
+	if ro.prefer[p] {
+		c = PreferredCost
+	}
+	if _, ok := ro.storage[p]; ok {
+		c += StorageCost
+	}
+	c += CrossCost * ro.used[p]
+	return c
+}
+
+// walkBack reconstructs the path ending at t.
+func (ro *Router) walkBack(t grid.Point, sources []grid.Point, prev map[grid.Point]grid.Point) Path {
+	isSource := make(map[grid.Point]bool, len(sources))
+	for _, s := range sources {
+		isSource[s] = true
+	}
+	var rev Path
+	p := t
+	for {
+		rev = append(rev, p)
+		if isSource[p] {
+			break
+		}
+		q, ok := prev[p]
+		if !ok {
+			break
+		}
+		p = q
+	}
+	// Reverse.
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// Crossings counts cells of p that other committed paths already use.
+func (ro *Router) Crossings(p Path) int {
+	n := 0
+	for _, c := range p {
+		if ro.used[c] > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// pqueue is a min-heap of (dist, seq) for deterministic Dijkstra.
+type pqItem struct {
+	p    grid.Point
+	dist int
+	seq  int
+}
+
+type pqueue []pqItem
+
+func (q pqueue) Len() int { return len(q) }
+func (q pqueue) Less(i, j int) bool {
+	if q[i].dist != q[j].dist {
+		return q[i].dist < q[j].dist
+	}
+	return q[i].seq < q[j].seq
+}
+func (q pqueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *pqueue) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
+func (q *pqueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}

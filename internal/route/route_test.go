@@ -1,0 +1,263 @@
+package route
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mfsynth/internal/grid"
+)
+
+func bounds10() grid.Rect { return grid.RectWH(0, 0, 10, 10) }
+
+func pt(x, y int) grid.Point { return grid.Point{X: x, Y: y} }
+
+func TestStraightLine(t *testing.T) {
+	r := New(bounds10())
+	p, err := r.Route([]grid.Point{pt(0, 5)}, []grid.Point{pt(9, 5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p) != 10 {
+		t.Fatalf("path length = %d, want 10", len(p))
+	}
+	if p[0] != pt(0, 5) || p[len(p)-1] != pt(9, 5) {
+		t.Fatalf("endpoints = %v..%v", p[0], p[len(p)-1])
+	}
+	for i := 1; i < len(p); i++ {
+		if p[i].Manhattan(p[i-1]) != 1 {
+			t.Fatalf("non-adjacent step %v -> %v", p[i-1], p[i])
+		}
+	}
+}
+
+func TestDetourAroundBlock(t *testing.T) {
+	r := New(bounds10())
+	r.Block(grid.RectWH(4, 0, 2, 9)) // wall with gap at the top
+	p, err := r.Route([]grid.Point{pt(0, 0)}, []grid.Point{pt(9, 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range p {
+		if grid.RectWH(4, 0, 2, 9).Contains(c) {
+			t.Fatalf("path enters blocked cell %v", c)
+		}
+	}
+	// Must detour via y=9: length ≥ 9 + 2*9.
+	if len(p) < 27 {
+		t.Fatalf("path length = %d, expected a long detour", len(p))
+	}
+}
+
+func TestNoPath(t *testing.T) {
+	r := New(bounds10())
+	r.Block(grid.RectWH(4, 0, 2, 10)) // full wall
+	_, err := r.Route([]grid.Point{pt(0, 0)}, []grid.Point{pt(9, 0)})
+	if err != ErrNoPath {
+		t.Fatalf("err = %v, want ErrNoPath", err)
+	}
+}
+
+func TestTerminalsMayBeBlocked(t *testing.T) {
+	// Device footprints are blocked but serve as terminals.
+	r := New(bounds10())
+	src := grid.RectWH(1, 1, 3, 3)
+	dst := grid.RectWH(6, 6, 3, 3)
+	r.Block(src)
+	r.Block(dst)
+	p, err := r.Route(src.Perimeter(), dst.Perimeter())
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner := 0
+	for _, c := range p {
+		if src.Contains(c) || dst.Contains(c) {
+			continue
+		}
+		if r.blocked[c] {
+			t.Fatalf("interior path cell %v is blocked", c)
+		}
+		inner++
+	}
+	if inner == 0 {
+		t.Fatal("path has no cells between the devices")
+	}
+}
+
+func TestStoragePassThroughFig8(t *testing.T) {
+	// Fig. 8: a storage sits between source and sink. With free space the
+	// path goes straight through; once blocked, it detours.
+	r := New(bounds10())
+	sk := grid.RectWH(3, 3, 4, 4)
+	r.AddStorage(7, sk)
+	src := []grid.Point{pt(0, 5)}
+	dst := []grid.Point{pt(9, 5)}
+	through, err := r.Route(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := r.StorageCells(through, 7); n != 4 {
+		t.Fatalf("pass-through crosses %d storage cells, want 4", n)
+	}
+	touched := r.StoragesTouched(through)
+	if touched[7] != 4 || len(touched) != 1 {
+		t.Fatalf("StoragesTouched = %v", touched)
+	}
+
+	r.BlockStorage(7)
+	detour, err := r.Route(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := r.StorageCells(detour, 7); n != 0 {
+		t.Fatalf("detour still crosses %d storage cells", n)
+	}
+	if len(detour) <= len(through) {
+		t.Fatalf("detour (%d) not longer than pass-through (%d)", len(detour), len(through))
+	}
+}
+
+func TestCrossingAvoidance(t *testing.T) {
+	// Two nets whose straight paths cross; the second must avoid the first
+	// (the first leaves room to route around its upper end).
+	r := New(bounds10())
+	p1, err := r.Route([]grid.Point{pt(5, 0)}, []grid.Point{pt(5, 6)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Commit(p1)
+	p2, err := r.Route([]grid.Point{pt(0, 5)}, []grid.Point{pt(9, 5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := r.Crossings(p2); c != 0 {
+		// Crossing is allowed but must be penalised away when an
+		// alternative exists; on an empty 10×10 grid it always does.
+		t.Fatalf("second path crosses the first %d times", c)
+	}
+}
+
+func TestCrossingWhenUnavoidable(t *testing.T) {
+	// Corridor of height 1: second net must reuse cells of the first.
+	r := New(grid.RectWH(0, 0, 10, 1))
+	p1, _ := r.Route([]grid.Point{pt(0, 0)}, []grid.Point{pt(9, 0)})
+	r.Commit(p1)
+	p2, err := r.Route([]grid.Point{pt(1, 0)}, []grid.Point{pt(8, 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Crossings(p2) == 0 {
+		t.Fatal("crossings should be non-zero in a 1-wide corridor")
+	}
+}
+
+func TestRipAndReroute(t *testing.T) {
+	r := New(bounds10())
+	p1, _ := r.Route([]grid.Point{pt(5, 0)}, []grid.Point{pt(5, 9)})
+	r.Commit(p1)
+	r.Rip(p1)
+	p2, err := r.Route([]grid.Point{pt(0, 5)}, []grid.Point{pt(9, 5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p2) != 10 {
+		t.Fatalf("after rip, direct path should be free: len=%d", len(p2))
+	}
+}
+
+func TestMultiSourceMultiTarget(t *testing.T) {
+	r := New(bounds10())
+	srcs := []grid.Point{pt(0, 0), pt(0, 9)}
+	dsts := []grid.Point{pt(9, 9), pt(5, 9)}
+	p, err := r.Route(srcs, dsts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Best combination: (0,9) -> (5,9), length 6.
+	if len(p) != 6 {
+		t.Fatalf("path length = %d, want 6", len(p))
+	}
+	if p[0] != pt(0, 9) || p[len(p)-1] != pt(5, 9) {
+		t.Fatalf("endpoints %v..%v", p[0], p[len(p)-1])
+	}
+}
+
+func TestBoundsChecking(t *testing.T) {
+	r := New(bounds10())
+	if _, err := r.Route([]grid.Point{pt(-1, 0)}, []grid.Point{pt(5, 5)}); err == nil {
+		t.Fatal("out-of-bounds source accepted")
+	}
+	if _, err := r.Route([]grid.Point{pt(0, 0)}, []grid.Point{pt(10, 10)}); err == nil {
+		t.Fatal("out-of-bounds target accepted")
+	}
+	if _, err := r.Route(nil, []grid.Point{pt(1, 1)}); err == nil {
+		t.Fatal("empty source set accepted")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	route := func() Path {
+		r := New(bounds10())
+		r.Block(grid.RectWH(3, 3, 2, 2))
+		p, _ := r.Route([]grid.Point{pt(0, 0)}, []grid.Point{pt(9, 9)})
+		return p
+	}
+	a, b := route(), route()
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic path length")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("paths differ at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// Property: on an empty grid the path length equals Manhattan distance + 1.
+func TestShortestProperty(t *testing.T) {
+	f := func(ax, ay, bx, by uint8) bool {
+		a := pt(int(ax%10), int(ay%10))
+		b := pt(int(bx%10), int(by%10))
+		r := New(bounds10())
+		p, err := r.Route([]grid.Point{a}, []grid.Point{b})
+		if err != nil {
+			return false
+		}
+		return len(p) == a.Manhattan(b)+1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every returned path is connected, in bounds, and avoids blocked
+// interior cells.
+func TestPathValidityProperty(t *testing.T) {
+	f := func(bx, by uint8, seed int64) bool {
+		r := New(bounds10())
+		blk := grid.RectWH(int(bx%6)+1, int(by%6)+1, 2, 2)
+		r.Block(blk)
+		src, dst := pt(0, 0), pt(9, 9)
+		p, err := r.Route([]grid.Point{src}, []grid.Point{dst})
+		if err != nil {
+			return false
+		}
+		if p[0] != src || p[len(p)-1] != dst {
+			return false
+		}
+		for i, c := range p {
+			if !bounds10().Contains(c) {
+				return false
+			}
+			if blk.Contains(c) {
+				return false
+			}
+			if i > 0 && c.Manhattan(p[i-1]) != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

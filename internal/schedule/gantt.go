@@ -1,0 +1,159 @@
+package schedule
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mfsynth/internal/graph"
+)
+
+// Gantt renders the scheduling result as a text Gantt chart in the style of
+// the paper's Fig. 9. Each on-chip operation gets one row; '=' marks
+// execution, '-' marks the in situ storage phase of the operation's device
+// (from the first parent's completion to the operation's start).
+func (r *Result) Gantt() string {
+	type row struct {
+		name       string
+		store, beg int
+		end        int
+	}
+	var rows []row
+	width := 0
+	for _, op := range r.Assay.Ops() {
+		if op.Kind == graph.Input {
+			continue
+		}
+		beg, end := r.Start[op.ID], r.Finish[op.ID]
+		store := beg
+		if t, ok := r.StorageStart(op.ID); ok {
+			store = t
+		}
+		rows = append(rows, row{op.Name, store, beg, end})
+		if end > width {
+			width = end
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].beg != rows[j].beg {
+			return rows[i].beg < rows[j].beg
+		}
+		return rows[i].name < rows[j].name
+	})
+
+	nameW := 4
+	for _, rw := range rows {
+		if len(rw.name) > nameW {
+			nameW = len(rw.name)
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-*s ", nameW, "tu")
+	for t := 0; t <= width; t += 5 {
+		fmt.Fprintf(&sb, "%-5d", t)
+	}
+	sb.WriteByte('\n')
+	for _, rw := range rows {
+		fmt.Fprintf(&sb, "%-*s ", nameW, rw.name)
+		for t := 0; t <= width; t++ {
+			switch {
+			case t >= rw.beg && t < rw.end:
+				sb.WriteByte('=')
+			case t >= rw.store && t < rw.beg:
+				sb.WriteByte('-')
+			default:
+				sb.WriteByte('.')
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// StorageStart returns the time at which the in situ storage for operation
+// id appears: the earliest finish time among id's device parents (Section
+// 3.3: "At time ts, oa is completed ... we can build sc ... to store the
+// product of oa immediately"). ok is false when id has no device parents
+// (its inputs come straight from ports, so no storage phase exists).
+func (r *Result) StorageStart(id int) (t int, ok bool) {
+	parents := r.Assay.DeviceParents(id)
+	if len(parents) == 0 {
+		return 0, false
+	}
+	t = r.Finish[parents[0]]
+	for _, p := range parents[1:] {
+		if f := r.Finish[p]; f < t {
+			t = f
+		}
+	}
+	return t, true
+}
+
+// DeviceWindow returns the lifetime of the dynamic device executing
+// operation id, including its leading storage phase.
+func (r *Result) DeviceWindow(id int) (from, to int) {
+	from = r.Start[id]
+	if t, ok := r.StorageStart(id); ok && t < from {
+		from = t
+	}
+	return from, r.Finish[id]
+}
+
+// StorageDemand returns, per time unit, how many operation products are
+// waiting in storage (produced, not yet consumed), and the maximum over
+// time. Traditional designs size their dedicated storage by this maximum
+// ("the number of cells in the storage is determined by the largest number
+// of simultaneous accesses to the storage").
+func (r *Result) StorageDemand() (perTU []int, peak int) {
+	perTU = make([]int, r.Makespan+1)
+	for _, op := range r.Assay.Ops() {
+		if op.Kind == graph.Input {
+			continue
+		}
+		for _, e := range r.Assay.Out(op.ID) {
+			// Product of op waits from its finish until the consumer starts.
+			from, to := r.Finish[op.ID], r.Start[e.To]
+			for t := from; t < to && t < len(perTU); t++ {
+				perTU[t]++
+			}
+		}
+	}
+	for _, n := range perTU {
+		if n > peak {
+			peak = n
+		}
+	}
+	return perTU, peak
+}
+
+// OpsByStart returns on-chip operation IDs sorted by (start, ID).
+func (r *Result) OpsByStart() []int {
+	var ids []int
+	for _, op := range r.Assay.Ops() {
+		if op.Kind != graph.Input {
+			ids = append(ids, op.ID)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		if r.Start[ids[i]] != r.Start[ids[j]] {
+			return r.Start[ids[i]] < r.Start[ids[j]]
+		}
+		return ids[i] < ids[j]
+	})
+	return ids
+}
+
+// OpsByCreation returns on-chip operation IDs sorted by device-creation time
+// (storage start where present, else operation start), tie-broken by start
+// then ID. This is the order in which dynamic devices come into existence.
+func (r *Result) OpsByCreation() []int {
+	ids := r.OpsByStart()
+	creation := func(id int) int {
+		from, _ := r.DeviceWindow(id)
+		return from
+	}
+	sort.SliceStable(ids, func(i, j int) bool {
+		return creation(ids[i]) < creation(ids[j])
+	})
+	return ids
+}

@@ -1,0 +1,104 @@
+package schedule
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mfsynth/internal/assays"
+	"mfsynth/internal/graph"
+)
+
+// Property: on random assays, list scheduling respects precedence plus
+// transport delay, never exceeds the mixer policy, and the balanced
+// binding's max load equals ceil(n/m) per size.
+func TestRandomScheduleProperty(t *testing.T) {
+	f := func(seed int64, limRaw uint8) bool {
+		a := assays.Random(seed, assays.RandomOptions{MixOps: 5 + int(seed%7&3)})
+		lim := 1 + int(limRaw%3)
+		pol := map[int]int{}
+		for _, id := range a.MixOps() {
+			pol[a.Volume(id)] = lim
+		}
+		r, err := List(a, Options{Resources: Resources{Mixers: pol}})
+		if err != nil {
+			return false
+		}
+		// Precedence + transport delay.
+		for id := 0; id < a.Len(); id++ {
+			for _, p := range a.Parents(id) {
+				min := r.Finish[p]
+				if a.Op(p).Kind != graph.Input {
+					min += r.TransportDelay
+				}
+				if r.Start[id] < min {
+					return false
+				}
+			}
+		}
+		// Resource limits: at any operation's start instant, the number of
+		// running same-size mixes must not exceed the policy (interval
+		// concurrency peaks at interval starts).
+		mix := a.MixOps()
+		for _, i1 := range mix {
+			at := r.Start[i1]
+			conc := 0
+			for _, i2 := range mix {
+				if a.Volume(i1) != a.Volume(i2) {
+					continue
+				}
+				if r.Start[i2] <= at && at < r.Finish[i2] {
+					conc++
+				}
+			}
+			if conc > lim {
+				return false
+			}
+		}
+		// Balanced binding.
+		loads := map[int]int{}
+		for _, id := range mix {
+			loads[r.InstanceOf[id]]++
+		}
+		byVol := map[int]int{}
+		maxByVol := map[int]int{}
+		for _, id := range mix {
+			v := a.Volume(id)
+			byVol[v]++
+			if loads[r.InstanceOf[id]] > maxByVol[v] {
+				maxByVol[v] = loads[r.InstanceOf[id]]
+			}
+		}
+		for v, n := range byVol {
+			if want := (n + lim - 1) / lim; maxByVol[v] != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: removing the resource limit never lengthens the makespan.
+func TestUnlimitedNeverSlower(t *testing.T) {
+	f := func(seed int64) bool {
+		a := assays.Random(seed, assays.RandomOptions{MixOps: 6})
+		pol := map[int]int{}
+		for _, id := range a.MixOps() {
+			pol[a.Volume(id)] = 1
+		}
+		limited, err := List(a, Options{Resources: Resources{Mixers: pol}})
+		if err != nil {
+			return false
+		}
+		free, err := List(a, Options{})
+		if err != nil {
+			return false
+		}
+		return free.Makespan <= limited.Makespan
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

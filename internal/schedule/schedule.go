@@ -1,0 +1,288 @@
+// Package schedule produces bioassay scheduling results — the second
+// synthesis input of the paper's problem formulation ("a bioassay
+// scheduling result, which specifies the start time of each operation").
+//
+// The paper takes schedules from traditional designs with a given policy
+// (dedicated mixer counts per size) and feeds the same schedule to both the
+// traditional binding baseline and the dynamic-device synthesis. This
+// package implements that scheduler: resource-constrained list scheduling
+// with critical-path priority and load-balanced instance binding ("optimal
+// binding ... distributing operations to mixers as evenly as possible").
+package schedule
+
+import (
+	"fmt"
+	"sort"
+
+	"mfsynth/internal/graph"
+)
+
+// DefaultTransportDelay is the fluid transport delay in time units between
+// dependent on-chip operations, as in the paper's PCR example ("the
+// scheduling result of this case with 3 time-units (tu) as the transport
+// delay").
+const DefaultTransportDelay = 3
+
+// Resources bounds the concurrently available devices. A nil Mixers map (or
+// a missing size) means no limit for that size; Detectors ≤ 0 means no limit.
+type Resources struct {
+	// Mixers maps mixer volume to the number of concurrently usable mixers
+	// of that size.
+	Mixers map[int]int
+	// Detectors is the number of concurrently usable detectors.
+	Detectors int
+}
+
+// Unlimited returns a Resources with no device limits.
+func Unlimited() Resources { return Resources{} }
+
+// Instance identifies one dedicated device of the policy.
+type Instance struct {
+	// Size is the mixer volume (0 for detectors).
+	Size int
+	// Index numbers instances of the same size from 0.
+	Index int
+	// Ops lists the operations bound to this instance in start-time order.
+	Ops []int
+}
+
+// Result is a complete scheduling result.
+type Result struct {
+	Assay *graph.Assay
+	// Start and Finish give each operation's execution window. Input
+	// operations run instantaneously at their dispatch time.
+	Start, Finish []int
+	// InstanceOf maps a mix/detect operation to its bound instance index in
+	// Instances, or -1.
+	InstanceOf []int
+	// Instances lists the device instances used, mixers first.
+	Instances []Instance
+	// Makespan is the completion time of the last operation.
+	Makespan int
+	// TransportDelay is the delay that was applied between dependent
+	// operations.
+	TransportDelay int
+}
+
+// Options configures List.
+type Options struct {
+	// TransportDelay overrides DefaultTransportDelay when positive.
+	TransportDelay int
+	// Resources bounds device concurrency.
+	Resources Resources
+}
+
+// List schedules the assay with list scheduling: operations become ready
+// when every producer has finished plus the transport delay; ready
+// operations are started in critical-path-length priority order on the
+// least-loaded free instance of the required size.
+//
+// The returned binding is balanced: among instances of the same size, the
+// one with the fewest bound operations is preferred, which realises the
+// paper's optimal binding for traditional designs.
+func List(a *graph.Assay, opts Options) (*Result, error) {
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	delay := opts.TransportDelay
+	if delay <= 0 {
+		delay = DefaultTransportDelay
+	}
+
+	order, err := a.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	prio := criticalPath(a, order, delay)
+
+	res := &Result{
+		Assay:          a,
+		Start:          make([]int, a.Len()),
+		Finish:         make([]int, a.Len()),
+		InstanceOf:     make([]int, a.Len()),
+		TransportDelay: delay,
+	}
+	for i := range res.InstanceOf {
+		res.InstanceOf[i] = -1
+	}
+
+	pools := newPools(a, opts.Resources)
+
+	// ready[id] = earliest data-ready time; -1 while predecessors pending.
+	ready := make([]int, a.Len())
+	pending := make([]int, a.Len())
+	for id := 0; id < a.Len(); id++ {
+		pending[id] = len(a.Parents(id))
+	}
+	var queue []int
+	for id := 0; id < a.Len(); id++ {
+		if pending[id] == 0 {
+			queue = append(queue, id)
+		}
+	}
+
+	scheduled := 0
+	for len(queue) > 0 {
+		// Pick the ready op with the largest critical path; ties by ID for
+		// determinism.
+		sort.Slice(queue, func(i, j int) bool {
+			if prio[queue[i]] != prio[queue[j]] {
+				return prio[queue[i]] > prio[queue[j]]
+			}
+			return queue[i] < queue[j]
+		})
+		id := queue[0]
+		queue = queue[1:]
+
+		op := a.Op(id)
+		start := ready[id]
+		var pl *pool
+		switch op.Kind {
+		case graph.Mix:
+			pl = pools.mixers[a.Volume(id)]
+		case graph.Detect:
+			pl = pools.detectors
+		}
+		if pl != nil {
+			inst, free := pl.acquire(start)
+			if free > start {
+				start = free
+			}
+			res.InstanceOf[id] = inst
+			pl.commit(inst, start+op.Duration, id)
+		}
+		res.Start[id] = start
+		res.Finish[id] = start + op.Duration
+		if res.Finish[id] > res.Makespan {
+			res.Makespan = res.Finish[id]
+		}
+		scheduled++
+
+		for _, e := range a.Out(id) {
+			c := e.To
+			t := res.Finish[id]
+			if op.Kind != graph.Input {
+				t += delay // on-chip product must be transported
+			}
+			if t > ready[c] {
+				ready[c] = t
+			}
+			pending[c]--
+			if pending[c] == 0 {
+				queue = append(queue, c)
+			}
+		}
+	}
+	if scheduled != a.Len() {
+		return nil, fmt.Errorf("schedule: only %d of %d operations scheduled", scheduled, a.Len())
+	}
+	res.Instances = pools.instances()
+	return res, nil
+}
+
+// criticalPath returns, per op, the longest duration+delay path to any sink.
+func criticalPath(a *graph.Assay, topo []int, delay int) []int {
+	cp := make([]int, a.Len())
+	for i := len(topo) - 1; i >= 0; i-- {
+		id := topo[i]
+		best := 0
+		for _, c := range a.Children(id) {
+			if cp[c] > best {
+				best = cp[c]
+			}
+		}
+		cp[id] = best + a.Op(id).Duration + delay
+	}
+	return cp
+}
+
+// pools manages device instances per resource class.
+type pools struct {
+	mixers    map[int]*pool // by size
+	detectors *pool
+	order     []int // mixer sizes in ascending order
+}
+
+type pool struct {
+	size      int
+	limit     int // 0 = unlimited
+	free      []int
+	boundOps  [][]int
+	instBase  int // global instance index of this pool's first instance
+	instCount int
+}
+
+func newPools(a *graph.Assay, r Resources) *pools {
+	p := &pools{mixers: map[int]*pool{}}
+	sizes := map[int]bool{}
+	for _, id := range a.MixOps() {
+		sizes[a.Volume(id)] = true
+	}
+	for s := range sizes {
+		p.order = append(p.order, s)
+	}
+	sort.Ints(p.order)
+	for _, s := range p.order {
+		p.mixers[s] = &pool{size: s, limit: r.Mixers[s]}
+	}
+	if a.CountKind(graph.Detect) > 0 {
+		p.detectors = &pool{size: 0, limit: r.Detectors}
+	}
+	// Assign global instance index bases.
+	base := 0
+	for _, s := range p.order {
+		p.mixers[s].instBase = base
+		if p.mixers[s].limit > 0 {
+			base += p.mixers[s].limit
+		} else {
+			base += a.Stats().VolumeHistogram[s] // worst case: one per op
+		}
+	}
+	if p.detectors != nil {
+		p.detectors.instBase = base
+	}
+	return p
+}
+
+func (p *pools) instances() []Instance {
+	var out []Instance
+	for _, s := range p.order {
+		m := p.mixers[s]
+		for i := 0; i < m.instCount; i++ {
+			out = append(out, Instance{Size: s, Index: i, Ops: m.boundOps[i]})
+		}
+	}
+	if p.detectors != nil {
+		for i := 0; i < p.detectors.instCount; i++ {
+			out = append(out, Instance{Size: 0, Index: i, Ops: p.detectors.boundOps[i]})
+		}
+	}
+	return out
+}
+
+// acquire returns the chosen instance's global index and its free time. The
+// instance with the fewest bound ops whose free time is smallest is chosen;
+// new instances are created while the limit allows.
+func (pl *pool) acquire(ready int) (inst, free int) {
+	best, bestLoad, bestFree := -1, -1, 0
+	for i := 0; i < pl.instCount; i++ {
+		load, f := len(pl.boundOps[i]), pl.free[i]
+		if best == -1 || load < bestLoad || (load == bestLoad && f < bestFree) {
+			best, bestLoad, bestFree = i, load, f
+		}
+	}
+	canGrow := pl.limit == 0 || pl.instCount < pl.limit
+	if canGrow && (best == -1 || bestLoad > 0) {
+		pl.free = append(pl.free, 0)
+		pl.boundOps = append(pl.boundOps, nil)
+		best, bestFree = pl.instCount, 0
+		pl.instCount++
+	}
+	return pl.instBase + best, bestFree
+}
+
+func (pl *pool) commit(inst, until, op int) {
+	i := inst - pl.instBase
+	pl.free[i] = until
+	pl.boundOps[i] = append(pl.boundOps[i], op)
+}

@@ -1,0 +1,85 @@
+package sim
+
+import (
+	"testing"
+
+	"mfsynth/internal/assays"
+	"mfsynth/internal/core"
+	"mfsynth/internal/graph"
+	"mfsynth/internal/place"
+)
+
+// The paper's fifth contribution: assays with input samples in different
+// proportions need no special mixer — device ports are chosen from the
+// available ring valves. A 1:3 mix and a 1:1 mix of the same total volume
+// must both synthesize cleanly on the same architecture.
+func TestMixingRatiosSupported(t *testing.T) {
+	build := func(volA, volB int) *graph.Assay {
+		a := graph.New("ratio")
+		s := a.Add(graph.Input, "sample", 0)
+		b := a.Add(graph.Input, "buffer", 0)
+		m := a.Add(graph.Mix, "m1", assays.DefaultMixDuration)
+		a.Connect(s, m, volA)
+		a.Connect(b, m, volB)
+		// A second mix consumes a 1:3 portion of the product.
+		b2 := a.Add(graph.Input, "buffer2", 0)
+		m2 := a.Add(graph.Mix, "m2", assays.DefaultMixDuration)
+		a.Connect(m, m2, 2)
+		a.Connect(b2, m2, 6)
+		return a
+	}
+	for _, ratio := range [][2]int{{4, 4}, {2, 6}, {6, 2}, {3, 5}} {
+		a := build(ratio[0], ratio[1])
+		if err := a.Validate(); err != nil {
+			t.Fatalf("ratio %v: %v", ratio, err)
+		}
+		res, err := core.Synthesize(a, core.Options{
+			Place: place.Config{Grid: 12, Mode: place.Greedy},
+		})
+		if err != nil {
+			t.Fatalf("ratio %v: %v", ratio, err)
+		}
+		if v := Check(res); len(v) != 0 {
+			t.Errorf("ratio %v: violations %v", ratio, v)
+		}
+		// Both mixes use 8-unit devices regardless of the ratio.
+		for _, id := range a.MixOps() {
+			if got := res.Mapping.Placements[id].Volume(); got != 8 {
+				t.Errorf("ratio %v: mix %d device volume %d, want 8", ratio, id, got)
+			}
+		}
+	}
+}
+
+// Different volumes map to different device sizes on the same architecture
+// (the paper's fourth contribution: "we adjust dynamic devices to different
+// sizes according to the need").
+func TestVolumeAdaptation(t *testing.T) {
+	a := graph.New("sizes")
+	prev := a.Add(graph.Input, "s", 0)
+	var mixes []*graph.Op
+	for i, vol := range []int{10, 8, 6, 4} {
+		b := a.Add(graph.Input, "b", 0)
+		m := a.Add(graph.Mix, "m", assays.DefaultMixDuration)
+		a.Connect(prev, m, vol/2)
+		a.Connect(b, m, vol/2)
+		mixes = append(mixes, m)
+		prev = m
+		_ = i
+	}
+	res, err := core.Synthesize(a, core.Options{
+		Place: place.Config{Grid: 12, Mode: place.Greedy},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{10, 8, 6, 4}
+	for i, m := range mixes {
+		if got := res.Mapping.Placements[m.ID].Volume(); got != want[i] {
+			t.Errorf("mix %d device volume = %d, want %d", i, got, want[i])
+		}
+	}
+	if v := Check(res); len(v) != 0 {
+		t.Errorf("violations: %v", v)
+	}
+}

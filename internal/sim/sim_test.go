@@ -1,0 +1,155 @@
+package sim
+
+import (
+	"testing"
+
+	"mfsynth/internal/assays"
+	"mfsynth/internal/core"
+	"mfsynth/internal/place"
+	"mfsynth/internal/schedule"
+)
+
+func synth(t *testing.T, a interface{ Validate() error }, c assays.Case, mode place.Mode) *core.Result {
+	t.Helper()
+	res, err := core.Synthesize(c.Assay, core.Options{
+		Policy: schedule.Resources{Mixers: c.BaseMixers, Detectors: c.Detectors},
+		Place:  place.Config{Grid: c.GridSize, Mode: mode},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestPCRCleanUnderAllMappers(t *testing.T) {
+	c := assays.PCR()
+	for _, mode := range []place.Mode{place.Greedy, place.RollingHorizon} {
+		res := synth(t, c.Assay, c, mode)
+		if v := Check(res); len(v) != 0 {
+			t.Errorf("%v mapping violates rules: %v", mode, v)
+		}
+	}
+}
+
+func TestMixingTreeClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full mapping is slow")
+	}
+	c := assays.MixingTree()
+	res := synth(t, c.Assay, c, place.Greedy)
+	if v := Check(res); len(v) != 0 {
+		t.Errorf("violations: %v", v)
+	}
+}
+
+// Random assays across seeds must synthesize without violations — the
+// central end-to-end property of the whole pipeline.
+func TestRandomAssaysClean(t *testing.T) {
+	for seed := int64(1); seed <= 25; seed++ {
+		a := assays.Random(seed, assays.RandomOptions{MixOps: 6})
+		if err := a.Validate(); err != nil {
+			t.Fatalf("seed %d: invalid assay: %v", seed, err)
+		}
+		res, err := core.Synthesize(a, core.Options{
+			Place: place.Config{Grid: 14, Mode: place.Greedy},
+		})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if v := Check(res); len(v) != 0 {
+			t.Errorf("seed %d: violations: %v", seed, v)
+		}
+	}
+}
+
+// In-vitro diagnostics: mixes plus detections on shared dynamic devices.
+func TestInVitroClean(t *testing.T) {
+	a := assays.InVitro(2, 3, 8)
+	res, err := core.Synthesize(a, core.Options{
+		Policy: schedule.Resources{Mixers: map[int]int{8: 2}, Detectors: 2},
+		Place:  place.Config{Grid: 14, Mode: place.Greedy},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := Check(res); len(v) != 0 {
+		t.Errorf("violations: %v", v)
+	}
+	// 6 mixes and 6 detections all placed.
+	if len(res.Mapping.Placements) != 12 {
+		t.Errorf("placed %d devices, want 12", len(res.Mapping.Placements))
+	}
+}
+
+func TestRandomAssayDeterminism(t *testing.T) {
+	a1 := assays.Random(7, assays.RandomOptions{MixOps: 5, Detects: 1})
+	a2 := assays.Random(7, assays.RandomOptions{MixOps: 5, Detects: 1})
+	if a1.Len() != a2.Len() || a1.NumEdges() != a2.NumEdges() {
+		t.Fatal("same seed produced different assays")
+	}
+	if a1.Stats().String() != a2.Stats().String() {
+		t.Fatal("same seed produced different stats")
+	}
+}
+
+func TestViolationDetection(t *testing.T) {
+	// Corrupt a clean result and verify the checker notices.
+	c := assays.PCR()
+	res := synth(t, c.Assay, c, place.Greedy)
+
+	t.Run("metric mismatch", func(t *testing.T) {
+		saved := res.VsMax1
+		res.VsMax1 = saved + 1
+		defer func() { res.VsMax1 = saved }()
+		if v := Check(res); !hasRule(v, "metric-mismatch") {
+			t.Errorf("corrupted metric not detected: %v", v)
+		}
+	})
+
+	t.Run("undersized device", func(t *testing.T) {
+		// Shrink an 8-volume mix's device to a 2x2 (ring volume 4).
+		anyOp := -1
+		for id := range res.Mapping.Placements {
+			if res.Assay.Volume(id) >= 8 {
+				anyOp = id
+				break
+			}
+		}
+		if anyOp < 0 {
+			t.Fatal("no 8-volume op found")
+		}
+		saved := res.Mapping.Placements[anyOp]
+		small := saved
+		small.Shape.W, small.Shape.H = 2, 2
+		res.Mapping.Placements[anyOp] = small
+		defer func() { res.Mapping.Placements[anyOp] = saved }()
+		if v := Check(res); !hasRule(v, "undersized-device") {
+			t.Errorf("undersized device not detected: %v", v)
+		}
+	})
+
+	t.Run("unrouted edge", func(t *testing.T) {
+		saved := res.Transports
+		res.Transports = res.Transports[:len(res.Transports)-1]
+		defer func() { res.Transports = saved }()
+		if v := Check(res); !hasRule(v, "unrouted-edge") && !hasRule(v, "undrained-product") {
+			t.Errorf("missing transport not detected: %v", v)
+		}
+	})
+}
+
+func hasRule(vs []Violation, rule string) bool {
+	for _, v := range vs {
+		if v.Rule == rule {
+			return true
+		}
+	}
+	return false
+}
+
+func TestViolationString(t *testing.T) {
+	v := Violation{Rule: "r", Detail: "d"}
+	if v.String() != "r: d" {
+		t.Fatalf("String = %q", v.String())
+	}
+}

@@ -1,0 +1,127 @@
+// Package storage models the paper's in situ on-chip storages (Section
+// 3.3): dynamic devices created ahead of schedule that hold the products of
+// already-finished parent operations until the operation itself starts. A
+// storage may overlap its parent devices and may be crossed by routing
+// paths, but only while the space those intrusions consume does not exceed
+// its free space.
+package storage
+
+import (
+	"fmt"
+	"sort"
+
+	"mfsynth/internal/graph"
+	"mfsynth/internal/schedule"
+)
+
+// Deposit is one product arriving in a storage.
+type Deposit struct {
+	// Time is when the product arrives (the parent's finish time).
+	Time int
+	// Volume is the number of fluid units deposited.
+	Volume int
+	// Parent is the producing operation.
+	Parent int
+}
+
+// Timeline tracks the fill level of the in situ storage that precedes one
+// operation's execution.
+type Timeline struct {
+	// OpID is the operation whose device this storage becomes.
+	OpID int
+	// Capacity is the device ring volume in units.
+	Capacity int
+	// Start is when the storage appears (first parent product ready);
+	// End is when the operation starts and the storage turns into the
+	// running device.
+	Start, End int
+
+	deposits []Deposit
+}
+
+// NewTimeline derives the storage timeline of operation id from a
+// scheduling result. capacity is the ring volume of the device that will
+// execute id. The returned timeline is nil when id has no device parents
+// (its device needs no storage phase).
+func NewTimeline(res *schedule.Result, id, capacity int) *Timeline {
+	start, ok := res.StorageStart(id)
+	if !ok {
+		return nil
+	}
+	tl := &Timeline{OpID: id, Capacity: capacity, Start: start, End: res.Start[id]}
+	for _, e := range res.Assay.In(id) {
+		if res.Assay.Op(e.From).Kind == graph.Input {
+			continue // port inputs are routed in at operation start
+		}
+		tl.deposits = append(tl.deposits, Deposit{
+			Time:   res.Finish[e.From],
+			Volume: e.Volume,
+			Parent: e.From,
+		})
+	}
+	sort.Slice(tl.deposits, func(i, j int) bool { return tl.deposits[i].Time < tl.deposits[j].Time })
+	total := 0
+	for _, d := range tl.deposits {
+		total += d.Volume
+	}
+	if total > capacity {
+		panic(fmt.Sprintf("storage: op %d stores %d units in capacity %d", id, total, capacity))
+	}
+	return tl
+}
+
+// Deposits returns the arrival events in time order.
+func (tl *Timeline) Deposits() []Deposit { return tl.deposits }
+
+// StoredAt returns the stored volume at time t (deposits at exactly t are
+// already inside).
+func (tl *Timeline) StoredAt(t int) int {
+	v := 0
+	for _, d := range tl.deposits {
+		if d.Time <= t {
+			v += d.Volume
+		}
+	}
+	return v
+}
+
+// FreeAt returns the free space at time t.
+func (tl *Timeline) FreeAt(t int) int { return tl.Capacity - tl.StoredAt(t) }
+
+// MinFree returns the minimum free space over the window [from, to). An
+// empty window returns the capacity.
+func (tl *Timeline) MinFree(from, to int) int {
+	if to > tl.End {
+		to = tl.End
+	}
+	if from >= to {
+		return tl.Capacity
+	}
+	// Fill level only changes at deposit times; the minimum free space over
+	// the window is at its last instant.
+	return tl.FreeAt(to - 1)
+}
+
+// CanOverlap reports whether an intrusion of the given area (in lattice
+// cells, one unit of fluid per cell) during [from, to) fits in the free
+// space at every instant of the overlap — the feasibility test of
+// Algorithm 1 L6 and L14.
+func (tl *Timeline) CanOverlap(area, from, to int) bool {
+	if area <= 0 {
+		return true
+	}
+	lo, hi := from, to
+	if lo < tl.Start {
+		lo = tl.Start
+	}
+	if hi > tl.End {
+		hi = tl.End
+	}
+	if lo >= hi {
+		return true // windows do not intersect
+	}
+	return area <= tl.MinFree(lo, hi)
+}
+
+// Active reports whether the storage phase covers time t.
+func (tl *Timeline) Active(t int) bool { return t >= tl.Start && t < tl.End }

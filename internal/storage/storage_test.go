@@ -1,0 +1,169 @@
+package storage
+
+import (
+	"testing"
+
+	"mfsynth/internal/assays"
+	"mfsynth/internal/graph"
+	"mfsynth/internal/schedule"
+)
+
+func pcrSchedule(t *testing.T) *schedule.Result {
+	t.Helper()
+	c := assays.PCR()
+	r, err := schedule.List(c.Assay, schedule.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func opByName(t *testing.T, a *graph.Assay, name string) int {
+	t.Helper()
+	for _, op := range a.Ops() {
+		if op.Name == name {
+			return op.ID
+		}
+	}
+	t.Fatalf("op %q not found", name)
+	return -1
+}
+
+func TestNoTimelineForRootOps(t *testing.T) {
+	r := pcrSchedule(t)
+	o1 := opByName(t, r.Assay, "o1")
+	if tl := NewTimeline(r, o1, 8); tl != nil {
+		t.Fatal("root mix must have no storage phase")
+	}
+}
+
+func TestTimelineDeposits(t *testing.T) {
+	r := pcrSchedule(t)
+	o5 := opByName(t, r.Assay, "o5")
+	tl := NewTimeline(r, o5, 10)
+	if tl == nil {
+		t.Fatal("o5 needs a storage phase")
+	}
+	if tl.OpID != o5 || tl.Capacity != 10 {
+		t.Fatalf("timeline = %+v", tl)
+	}
+	deps := tl.Deposits()
+	if len(deps) != 2 {
+		t.Fatalf("deposits = %d, want 2 (products of o1, o2)", len(deps))
+	}
+	if deps[0].Time > deps[1].Time {
+		t.Fatal("deposits not time-sorted")
+	}
+	if deps[0].Volume != 5 || deps[1].Volume != 5 {
+		t.Fatalf("deposit volumes = %d,%d, want 5,5", deps[0].Volume, deps[1].Volume)
+	}
+	// With unlimited resources both parents finish at 6, o5 starts at 9.
+	if tl.Start != 6 || tl.End != 9 {
+		t.Fatalf("window = [%d,%d), want [6,9)", tl.Start, tl.End)
+	}
+}
+
+func TestStoredAndFree(t *testing.T) {
+	r := pcrSchedule(t)
+	o5 := opByName(t, r.Assay, "o5")
+	tl := NewTimeline(r, o5, 10)
+	if got := tl.StoredAt(tl.Start - 1); got != 0 {
+		t.Errorf("StoredAt before start = %d", got)
+	}
+	if got := tl.StoredAt(tl.Start); got != 10 {
+		t.Errorf("StoredAt(start) = %d, want 10 (both parents finish together)", got)
+	}
+	if got := tl.FreeAt(tl.Start); got != 0 {
+		t.Errorf("FreeAt(start) = %d, want 0", got)
+	}
+}
+
+func TestStaggeredDeposits(t *testing.T) {
+	// Serialise PCR so o5's parents finish at different times.
+	c := assays.PCR()
+	r, err := schedule.List(c.Assay, schedule.Options{
+		Resources: schedule.Resources{Mixers: map[int]int{4: 1, 6: 1, 8: 1, 10: 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o5 := opByName(t, r.Assay, "o5")
+	tl := NewTimeline(r, o5, 10)
+	if tl == nil {
+		t.Fatal("no timeline")
+	}
+	deps := tl.Deposits()
+	if len(deps) != 2 || deps[0].Time == deps[1].Time {
+		t.Fatalf("want two staggered deposits, got %+v", deps)
+	}
+	mid := deps[0].Time
+	if got := tl.StoredAt(mid); got != deps[0].Volume {
+		t.Errorf("StoredAt(%d) = %d, want %d", mid, got, deps[0].Volume)
+	}
+	if tl.FreeAt(mid) != tl.Capacity-deps[0].Volume {
+		t.Errorf("FreeAt(%d) = %d", mid, tl.FreeAt(mid))
+	}
+}
+
+func TestCanOverlap(t *testing.T) {
+	tl := &Timeline{OpID: 1, Capacity: 10, Start: 5, End: 15,
+		deposits: []Deposit{{Time: 5, Volume: 5, Parent: 0}, {Time: 10, Volume: 5, Parent: 2}}}
+	// Before the second deposit there are 5 free units.
+	if !tl.CanOverlap(5, 5, 10) {
+		t.Error("overlap of 5 cells during half-full phase must be allowed")
+	}
+	if tl.CanOverlap(6, 5, 10) {
+		t.Error("overlap of 6 cells exceeds free space 5")
+	}
+	// After the second deposit the storage is full.
+	if tl.CanOverlap(1, 10, 12) {
+		t.Error("full storage cannot host any overlap")
+	}
+	// Outside the storage window anything goes.
+	if !tl.CanOverlap(100, 15, 20) || !tl.CanOverlap(100, 0, 5) {
+		t.Error("windows outside the storage phase must be unconstrained")
+	}
+	if !tl.CanOverlap(0, 5, 15) {
+		t.Error("zero-area overlap must be allowed")
+	}
+}
+
+func TestMinFree(t *testing.T) {
+	tl := &Timeline{OpID: 1, Capacity: 8, Start: 0, End: 10,
+		deposits: []Deposit{{Time: 2, Volume: 3}, {Time: 6, Volume: 4}}}
+	if got := tl.MinFree(0, 2); got != 8 {
+		t.Errorf("MinFree(0,2) = %d, want 8", got)
+	}
+	if got := tl.MinFree(0, 3); got != 5 {
+		t.Errorf("MinFree(0,3) = %d, want 5", got)
+	}
+	if got := tl.MinFree(0, 10); got != 1 {
+		t.Errorf("MinFree(0,10) = %d, want 1", got)
+	}
+	if got := tl.MinFree(7, 7); got != 8 {
+		t.Errorf("MinFree on empty window = %d, want capacity", got)
+	}
+}
+
+func TestActive(t *testing.T) {
+	tl := &Timeline{Start: 3, End: 7}
+	for _, tt := range []struct {
+		t    int
+		want bool
+	}{{2, false}, {3, true}, {6, true}, {7, false}} {
+		if got := tl.Active(tt.t); got != tt.want {
+			t.Errorf("Active(%d) = %v", tt.t, got)
+		}
+	}
+}
+
+func TestOverCapacityPanics(t *testing.T) {
+	r := pcrSchedule(t)
+	o5 := opByName(t, r.Assay, "o5")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for capacity smaller than deposits")
+		}
+	}()
+	NewTimeline(r, o5, 4) // o5 stores 10 units
+}

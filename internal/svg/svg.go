@@ -1,0 +1,181 @@
+// Package svg renders synthesis results as standalone SVG drawings: the
+// flow layer (virtual valve matrix, per-valve actuation heat, device
+// footprints with their operation labels, transport paths, chip ports) and
+// optionally the routed control layer. Output is plain SVG 1.1 built with
+// the standard library only.
+package svg
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"mfsynth/internal/arch"
+	"mfsynth/internal/control"
+	"mfsynth/internal/core"
+	"mfsynth/internal/graph"
+)
+
+// cell is the drawing pitch of one valve in SVG user units.
+const cell = 28
+
+// Options selects what to draw.
+type Options struct {
+	// At renders the chip state after time At; negative renders the full
+	// assay (cumulative counts, all devices outlined).
+	At int
+	// ControlLayer additionally draws the routed control channels.
+	ControlLayer *control.Layout
+	// Title is the drawing caption (defaults to the assay name).
+	Title string
+}
+
+// Write renders res as an SVG document.
+func Write(w io.Writer, res *core.Result, opts Options) error {
+	var b strings.Builder
+	grid := res.Grid
+	margin := cell
+	width := grid*cell + 2*margin
+	height := grid*cell + 2*margin + 24
+
+	title := opts.Title
+	if title == "" {
+		title = res.Assay.Name
+	}
+
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		width, height, width, height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="#ffffff"/>`+"\n", width, height)
+	fmt.Fprintf(&b, `<text x="%d" y="18" font-family="sans-serif" font-size="14">%s</text>`+"\n",
+		margin, escape(title))
+
+	// Valve heat map.
+	chip := res.ChipAt(opts.At, 1)
+	maxTotal := chip.MaxTotal()
+	for y := 0; y < grid; y++ {
+		for x := 0; x < grid; x++ {
+			total := chip.TotalAt(x, y)
+			fill := "#f4f4f4" // functionless wall / unused virtual valve
+			if total > 0 {
+				fill = heat(total, maxTotal)
+			}
+			px, py := toPx(grid, x, y, margin)
+			fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="%d" fill="%s" stroke="#dddddd"/>`+"\n",
+				px, py, cell-2, cell-2, fill)
+		}
+	}
+
+	// Transport paths.
+	for _, tr := range res.Transports {
+		if tr.InPlace {
+			continue
+		}
+		if opts.At >= 0 && tr.T > opts.At {
+			continue
+		}
+		var pts []string
+		for _, c := range tr.Path {
+			px, py := toPx(grid, c.X, c.Y, margin)
+			pts = append(pts, fmt.Sprintf("%d,%d", px+cell/2-1, py+cell/2-1))
+		}
+		fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="#3b6fd4" stroke-width="2" stroke-opacity="0.45"/>`+"\n",
+			strings.Join(pts, " "))
+	}
+
+	// Device footprints.
+	ids := make([]int, 0, len(res.Mapping.Placements))
+	for id := range res.Mapping.Placements {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		wdw := res.Mapping.Windows[id]
+		if opts.At >= 0 && (opts.At < wdw[0] || opts.At >= wdw[1]) {
+			continue
+		}
+		pl := res.Mapping.Placements[id]
+		fp := pl.Footprint()
+		px, py := toPx(grid, fp.X0, fp.Y1-1, margin)
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="%d" fill="none" stroke="#111111" stroke-width="2"/>`+"\n",
+			px, py, fp.W()*cell-2, fp.H()*cell-2)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="11">%s</text>`+"\n",
+			px+3, py+13, escape(res.Assay.Op(id).Name))
+	}
+
+	// Chip ports.
+	for _, p := range arch.NewChip(grid, grid).Ports {
+		px, py := toPx(grid, p.At.X, p.At.Y, margin)
+		color := "#2e9940"
+		if p.Kind == arch.OutPort {
+			color = "#c03a2b"
+		}
+		fmt.Fprintf(&b, `<circle cx="%d" cy="%d" r="6" fill="%s"/>`+"\n",
+			px+cell/2-1, py+cell/2-1, color)
+	}
+
+	// Control layer.
+	if lay := opts.ControlLayer; lay != nil {
+		scale := float64(cell) / 4.0 // control lattice is 4× finer
+		for _, ch := range lay.Channels {
+			for _, c := range ch {
+				cx := float64(margin) + float64(c.X)*scale
+				cy := float64(margin) + float64((res.Grid-1)*4-c.Y)*scale
+				fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="#d07a1f" fill-opacity="0.35"/>`+"\n",
+					cx, cy, scale, scale)
+			}
+		}
+	}
+
+	// Legend.
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="11" fill="#555555">%s</text>`+"\n",
+		margin, height-6,
+		fmt.Sprintf("%s | max actuations %d | valves %d/%d", escape(res.Assay.Name),
+			maxTotal, chip.UsedValves(), grid*grid))
+
+	fmt.Fprintln(&b, `</svg>`)
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// toPx maps a valve coordinate to the top-left pixel of its cell (SVG y
+// grows downward; valve y grows upward).
+func toPx(grid, x, y, margin int) (int, int) {
+	return margin + x*cell, margin + (grid-1-y)*cell
+}
+
+// heat maps an actuation count to a white→red fill.
+func heat(v, max int) string {
+	if max <= 0 {
+		max = 1
+	}
+	f := float64(v) / float64(max)
+	if f > 1 {
+		f = 1
+	}
+	r := 255
+	g := int(235 - 180*f)
+	bl := int(205 - 180*f)
+	return fmt.Sprintf("#%02x%02x%02x", r, g, bl)
+}
+
+func escape(s string) string {
+	s = strings.ReplaceAll(s, "&", "&amp;")
+	s = strings.ReplaceAll(s, "<", "&lt;")
+	s = strings.ReplaceAll(s, ">", "&gt;")
+	return s
+}
+
+// WriteAssayLegend renders a small table of the assay's operations under
+// the drawing — convenience for reports.
+func WriteAssayLegend(w io.Writer, a *graph.Assay) error {
+	var b strings.Builder
+	for _, op := range a.Ops() {
+		if op.Kind == graph.Input {
+			continue
+		}
+		fmt.Fprintf(&b, "%s (%s, vol %d)\n", op.Name, op.Kind, a.Volume(op.ID))
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

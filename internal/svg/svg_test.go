@@ -1,0 +1,112 @@
+package svg
+
+import (
+	"strings"
+	"testing"
+
+	"mfsynth/internal/assays"
+	"mfsynth/internal/control"
+	"mfsynth/internal/core"
+	"mfsynth/internal/place"
+	"mfsynth/internal/schedule"
+)
+
+func pcrResult(t *testing.T) *core.Result {
+	t.Helper()
+	c := assays.PCR()
+	res, err := core.Synthesize(c.Assay, core.Options{
+		Policy: schedule.Resources{Mixers: c.BaseMixers},
+		Place:  place.Config{Grid: c.GridSize, Mode: place.Greedy},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestWriteFullAssay(t *testing.T) {
+	res := pcrResult(t)
+	var sb strings.Builder
+	if err := Write(&sb, res, Options{At: -1}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"<svg", "</svg>", "PCR",
+		"<polyline", // transports
+		"o7",        // device label
+		"<circle",   // ports
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	// One heat cell per virtual valve.
+	if got := strings.Count(out, "<rect"); got < res.Grid*res.Grid {
+		t.Errorf("only %d rects for a %d-valve matrix", got, res.Grid*res.Grid)
+	}
+}
+
+func TestWriteSnapshotInTime(t *testing.T) {
+	res := pcrResult(t)
+	var early, late strings.Builder
+	if err := Write(&early, res, Options{At: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(&late, res, Options{At: res.Schedule.Makespan}); err != nil {
+		t.Fatal(err)
+	}
+	// Early snapshot shows fewer transports than the full drawing.
+	if strings.Count(early.String(), "<polyline") >= strings.Count(late.String(), "<polyline") {
+		t.Error("early snapshot has no fewer transport paths than the final state")
+	}
+	// Early snapshot labels only alive devices.
+	if strings.Contains(early.String(), ">o7<") {
+		t.Error("o7 drawn long before it exists")
+	}
+}
+
+func TestWriteControlLayer(t *testing.T) {
+	res := pcrResult(t)
+	a := control.Analyze(res)
+	lay := control.RouteControl(res, a)
+	var sb strings.Builder
+	if err := Write(&sb, res, Options{At: -1, ControlLayer: &lay}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "#d07a1f") {
+		t.Error("control channels not drawn")
+	}
+}
+
+func TestHeatBounds(t *testing.T) {
+	if h := heat(0, 0); !strings.HasPrefix(h, "#") || len(h) != 7 {
+		t.Errorf("heat(0,0) = %q", h)
+	}
+	if heat(10, 10) == heat(1, 10) {
+		t.Error("heat scale is flat")
+	}
+	if h := heat(20, 10); h != heat(10, 10) {
+		t.Errorf("heat clamps at max: %q vs %q", h, heat(10, 10))
+	}
+}
+
+func TestEscape(t *testing.T) {
+	if got := escape("a<b>&c"); got != "a&lt;b&gt;&amp;c" {
+		t.Errorf("escape = %q", got)
+	}
+}
+
+func TestAssayLegend(t *testing.T) {
+	res := pcrResult(t)
+	var sb strings.Builder
+	if err := WriteAssayLegend(&sb, res.Assay); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "o7 (mix, vol 4)") {
+		t.Errorf("legend:\n%s", sb.String())
+	}
+	if strings.Contains(sb.String(), "input") {
+		t.Error("legend should skip inputs")
+	}
+}

@@ -1,0 +1,172 @@
+// Package wear turns actuation counts into lifetime estimates. The paper's
+// motivation is that "valves can only be actuated reliably for a few
+// thousand times" and "the service life of a biochip might be affected by
+// the first worn out valve"; this package quantifies that: given the
+// per-valve actuation profile of one assay execution, it computes how many
+// times the assay can be repeated before the first valve exceeds its rated
+// life, and a probabilistic survival model for the whole chip.
+package wear
+
+import (
+	"math"
+	"sort"
+
+	"mfsynth/internal/arch"
+	"mfsynth/internal/baseline"
+)
+
+// DefaultRatedActuations is the rated valve life used when a Model leaves
+// it zero — "a few thousand times" in the paper, after Minhass et al.
+const DefaultRatedActuations = 4000
+
+// Model parameterises valve wear-out.
+type Model struct {
+	// RatedActuations is the nominal life of one valve in actuations.
+	RatedActuations float64
+	// Sigma is the standard deviation of the (normally distributed)
+	// individual valve life. Zero selects 10% of the rated life.
+	Sigma float64
+}
+
+func (m Model) rated() float64 {
+	if m.RatedActuations <= 0 {
+		return DefaultRatedActuations
+	}
+	return m.RatedActuations
+}
+
+func (m Model) sigma() float64 {
+	if m.Sigma <= 0 {
+		return m.rated() / 10
+	}
+	return m.Sigma
+}
+
+// RunsToFirstWearout returns how many times an assay with the given
+// per-valve actuation profile can run before the most-stressed valve
+// exceeds its rated life (the deterministic service-life of the chip).
+func (m Model) RunsToFirstWearout(counts []int) int {
+	max := maxCount(counts)
+	if max == 0 {
+		return math.MaxInt32
+	}
+	return int(m.rated()) / max
+}
+
+// SurvivalProb returns the probability that every valve survives the given
+// number of assay repetitions, with valve lives i.i.d. normal around the
+// rated life.
+func (m Model) SurvivalProb(counts []int, runs int) float64 {
+	p := 1.0
+	for _, c := range counts {
+		if c == 0 {
+			continue
+		}
+		used := float64(c * runs)
+		// P(life > used) for life ~ N(rated, sigma).
+		z := (used - m.rated()) / (m.sigma() * math.Sqrt2)
+		p *= 0.5 * math.Erfc(z)
+	}
+	return p
+}
+
+// ExpectedRuns integrates the survival curve to estimate the mean number
+// of complete assay repetitions before the first valve failure.
+func (m Model) ExpectedRuns(counts []int) float64 {
+	if maxCount(counts) == 0 {
+		return math.Inf(1)
+	}
+	// Survival drops from ~1 to ~0 around RunsToFirstWearout; sum until
+	// negligible.
+	sum := 0.0
+	for runs := 1; ; runs++ {
+		s := m.SurvivalProb(counts, runs)
+		sum += s
+		if s < 1e-6 {
+			return sum
+		}
+	}
+}
+
+// Balance returns how evenly the actuations are spread over the used
+// valves: mean/max over non-zero counts, in (0, 1]. The valve-role-changing
+// concept exists to push this toward 1.
+func Balance(counts []int) float64 {
+	max, sum, n := 0, 0, 0
+	for _, c := range counts {
+		if c == 0 {
+			continue
+		}
+		n++
+		sum += c
+		if c > max {
+			max = c
+		}
+	}
+	if n == 0 || max == 0 {
+		return 1
+	}
+	return float64(sum) / float64(n) / float64(max)
+}
+
+// ChipCounts flattens a chip's per-valve total actuation counts, dropping
+// the never-actuated virtual valves (they are not manufactured).
+func ChipCounts(c *arch.Chip) []int {
+	var out []int
+	for y := 0; y < c.H; y++ {
+		for x := 0; x < c.W; x++ {
+			if t := c.TotalAt(x, y); t > 0 {
+				out = append(out, t)
+			}
+		}
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(out)))
+	return out
+}
+
+// TraditionalProfile derives the per-valve actuation profile of one assay
+// execution on a traditional design, using the dedicated-mixer model of
+// Fig. 2: per bound operation a mixer's 3 pump valves actuate 40 times, its
+// 4 inlet/outlet control valves 4 times and its 2 isolation valves twice;
+// bus taps see 4 state changes per bound operation, storage cells 4 per
+// stored product, port and inlet valves 2 per use.
+func TraditionalProfile(d *baseline.Design, cost baseline.CostModel) []int {
+	var out []int
+	for _, loads := range d.Loads {
+		for _, l := range loads {
+			if l == 0 {
+				continue
+			}
+			out = append(out,
+				40*l, 40*l, 40*l, // pump trio
+				4*l, 4*l, 4*l, 4*l, // inlets and outlets
+				2*l, 2*l) // ring isolation
+			for k := 0; k < cost.TapValves; k++ {
+				out = append(out, 4*l)
+			}
+		}
+	}
+	for k := 0; k < d.Detectors*cost.DetectorValves; k++ {
+		out = append(out, 4)
+	}
+	for k := 0; k < d.StorageCells; k++ {
+		for j := 0; j < cost.StorageCellValves; j++ {
+			out = append(out, 4)
+		}
+	}
+	for k := 0; k < cost.Ports*cost.PortValves; k++ {
+		out = append(out, 2)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(out)))
+	return out
+}
+
+func maxCount(counts []int) int {
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	return max
+}

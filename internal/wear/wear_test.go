@@ -1,0 +1,172 @@
+package wear
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"mfsynth/internal/assays"
+	"mfsynth/internal/baseline"
+	"mfsynth/internal/core"
+	"mfsynth/internal/place"
+	"mfsynth/internal/schedule"
+)
+
+func TestRunsToFirstWearout(t *testing.T) {
+	m := Model{RatedActuations: 4000}
+	if got := m.RunsToFirstWearout([]int{160, 40, 8}); got != 25 {
+		t.Errorf("runs = %d, want 4000/160 = 25", got)
+	}
+	if got := m.RunsToFirstWearout([]int{45}); got != 88 {
+		t.Errorf("runs = %d, want 88", got)
+	}
+	if got := m.RunsToFirstWearout(nil); got != math.MaxInt32 {
+		t.Errorf("empty profile should never wear out, got %d", got)
+	}
+}
+
+func TestDefaultRating(t *testing.T) {
+	var m Model
+	if m.rated() != DefaultRatedActuations {
+		t.Fatalf("rated = %g", m.rated())
+	}
+	if m.sigma() != DefaultRatedActuations/10 {
+		t.Fatalf("sigma = %g", m.sigma())
+	}
+}
+
+func TestSurvivalProbMonotonic(t *testing.T) {
+	m := Model{RatedActuations: 4000}
+	counts := []int{160, 80, 40}
+	prev := 1.0
+	for runs := 1; runs <= 60; runs += 5 {
+		p := m.SurvivalProb(counts, runs)
+		if p > prev+1e-12 {
+			t.Fatalf("survival increased at %d runs: %g > %g", runs, p, prev)
+		}
+		prev = p
+	}
+	// Far below the rated life survival is ~1; far above it ~0.
+	if p := m.SurvivalProb(counts, 1); p < 0.999 {
+		t.Errorf("survival after 1 run = %g", p)
+	}
+	if p := m.SurvivalProb(counts, 100); p > 0.001 {
+		t.Errorf("survival after 100 runs = %g", p)
+	}
+}
+
+func TestExpectedRunsNearDeterministic(t *testing.T) {
+	m := Model{RatedActuations: 4000, Sigma: 40}
+	counts := []int{160}
+	want := 25.0 // 4000/160
+	got := m.ExpectedRuns(counts)
+	if math.Abs(got-want) > 2 {
+		t.Errorf("ExpectedRuns = %g, want ≈ %g", got, want)
+	}
+	if !math.IsInf(m.ExpectedRuns(nil), 1) {
+		t.Error("empty profile should last forever")
+	}
+}
+
+func TestBalance(t *testing.T) {
+	if b := Balance([]int{40, 40, 40}); b != 1 {
+		t.Errorf("uniform balance = %g, want 1", b)
+	}
+	if b := Balance([]int{80, 8, 8, 8}); b >= 0.5 {
+		t.Errorf("skewed balance = %g, want < 0.5", b)
+	}
+	if b := Balance(nil); b != 1 {
+		t.Errorf("empty balance = %g", b)
+	}
+	if b := Balance([]int{0, 0}); b != 1 {
+		t.Errorf("all-zero balance = %g", b)
+	}
+}
+
+// Property: survival at RunsToFirstWearout/2 is high and balance is in (0,1].
+func TestWearProperties(t *testing.T) {
+	m := Model{RatedActuations: 4000}
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		counts := make([]int, len(raw))
+		any := false
+		for i, r := range raw {
+			counts[i] = int(r)
+			if r > 0 {
+				any = true
+			}
+		}
+		if !any {
+			return true
+		}
+		b := Balance(counts)
+		if b <= 0 || b > 1 {
+			return false
+		}
+		runs := m.RunsToFirstWearout(counts)
+		if runs < 1 {
+			return false
+		}
+		return m.SurvivalProb(counts, runs/2) > 0.5
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The paper's headline: the dynamic-device chip outlives the traditional
+// design by roughly the vs_tmax / vs1max ratio.
+func TestServiceLifeGainOnPCR(t *testing.T) {
+	c := assays.PCR()
+	des, err := baseline.Traditional(c, 1, baseline.DefaultCost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Synthesize(c.Assay, core.Options{
+		Policy: schedule.Resources{Mixers: des.Mixers},
+		Place:  place.Config{Grid: c.GridSize, Mode: place.Greedy},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Model{RatedActuations: 4000}
+
+	trad := TraditionalProfile(des, baseline.DefaultCost)
+	ours := ChipCounts(res.ChipAt(-1, 1))
+	runsTrad := m.RunsToFirstWearout(trad)
+	runsOurs := m.RunsToFirstWearout(ours)
+	if runsTrad != 4000/des.VsTmax {
+		t.Errorf("traditional runs = %d, want %d", runsTrad, 4000/des.VsTmax)
+	}
+	gain := float64(runsOurs) / float64(runsTrad)
+	if gain < 2 {
+		t.Errorf("service-life gain = %.2f, want ≥ 2 (paper: ~3.5x on PCR p1)", gain)
+	}
+	// Wear is much better balanced on the dynamic chip.
+	if Balance(ours) <= Balance(trad) {
+		t.Errorf("balance ours %.3f ≤ traditional %.3f", Balance(ours), Balance(trad))
+	}
+}
+
+func TestTraditionalProfileShape(t *testing.T) {
+	c := assays.PCR()
+	des, err := baseline.Traditional(c, 1, baseline.DefaultCost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := TraditionalProfile(des, baseline.DefaultCost)
+	if len(prof) == 0 {
+		t.Fatal("empty profile")
+	}
+	// Descending, max = vs_tmax (the most loaded pump valve).
+	for i := 1; i < len(prof); i++ {
+		if prof[i] > prof[i-1] {
+			t.Fatal("profile not descending")
+		}
+	}
+	if prof[0] != des.VsTmax {
+		t.Errorf("profile max = %d, want vs_tmax %d", prof[0], des.VsTmax)
+	}
+}

@@ -1,0 +1,302 @@
+// Package mfsynth is a reliability-aware synthesis toolkit for flow-based
+// microfluidic biochips, reproducing Tseng, Li, Ho and Schlichtmann,
+// "Reliability-aware Synthesis for Flow-based Microfluidic Biochips by
+// Dynamic-device Mapping" (DAC 2015).
+//
+// The package is a façade over the implementation packages in internal/:
+// sequencing graphs and benchmark assays, list scheduling, the
+// valve-centered architecture, ILP-based dynamic-device mapping (with a
+// built-in pure-Go MILP solver), transport routing with in situ storage
+// pass-through, actuation simulation, and the traditional dedicated-device
+// baseline of the paper's Table 1.
+//
+// Quick start:
+//
+//	c := mfsynth.PCR()
+//	res, err := mfsynth.Synthesize(c.Assay, mfsynth.Options{
+//		Policy: mfsynth.Resources{Mixers: c.BaseMixers},
+//		Place:  mfsynth.PlaceConfig{Grid: c.GridSize},
+//	})
+//	fmt.Println(res)               // vs1=…(…) vs2=…(…) #v=…
+//	fmt.Println(res.Snapshot(12))  // Fig. 10-style chip snapshot
+package mfsynth
+
+import (
+	"io"
+
+	"mfsynth/internal/arch"
+	"mfsynth/internal/assays"
+	"mfsynth/internal/baseline"
+	"mfsynth/internal/contam"
+	"mfsynth/internal/control"
+	"mfsynth/internal/core"
+	"mfsynth/internal/graph"
+	"mfsynth/internal/place"
+	"mfsynth/internal/report"
+	"mfsynth/internal/schedule"
+	"mfsynth/internal/sim"
+	"mfsynth/internal/svg"
+	"mfsynth/internal/wear"
+)
+
+// Assay is a bioassay sequencing graph.
+type Assay = graph.Assay
+
+// Op is one assay operation.
+type Op = graph.Op
+
+// Kind classifies assay operations.
+type Kind = graph.Kind
+
+// Operation kinds.
+const (
+	Input  = graph.Input
+	Mix    = graph.Mix
+	Detect = graph.Detect
+	Output = graph.Output
+)
+
+// NewAssay returns an empty assay with the given name.
+func NewAssay(name string) *Assay { return graph.New(name) }
+
+// ParseAssay reads an assay in the line-oriented text format (see
+// internal/assays for the grammar).
+func ParseAssay(r io.Reader) (*Assay, error) { return assays.Parse(r) }
+
+// WriteAssay serialises an assay in the text format.
+func WriteAssay(w io.Writer, a *Assay) error { return assays.Write(w, a) }
+
+// Case bundles a benchmark assay with its evaluation parameters.
+type Case = assays.Case
+
+// PCR returns the polymerase chain reaction benchmark (Table 1).
+func PCR() Case { return assays.PCR() }
+
+// MixingTree returns the mixing-tree benchmark (Table 1).
+func MixingTree() Case { return assays.MixingTree() }
+
+// InterpolatingDilution returns the interpolating-dilution benchmark.
+func InterpolatingDilution() Case { return assays.InterpolatingDilution() }
+
+// ExponentialDilution returns the exponential-dilution benchmark.
+func ExponentialDilution() Case { return assays.ExponentialDilution() }
+
+// CaseByName resolves a benchmark by name; see CaseNames.
+func CaseByName(name string) (Case, error) { return assays.ByName(name) }
+
+// CaseNames lists the benchmark names in Table 1 order.
+func CaseNames() []string { return assays.Names() }
+
+// SerialDilution builds a single 1:1 serial dilution chain with the given
+// step volumes — a simple parametric assay for experiments.
+func SerialDilution(name string, stepVolumes []int) *Assay {
+	return assays.SerialDilution(name, stepVolumes)
+}
+
+// InVitro builds the classic samples×reagents in-vitro diagnostics assay:
+// every sample is mixed with every reagent and the product detected.
+func InVitro(samples, reagents, volume int) *Assay {
+	return assays.InVitro(samples, reagents, volume)
+}
+
+// WriteDOT renders an assay as a Graphviz digraph.
+func WriteDOT(w io.Writer, a *Assay) error { return graph.WriteDOT(w, a) }
+
+// Shape is a dynamic-device footprint on the valve matrix.
+type Shape = arch.Shape
+
+// Placement is a dynamic-device instance: a shape at a location.
+type Placement = arch.Placement
+
+// ShapesForVolume enumerates every device shape (and orientation) whose
+// peristaltic ring holds exactly v units, e.g. 3×3, 2×4 and 4×2 for v = 8.
+func ShapesForVolume(v int) []Shape { return arch.ShapesForVolume(v) }
+
+// Resources bounds device concurrency during scheduling.
+type Resources = schedule.Resources
+
+// ScheduleOptions configures the list scheduler.
+type ScheduleOptions = schedule.Options
+
+// ScheduleResult is a scheduling result (start times, binding, Gantt).
+type ScheduleResult = schedule.Result
+
+// Schedule runs resource-constrained list scheduling on the assay.
+func Schedule(a *Assay, opts ScheduleOptions) (*ScheduleResult, error) {
+	return schedule.List(a, opts)
+}
+
+// PlaceConfig tunes the dynamic-device mapper.
+type PlaceConfig = place.Config
+
+// PlaceMode selects the mapping algorithm.
+type PlaceMode = place.Mode
+
+// Mapping algorithms.
+const (
+	// RollingHorizon (default) solves the paper's ILP over creation-order
+	// batches — tractable on all benchmarks with the built-in solver.
+	RollingHorizon = place.RollingHorizon
+	// MonolithicILP solves the paper's single ILP over all operations.
+	MonolithicILP = place.Monolithic
+	// GreedyPlace is the constructive heuristic (ablation baseline).
+	GreedyPlace = place.Greedy
+)
+
+// Options configures Synthesize.
+type Options = core.Options
+
+// Result is a complete synthesis result with both evaluation settings.
+type Result = core.Result
+
+// Synthesize runs the full reliability-aware synthesis (Algorithm 1):
+// scheduling, dynamic-device mapping, routing, and actuation simulation.
+func Synthesize(a *Assay, opts Options) (*Result, error) {
+	return core.Synthesize(a, opts)
+}
+
+// TraditionalDesign is the dedicated-device baseline of the paper.
+type TraditionalDesign = baseline.Design
+
+// CostModel prices the valves of a traditional design.
+type CostModel = baseline.CostModel
+
+// DefaultCost is the calibrated traditional-layout cost model.
+var DefaultCost = baseline.DefaultCost
+
+// Traditional evaluates the traditional design of the case under the given
+// policy index (1-based) with optimal operation binding.
+func Traditional(c Case, policy int, cost CostModel) (*TraditionalDesign, error) {
+	return baseline.Traditional(c, policy, cost)
+}
+
+// Policies derives the mixer policies p1..pn for a case.
+func Policies(c Case, n int) []map[int]int { return baseline.Policies(c, n) }
+
+// Table1Row is one line of the paper's Table 1.
+type Table1Row = report.Row
+
+// Table1RowOptions tunes the synthesis side of a Table 1 row.
+type Table1RowOptions = report.RowOptions
+
+// EvaluateRow computes one benchmark × policy cell of Table 1.
+func EvaluateRow(c Case, policy int, opts Table1RowOptions) (*Table1Row, error) {
+	return report.Table1Row(c, policy, opts)
+}
+
+// Table1 evaluates all four benchmarks under policies p1..p3.
+func Table1(opts Table1RowOptions) ([]*Table1Row, error) { return report.Table1(opts) }
+
+// RenderTable1 formats rows as a text table.
+func RenderTable1(rows []*Table1Row) string { return report.Render(rows) }
+
+// Table1Averages returns the mean improvement percentages.
+func Table1Averages(rows []*Table1Row) (imp1, imp2, impV float64) {
+	return report.Averages(rows)
+}
+
+// Role is what a virtual valve is doing at one instant (the paper's
+// valve-role-changing concept made inspectable).
+type Role = core.Role
+
+// Valve roles.
+const (
+	RoleUnused  = core.Unused
+	RoleClosed  = core.Closed
+	RoleWall    = core.WallRole
+	RoleControl = core.ControlRole
+	RoleStorage = core.StorageRole
+	RolePump    = core.PumpRole
+)
+
+// Violation is a broken design rule found by CheckResult.
+type Violation = sim.Violation
+
+// CheckResult replays a synthesis result and verifies the physical
+// invariants of the paper's model (non-overlap, storage free space,
+// routing obstacles, fluid conservation, metric consistency).
+func CheckResult(res *Result) []Violation { return sim.Check(res) }
+
+// WearModel turns actuation counts into lifetime estimates.
+type WearModel = wear.Model
+
+// ChipActuationCounts flattens a result's per-valve total actuations
+// (setting 1), descending, dropping never-actuated valves.
+func ChipActuationCounts(res *Result) []int {
+	return wear.ChipCounts(res.ChipAt(-1, 1))
+}
+
+// TraditionalActuationCounts derives the per-valve profile of one assay
+// execution on a traditional design.
+func TraditionalActuationCounts(d *TraditionalDesign) []int {
+	return wear.TraditionalProfile(d, DefaultCost)
+}
+
+// WearBalance returns how evenly actuations spread over the used valves
+// (mean/max in (0,1]; the valve-role-changing concept pushes this up).
+func WearBalance(counts []int) float64 { return wear.Balance(counts) }
+
+// ControlAnalysis summarises the control-layer effort of a result.
+type ControlAnalysis = control.Analysis
+
+// AnalyzeControl counts the control pins a synthesized chip needs: valves
+// with identical switching traces share one pressure source.
+func AnalyzeControl(res *Result) ControlAnalysis { return control.Analyze(res) }
+
+// ControlLayout is a routed control layer: pins on the chip boundary and
+// channel trees reaching every valve of each pin group.
+type ControlLayout = control.Layout
+
+// RouteControlLayer physically routes the control layer for an analysis.
+func RouteControlLayer(res *Result, a ControlAnalysis) ControlLayout {
+	return control.RouteControl(res, a)
+}
+
+// ContaminationReport summarises cross-contamination risk (residue of one
+// fluid joining an unrelated mixture) — the restriction the paper's
+// conclusion defers to future work.
+type ContaminationReport = contam.Report
+
+// AnalyzeContamination reconstructs per-valve fluid occupancy and flags
+// risky successions, with a wash-flush estimate.
+func AnalyzeContamination(res *Result) ContaminationReport { return contam.Analyze(res) }
+
+// WashPlan is a set of routed buffer flushes clearing contamination risks,
+// priced in extra valve actuations.
+type WashPlan = contam.WashPlan
+
+// PlanWashes routes a flush before every risky transport time and reports
+// the reliability cost of contamination-free operation.
+func PlanWashes(res *Result) WashPlan { return contam.PlanWashes(res) }
+
+// Speedup is one row of the execution-speedup experiment (the paper's
+// future-work direction: dynamic devices also shorten the assay).
+type Speedup = report.Speedup
+
+// ExecutionSpeedup compares the policy-limited schedule against a fully
+// parallel schedule realised with dynamic devices.
+func ExecutionSpeedup(c Case, policy int) (*Speedup, error) {
+	return report.ExecutionSpeedup(c, policy)
+}
+
+// RenderSpeedups formats execution-speedup rows.
+func RenderSpeedups(rows []*Speedup) string { return report.RenderSpeedups(rows) }
+
+// SVGOptions selects what WriteSVG draws.
+type SVGOptions = svg.Options
+
+// WriteSVG renders a synthesis result as a standalone SVG drawing: valve
+// actuation heat map, device footprints, transport paths, chip ports, and
+// optionally the routed control layer.
+func WriteSVG(w io.Writer, res *Result, opts SVGOptions) error {
+	return svg.Write(w, res, opts)
+}
+
+// RandomAssayOptions parameterises RandomAssay.
+type RandomAssayOptions = assays.RandomOptions
+
+// RandomAssay generates a pseudo-random valid bioassay (deterministic in
+// the seed) — useful for stress-testing flows and custom experiments.
+func RandomAssay(seed int64, opts RandomAssayOptions) *Assay {
+	return assays.Random(seed, opts)
+}

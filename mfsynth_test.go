@@ -1,0 +1,118 @@
+package mfsynth
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFacadeQuickstart(t *testing.T) {
+	c := PCR()
+	res, err := Synthesize(c.Assay, Options{
+		Policy: Resources{Mixers: c.BaseMixers},
+		Place:  PlaceConfig{Grid: c.GridSize, Mode: GreedyPlace},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.VsPump1 != 40 {
+		t.Errorf("VsPump1 = %d, want 40", res.VsPump1)
+	}
+	if !strings.Contains(res.String(), "PCR") {
+		t.Errorf("String = %q", res.String())
+	}
+}
+
+func TestFacadeAssayRoundTrip(t *testing.T) {
+	a := NewAssay("rt")
+	i1 := a.Add(Input, "i1", 0)
+	i2 := a.Add(Input, "i2", 0)
+	m := a.Add(Mix, "m", 6)
+	a.Connect(i1, m, 2)
+	a.Connect(i2, m, 2)
+	var sb strings.Builder
+	if err := WriteAssay(&sb, a); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseAssay(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "rt" || got.Len() != 3 {
+		t.Fatalf("round trip: %q with %d ops", got.Name, got.Len())
+	}
+}
+
+func TestFacadeCases(t *testing.T) {
+	if len(CaseNames()) != 4 {
+		t.Fatalf("CaseNames = %v", CaseNames())
+	}
+	for _, name := range CaseNames() {
+		c, err := CaseByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Assay.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	if _, err := CaseByName("bogus"); err == nil {
+		t.Error("bogus case accepted")
+	}
+}
+
+func TestFacadeTraditionalAndPolicies(t *testing.T) {
+	c := PCR()
+	pols := Policies(c, 3)
+	if len(pols) != 3 {
+		t.Fatalf("Policies = %v", pols)
+	}
+	des, err := Traditional(c, 1, DefaultCost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if des.VsTmax != 160 {
+		t.Errorf("VsTmax = %d, want 160", des.VsTmax)
+	}
+}
+
+func TestFacadeShapes(t *testing.T) {
+	shapes := ShapesForVolume(8)
+	if len(shapes) != 3 {
+		t.Fatalf("ShapesForVolume(8) = %v", shapes)
+	}
+	for _, s := range shapes {
+		if s.Volume() != 8 {
+			t.Errorf("shape %v volume %d", s, s.Volume())
+		}
+	}
+}
+
+func TestFacadeEvaluateRow(t *testing.T) {
+	c := PCR()
+	row, err := EvaluateRow(c, 1, Table1RowOptions{Mode: GreedyPlace})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RenderTable1([]*Table1Row{row})
+	if !strings.Contains(out, "PCR") || !strings.Contains(out, "1-0-4-2") {
+		t.Errorf("render:\n%s", out)
+	}
+	i1, i2, _ := Table1Averages([]*Table1Row{row})
+	if i1 <= 0 || i2 <= i1 {
+		t.Errorf("averages: %v %v", i1, i2)
+	}
+}
+
+func TestFacadeSerialDilutionAndSchedule(t *testing.T) {
+	a := SerialDilution("sd", []int{8, 6, 4})
+	res, err := Schedule(a, ScheduleOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan <= 0 {
+		t.Error("empty schedule")
+	}
+	if !strings.Contains(res.Gantt(), "=") {
+		t.Error("gantt missing bars")
+	}
+}
