@@ -1,0 +1,22 @@
+# Tier-1: the seed contract — everything builds, all tests pass.
+tier1:
+	go build ./...
+	go test ./...
+
+# Tier-2: static checks + the full suite under the race detector; the
+# serial-vs-parallel equivalence tests make this the parallel engine's
+# correctness gate.
+tier2:
+	go vet ./...
+	go test -race ./...
+
+# Serial-vs-parallel engine benchmarks (ns/op and allocs/op per worker count).
+bench-parallel:
+	go test -bench=Parallel -benchmem ./...
+	go test -bench=SimplexMedium -benchmem ./internal/lp/
+
+# Machine-readable Table 1 artefact.
+bench-json:
+	go run ./cmd/mfbench -table1 -json BENCH_table1.json
+
+.PHONY: tier1 tier2 bench-parallel bench-json

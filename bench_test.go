@@ -14,6 +14,7 @@ package mfsynth
 // in EXPERIMENTS.md).
 
 import (
+	"fmt"
 	"testing"
 
 	"mfsynth/internal/assays"
@@ -87,6 +88,7 @@ func BenchmarkTable1_ExponentialDilution_P3(b *testing.B) {
 // table of Fig. 2(f).
 func BenchmarkFig2DedicatedMixer(b *testing.B) {
 	var f report.Fig2
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		f = report.DedicatedMixer(2)
 	}
@@ -98,6 +100,7 @@ func BenchmarkFig2DedicatedMixer(b *testing.B) {
 // comparison of Fig. 3 (largest count 80 → 48 with 8 valves).
 func BenchmarkFig3RoleChanging(b *testing.B) {
 	var f report.Fig3
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		f = report.RoleChangingMixer(2)
 	}
@@ -109,6 +112,7 @@ func BenchmarkFig3RoleChanging(b *testing.B) {
 // dynamic mixers of different orientations sharing the same area.
 func BenchmarkFig5OrientationShare(b *testing.B) {
 	n := 0
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		for _, v := range assays.MixerSizes {
 			n += len(ShapesForVolume(v))
@@ -207,6 +211,7 @@ func BenchmarkFig10Snapshots(b *testing.B) {
 func benchAblationMode(b *testing.B, mode place.Mode) {
 	c := assays.PCR()
 	var vs1 int
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := core.Synthesize(c.Assay, core.Options{
 			Policy: schedule.Resources{Mixers: c.BaseMixers},
@@ -231,6 +236,7 @@ func BenchmarkAblationMapperMonolithic_PCR(b *testing.B) {
 func BenchmarkAblationNoStorageOverlap_PCR(b *testing.B) {
 	c := assays.PCR()
 	var valves int
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := core.Synthesize(c.Assay, core.Options{
 			Policy: schedule.Resources{Mixers: c.BaseMixers},
@@ -249,6 +255,7 @@ func BenchmarkAblationNoStorageOverlap_PCR(b *testing.B) {
 func BenchmarkAblationNoPassthrough_PCR(b *testing.B) {
 	c := assays.PCR()
 	var valves int
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := core.Synthesize(c.Assay, core.Options{
 			Policy:                    schedule.Resources{Mixers: c.BaseMixers},
@@ -267,6 +274,7 @@ func BenchmarkAblationNoPassthrough_PCR(b *testing.B) {
 func BenchmarkAblationNoRoutingConvenient_PCR(b *testing.B) {
 	c := assays.PCR()
 	var vs1 int
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := core.Synthesize(c.Assay, core.Options{
 			Policy: schedule.Resources{Mixers: c.BaseMixers},
@@ -280,6 +288,76 @@ func BenchmarkAblationNoRoutingConvenient_PCR(b *testing.B) {
 	b.ReportMetric(float64(vs1), "vs1max")
 }
 
+// --- Parallel engine --------------------------------------------------
+
+// benchSynthesizeWorkers runs the full synthesis with a fixed worker count;
+// the reported metrics are identical for every count (the deterministic
+// merge contract), only ns/op changes with the core count.
+func benchSynthesizeWorkers(b *testing.B, name string, mode place.Mode, workers int) {
+	b.Helper()
+	c, err := assays.ByName(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	des, err := baseline.Traditional(c, 1, baseline.DefaultCost)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var vs1 int
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := core.Synthesize(c.Assay, core.Options{
+			Policy:  schedule.Resources{Mixers: des.Mixers, Detectors: c.Detectors},
+			Place:   place.Config{Grid: c.GridSize, Mode: mode},
+			Workers: workers,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		vs1 = res.VsMax1
+	}
+	b.ReportMetric(float64(vs1), "vs1max")
+}
+
+// BenchmarkParallelGreedy_MixingTree exercises the concurrent multi-start
+// greedy fan-out (32 variants per batch) at several worker counts.
+func BenchmarkParallelGreedy_MixingTree(b *testing.B) {
+	for _, w := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			benchSynthesizeWorkers(b, "MixingTree", place.Greedy, w)
+		})
+	}
+}
+
+// BenchmarkParallelRolling_PCR exercises the parallel branch-and-bound
+// relaxation solves of the rolling-horizon ILP batches.
+func BenchmarkParallelRolling_PCR(b *testing.B) {
+	for _, w := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			benchSynthesizeWorkers(b, "PCR", place.RollingHorizon, w)
+		})
+	}
+}
+
+// BenchmarkParallelTable1Greedy evaluates all twelve Table 1 cells
+// (greedy mapper) with the cell-level fan-out of report.Table1.
+func BenchmarkParallelTable1Greedy(b *testing.B) {
+	for _, w := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				rows, err := report.Table1(report.RowOptions{Mode: place.Greedy, Workers: w})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(rows) != 12 {
+					b.Fatalf("%d rows", len(rows))
+				}
+			}
+		})
+	}
+}
+
 // --- Extensions -------------------------------------------------------
 
 // BenchmarkExtensionSpeedup_PCR runs the execution-speedup experiment
@@ -287,6 +365,7 @@ func BenchmarkAblationNoRoutingConvenient_PCR(b *testing.B) {
 func BenchmarkExtensionSpeedup_PCR(b *testing.B) {
 	c := assays.PCR()
 	var factor float64
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		s, err := report.ExecutionSpeedup(c, 1)
 		if err != nil {

@@ -4,17 +4,24 @@
 //
 // Usage:
 //
-//	mfbench                 # everything (Table 1 takes a few minutes)
-//	mfbench -figures        # only the figures
-//	mfbench -table1 -fast   # Table 1 with the greedy mapper (quick)
+//	mfbench                        # everything (Table 1 takes a few minutes)
+//	mfbench -figures               # only the figures
+//	mfbench -table1 -fast          # Table 1 with the greedy mapper (quick)
+//	mfbench -table1 -workers 4     # four-way parallel Table 1, same numbers
+//	mfbench -table1 -json BENCH_table1.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"runtime"
+	"time"
 
 	"mfsynth"
+	"mfsynth/internal/par"
 	"mfsynth/internal/report"
 )
 
@@ -27,6 +34,8 @@ func main() {
 		table1     = flag.Bool("table1", false, "only regenerate Table 1")
 		extensions = flag.Bool("extensions", false, "only run the extension experiments (speedup, wear, control)")
 		fast       = flag.Bool("fast", false, "use the greedy mapper (quick, slightly weaker)")
+		workers    = flag.Int("workers", 0, "worker count (0 = all CPUs, 1 = serial; results are identical)")
+		jsonOut    = flag.String("json", "", "write Table 1 as machine-readable JSON to this file (e.g. BENCH_table1.json)")
 	)
 	flag.Parse()
 	all := !*figures && !*table1 && !*extensions
@@ -35,32 +44,63 @@ func main() {
 		printFigures()
 	}
 	if *table1 || all {
-		printTable1(*fast)
+		printTable1(*fast, *workers, *jsonOut)
 	}
 	if *extensions || all {
-		printExtensions()
+		printExtensions(*workers)
 	}
+}
+
+// fanout splits the worker budget between a section's independent cells and
+// each cell's mapper: with more than one worker the cells run concurrently
+// and every mapper is serial, otherwise the single cell stream passes the
+// knob through. Results are identical either way.
+func fanout(workers int) (outer, inner int) {
+	outer = par.Workers(workers)
+	if outer > 1 {
+		return outer, 1
+	}
+	return outer, workers
 }
 
 // printExtensions runs the experiments beyond the paper's evaluation: the
 // execution-speedup future-work direction, the wear/lifetime model and the
-// control-pin analysis.
-func printExtensions() {
+// control-pin analysis. The independent case × policy cells of each section
+// are evaluated concurrently and printed in the fixed serial order.
+func printExtensions(workers int) {
+	outer, inner := fanout(workers)
+	names := mfsynth.CaseNames()
+
 	fmt.Println("== Extension: execution speedup with dynamic devices (paper §5 future work) ==")
-	var rows []*mfsynth.Speedup
-	for _, name := range mfsynth.CaseNames() {
-		c, err := mfsynth.CaseByName(name)
-		if err != nil {
-			log.Fatal(err)
-		}
+	type speedCell struct {
+		name   string
+		policy int
+	}
+	var cells []speedCell
+	for _, name := range names {
 		for p := 1; p <= 3; p++ {
-			s, err := mfsynth.ExecutionSpeedup(c, p)
-			if err != nil {
-				log.Printf("%s p%d: %v", name, p, err)
-				continue
-			}
-			rows = append(rows, s)
+			cells = append(cells, speedCell{name, p})
 		}
+	}
+	type speedRes struct {
+		s   *mfsynth.Speedup
+		err error
+	}
+	speedups, _ := par.Map(outer, len(cells), func(_, i int) (speedRes, error) {
+		c, err := mfsynth.CaseByName(cells[i].name)
+		if err != nil {
+			return speedRes{err: err}, nil
+		}
+		s, err := mfsynth.ExecutionSpeedup(c, cells[i].policy)
+		return speedRes{s: s, err: err}, nil
+	})
+	var rows []*mfsynth.Speedup
+	for i, r := range speedups {
+		if r.err != nil {
+			log.Printf("%s p%d: %v", cells[i].name, cells[i].policy, r.err)
+			continue
+		}
+		rows = append(rows, r.s)
 	}
 	fmt.Println(mfsynth.RenderSpeedups(rows))
 
@@ -68,67 +108,106 @@ func printExtensions() {
 	model := mfsynth.WearModel{RatedActuations: 4000}
 	fmt.Printf("%-22s %-4s %12s %12s %8s %14s %14s\n",
 		"case", "po.", "runs trad.", "runs ours", "gain", "balance trad.", "balance ours")
-	for _, name := range mfsynth.CaseNames() {
-		c, _ := mfsynth.CaseByName(name)
+	type wearRes struct {
+		trad, ours []int
+	}
+	wearRows, err := par.Map(outer, len(names), func(_, i int) (wearRes, error) {
+		c, _ := mfsynth.CaseByName(names[i])
 		des, err := mfsynth.Traditional(c, 1, mfsynth.DefaultCost)
 		if err != nil {
-			log.Fatal(err)
+			return wearRes{}, err
 		}
 		res, err := mfsynth.Synthesize(c.Assay, mfsynth.Options{
-			Policy: mfsynth.Resources{Mixers: des.Mixers, Detectors: c.Detectors},
-			Place:  mfsynth.PlaceConfig{Grid: c.GridSize, Mode: mfsynth.GreedyPlace},
+			Policy:  mfsynth.Resources{Mixers: des.Mixers, Detectors: c.Detectors},
+			Place:   mfsynth.PlaceConfig{Grid: c.GridSize, Mode: mfsynth.GreedyPlace},
+			Workers: inner,
 		})
 		if err != nil {
-			log.Fatal(err)
+			return wearRes{}, err
 		}
-		trad := mfsynth.TraditionalActuationCounts(des)
-		ours := mfsynth.ChipActuationCounts(res)
-		rt, ro := model.RunsToFirstWearout(trad), model.RunsToFirstWearout(ours)
+		return wearRes{
+			trad: mfsynth.TraditionalActuationCounts(des),
+			ours: mfsynth.ChipActuationCounts(res),
+		}, nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, wr := range wearRows {
+		rt, ro := model.RunsToFirstWearout(wr.trad), model.RunsToFirstWearout(wr.ours)
 		fmt.Printf("%-22s p1   %12d %12d %7.2fx %14.3f %14.3f\n",
-			name, rt, ro, float64(ro)/float64(rt),
-			mfsynth.WearBalance(trad), mfsynth.WearBalance(ours))
+			names[i], rt, ro, float64(ro)/float64(rt),
+			mfsynth.WearBalance(wr.trad), mfsynth.WearBalance(wr.ours))
 	}
 	fmt.Println()
 
 	fmt.Println("== Extension: control-layer effort and contamination risk ==")
-	for _, name := range mfsynth.CaseNames() {
-		c, _ := mfsynth.CaseByName(name)
+	type ctrlRes struct {
+		ca     mfsynth.ControlAnalysis
+		lay    mfsynth.ControlLayout
+		contam mfsynth.ContaminationReport
+		plan   mfsynth.WashPlan
+	}
+	ctrlRows, err := par.Map(outer, len(names), func(_, i int) (ctrlRes, error) {
+		c, _ := mfsynth.CaseByName(names[i])
 		res, err := mfsynth.Synthesize(c.Assay, mfsynth.Options{
-			Policy: mfsynth.Resources{Mixers: c.BaseMixers, Detectors: c.Detectors},
-			Place:  mfsynth.PlaceConfig{Grid: c.GridSize, Mode: mfsynth.GreedyPlace},
+			Policy:  mfsynth.Resources{Mixers: c.BaseMixers, Detectors: c.Detectors},
+			Place:   mfsynth.PlaceConfig{Grid: c.GridSize, Mode: mfsynth.GreedyPlace},
+			Workers: inner,
 		})
 		if err != nil {
-			log.Fatal(err)
+			return ctrlRes{}, err
 		}
 		ca := mfsynth.AnalyzeControl(res)
-		lay := mfsynth.RouteControlLayer(res, ca)
-		fmt.Printf("%-22s %s\n", name, ca)
+		return ctrlRes{
+			ca:     ca,
+			lay:    mfsynth.RouteControlLayer(res, ca),
+			contam: mfsynth.AnalyzeContamination(res),
+			plan:   mfsynth.PlanWashes(res),
+		}, nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, cr := range ctrlRows {
+		fmt.Printf("%-22s %s\n", names[i], cr.ca)
 		fmt.Printf("%-22s control layer: %d/%d trees routed, %d extra pins, channel length %d\n",
-			"", lay.Routed, lay.Routed+lay.Failed, lay.ExtraPins, lay.TotalLength)
-		fmt.Printf("%-22s %s\n", "", mfsynth.AnalyzeContamination(res))
-		plan := mfsynth.PlanWashes(res)
+			"", cr.lay.Routed, cr.lay.Routed+cr.lay.Failed, cr.lay.ExtraPins, cr.lay.TotalLength)
+		fmt.Printf("%-22s %s\n", "", cr.contam)
 		fmt.Printf("%-22s wash plan: %d flushes clear %d/%d risks, vs1max %d -> %d\n",
-			"", len(plan.Washes), plan.Cleared, plan.Cleared+plan.Uncleared,
-			plan.VsMax1Before, plan.VsMax1After)
+			"", len(cr.plan.Washes), cr.plan.Cleared, cr.plan.Cleared+cr.plan.Uncleared,
+			cr.plan.VsMax1Before, cr.plan.VsMax1After)
 	}
 	fmt.Println()
 
 	fmt.Println("== Extension: in-vitro diagnostics scaling (samples × reagents) ==")
 	fmt.Printf("%8s %8s %8s %10s %10s %8s\n", "size", "#op", "vs1max", "vs2max", "#valves", "makespan")
-	for s := 2; s <= 4; s++ {
-		r := s
-		a := mfsynth.InVitro(s, r, 8)
+	sizes := []int{2, 3, 4}
+	type vitroRes struct {
+		a   *mfsynth.Assay
+		res *mfsynth.Result
+		err error
+	}
+	vitro, _ := par.Map(outer, len(sizes), func(_, i int) (vitroRes, error) {
+		s := sizes[i]
+		a := mfsynth.InVitro(s, s, 8)
 		grid := 12 + 2*(s-2)
 		res, err := mfsynth.Synthesize(a, mfsynth.Options{
-			Policy: mfsynth.Resources{Mixers: map[int]int{8: s}, Detectors: s},
-			Place:  mfsynth.PlaceConfig{Grid: grid, Mode: mfsynth.GreedyPlace},
+			Policy:  mfsynth.Resources{Mixers: map[int]int{8: s}, Detectors: s},
+			Place:   mfsynth.PlaceConfig{Grid: grid, Mode: mfsynth.GreedyPlace},
+			Workers: inner,
 		})
-		if err != nil {
-			log.Printf("InVitro %dx%d: %v", s, r, err)
+		return vitroRes{a: a, res: res, err: err}, nil
+	})
+	for i, vr := range vitro {
+		s := sizes[i]
+		if vr.err != nil {
+			log.Printf("InVitro %dx%d: %v", s, s, vr.err)
 			continue
 		}
+		res := vr.res
 		fmt.Printf("%5dx%-2d %8s %5d(%2d) %6d(%2d) %8d %8d\n",
-			s, r, a.Stats(), res.VsMax1, res.VsPump1, res.VsMax2, res.VsPump2,
+			s, s, vr.a.Stats(), res.VsMax1, res.VsPump1, res.VsMax2, res.VsPump2,
 			res.UsedValves, res.Schedule.Makespan)
 	}
 	fmt.Println()
@@ -161,15 +240,101 @@ func printFigures() {
 	fmt.Printf("result: %s\n\n", res)
 }
 
-func printTable1(fast bool) {
-	opts := mfsynth.Table1RowOptions{}
+func printTable1(fast bool, workers int, jsonOut string) {
+	opts := mfsynth.Table1RowOptions{Workers: workers}
 	if fast {
 		opts.Mode = mfsynth.GreedyPlace
 	}
 	fmt.Println("== Table 1: comparison with optimal binding for traditional designs ==")
+	start := time.Now()
 	rows, err := mfsynth.Table1(opts)
+	wall := time.Since(start)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println(mfsynth.RenderTable1(rows))
+	fmt.Printf("wall-clock: %.1fs (workers %d, GOMAXPROCS %d)\n\n",
+		wall.Seconds(), par.Workers(workers), runtime.GOMAXPROCS(0))
+	if jsonOut != "" {
+		if err := writeTable1JSON(jsonOut, rows, opts, workers, wall); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n\n", jsonOut)
+	}
+}
+
+// table1JSON is the machine-readable Table 1 artefact (-json flag).
+type table1JSON struct {
+	Mode        string        `json:"mode"`
+	Workers     int           `json:"workers"`
+	GOMAXPROCS  int           `json:"gomaxprocs"`
+	WallSeconds float64       `json:"wall_seconds"`
+	Rows        []table1Row   `json:"rows"`
+	Averages    table1AvgJSON `json:"averages"`
+}
+
+type table1Row struct {
+	Case           string  `json:"case"`
+	Policy         int     `json:"policy"`
+	Ops            string  `json:"ops"`
+	NumDevices     int     `json:"num_devices"`
+	MixVector      string  `json:"mix_vector"`
+	VsTmax         int     `json:"vs_tmax"`
+	TradValves     int     `json:"trad_valves"`
+	Vs1Max         int     `json:"vs1_max"`
+	Vs1Pump        int     `json:"vs1_pump"`
+	Imp1Pct        float64 `json:"imp1_pct"`
+	Vs2Max         int     `json:"vs2_max"`
+	Vs2Pump        int     `json:"vs2_pump"`
+	Imp2Pct        float64 `json:"imp2_pct"`
+	OurValves      int     `json:"our_valves"`
+	ImpVPct        float64 `json:"impv_pct"`
+	RuntimeSeconds float64 `json:"runtime_seconds"`
+}
+
+type table1AvgJSON struct {
+	Imp1Pct float64 `json:"imp1_pct"`
+	Imp2Pct float64 `json:"imp2_pct"`
+	ImpVPct float64 `json:"impv_pct"`
+}
+
+func writeTable1JSON(path string, rows []*mfsynth.Table1Row, opts mfsynth.Table1RowOptions, workers int, wall time.Duration) error {
+	out := table1JSON{
+		Mode:        opts.Mode.String(),
+		Workers:     par.Workers(workers),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		WallSeconds: wall.Seconds(),
+	}
+	for _, r := range rows {
+		out.Rows = append(out.Rows, table1Row{
+			Case:           r.Case,
+			Policy:         r.Policy,
+			Ops:            r.Ops,
+			NumDevices:     r.NumDevices,
+			MixVector:      r.MixVector,
+			VsTmax:         r.VsTmax,
+			TradValves:     r.TradValves,
+			Vs1Max:         r.Vs1Max,
+			Vs1Pump:        r.Vs1Pump,
+			Imp1Pct:        r.Imp1,
+			Vs2Max:         r.Vs2Max,
+			Vs2Pump:        r.Vs2Pump,
+			Imp2Pct:        r.Imp2,
+			OurValves:      r.OurValves,
+			ImpVPct:        r.ImpV,
+			RuntimeSeconds: r.Runtime.Seconds(),
+		})
+	}
+	out.Averages.Imp1Pct, out.Averages.Imp2Pct, out.Averages.ImpVPct = mfsynth.Table1Averages(rows)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -32,6 +32,7 @@ func main() {
 		compare   = flag.Bool("compare", true, "print the traditional-design comparison")
 		svgOut    = flag.String("svg", "", "write the chip layout as SVG to this file")
 		dotOut    = flag.String("dot", "", "write the assay graph as Graphviz DOT to this file")
+		workers   = flag.Int("workers", 0, "synthesis worker count (0 = all CPUs, 1 = serial; results are identical)")
 	)
 	flag.Parse()
 
@@ -65,7 +66,7 @@ func main() {
 		c.GridSize = *grid
 	}
 
-	row, err := mfsynth.EvaluateRow(c, *policy, mfsynth.Table1RowOptions{Mode: placeMode, Grid: c.GridSize})
+	row, err := mfsynth.EvaluateRow(c, *policy, mfsynth.Table1RowOptions{Mode: placeMode, Grid: c.GridSize, Workers: *workers})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -76,8 +77,9 @@ func main() {
 		log.Fatal(err)
 	}
 	res, err := mfsynth.Synthesize(c.Assay, mfsynth.Options{
-		Policy: mfsynth.Resources{Mixers: des.Mixers, Detectors: c.Detectors},
-		Place:  mfsynth.PlaceConfig{Grid: c.GridSize, Mode: placeMode},
+		Policy:  mfsynth.Resources{Mixers: des.Mixers, Detectors: c.Detectors},
+		Place:   mfsynth.PlaceConfig{Grid: c.GridSize, Mode: placeMode},
+		Workers: *workers,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -55,6 +55,13 @@ type Options struct {
 	// DisableStoragePassthrough treats in situ storages as routing
 	// obstacles (the Fig. 8(a) behaviour; ablation of Section 3.5).
 	DisableStoragePassthrough bool
+	// Workers bounds the synthesis-internal parallelism — the multi-start
+	// greedy fan-out and the branch-and-bound relaxation solves
+	// (0 = runtime.GOMAXPROCS, 1 = legacy serial). Every value produces
+	// bit-identical results, provided Place.SolveTimeout does not bind
+	// (see place.Config.Workers); only wall-clock time changes.
+	// Place.Workers, when set, takes precedence.
+	Workers int
 }
 
 // EventKind classifies actuation events.
@@ -140,6 +147,9 @@ func Synthesize(a *graph.Assay, opts Options) (*Result, error) {
 	}
 	if opts.Place.Grid == 0 {
 		opts.Place.Grid = 10
+	}
+	if opts.Place.Workers == 0 {
+		opts.Place.Workers = opts.Workers
 	}
 	sched, err := schedule.List(a, schedule.Options{
 		TransportDelay: opts.TransportDelay,

@@ -148,6 +148,30 @@ func (p *Problem) SetBounds(v Var, lower, upper float64) {
 	p.lower[v], p.upper[v] = lower, upper
 }
 
+// Clone returns a Problem that shares the (immutable during solving)
+// structure — rows, objective, names — with p but owns private copies of
+// the bound vectors. Clones exist so branch-and-bound workers can apply
+// node-specific bounds and solve concurrently; structural edits (AddVar,
+// AddRow, SetObj) after cloning are not supported on either copy.
+func (p *Problem) Clone() *Problem {
+	q := *p
+	q.lower = append([]float64(nil), p.lower...)
+	q.upper = append([]float64(nil), p.upper...)
+	return &q
+}
+
+// BoundsSnapshot returns copies of the full lower and upper bound vectors.
+func (p *Problem) BoundsSnapshot() (lower, upper []float64) {
+	return append([]float64(nil), p.lower...), append([]float64(nil), p.upper...)
+}
+
+// RestoreBounds overwrites every variable's bounds from vectors previously
+// produced by BoundsSnapshot.
+func (p *Problem) RestoreBounds(lower, upper []float64) {
+	copy(p.lower, lower)
+	copy(p.upper, upper)
+}
+
 // AddRow adds the constraint Σ terms {rel} rhs. Terms may repeat a variable;
 // coefficients are summed.
 func (p *Problem) AddRow(terms []Term, rel Rel, rhs float64) {
@@ -212,7 +236,7 @@ type tableau struct {
 	maxIt   int
 }
 
-func newTableau(p *Problem) (*tableau, error) {
+func newTableau(p *Problem, scratch *Scratch) (*tableau, error) {
 	m := len(p.rows)
 	nStru := len(p.obj)
 	// Count slacks: one per LE/GE row.
@@ -223,16 +247,19 @@ func newTableau(p *Problem) (*tableau, error) {
 		}
 	}
 	n := nStru + nSlack + m // artificials allocated per row; unused ones get upper bound 0
+	if scratch != nil {
+		scratch.begin(m, n)
+	}
 	t := &tableau{
 		p: p, m: m, n: n, nStru: nStru, nSlack: nSlack,
-		a:       make([][]float64, m),
-		b:       make([]float64, m),
-		upper:   make([]float64, n),
-		cost2:   make([]float64, n),
-		cost1:   make([]float64, n),
-		basis:   make([]int, m),
-		inBasis: make([]bool, n),
-		atUpper: make([]bool, n),
+		a:       scratch.matrix(m, n),
+		b:       scratch.floats(m),
+		upper:   scratch.floats(n),
+		cost2:   scratch.floats(n),
+		cost1:   scratch.floats(n),
+		basis:   scratch.intSlice(m),
+		inBasis: scratch.boolSlice(n),
+		atUpper: scratch.boolSlice(n),
 		artBase: nStru + nSlack,
 		maxIt:   p.maxIt,
 	}
@@ -248,7 +275,7 @@ func newTableau(p *Problem) (*tableau, error) {
 	// artificials where the slack cannot serve as the initial basic var.
 	slack := nStru
 	for i := 0; i < m; i++ {
-		row := make([]float64, t.n)
+		row := t.a[i] // zeroed by the arena (or fresh)
 		for _, term := range p.rows[i] {
 			if int(term.Var) < 0 || int(term.Var) >= nStru {
 				return nil, fmt.Errorf("%w: row %d references unknown variable %d", ErrBadModel, i, term.Var)

@@ -391,33 +391,50 @@ func TestRedundantRowInvariance(t *testing.T) {
 	}
 }
 
-func BenchmarkSimplexMedium(b *testing.B) {
-	// A 40×80 random-ish LP, representative of a rolling-horizon node.
-	build := func() *Problem {
-		r := rand.New(rand.NewSource(7))
-		p := NewProblem()
-		n, m := 80, 40
-		vars := make([]Var, n)
-		for j := 0; j < n; j++ {
-			vars[j] = p.AddVar("x", 0, 1, r.Float64()-0.3)
-		}
-		for i := 0; i < m; i++ {
-			var terms []Term
-			for j := 0; j < n; j++ {
-				if r.Intn(4) == 0 {
-					terms = append(terms, Term{vars[j], float64(1 + r.Intn(3))})
-				}
-			}
-			if terms != nil {
-				p.AddRow(terms, LE, float64(3+r.Intn(5)))
-			}
-		}
-		return p
+// buildMediumLP returns a 40×80 random-ish LP, representative of a
+// rolling-horizon node.
+func buildMediumLP() *Problem {
+	r := rand.New(rand.NewSource(7))
+	p := NewProblem()
+	n, m := 80, 40
+	vars := make([]Var, n)
+	for j := 0; j < n; j++ {
+		vars[j] = p.AddVar("x", 0, 1, r.Float64()-0.3)
 	}
+	for i := 0; i < m; i++ {
+		var terms []Term
+		for j := 0; j < n; j++ {
+			if r.Intn(4) == 0 {
+				terms = append(terms, Term{vars[j], float64(1 + r.Intn(3))})
+			}
+		}
+		if terms != nil {
+			p.AddRow(terms, LE, float64(3+r.Intn(5)))
+		}
+	}
+	return p
+}
+
+func BenchmarkSimplexMedium(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		p := build()
+		p := buildMediumLP()
 		s, err := p.Solve()
+		if err != nil || s.Status != Optimal {
+			b.Fatalf("status %v err %v", s.Status, err)
+		}
+	}
+}
+
+// BenchmarkSimplexMediumScratch is the branch-and-bound node profile: the
+// problem is built once and re-solved with a reused tableau arena, the way
+// each solver worker re-solves LP relaxations across nodes.
+func BenchmarkSimplexMediumScratch(b *testing.B) {
+	p := buildMediumLP()
+	scratch := NewScratch()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s, err := p.SolveScratch(scratch)
 		if err != nil || s.Status != Optimal {
 			b.Fatalf("status %v err %v", s.Status, err)
 		}

@@ -102,7 +102,12 @@ func (pr *presolved) expand(p *Problem, sol *Solution) *Solution {
 
 // SolvePresolved runs reduce + simplex + expand. Problem.Solve delegates
 // here; the split exists so tests can target the presolve path directly.
-func (p *Problem) SolvePresolved() (*Solution, error) {
+func (p *Problem) SolvePresolved() (*Solution, error) { return p.SolveScratch(nil) }
+
+// SolveScratch is SolvePresolved drawing its tableau from the given arena
+// (nil = allocate fresh). Branch-and-bound callers keep one Scratch per
+// worker and pass it to every node solve.
+func (p *Problem) SolveScratch(scratch *Scratch) (*Solution, error) {
 	for i := range p.rows {
 		for _, t := range p.rows[i] {
 			if int(t.Var) < 0 || int(t.Var) >= p.NumVars() {
@@ -124,7 +129,7 @@ func (p *Problem) SolvePresolved() (*Solution, error) {
 		}
 		return &Solution{Status: Optimal, Obj: obj, X: x}, nil
 	}
-	t, err := newTableau(pr.reduced)
+	t, err := newTableau(pr.reduced, scratch)
 	if err != nil {
 		return nil, fmt.Errorf("lp: presolved model: %w", err)
 	}

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"mfsynth/internal/lp"
+	"mfsynth/internal/par"
 )
 
 // Re-exported row relations, for convenience of model-building code.
@@ -151,6 +152,15 @@ type Options struct {
 	// AbsGap stops the search when the incumbent is within AbsGap of the
 	// best bound (useful because actuation counts are integers: 0.999).
 	AbsGap float64
+	// Workers bounds the number of LP relaxations solved concurrently
+	// (0 = runtime.GOMAXPROCS, 1 = the legacy serial recursion). Any
+	// value yields bit-identical results — the parallel frontier
+	// processes nodes in the exact serial DFS order (see parallel.go) —
+	// so only wall-clock time changes. The one caveat is Timeout: a
+	// binding wall-clock deadline cuts the search at a timing-dependent
+	// node, in serial runs just as in parallel ones; use MaxNodes for a
+	// deterministic budget.
+	Workers int
 }
 
 // Result is the outcome of a MILP solve.
@@ -180,6 +190,7 @@ func (m *Model) Solve(opts Options) (*Result, error) {
 		absGap:   opts.AbsGap,
 		bestObj:  math.Inf(1),
 		bound:    math.Inf(-1),
+		scratch:  lp.NewScratch(),
 	}
 	if opts.Timeout > 0 {
 		s.deadline = time.Now().Add(opts.Timeout)
@@ -202,7 +213,13 @@ func (m *Model) Solve(opts Options) (*Result, error) {
 		}
 	}()
 
-	st, err := s.node()
+	var st nodeStatus
+	var err error
+	if workers := par.Workers(opts.Workers); workers > 1 {
+		st, err = s.runParallel(workers)
+	} else {
+		st, err = s.node()
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -298,6 +315,13 @@ type search struct {
 	bound    float64 // best lower bound proven at the root
 	complete bool    // true when the whole tree was explored
 	rootSet  bool
+
+	// scratch is the tableau arena reused across the serial recursion's
+	// node solves (parallel workers carry their own, see parallel.go).
+	scratch *lp.Scratch
+	// rootLo/rootHi snapshot the root bounds for replaying node deltas
+	// (parallel mode only).
+	rootLo, rootHi []float64
 }
 
 // node solves the relaxation under the current bounds and recurses.
@@ -310,7 +334,7 @@ func (s *search) node() (nodeStatus, error) {
 	}
 	s.nodes++
 
-	sol, err := s.m.lp.Solve()
+	sol, err := s.m.lp.SolveScratch(s.scratch)
 	if err != nil {
 		return nodeDone, err
 	}

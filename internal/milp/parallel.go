@@ -1,0 +1,214 @@
+package milp
+
+import (
+	"math"
+	"time"
+
+	"mfsynth/internal/lp"
+	"mfsynth/internal/par"
+)
+
+// Parallel branch and bound.
+//
+// The serial search (milp.go) is a recursive DFS that solves one LP
+// relaxation per node. The parallel mode below explores the *same* tree in
+// the *same* order but decouples LP solving from node processing:
+//
+//   - the frontier is an explicit DFS stack of nodes, each node carrying
+//     the bound changes that define it relative to the root;
+//   - each synchronized round solves the LP relaxations of the unsolved
+//     nodes nearest the top of the stack concurrently (one lp.Problem
+//     clone + tableau arena per worker);
+//   - nodes are then *processed* strictly in stack (= serial DFS) order by
+//     a single goroutine: fathoming against the incumbent, incumbent
+//     updates, branching-variable selection and child creation all happen
+//     in that sequential merge.
+//
+// Because an LP relaxation depends only on the node's bounds — never on
+// the incumbent — and every stacked node is eventually processed (the
+// serial recursion also visits both children of every branch), the
+// speculative solves are never wasted and the processing sequence is
+// bit-identical to the serial recursion: same incumbent trajectory, same
+// branching decisions, same node count, same Result. The only divergence
+// is wall-clock-dependent (Options.Timeout), exactly as in serial mode.
+//
+// bbNode is one frontier entry.
+type bbNode struct {
+	deltas []boundDelta // bound changes from the root, in application order
+	sol    *lp.Solution // prefetched relaxation (nil until a round solves it)
+	err    error
+}
+
+// boundDelta is one SetBounds call replayed onto a clone.
+type boundDelta struct {
+	v      lp.Var
+	lo, hi float64
+}
+
+// runParallel drives the synchronized-round frontier search with the given
+// number of workers (> 1).
+func (s *search) runParallel(workers int) (nodeStatus, error) {
+	s.rootLo, s.rootHi = s.m.lp.BoundsSnapshot()
+	clones := make([]*lp.Problem, workers)
+	arenas := make([]*lp.Scratch, workers)
+	for i := range clones {
+		clones[i] = s.m.lp.Clone()
+		arenas[i] = lp.NewScratch()
+	}
+
+	stack := []*bbNode{{}}
+	pending := make([]*bbNode, 0, workers)
+	for len(stack) > 0 {
+		// Round: prefetch the unsolved nodes nearest the top of the stack.
+		// Every stacked node will be processed, so none of these solves is
+		// speculative waste (short of a node/time limit aborting the run).
+		pending = pending[:0]
+		for i := len(stack) - 1; i >= 0 && len(pending) < workers; i-- {
+			if nd := stack[i]; nd.sol == nil && nd.err == nil {
+				pending = append(pending, nd)
+			}
+		}
+		if len(pending) > 0 {
+			batch := pending
+			_ = par.Do(workers, len(batch), func(slot, i int) error {
+				nd := batch[i]
+				cl := clones[slot]
+				cl.RestoreBounds(s.rootLo, s.rootHi)
+				for _, d := range nd.deltas {
+					cl.SetBounds(d.v, d.lo, d.hi)
+				}
+				nd.sol, nd.err = cl.SolveScratch(arenas[slot])
+				return nil
+			})
+		}
+
+		nd := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		st, children, err := s.processNode(nd)
+		if err != nil {
+			return nodeDone, err
+		}
+		if st != nodeDone {
+			return st, nil // limit or unbounded aborts the search, as in serial
+		}
+		// children[0] is explored first in the serial order: push it last.
+		for i := len(children) - 1; i >= 0; i-- {
+			stack = append(stack, children[i])
+		}
+	}
+	return nodeDone, nil
+}
+
+// processNode applies the exact per-node logic of the serial node() to a
+// prefetched node and returns the children to push (first-explored first).
+// It runs on the merge goroutine only.
+func (s *search) processNode(nd *bbNode) (nodeStatus, []*bbNode, error) {
+	if s.nodes >= s.maxNodes {
+		return nodeLimit, nil, nil
+	}
+	if !s.deadline.IsZero() && time.Now().After(s.deadline) {
+		return nodeLimit, nil, nil
+	}
+	s.nodes++
+
+	if nd.err != nil {
+		return nodeDone, nil, nd.err
+	}
+	sol := nd.sol
+	switch sol.Status {
+	case lp.Infeasible:
+		return nodeDone, nil, nil
+	case lp.Unbounded:
+		return nodeUnbounded, nil, nil
+	case lp.IterLimit:
+		return nodeLimit, nil, nil
+	}
+	if !s.rootSet {
+		s.bound = sol.Obj
+		s.rootSet = true
+	}
+	if sol.Obj >= s.bestObj-1e-9 || (s.absGap > 0 && sol.Obj >= s.bestObj-s.absGap) {
+		return nodeDone, nil, nil // fathom by bound
+	}
+
+	// chooseSOS1, CheckFeasible and Bounds read the model's bound state;
+	// materialise this node's bounds there (the merge is sequential, and
+	// Solve restores the root bounds on return).
+	s.applyNodeBounds(nd)
+
+	if branches := s.chooseSOS1(sol); branches[0] != nil {
+		children := make([]*bbNode, 0, 2)
+		for _, fix := range branches {
+			child := &bbNode{deltas: extendDeltas(nd.deltas, len(fix))}
+			for _, v := range fix {
+				child.deltas = append(child.deltas, boundDelta{v: v, lo: 0, hi: 0})
+			}
+			children = append(children, child)
+		}
+		return nodeDone, children, nil
+	}
+
+	// Find the most fractional integer variable.
+	branch, frac := -1, 0.0
+	for v := 0; v < s.m.NumVars(); v++ {
+		if !s.m.integer[v] {
+			continue
+		}
+		f := math.Abs(sol.X[v] - math.Round(sol.X[v]))
+		if f > intTol && f > frac {
+			branch, frac = v, f
+		}
+	}
+	if branch < 0 {
+		// Integer feasible.
+		if sol.Obj < s.bestObj-1e-9 {
+			s.bestObj = sol.Obj
+			s.bestX = roundInts(s.m, sol.X)
+		}
+		return nodeDone, nil, nil
+	}
+
+	// Rounding heuristic: snap all integers and test (under node bounds,
+	// like the serial search at this point of the recursion).
+	if s.bestX == nil {
+		cand := roundInts(s.m, sol.X)
+		if ok, obj := s.m.CheckFeasible(cand); ok && obj < s.bestObj {
+			s.bestObj, s.bestX = obj, cand
+		}
+	}
+
+	v := lp.Var(branch)
+	lo, hi := s.m.lp.Bounds(v)
+	floor := math.Floor(sol.X[branch])
+	// Explore the side nearer the LP value first.
+	first, second := [2]float64{lo, floor}, [2]float64{floor + 1, hi}
+	if sol.X[branch]-floor > 0.5 {
+		first, second = second, first
+	}
+	var children []*bbNode
+	for _, side := range [][2]float64{first, second} {
+		if side[0] > side[1] {
+			continue
+		}
+		child := &bbNode{deltas: extendDeltas(nd.deltas, 1)}
+		child.deltas = append(child.deltas, boundDelta{v: v, lo: side[0], hi: side[1]})
+		children = append(children, child)
+	}
+	return nodeDone, children, nil
+}
+
+// applyNodeBounds materialises nd's bound state on the model's LP.
+func (s *search) applyNodeBounds(nd *bbNode) {
+	s.m.lp.RestoreBounds(s.rootLo, s.rootHi)
+	for _, d := range nd.deltas {
+		s.m.lp.SetBounds(d.v, d.lo, d.hi)
+	}
+}
+
+// extendDeltas copies a parent delta chain with room for extra entries
+// (children must not share backing arrays — both sides append).
+func extendDeltas(parent []boundDelta, extra int) []boundDelta {
+	out := make([]boundDelta, len(parent), len(parent)+extra)
+	copy(out, parent)
+	return out
+}

@@ -1,0 +1,182 @@
+package milp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randomMILP builds a bounded random MILP deterministic in the seed:
+// mixed integer/continuous variables, LE/GE/EQ rows, occasionally SOS1
+// selection groups (exercising both branching schemes).
+func randomMILP(seed int64) *Model {
+	rng := rand.New(rand.NewSource(seed))
+	m := NewModel()
+	nv := 4 + rng.Intn(8)
+	vars := make([]Var, nv)
+	for v := 0; v < nv; v++ {
+		obj := float64(rng.Intn(9)) - 4
+		if rng.Intn(3) == 0 {
+			vars[v] = m.AddVar("c", 0, float64(2+rng.Intn(6)), obj)
+		} else {
+			vars[v] = m.AddInt("i", 0, float64(1+rng.Intn(4)), obj)
+		}
+	}
+	nr := 3 + rng.Intn(5)
+	for r := 0; r < nr; r++ {
+		var terms []Term
+		for v := 0; v < nv; v++ {
+			if rng.Intn(2) == 0 {
+				terms = append(terms, T(vars[v], float64(rng.Intn(5))-2))
+			}
+		}
+		if len(terms) == 0 {
+			terms = append(terms, T(vars[0], 1))
+		}
+		// Bias toward LE rows so most instances stay feasible.
+		rel := LE
+		switch rng.Intn(4) {
+		case 0:
+			rel = GE
+		case 1:
+			rel = EQ
+		}
+		m.AddRow(terms, rel, float64(rng.Intn(15)))
+	}
+	// Every third model gets an SOS1 selection group over fresh binaries.
+	if rng.Intn(3) == 0 {
+		k := 3 + rng.Intn(4)
+		group := make([]Var, k)
+		sel := make([]Term, k)
+		for i := range group {
+			group[i] = m.AddBinary("s", float64(rng.Intn(5)))
+			sel[i] = T(group[i], 1)
+		}
+		m.AddRow(sel, EQ, 1)
+		m.AddSOS1(group)
+	}
+	return m
+}
+
+// TestParallelMatchesSerial solves a battery of fixed-seed models with the
+// serial recursion and with the synchronized-round frontier at several
+// worker counts, asserting the full Result is identical: status, objective,
+// incumbent vector, node count, and root bound.
+func TestParallelMatchesSerial(t *testing.T) {
+	for seed := int64(1); seed <= 40; seed++ {
+		serialRes, err := randomMILP(seed).Solve(Options{Workers: 1})
+		if err != nil {
+			t.Fatalf("seed %d serial: %v", seed, err)
+		}
+		for _, workers := range []int{2, 4, 7} {
+			parRes, err := randomMILP(seed).Solve(Options{Workers: workers})
+			if err != nil {
+				t.Fatalf("seed %d workers=%d: %v", seed, workers, err)
+			}
+			assertSameResult(t, seed, workers, serialRes, parRes)
+		}
+	}
+}
+
+// TestParallelMatchesSerialWithGapAndIncumbent covers the AbsGap fathom
+// rule and a warm-start incumbent, both of which shape the search.
+func TestParallelMatchesSerialWithGapAndIncumbent(t *testing.T) {
+	for seed := int64(50); seed <= 70; seed++ {
+		opts := Options{AbsGap: 0.999}
+		serialModel := randomMILP(seed)
+		sRes, err := serialModel.Solve(withWorkers(opts, 1))
+		if err != nil {
+			t.Fatalf("seed %d serial: %v", seed, err)
+		}
+		pRes, err := randomMILP(seed).Solve(withWorkers(opts, 4))
+		if err != nil {
+			t.Fatalf("seed %d parallel: %v", seed, err)
+		}
+		assertSameResult(t, seed, 4, sRes, pRes)
+
+		// Re-solve warm-started from the first solution, when one exists.
+		if sRes.X == nil {
+			continue
+		}
+		warm := Options{Incumbent: sRes.X}
+		sWarm, err := randomMILP(seed).Solve(withWorkers(warm, 1))
+		if err != nil {
+			t.Fatalf("seed %d warm serial: %v", seed, err)
+		}
+		pWarm, err := randomMILP(seed).Solve(withWorkers(warm, 4))
+		if err != nil {
+			t.Fatalf("seed %d warm parallel: %v", seed, err)
+		}
+		assertSameResult(t, seed, 4, sWarm, pWarm)
+	}
+}
+
+// TestParallelMatchesSerialNodeLimit checks that hitting MaxNodes aborts
+// the frontier at the same node count and with the same partial result.
+func TestParallelMatchesSerialNodeLimit(t *testing.T) {
+	for seed := int64(80); seed <= 95; seed++ {
+		opts := Options{MaxNodes: 5}
+		sRes, err := randomMILP(seed).Solve(withWorkers(opts, 1))
+		if err != nil {
+			t.Fatalf("seed %d serial: %v", seed, err)
+		}
+		pRes, err := randomMILP(seed).Solve(withWorkers(opts, 4))
+		if err != nil {
+			t.Fatalf("seed %d parallel: %v", seed, err)
+		}
+		assertSameResult(t, seed, 4, sRes, pRes)
+	}
+}
+
+func withWorkers(o Options, w int) Options {
+	o.Workers = w
+	return o
+}
+
+func assertSameResult(t *testing.T, seed int64, workers int, want, got *Result) {
+	t.Helper()
+	if got.Status != want.Status {
+		t.Fatalf("seed %d workers=%d: status %v, serial %v", seed, workers, got.Status, want.Status)
+	}
+	if got.Nodes != want.Nodes {
+		t.Fatalf("seed %d workers=%d: nodes %d, serial %d", seed, workers, got.Nodes, want.Nodes)
+	}
+	if math.Abs(got.Obj-want.Obj) > 1e-9 {
+		t.Fatalf("seed %d workers=%d: obj %g, serial %g", seed, workers, got.Obj, want.Obj)
+	}
+	if bothFinite(got.Bound, want.Bound) && math.Abs(got.Bound-want.Bound) > 1e-9 {
+		t.Fatalf("seed %d workers=%d: bound %g, serial %g", seed, workers, got.Bound, want.Bound)
+	}
+	if (got.X == nil) != (want.X == nil) {
+		t.Fatalf("seed %d workers=%d: incumbent presence %v vs %v", seed, workers, got.X != nil, want.X != nil)
+	}
+	for i := range want.X {
+		if math.Abs(got.X[i]-want.X[i]) > 1e-9 {
+			t.Fatalf("seed %d workers=%d: x[%d] = %g, serial %g", seed, workers, i, got.X[i], want.X[i])
+		}
+	}
+}
+
+func bothFinite(a, b float64) bool {
+	return !math.IsInf(a, 0) && !math.IsInf(b, 0)
+}
+
+// TestParallelBoundsRestored: the model must be re-solvable after a
+// parallel solve (Solve restores root bounds on return).
+func TestParallelBoundsRestored(t *testing.T) {
+	m := NewModel()
+	x := m.AddInt("x", 0, 5, -1)
+	y := m.AddInt("y", 0, 5, -1)
+	m.AddRow([]Term{T(x, 2), T(y, 3)}, LE, 12)
+	first, err := m.Solve(Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := m.Solve(Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Obj != second.Obj || first.Status != second.Status {
+		t.Fatalf("re-solve diverged: %v/%g vs %v/%g", first.Status, first.Obj, second.Status, second.Obj)
+	}
+}

@@ -1,0 +1,127 @@
+// Package par is the shared deterministic parallelism layer of the
+// synthesis engine: a bounded fork/join worker pool with ordered fan-out
+// and fan-in.
+//
+// Every helper takes an explicit worker count (0 resolves to
+// runtime.GOMAXPROCS, 1 runs inline with no goroutines) and returns
+// results in input-index order, so callers that merge results by scanning
+// the returned slice front to back observe exactly the order a serial
+// loop would have produced. Determinism of the *merge* is therefore the
+// caller's only obligation; the scheduling of the work itself is free to
+// be arbitrary.
+//
+// Work functions receive a slot index in [0, workers) identifying the
+// executing worker, so callers can key per-worker scratch state (LP
+// clones, tableau arenas) off it without locking: two invocations with
+// the same slot never run concurrently.
+package par
+
+import (
+	"context"
+	"runtime"
+)
+
+// Workers resolves a worker-count knob: n if positive, otherwise
+// runtime.GOMAXPROCS(0). A result of 1 means "run serially".
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Map applies fn to every index in [0, n) using at most workers
+// concurrent goroutines and returns the n results in index order. fn is
+// called as fn(slot, i) where slot identifies the executing worker (two
+// calls with equal slot never overlap) and i is the work index.
+//
+// All indices are attempted even when some fail; the returned error is
+// the lowest-index error (deterministic regardless of scheduling), with
+// the full results slice still returned so callers can salvage partial
+// work. With workers <= 1 (after Workers resolution the caller applies)
+// everything runs inline on the calling goroutine with slot 0.
+func Map[R any](workers, n int, fn func(slot, i int) (R, error)) ([]R, error) {
+	return MapCtx[R](context.Background(), workers, n, fn)
+}
+
+// MapCtx is Map with context cancellation: indices not yet started when
+// ctx is cancelled are skipped (their results stay zero) and the context
+// error is returned unless an earlier per-index error takes precedence.
+func MapCtx[R any](ctx context.Context, workers, n int, fn func(slot, i int) (R, error)) ([]R, error) {
+	results := make([]R, n)
+	errs := make([]error, n)
+	if n == 0 {
+		return results, nil
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return results, firstError(errs, err)
+			}
+			results[i], errs[i] = fn(0, i)
+		}
+		return results, firstError(errs, nil)
+	}
+
+	// One goroutine per slot pulling indices from a shared feed. The feed
+	// is a plain channel of indices: order of *execution* is arbitrary,
+	// order of *results* is fixed by the index-addressed slices.
+	feed := make(chan int)
+	done := make(chan struct{}, workers)
+	for slot := 0; slot < workers; slot++ {
+		go func(slot int) {
+			defer func() { done <- struct{}{} }()
+			for i := range feed {
+				results[i], errs[i] = fn(slot, i)
+			}
+		}(slot)
+	}
+	var ctxErr error
+feedLoop:
+	for i := 0; i < n; i++ {
+		select {
+		case feed <- i:
+		case <-ctx.Done():
+			ctxErr = ctx.Err()
+			break feedLoop
+		}
+	}
+	close(feed)
+	for slot := 0; slot < workers; slot++ {
+		<-done
+	}
+	return results, firstError(errs, ctxErr)
+}
+
+// Do is Map for side-effecting work without a result value.
+func Do(workers, n int, fn func(slot, i int) error) error {
+	_, err := Map(workers, n, func(slot, i int) (struct{}, error) {
+		return struct{}{}, fn(slot, i)
+	})
+	return err
+}
+
+// Reduce folds the results of a completed ordered fan-out front to back:
+// acc = merge(acc, results[i]) for i = 0..len-1. It exists to make the
+// deterministic-merge contract explicit at call sites; merge must treat
+// its first argument as the accumulated best-so-far.
+func Reduce[R, A any](results []R, acc A, merge func(A, R) A) A {
+	for _, r := range results {
+		acc = merge(acc, r)
+	}
+	return acc
+}
+
+// firstError returns the lowest-index non-nil error, falling back to tail
+// (typically a context error) when every index succeeded.
+func firstError(errs []error, tail error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return tail
+}

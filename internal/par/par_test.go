@@ -1,0 +1,154 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(3); got != 3 {
+		t.Fatalf("Workers(3) = %d", got)
+	}
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-5); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(-5) = %d", got)
+	}
+}
+
+func TestMapOrdered(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 16} {
+		out, err := Map(workers, 100, func(slot, i int) (int, error) {
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestMapFirstErrorByIndex(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		want := errors.New("boom-3")
+		_, err := Map(workers, 10, func(slot, i int) (int, error) {
+			switch i {
+			case 3:
+				return 0, want
+			case 7:
+				return 0, errors.New("boom-7")
+			}
+			return i, nil
+		})
+		if err != want {
+			t.Fatalf("workers=%d: err = %v, want lowest-index error", workers, err)
+		}
+	}
+}
+
+func TestMapAllIndicesRunDespiteError(t *testing.T) {
+	var mu sync.Mutex
+	ran := make(map[int]bool)
+	_, err := Map(4, 20, func(slot, i int) (int, error) {
+		mu.Lock()
+		ran[i] = true
+		mu.Unlock()
+		if i == 0 {
+			return 0, fmt.Errorf("early failure")
+		}
+		return i, nil
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if len(ran) != 20 {
+		t.Fatalf("only %d/20 indices ran", len(ran))
+	}
+}
+
+func TestMapSlotExclusive(t *testing.T) {
+	const workers = 4
+	busy := make([]bool, workers)
+	var mu sync.Mutex
+	err := Do(workers, 200, func(slot, i int) error {
+		mu.Lock()
+		if busy[slot] {
+			mu.Unlock()
+			return fmt.Errorf("slot %d reentered", slot)
+		}
+		busy[slot] = true
+		mu.Unlock()
+		// A tiny amount of real work to give overlap a chance.
+		s := 0
+		for k := 0; k < 1000; k++ {
+			s += k
+		}
+		_ = s
+		mu.Lock()
+		busy[slot] = false
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMapCtxCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	started := 0
+	_, err := MapCtx(ctx, 1, 1000, cancelAfter(&started, cancel))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if started >= 1000 {
+		t.Fatalf("cancellation did not stop the feed (started %d)", started)
+	}
+}
+
+// cancelAfter builds a work fn that cancels the context after 5 items.
+func cancelAfter(started *int, cancel context.CancelFunc) func(int, int) (int, error) {
+	return func(slot, i int) (int, error) {
+		*started++
+		if *started == 5 {
+			cancel()
+		}
+		return i, nil
+	}
+}
+
+func TestReduce(t *testing.T) {
+	out, err := Map(4, 10, func(slot, i int) (int, error) { return i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := Reduce(out, 0, func(acc, v int) int { return acc + v })
+	if sum != 45 {
+		t.Fatalf("sum = %d", sum)
+	}
+	// Order-sensitive fold: first index wins ties, like the serial loops.
+	first := Reduce(out, -1, func(acc, v int) int {
+		if acc >= 0 {
+			return acc
+		}
+		return v
+	})
+	if first != 0 {
+		t.Fatalf("first = %d", first)
+	}
+}
+
+func TestDoZeroItems(t *testing.T) {
+	if err := Do(8, 0, func(slot, i int) error { return errors.New("never") }); err != nil {
+		t.Fatal(err)
+	}
+}

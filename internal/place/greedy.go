@@ -6,6 +6,7 @@ import (
 	"mfsynth/internal/arch"
 	"mfsynth/internal/graph"
 	"mfsynth/internal/grid"
+	"mfsynth/internal/par"
 	"mfsynth/internal/storage"
 )
 
@@ -53,54 +54,82 @@ type greedyInfo struct {
 	rcRelaxed int
 }
 
-// multiStartGreedy places the free operations on top of the fixed context,
-// trying several deterministic variants (root-lattice offsets × shape-order
-// rotations) and keeping the best by (max pump load, load spread, RC
-// relaxations).
-func (pr *problem) multiStartGreedy(free []int, fixed map[int]arch.Placement, pump map[grid.Point]int) (map[int]arch.Placement, greedyInfo, error) {
+// greedyVariant is one multi-start knob combination. Variants are built as
+// an explicit deduplicated list so the serial loop and the parallel
+// fan-out iterate the exact same sequence.
+type greedyVariant struct {
+	rootOff   grid.Point
+	shapeRot  int
+	noPull    bool
+	packLimit int
+}
+
+// greedyVariants enumerates the multi-start knob combinations in the
+// legacy run order, skipping duplicate (rootOff, shapeRot, noPull) tuples
+// (the run/2 derivation re-visits offsets once the mixed-radix range is
+// exhausted, e.g. with RootStride 1 every offset is {0,0}).
+func (pr *problem) greedyVariants(runs int, withPull bool, packLimit int) []greedyVariant {
 	stride := pr.cfg.RootStride
 	if stride < 1 {
 		stride = 1
 	}
-	run1 := func(st *greedyState) bool {
-		for _, op := range free {
-			if err := pr.greedyPlace(st, op); err != nil {
-				return false
-			}
+	seen := map[greedyVariant]bool{}
+	out := make([]greedyVariant, 0, runs)
+	for run := 0; run < runs; run++ {
+		v := run
+		if withPull {
+			v = run / 2
 		}
-		return true
-	}
-	var best *greedyState
-	var firstErr error
-	for run := 0; run < greedyRuns; run++ {
-		v := run / 2
-		st := &greedyState{
-			fixed:    clonePlacements(fixed),
-			pump:     clonePump(pump),
-			rootOff:  grid.Point{X: v % stride, Y: (v / stride) % stride},
-			shapeRot: v / (stride * stride),
-			noPull:   run%2 == 1,
+		gv := greedyVariant{
+			rootOff:   grid.Point{X: v % stride, Y: (v / stride) % stride},
+			shapeRot:  v / (stride * stride),
+			packLimit: packLimit,
 		}
-		ok := true
-		for _, op := range free {
-			if err := pr.greedyPlace(st, op); err != nil {
-				if firstErr == nil {
-					firstErr = err
-				}
-				ok = false
-				break
-			}
+		if withPull {
+			gv.noPull = run%2 == 1
 		}
-		if !ok {
+		if seen[gv] {
 			continue
 		}
-		if best == nil || st.better(best) {
-			best = st
-		}
-		if best.maxPump <= 1 && best.rcRelaxed == 0 {
-			break // cannot do better than one pump use per valve
+		seen[gv] = true
+		out = append(out, gv)
+	}
+	return out
+}
+
+// runVariant executes one constructive run; nil state means infeasible.
+func (pr *problem) runVariant(gv greedyVariant, free []int, fixed map[int]arch.Placement, pump map[grid.Point]int) (*greedyState, error) {
+	st := &greedyState{
+		fixed:     clonePlacements(fixed),
+		pump:      clonePump(pump),
+		rootOff:   gv.rootOff,
+		shapeRot:  gv.shapeRot,
+		noPull:    gv.noPull,
+		packLimit: gv.packLimit,
+	}
+	for _, op := range free {
+		if err := pr.greedyPlace(st, op); err != nil {
+			return nil, err
 		}
 	}
+	return st, nil
+}
+
+// greedyDone is the multi-start early-exit rule: nothing can beat one pump
+// use per valve with no relaxations.
+func greedyDone(st *greedyState) bool {
+	return st != nil && st.maxPump <= 1 && st.rcRelaxed == 0
+}
+
+// multiStartGreedy places the free operations on top of the fixed context,
+// trying several deterministic variants (root-lattice offsets × shape-order
+// rotations) and keeping the best by (max pump load, load spread, RC
+// relaxations). With Config.Workers != 1 the variants run concurrently;
+// the merge scans results in variant order with the same early-exit rule,
+// so the chosen state is identical to the serial loop's.
+func (pr *problem) multiStartGreedy(free []int, fixed map[int]arch.Placement, pump map[grid.Point]int) (map[int]arch.Placement, greedyInfo, error) {
+	variants := pr.greedyVariants(greedyRuns, true, 0)
+	best, firstErr := pr.bestVariant(variants, nil, true, free, fixed, pump)
 	if best == nil {
 		return nil, greedyInfo{}, firstErr
 	}
@@ -109,20 +138,64 @@ func (pr *problem) multiStartGreedy(free []int, fixed map[int]arch.Placement, pu
 	// worst-case wear with fewer manufactured valves. Pointless at load 1,
 	// where every ring is necessarily fresh.
 	if best.maxPump > 1 {
-		for run := 0; run < greedyRuns/2; run++ {
-			st := &greedyState{
-				fixed:     clonePlacements(fixed),
-				pump:      clonePump(pump),
-				rootOff:   grid.Point{X: run % stride, Y: (run / stride) % stride},
-				shapeRot:  run / (stride * stride),
-				packLimit: best.maxPump,
-			}
-			if run1(st) && st.better(best) {
-				best = st
-			}
-		}
+		packing := pr.greedyVariants(greedyRuns/2, false, best.maxPump)
+		best, _ = pr.bestVariant(packing, best, false, free, fixed, pump)
 	}
 	return best.fixed, greedyInfo{maxPump: best.maxPump, rcRelaxed: best.rcRelaxed}, nil
+}
+
+// bestVariant runs the variants (serially or fanned out over the worker
+// pool) and merges them deterministically: scan in variant order, keep the
+// first state that beats the incumbent, and — when earlyExit is set (the
+// main phase; the legacy packing loop has no early exit) — stop
+// considering further variants once the early-exit rule fires. The merge
+// order makes the chosen state identical to the serial loop's regardless
+// of worker count.
+func (pr *problem) bestVariant(variants []greedyVariant, best *greedyState, earlyExit bool, free []int, fixed map[int]arch.Placement, pump map[grid.Point]int) (*greedyState, error) {
+	var firstErr error
+	workers := par.Workers(pr.cfg.Workers)
+	if workers <= 1 {
+		// Legacy serial loop: the early exit also skips the runs themselves.
+		for _, gv := range variants {
+			st, err := pr.runVariant(gv, free, fixed, pump)
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				continue
+			}
+			if best == nil || st.better(best) {
+				best = st
+			}
+			if earlyExit && greedyDone(best) {
+				break
+			}
+		}
+		return best, firstErr
+	}
+	type runResult struct {
+		st  *greedyState
+		err error
+	}
+	results, _ := par.Map(workers, len(variants), func(slot, i int) (runResult, error) {
+		st, err := pr.runVariant(variants[i], free, fixed, pump)
+		return runResult{st: st, err: err}, nil
+	})
+	for _, r := range results {
+		if r.err != nil {
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			continue
+		}
+		if best == nil || r.st.better(best) {
+			best = r.st
+		}
+		if earlyExit && greedyDone(best) {
+			break
+		}
+	}
+	return best, firstErr
 }
 
 // better orders completed runs: pump quality first, then routing-convenient

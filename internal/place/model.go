@@ -165,6 +165,7 @@ func (pr *problem) solveBatch(free []int, fixed map[int]arch.Placement, pump map
 		Timeout:   pr.cfg.SolveTimeout,
 		Incumbent: incumbent,
 		AbsGap:    0.999, // w counts whole operations
+		Workers:   pr.cfg.Workers,
 	})
 	if err != nil {
 		return nil, info, err

@@ -1,0 +1,151 @@
+package place
+
+import (
+	"testing"
+	"time"
+
+	"mfsynth/internal/assays"
+	"mfsynth/internal/baseline"
+	"mfsynth/internal/schedule"
+)
+
+// p1Schedule builds the policy-p1 schedule of a benchmark case (the same
+// input Algorithm 1 receives in the Table 1 evaluation).
+func p1Schedule(t *testing.T, name string) (*schedule.Result, assays.Case) {
+	t.Helper()
+	c, err := assays.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	des, err := baseline.Traditional(c, 1, baseline.DefaultCost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := schedule.List(c.Assay, schedule.Options{
+		Resources: schedule.Resources{Mixers: des.Mixers, Detectors: c.Detectors},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, c
+}
+
+// assertSameMapping asserts two mappings are bit-identical in everything
+// Table 1 depends on: objective, every placement, windows and stats.
+func assertSameMapping(t *testing.T, label string, serial, parallel *Mapping) {
+	t.Helper()
+	if serial.MaxPumpOps != parallel.MaxPumpOps {
+		t.Fatalf("%s: MaxPumpOps %d (serial) vs %d (parallel)", label, serial.MaxPumpOps, parallel.MaxPumpOps)
+	}
+	if len(serial.Placements) != len(parallel.Placements) {
+		t.Fatalf("%s: %d vs %d placements", label, len(serial.Placements), len(parallel.Placements))
+	}
+	for op, pl := range serial.Placements {
+		if parallel.Placements[op] != pl {
+			t.Fatalf("%s: op %d placed at %v (serial) vs %v (parallel)", label, op, pl, parallel.Placements[op])
+		}
+	}
+	for op, w := range serial.Windows {
+		if parallel.Windows[op] != w {
+			t.Fatalf("%s: op %d window %v vs %v", label, op, w, parallel.Windows[op])
+		}
+	}
+	if serial.Stats != parallel.Stats {
+		t.Fatalf("%s: stats %+v (serial) vs %+v (parallel)", label, serial.Stats, parallel.Stats)
+	}
+}
+
+// TestParallelGreedyMatchesSerial maps all four Table 1 assays under p1
+// with the greedy mapper at Workers 1 vs 4 and asserts identical results.
+func TestParallelGreedyMatchesSerial(t *testing.T) {
+	for _, name := range assays.Names() {
+		sched, c := p1Schedule(t, name)
+		cfg := Config{Grid: c.GridSize, Mode: Greedy, Workers: 1}
+		serial, err := Map(sched, cfg)
+		if err != nil {
+			t.Fatalf("%s serial: %v", name, err)
+		}
+		cfg.Workers = 4
+		parallel, err := Map(sched, cfg)
+		if err != nil {
+			t.Fatalf("%s parallel: %v", name, err)
+		}
+		assertSameMapping(t, name+" greedy", serial, parallel)
+		checkMapping(t, sched, parallel, cfg)
+	}
+}
+
+// TestParallelRollingMatchesSerial runs the default rolling-horizon mapper
+// (multi-start greedy incumbents + branch-and-bound batches) on PCR and
+// MixingTree p1 — the cases where the ILP path is tractable in test time —
+// asserting the parallel engine reproduces the serial mapping exactly.
+func TestParallelRollingMatchesSerial(t *testing.T) {
+	for _, name := range []string{"PCR", "MixingTree"} {
+		sched, c := p1Schedule(t, name)
+		// Equivalence holds for any *deterministic* budget; the wall-clock
+		// SolveTimeout is timing-dependent (it binds under -race, where
+		// everything runs an order of magnitude slower), so the test uses a
+		// node cap instead of the 20 s default deadline.
+		cfg := Config{Grid: c.GridSize, Mode: RollingHorizon, Workers: 1,
+			MaxNodes: 64, SolveTimeout: time.Hour}
+		serial, err := Map(sched, cfg)
+		if err != nil {
+			t.Fatalf("%s serial: %v", name, err)
+		}
+		cfg.Workers = 4
+		parallel, err := Map(sched, cfg)
+		if err != nil {
+			t.Fatalf("%s parallel: %v", name, err)
+		}
+		assertSameMapping(t, name+" rolling", serial, parallel)
+		checkMapping(t, sched, parallel, cfg)
+	}
+}
+
+// TestGreedyVariantsDeduplicated checks the explicit variant list: no
+// duplicate (rootOff, shapeRot, noPull, packLimit) tuples at any stride,
+// including stride 1 where the legacy run/2 derivation repeated offsets.
+func TestGreedyVariantsDeduplicated(t *testing.T) {
+	sched, c := p1Schedule(t, "PCR")
+	for _, stride := range []int{1, 2, 3, 4} {
+		pr, err := newProblem(sched, Config{Grid: c.GridSize, RootStride: stride}.withDefaults())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, phase := range []struct {
+			runs     int
+			withPull bool
+			pack     int
+		}{{greedyRuns, true, 0}, {greedyRuns / 2, false, 3}} {
+			vs := pr.greedyVariants(phase.runs, phase.withPull, phase.pack)
+			if len(vs) == 0 {
+				t.Fatalf("stride %d: empty variant list", stride)
+			}
+			if len(vs) > phase.runs {
+				t.Fatalf("stride %d: %d variants exceed %d runs", stride, len(vs), phase.runs)
+			}
+			seen := map[greedyVariant]bool{}
+			for _, v := range vs {
+				if seen[v] {
+					t.Fatalf("stride %d: duplicate variant %+v", stride, v)
+				}
+				seen[v] = true
+				if v.packLimit != phase.pack {
+					t.Fatalf("stride %d: packLimit %d, want %d", stride, v.packLimit, phase.pack)
+				}
+			}
+		}
+		// Stride 1 main phase: offsets collapse to {0,0}, so the noPull
+		// pairs are the only axis besides shapeRot — every variant must
+		// still be unique and the list strictly shorter than the raw run
+		// count whenever collisions occur.
+		if stride == 1 {
+			vs := pr.greedyVariants(greedyRuns, true, 0)
+			for _, v := range vs {
+				if v.rootOff.X != 0 || v.rootOff.Y != 0 {
+					t.Fatalf("stride 1: non-zero offset %+v", v)
+				}
+			}
+		}
+	}
+}

@@ -78,6 +78,14 @@ type Config struct {
 	NoStorageOverlap bool
 	// NoRoutingConvenient drops constraints (13)-(16) (ablation).
 	NoRoutingConvenient bool
+	// Workers bounds the mapper-internal parallelism: the multi-start
+	// greedy fan-out and the branch-and-bound relaxation solves
+	// (0 = runtime.GOMAXPROCS, 1 = legacy serial). Results are
+	// bit-identical for every value; only wall-clock time changes —
+	// provided SolveTimeout does not bind (a wall-clock deadline cuts
+	// the search at a timing-dependent node in serial runs too; MaxNodes
+	// is the deterministic budget).
+	Workers int
 }
 
 func (c Config) withDefaults() Config {

@@ -8,6 +8,7 @@ import (
 	"mfsynth/internal/assays"
 	"mfsynth/internal/baseline"
 	"mfsynth/internal/core"
+	"mfsynth/internal/par"
 	"mfsynth/internal/place"
 	"mfsynth/internal/schedule"
 )
@@ -42,6 +43,12 @@ type RowOptions struct {
 	Mode place.Mode
 	// Grid overrides the case's grid size when positive.
 	Grid int
+	// Workers bounds the parallelism (0 = runtime.GOMAXPROCS, 1 = legacy
+	// serial). For a single row it is the mapper-internal worker count;
+	// Table1 instead spends the budget across its twelve case × policy
+	// cells and runs each cell's mapper serially. Either way the reported
+	// metrics are bit-identical to a serial run.
+	Workers int
 }
 
 // Table1Row evaluates one benchmark × policy cell of Table 1.
@@ -55,8 +62,9 @@ func Table1Row(c assays.Case, policy int, opts RowOptions) (*Row, error) {
 		grid = opts.Grid
 	}
 	res, err := core.Synthesize(c.Assay, core.Options{
-		Policy: schedule.Resources{Mixers: des.Mixers, Detectors: c.Detectors},
-		Place:  place.Config{Grid: grid, Mode: opts.Mode},
+		Policy:  schedule.Resources{Mixers: des.Mixers, Detectors: c.Detectors},
+		Place:   place.Config{Grid: grid, Mode: opts.Mode},
+		Workers: opts.Workers,
 	})
 	if err != nil {
 		return nil, err
@@ -90,21 +98,41 @@ func improvement(base, ours int) float64 {
 	return 100 * float64(base-ours) / float64(base)
 }
 
-// Table1 evaluates all four benchmarks under policies p1..p3.
+// Table1 evaluates all four benchmarks under policies p1..p3. The twelve
+// case × policy cells are independent synthesis runs, so with Workers > 1
+// they are evaluated concurrently; the row order (and every metric) is the
+// same as in a serial run.
 func Table1(opts RowOptions) ([]*Row, error) {
-	var rows []*Row
+	type cell struct {
+		c      assays.Case
+		policy int
+	}
+	var cells []cell
 	for _, name := range assays.Names() {
 		c, err := assays.ByName(name)
 		if err != nil {
 			return nil, err
 		}
 		for p := 1; p <= 3; p++ {
-			row, err := Table1Row(c, p, opts)
-			if err != nil {
-				return nil, fmt.Errorf("%s p%d: %w", name, p, err)
-			}
-			rows = append(rows, row)
+			cells = append(cells, cell{c, p})
 		}
+	}
+	workers := par.Workers(opts.Workers)
+	rowOpts := opts
+	if workers > 1 {
+		// The worker budget is spent across cells; each cell's mapper runs
+		// serially to avoid oversubscribing the machine.
+		rowOpts.Workers = 1
+	}
+	rows, err := par.Map(workers, len(cells), func(_, i int) (*Row, error) {
+		row, err := Table1Row(cells[i].c, cells[i].policy, rowOpts)
+		if err != nil {
+			return nil, fmt.Errorf("%s p%d: %w", cells[i].c.Assay.Name, cells[i].policy, err)
+		}
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
