@@ -10,6 +10,16 @@ tier2:
 	go vet ./...
 	go test -race ./...
 
+# Tier-3: observability gate — vet, the race suite, and a trace-artefact
+# smoke check: a real mfsynth run must emit Chrome trace_event JSON with all
+# four pipeline phases and per-worker tracks (tracecheck validates it).
+tier3:
+	go vet ./...
+	go test -race ./internal/obs/ ./internal/par/
+	go run ./cmd/mfsynth -case PCR -workers 2 -trace .tier3-trace.json >/dev/null
+	go run ./tools/tracecheck -require-workers .tier3-trace.json
+	rm -f .tier3-trace.json
+
 # Serial-vs-parallel engine benchmarks (ns/op and allocs/op per worker count).
 bench-parallel:
 	go test -bench=Parallel -benchmem ./...
@@ -19,4 +29,4 @@ bench-parallel:
 bench-json:
 	go run ./cmd/mfbench -table1 -json BENCH_table1.json
 
-.PHONY: tier1 tier2 bench-parallel bench-json
+.PHONY: tier1 tier2 tier3 bench-parallel bench-json

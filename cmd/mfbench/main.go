@@ -15,6 +15,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"runtime"
@@ -24,6 +25,10 @@ import (
 	"mfsynth/internal/par"
 	"mfsynth/internal/report"
 )
+
+// cellsFailed records evaluation cells that errored; main exits non-zero
+// when any did, so CI catches partial artefacts.
+var cellsFailed int
 
 func main() {
 	log.SetFlags(0)
@@ -36,19 +41,63 @@ func main() {
 		fast       = flag.Bool("fast", false, "use the greedy mapper (quick, slightly weaker)")
 		workers    = flag.Int("workers", 0, "worker count (0 = all CPUs, 1 = serial; results are identical)")
 		jsonOut    = flag.String("json", "", "write Table 1 as machine-readable JSON to this file (e.g. BENCH_table1.json)")
+		traceOut   = flag.String("trace", "", "write a Chrome trace_event JSON of every synthesis run to this file (load in chrome://tracing or Perfetto)")
+		eventsOut  = flag.String("events", "", "write the span/metric event stream as JSON lines to this file")
+		stats      = flag.Bool("stats", false, "print the span tree and metrics summary to stderr")
 	)
 	flag.Parse()
 	all := !*figures && !*table1 && !*extensions
 
+	// The trace also feeds the -json metrics snapshot, so -json alone
+	// enables it.
+	var tr *mfsynth.Trace
+	if *traceOut != "" || *eventsOut != "" || *stats || *jsonOut != "" {
+		tr = mfsynth.NewTrace()
+	}
+
 	if *figures || all {
-		printFigures()
+		printFigures(tr)
 	}
 	if *table1 || all {
-		printTable1(*fast, *workers, *jsonOut)
+		printTable1(*fast, *workers, *jsonOut, tr)
 	}
 	if *extensions || all {
-		printExtensions(*workers)
+		printExtensions(*workers, tr)
 	}
+
+	if *traceOut != "" {
+		if err := writeSink(*traceOut, tr.WriteChromeTrace); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *traceOut)
+	}
+	if *eventsOut != "" {
+		if err := writeSink(*eventsOut, tr.WriteJSONL); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *eventsOut)
+	}
+	if *stats {
+		if err := tr.WriteText(os.Stderr); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if cellsFailed > 0 {
+		log.Fatalf("%d evaluation cell(s) failed", cellsFailed)
+	}
+}
+
+// writeSink creates path and streams one trace export into it.
+func writeSink(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // fanout splits the worker budget between a section's independent cells and
@@ -67,7 +116,7 @@ func fanout(workers int) (outer, inner int) {
 // execution-speedup future-work direction, the wear/lifetime model and the
 // control-pin analysis. The independent case × policy cells of each section
 // are evaluated concurrently and printed in the fixed serial order.
-func printExtensions(workers int) {
+func printExtensions(workers int, tr *mfsynth.Trace) {
 	outer, inner := fanout(workers)
 	names := mfsynth.CaseNames()
 
@@ -98,6 +147,7 @@ func printExtensions(workers int) {
 	for i, r := range speedups {
 		if r.err != nil {
 			log.Printf("%s p%d: %v", cells[i].name, cells[i].policy, r.err)
+			cellsFailed++
 			continue
 		}
 		rows = append(rows, r.s)
@@ -121,6 +171,7 @@ func printExtensions(workers int) {
 			Policy:  mfsynth.Resources{Mixers: des.Mixers, Detectors: c.Detectors},
 			Place:   mfsynth.PlaceConfig{Grid: c.GridSize, Mode: mfsynth.GreedyPlace},
 			Workers: inner,
+			Trace:   tr,
 		})
 		if err != nil {
 			return wearRes{}, err
@@ -154,6 +205,7 @@ func printExtensions(workers int) {
 			Policy:  mfsynth.Resources{Mixers: c.BaseMixers, Detectors: c.Detectors},
 			Place:   mfsynth.PlaceConfig{Grid: c.GridSize, Mode: mfsynth.GreedyPlace},
 			Workers: inner,
+			Trace:   tr,
 		})
 		if err != nil {
 			return ctrlRes{}, err
@@ -196,6 +248,7 @@ func printExtensions(workers int) {
 			Policy:  mfsynth.Resources{Mixers: map[int]int{8: s}, Detectors: s},
 			Place:   mfsynth.PlaceConfig{Grid: grid, Mode: mfsynth.GreedyPlace},
 			Workers: inner,
+			Trace:   tr,
 		})
 		return vitroRes{a: a, res: res, err: err}, nil
 	})
@@ -203,6 +256,7 @@ func printExtensions(workers int) {
 		s := sizes[i]
 		if vr.err != nil {
 			log.Printf("InVitro %dx%d: %v", s, s, vr.err)
+			cellsFailed++
 			continue
 		}
 		res := vr.res
@@ -213,7 +267,7 @@ func printExtensions(workers int) {
 	fmt.Println()
 }
 
-func printFigures() {
+func printFigures(tr *mfsynth.Trace) {
 	fmt.Println("== Fig. 2 vs Fig. 3: dedicated mixer vs valve-role-changing mixer ==")
 	fmt.Println(report.Fig2vs3())
 
@@ -225,6 +279,7 @@ func printFigures() {
 	res, err := mfsynth.Synthesize(c.Assay, mfsynth.Options{
 		Policy: mfsynth.Resources{Mixers: des.Mixers},
 		Place:  mfsynth.PlaceConfig{Grid: c.GridSize},
+		Trace:  tr,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -240,8 +295,8 @@ func printFigures() {
 	fmt.Printf("result: %s\n\n", res)
 }
 
-func printTable1(fast bool, workers int, jsonOut string) {
-	opts := mfsynth.Table1RowOptions{Workers: workers}
+func printTable1(fast bool, workers int, jsonOut string, tr *mfsynth.Trace) {
+	opts := mfsynth.Table1RowOptions{Workers: workers, Trace: tr}
 	if fast {
 		opts.Mode = mfsynth.GreedyPlace
 	}
@@ -256,7 +311,7 @@ func printTable1(fast bool, workers int, jsonOut string) {
 	fmt.Printf("wall-clock: %.1fs (workers %d, GOMAXPROCS %d)\n\n",
 		wall.Seconds(), par.Workers(workers), runtime.GOMAXPROCS(0))
 	if jsonOut != "" {
-		if err := writeTable1JSON(jsonOut, rows, opts, workers, wall); err != nil {
+		if err := writeTable1JSON(jsonOut, rows, opts, workers, wall, tr); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("wrote %s\n\n", jsonOut)
@@ -271,6 +326,9 @@ type table1JSON struct {
 	WallSeconds float64       `json:"wall_seconds"`
 	Rows        []table1Row   `json:"rows"`
 	Averages    table1AvgJSON `json:"averages"`
+	// Metrics is the observability snapshot accumulated across the twelve
+	// synthesis runs (solver nodes, Dijkstra pops, …).
+	Metrics *mfsynth.MetricsSnapshot `json:"metrics,omitempty"`
 }
 
 type table1Row struct {
@@ -298,12 +356,13 @@ type table1AvgJSON struct {
 	ImpVPct float64 `json:"impv_pct"`
 }
 
-func writeTable1JSON(path string, rows []*mfsynth.Table1Row, opts mfsynth.Table1RowOptions, workers int, wall time.Duration) error {
+func writeTable1JSON(path string, rows []*mfsynth.Table1Row, opts mfsynth.Table1RowOptions, workers int, wall time.Duration, tr *mfsynth.Trace) error {
 	out := table1JSON{
 		Mode:        opts.Mode.String(),
 		Workers:     par.Workers(workers),
 		GOMAXPROCS:  runtime.GOMAXPROCS(0),
 		WallSeconds: wall.Seconds(),
+		Metrics:     tr.Metrics().Snapshot(),
 	}
 	for _, r := range rows {
 		out.Rows = append(out.Rows, table1Row{

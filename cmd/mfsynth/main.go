@@ -10,6 +10,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"strings"
@@ -33,8 +34,16 @@ func main() {
 		svgOut    = flag.String("svg", "", "write the chip layout as SVG to this file")
 		dotOut    = flag.String("dot", "", "write the assay graph as Graphviz DOT to this file")
 		workers   = flag.Int("workers", 0, "synthesis worker count (0 = all CPUs, 1 = serial; results are identical)")
+		traceOut  = flag.String("trace", "", "write a Chrome trace_event JSON of the synthesis run to this file (load in chrome://tracing or Perfetto)")
+		eventsOut = flag.String("events", "", "write the span/metric event stream as JSON lines to this file")
+		stats     = flag.Bool("stats", false, "print the span tree and metrics summary to stderr")
 	)
 	flag.Parse()
+
+	var tr *mfsynth.Trace
+	if *traceOut != "" || *eventsOut != "" || *stats {
+		tr = mfsynth.NewTrace()
+	}
 
 	placeMode, err := parseMode(*mode)
 	if err != nil {
@@ -80,6 +89,7 @@ func main() {
 		Policy:  mfsynth.Resources{Mixers: des.Mixers, Detectors: c.Detectors},
 		Place:   mfsynth.PlaceConfig{Grid: c.GridSize, Mode: placeMode},
 		Workers: *workers,
+		Trace:   tr,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -135,6 +145,36 @@ func main() {
 		}
 		fmt.Printf("wrote %s\n", *dotOut)
 	}
+	if *traceOut != "" {
+		if err := writeSink(*traceOut, tr.WriteChromeTrace); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *traceOut)
+	}
+	if *eventsOut != "" {
+		if err := writeSink(*eventsOut, tr.WriteJSONL); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *eventsOut)
+	}
+	if *stats {
+		if err := tr.WriteText(os.Stderr); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+// writeSink creates path and streams one trace export into it.
+func writeSink(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func parseMode(s string) (mfsynth.PlaceMode, error) {

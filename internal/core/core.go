@@ -23,6 +23,7 @@ import (
 	"mfsynth/internal/arch"
 	"mfsynth/internal/graph"
 	"mfsynth/internal/grid"
+	"mfsynth/internal/obs"
 	"mfsynth/internal/place"
 	"mfsynth/internal/route"
 	"mfsynth/internal/schedule"
@@ -62,6 +63,10 @@ type Options struct {
 	// (see place.Config.Workers); only wall-clock time changes.
 	// Place.Workers, when set, takes precedence.
 	Workers int
+	// Trace, when non-nil, records a hierarchical span tree and metrics for
+	// the run (one root span per Synthesize call). Tracing never changes
+	// synthesis results; a nil Trace costs nothing.
+	Trace *obs.Trace
 }
 
 // EventKind classifies actuation events.
@@ -151,17 +156,35 @@ func Synthesize(a *graph.Assay, opts Options) (*Result, error) {
 	if opts.Place.Workers == 0 {
 		opts.Place.Workers = opts.Workers
 	}
+	root := opts.Trace.Start("synthesize",
+		obs.KV("assay", a.Name), obs.KV("grid", opts.Place.Grid),
+		obs.KV("workers", opts.Place.Workers))
+	fail := func(err error) (*Result, error) {
+		root.Set(obs.KV("error", err.Error()))
+		root.End()
+		return nil, err
+	}
+
+	schedSp := root.Start("schedule")
 	sched, err := schedule.List(a, schedule.Options{
 		TransportDelay: opts.TransportDelay,
 		Resources:      opts.Policy,
+		Obs:            schedSp,
 	})
+	schedSp.End()
 	if err != nil {
-		return nil, err
+		return fail(err)
 	}
-	mapping, err := place.Map(sched, opts.Place)
+
+	placeSp := root.Start("place")
+	pcfg := opts.Place
+	pcfg.Obs = placeSp
+	mapping, err := place.Map(sched, pcfg)
+	placeSp.End()
 	if err != nil {
-		return nil, err
+		return fail(err)
 	}
+
 	res := &Result{
 		Assay:    a,
 		Schedule: sched,
@@ -169,21 +192,54 @@ func Synthesize(a *graph.Assay, opts Options) (*Result, error) {
 		Grid:     opts.Place.Grid,
 		opts:     opts,
 	}
-	if err := res.routeAndSimulate(); err != nil {
-		return nil, err
+	routeSp := root.Start("route")
+	err = res.routeAndSimulate(routeSp)
+	routeSp.End()
+	if err != nil {
+		return fail(err)
 	}
+
+	simSp := root.Start("sim")
 	res.computeMetrics()
+	simSp.Set(obs.KV("events", len(res.Events)))
+	simSp.End()
+
 	res.Runtime = time.Since(start)
+	root.Set(obs.KV("vs_max1", res.VsMax1), obs.KV("vs_max2", res.VsMax2),
+		obs.KV("used_valves", res.UsedValves))
+	root.End()
 	return res, nil
+}
+
+// routeObs bundles the routing-phase instrument handles. Every field is
+// nil-safe, so the zero value (nil trace) adds only nil checks to the loop.
+type routeObs struct {
+	nets      *obs.Counter
+	inPlace   *obs.Counter
+	failed    *obs.Counter
+	pops      *obs.Counter
+	ripups    *obs.Counter
+	crossings *obs.Counter
+	pathLen   *obs.Histogram
 }
 
 // routeAndSimulate builds the event log: pump events from the schedule and
 // control events from routing every transport (Algorithm 1 L10-L19).
-func (r *Result) routeAndSimulate() error {
+func (r *Result) routeAndSimulate(sp *obs.Span) error {
 	a := r.Assay
 	sched := r.Schedule
 	m := r.Mapping
 	chip := arch.NewChip(r.Grid, r.Grid)
+	mtr := sp.Metrics()
+	ro := &routeObs{
+		nets:      mtr.Counter("route.nets"),
+		inPlace:   mtr.Counter("route.in_place"),
+		failed:    mtr.Counter("route.failed"),
+		pops:      mtr.Counter("route.dijkstra_pops"),
+		ripups:    mtr.Counter("route.ripups"),
+		crossings: mtr.Counter("route.crossings"),
+		pathLen:   mtr.Histogram("route.path_len", []float64{4, 8, 16, 32, 64}),
+	}
 
 	// Pump events at operation start.
 	for id, pl := range m.Placements {
@@ -269,11 +325,17 @@ func (r *Result) routeAndSimulate() error {
 		for j < len(demands) && demands[j].t == demands[i].t {
 			j++
 		}
-		if err := r.routeStep(chip, demands[i].t, demands[i:j]); err != nil {
+		stepSp := sp.Start("route.step",
+			obs.KV("t", demands[i].t), obs.KV("nets", j-i))
+		err := r.routeStep(chip, demands[i].t, demands[i:j], ro)
+		stepSp.End()
+		if err != nil {
 			return err
 		}
 		i = j
 	}
+	sp.Set(obs.KV("transports", len(r.Transports)),
+		obs.KV("failed", r.FailedRoutes))
 	sort.SliceStable(r.Events, func(i, j int) bool { return r.Events[i].T < r.Events[j].T })
 	return nil
 }
@@ -291,12 +353,14 @@ type net struct {
 
 // routeStep routes all nets of one time step with shared congestion state,
 // applying the storage pass-through rule and rip-up & re-route.
-func (r *Result) routeStep(chip *arch.Chip, t int, nets []net) error {
+func (r *Result) routeStep(chip *arch.Chip, t int, nets []net, ro *routeObs) error {
 	m := r.Mapping
 	for _, n := range nets {
+		ro.nets.Inc()
 		// In-place transfer: the endpoints share cells (a storage that
 		// overlaps its parent device); the fluid is already in position.
 		if shared := sharedCells(n.from, n.to); len(shared) > 0 {
+			ro.inPlace.Inc()
 			r.Transports = append(r.Transports, Transport{
 				T: t, From: n.fromName, To: n.toName,
 				FromID: n.fromID, ToID: n.toID, Path: shared, InPlace: true,
@@ -331,14 +395,18 @@ func (r *Result) routeStep(chip *arch.Chip, t int, nets []net) error {
 			router.Prefer(tr.Path)
 		}
 
-		path, err := r.routeNet(router, n, t)
+		path, err := r.routeNet(router, n, t, ro)
+		ro.pops.Add(int64(router.Pops))
 		if err == route.ErrNoPath {
 			r.FailedRoutes++
+			ro.failed.Inc()
 			continue
 		}
 		if err != nil {
 			return err
 		}
+		ro.pathLen.Observe(float64(len(path)))
+		ro.crossings.Add(int64(router.Crossings(path)))
 		r.Transports = append(r.Transports, Transport{
 			T: t, From: n.fromName, To: n.toName,
 			FromID: n.fromID, ToID: n.toID, Path: path,
@@ -350,7 +418,7 @@ func (r *Result) routeStep(chip *arch.Chip, t int, nets []net) error {
 
 // routeNet routes one net, enforcing the storage free-space rule with
 // rip-up & re-route (Algorithm 1 L13-L17).
-func (r *Result) routeNet(router *route.Router, n net, t int) (route.Path, error) {
+func (r *Result) routeNet(router *route.Router, n net, t int, ro *routeObs) (route.Path, error) {
 	m := r.Mapping
 	delay := r.Schedule.TransportDelay
 	for attempt := 0; attempt < 8; attempt++ {
@@ -376,6 +444,7 @@ func (r *Result) routeNet(router *route.Router, n net, t int) (route.Path, error
 			return path, nil
 		}
 		router.BlockStorage(violated)
+		ro.ripups.Inc()
 	}
 	return nil, route.ErrNoPath
 }

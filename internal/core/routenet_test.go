@@ -66,7 +66,7 @@ func TestRouteNetRipsFullStorage(t *testing.T) {
 		fromName: "left", toName: "right", fromID: -1, toID: -1,
 		exclude: map[int]bool{},
 	}
-	path, err := r.routeNet(router, n, n.t)
+	path, err := r.routeNet(router, n, n.t, &routeObs{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +94,7 @@ func TestRouteNetPassesStorageWithFreeSpace(t *testing.T) {
 		fromName: "left", toName: "right", fromID: -1, toID: -1,
 		exclude: map[int]bool{},
 	}
-	path, err := r.routeNet(router, n, n.t)
+	path, err := r.routeNet(router, n, n.t, &routeObs{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,7 +127,7 @@ func TestRouteNetNoPathAfterBlocking(t *testing.T) {
 		fromName: "left", toName: "right", fromID: -1, toID: -1,
 		exclude: map[int]bool{},
 	}
-	if _, err := r.routeNet(router, n, n.t); err != route.ErrNoPath {
+	if _, err := r.routeNet(router, n, n.t, &routeObs{}); err != route.ErrNoPath {
 		t.Fatalf("err = %v, want ErrNoPath", err)
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"mfsynth/internal/lp"
+	"mfsynth/internal/obs"
 	"mfsynth/internal/par"
 )
 
@@ -161,6 +162,11 @@ type Options struct {
 	// node, in serial runs just as in parallel ones; use MaxNodes for a
 	// deterministic budget.
 	Workers int
+	// Obs, when non-nil, is the parent span the solve reports under: a
+	// milp.solve child span plus the milp.* metrics (nodes, LP solves,
+	// simplex pivots, incumbent updates, deadline checks, bound-gap
+	// histogram) on its trace. Observation never changes results.
+	Obs *obs.Span
 }
 
 // Result is the outcome of a MILP solve.
@@ -184,6 +190,8 @@ func (m *Model) Solve(opts Options) (*Result, error) {
 	if maxNodes <= 0 {
 		maxNodes = 1 << 20
 	}
+	sp := opts.Obs.Start("milp.solve",
+		obs.KV("vars", m.NumVars()), obs.KV("rows", m.NumRows()))
 	s := &search{
 		m:        m,
 		maxNodes: maxNodes,
@@ -191,8 +199,13 @@ func (m *Model) Solve(opts Options) (*Result, error) {
 		bestObj:  math.Inf(1),
 		bound:    math.Inf(-1),
 		scratch:  lp.NewScratch(),
+		span:     sp,
+		gapHist:  sp.Metrics().Histogram("milp.bound_gap", []float64{0.5, 1, 2, 4, 8, 16}),
 	}
 	if opts.Timeout > 0 {
+		// The deadline existence check is hoisted out of the per-node hot
+		// loop: node() polls time.Now only when hasDeadline is set.
+		s.hasDeadline = true
 		s.deadline = time.Now().Add(opts.Timeout)
 	}
 	if opts.Incumbent != nil {
@@ -221,6 +234,8 @@ func (m *Model) Solve(opts Options) (*Result, error) {
 		st, err = s.node()
 	}
 	if err != nil {
+		sp.Set(obs.KV("error", err.Error()))
+		sp.End()
 		return nil, err
 	}
 	s.complete = st == nodeDone
@@ -241,7 +256,30 @@ func (m *Model) Solve(opts Options) (*Result, error) {
 	default:
 		res.Status = Limit
 	}
+	s.flushObs(res)
+	sp.End()
 	return res, nil
+}
+
+// flushObs records the solve's accumulated counters and result attributes
+// on the trace. No-op when tracing is disabled (nil span).
+func (s *search) flushObs(res *Result) {
+	mm := s.span.Metrics()
+	if mm == nil {
+		return
+	}
+	mm.Counter("milp.nodes").Add(int64(s.nodes))
+	mm.Counter("milp.lp_solves").Add(s.lpSolves)
+	mm.Counter("milp.simplex_pivots").Add(s.pivots)
+	mm.Counter("milp.incumbents").Add(s.incumbents)
+	mm.Counter("milp.deadline_checks").Add(s.deadlineChecks)
+	s.span.Set(obs.KV("status", res.Status.String()), obs.KV("nodes", res.Nodes))
+	if !math.IsInf(res.Bound, 0) {
+		s.span.Set(obs.KV("bound", res.Bound))
+	}
+	if res.Status == Optimal || res.Status == Feasible {
+		s.span.Set(obs.KV("obj", res.Obj))
+	}
 }
 
 // CheckFeasible evaluates x against all rows, bounds and integrality; when
@@ -304,17 +342,29 @@ const (
 )
 
 type search struct {
-	m        *Model
-	nodes    int
-	maxNodes int
-	deadline time.Time
-	absGap   float64
+	m           *Model
+	nodes       int
+	maxNodes    int
+	hasDeadline bool // hoisted deadline.IsZero(), kept out of the hot loop
+	deadline    time.Time
+	absGap      float64
 
 	bestObj  float64
 	bestX    []float64
 	bound    float64 // best lower bound proven at the root
 	complete bool    // true when the whole tree was explored
 	rootSet  bool
+
+	// Observability accumulators, flushed once by flushObs. All are
+	// touched only by the merge goroutine (serial recursion or the
+	// parallel processing sequence), except the parallel rounds' LP
+	// accounting which runParallel sums after each join.
+	span           *obs.Span
+	gapHist        *obs.Histogram // relaxation gap above the root bound
+	lpSolves       int64
+	pivots         int64
+	incumbents     int64
+	deadlineChecks int64
 
 	// scratch is the tableau arena reused across the serial recursion's
 	// node solves (parallel workers carry their own, see parallel.go).
@@ -329,8 +379,11 @@ func (s *search) node() (nodeStatus, error) {
 	if s.nodes >= s.maxNodes {
 		return nodeLimit, nil
 	}
-	if !s.deadline.IsZero() && time.Now().After(s.deadline) {
-		return nodeLimit, nil
+	if s.hasDeadline {
+		s.deadlineChecks++
+		if time.Now().After(s.deadline) {
+			return nodeLimit, nil
+		}
 	}
 	s.nodes++
 
@@ -338,6 +391,8 @@ func (s *search) node() (nodeStatus, error) {
 	if err != nil {
 		return nodeDone, err
 	}
+	s.lpSolves++
+	s.pivots += int64(sol.Iters)
 	switch sol.Status {
 	case lp.Infeasible:
 		return nodeDone, nil
@@ -351,6 +406,7 @@ func (s *search) node() (nodeStatus, error) {
 		s.bound = sol.Obj
 		s.rootSet = true
 	}
+	s.gapHist.Observe(sol.Obj - s.bound)
 	if sol.Obj >= s.bestObj-1e-9 || (s.absGap > 0 && sol.Obj >= s.bestObj-s.absGap) {
 		return nodeDone, nil // fathom by bound
 	}
@@ -377,6 +433,7 @@ func (s *search) node() (nodeStatus, error) {
 		if sol.Obj < s.bestObj-1e-9 {
 			s.bestObj = sol.Obj
 			s.bestX = roundInts(s.m, sol.X)
+			s.noteIncumbent()
 		}
 		return nodeDone, nil
 	}
@@ -386,6 +443,7 @@ func (s *search) node() (nodeStatus, error) {
 		cand := roundInts(s.m, sol.X)
 		if ok, obj := s.m.CheckFeasible(cand); ok && obj < s.bestObj {
 			s.bestObj, s.bestX = obj, cand
+			s.noteIncumbent()
 		}
 	}
 
@@ -415,6 +473,13 @@ func (s *search) node() (nodeStatus, error) {
 		}
 	}
 	return nodeDone, nil
+}
+
+// noteIncumbent records an incumbent improvement: a counter bump and a
+// point mark on the solve span (the incumbent trajectory in the trace).
+func (s *search) noteIncumbent() {
+	s.incumbents++
+	s.span.Mark("milp.incumbent", obs.KV("obj", s.bestObj), obs.KV("node", s.nodes))
 }
 
 // roundInts snaps integer variables of x to the nearest integer.

@@ -80,6 +80,15 @@ func (s *search) runParallel(workers int) (nodeStatus, error) {
 				nd.sol, nd.err = cl.SolveScratch(arenas[slot])
 				return nil
 			})
+			// LP accounting happens here (not in processNode) because the
+			// parallel rounds own the solves; summed after the join, on the
+			// merge goroutine.
+			for _, nd := range batch {
+				if nd.sol != nil {
+					s.lpSolves++
+					s.pivots += int64(nd.sol.Iters)
+				}
+			}
 		}
 
 		nd := stack[len(stack)-1]
@@ -106,8 +115,11 @@ func (s *search) processNode(nd *bbNode) (nodeStatus, []*bbNode, error) {
 	if s.nodes >= s.maxNodes {
 		return nodeLimit, nil, nil
 	}
-	if !s.deadline.IsZero() && time.Now().After(s.deadline) {
-		return nodeLimit, nil, nil
+	if s.hasDeadline {
+		s.deadlineChecks++
+		if time.Now().After(s.deadline) {
+			return nodeLimit, nil, nil
+		}
 	}
 	s.nodes++
 
@@ -127,6 +139,7 @@ func (s *search) processNode(nd *bbNode) (nodeStatus, []*bbNode, error) {
 		s.bound = sol.Obj
 		s.rootSet = true
 	}
+	s.gapHist.Observe(sol.Obj - s.bound)
 	if sol.Obj >= s.bestObj-1e-9 || (s.absGap > 0 && sol.Obj >= s.bestObj-s.absGap) {
 		return nodeDone, nil, nil // fathom by bound
 	}
@@ -164,6 +177,7 @@ func (s *search) processNode(nd *bbNode) (nodeStatus, []*bbNode, error) {
 		if sol.Obj < s.bestObj-1e-9 {
 			s.bestObj = sol.Obj
 			s.bestX = roundInts(s.m, sol.X)
+			s.noteIncumbent()
 		}
 		return nodeDone, nil, nil
 	}
@@ -174,6 +188,7 @@ func (s *search) processNode(nd *bbNode) (nodeStatus, []*bbNode, error) {
 		cand := roundInts(s.m, sol.X)
 		if ok, obj := s.m.CheckFeasible(cand); ok && obj < s.bestObj {
 			s.bestObj, s.bestX = obj, cand
+			s.noteIncumbent()
 		}
 	}
 

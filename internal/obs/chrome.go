@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+)
+
+// Chrome trace_event export. The format is the Trace Event Format's JSON
+// object form: {"traceEvents": [...], "displayTimeUnit": "ms"}, loadable
+// in chrome://tracing and https://ui.perfetto.dev. Each ended span becomes
+// a complete event (ph "X") with microsecond timestamps; marks become
+// instant events (ph "i"); tracks map to threads (tid) of one process
+// (pid 1) named via metadata events (ph "M").
+
+// chromeEvent is one trace_event entry.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Ph    string         `json:"ph"`
+	TS    float64        `json:"ts"`            // microseconds
+	Dur   float64        `json:"dur,omitempty"` // microseconds, ph "X" only
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"` // instant scope, ph "i" only
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the top-level JSON object.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+const chromePID = 1
+
+// WriteChromeTrace writes the trace in Chrome trace_event JSON. Nil traces
+// write an empty but valid trace object.
+func (t *Trace) WriteChromeTrace(w io.Writer) error {
+	out := chromeTrace{TraceEvents: []chromeEvent{}, DisplayTimeUnit: "ms"}
+	if t != nil {
+		spans, marks, tracks := t.snapshot()
+		out.TraceEvents = make([]chromeEvent, 0, len(spans)+len(marks)+len(tracks)+1)
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: "process_name", Ph: "M", PID: chromePID, TID: 0,
+			Args: map[string]any{"name": "mfsynth"},
+		})
+		for id, name := range tracks {
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: "thread_name", Ph: "M", PID: chromePID, TID: id + 1,
+				Args: map[string]any{"name": name},
+			})
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: "thread_sort_index", Ph: "M", PID: chromePID, TID: id + 1,
+				Args: map[string]any{"sort_index": id},
+			})
+		}
+		for _, sp := range spans {
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: sp.name,
+				Ph:   "X",
+				TS:   us(sp.start),
+				Dur:  us(sp.dur),
+				PID:  chromePID,
+				TID:  sp.track + 1,
+				Args: attrMap(sp.attrs),
+			})
+		}
+		for _, mk := range marks {
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name:  mk.name,
+				Ph:    "i",
+				TS:    us(mk.at),
+				PID:   chromePID,
+				TID:   mk.track + 1,
+				Scope: "t",
+				Args:  attrMap(mk.attrs),
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
+}
+
+// us converts a duration to trace_event microseconds.
+func us(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }

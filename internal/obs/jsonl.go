@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// jsonlSpan is one "span" line of the JSONL event stream.
+type jsonlSpan struct {
+	Type    string         `json:"type"` // "span"
+	ID      int            `json:"id"`
+	Parent  int            `json:"parent,omitempty"`
+	Name    string         `json:"name"`
+	Track   string         `json:"track"`
+	StartUS int64          `json:"start_us"`
+	DurUS   int64          `json:"dur_us"`
+	Attrs   map[string]any `json:"attrs,omitempty"`
+}
+
+// jsonlMark is one "mark" line.
+type jsonlMark struct {
+	Type  string         `json:"type"` // "mark"
+	Span  int            `json:"span,omitempty"`
+	Name  string         `json:"name"`
+	Track string         `json:"track"`
+	AtUS  int64          `json:"at_us"`
+	Attrs map[string]any `json:"attrs,omitempty"`
+}
+
+// jsonlMetrics is the final "metrics" line.
+type jsonlMetrics struct {
+	Type string    `json:"type"` // "metrics"
+	Data *Snapshot `json:"data"`
+}
+
+// WriteJSONL writes the trace as a JSON-Lines event stream: one object per
+// completed span (in start order) and per mark, followed by one metrics
+// snapshot object. Nil traces write nothing.
+func (t *Trace) WriteJSONL(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	spans, marks, tracks := t.snapshot()
+	enc := json.NewEncoder(w)
+	trackName := func(id int) string {
+		if id < len(tracks) {
+			return tracks[id]
+		}
+		return ""
+	}
+	for _, sp := range spans {
+		if err := enc.Encode(jsonlSpan{
+			Type:    "span",
+			ID:      sp.id,
+			Parent:  sp.parent,
+			Name:    sp.name,
+			Track:   trackName(sp.track),
+			StartUS: sp.start.Microseconds(),
+			DurUS:   sp.dur.Microseconds(),
+			Attrs:   attrMap(sp.attrs),
+		}); err != nil {
+			return err
+		}
+	}
+	for _, mk := range marks {
+		if err := enc.Encode(jsonlMark{
+			Type:  "mark",
+			Span:  mk.span,
+			Name:  mk.name,
+			Track: trackName(mk.track),
+			AtUS:  mk.at.Microseconds(),
+			Attrs: attrMap(mk.attrs),
+		}); err != nil {
+			return err
+		}
+	}
+	if snap := t.metrics.Snapshot(); snap != nil {
+		if err := enc.Encode(jsonlMetrics{Type: "metrics", Data: snap}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// attrMap flattens attrs for JSON embedding (last writer wins on key
+// collisions, matching Set's append semantics).
+func attrMap(attrs []Attr) map[string]any {
+	if len(attrs) == 0 {
+		return nil
+	}
+	out := make(map[string]any, len(attrs))
+	for _, a := range attrs {
+		out[a.Key] = a.Val
+	}
+	return out
+}

@@ -1,0 +1,262 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// Metrics is a registry of named counters, gauges and histograms. All
+// operations are safe for concurrent use; a nil *Metrics (the disabled
+// path) hands out nil instruments whose methods no-op.
+type Metrics struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (m *Metrics) Counter(name string) *Counter {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	c, ok := m.counters[name]
+	if !ok {
+		c = &Counter{}
+		m.counters[name] = c
+	}
+	m.mu.Unlock()
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (m *Metrics) Gauge(name string) *Gauge {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	g, ok := m.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		m.gauges[name] = g
+	}
+	m.mu.Unlock()
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// ascending inclusive bucket upper bounds on first use (later bounds are
+// ignored — first registration wins).
+func (m *Metrics) Histogram(name string, bounds []float64) *Histogram {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	h, ok := m.hists[name]
+	if !ok {
+		h = &Histogram{
+			bounds: append([]float64(nil), bounds...),
+			counts: make([]int64, len(bounds)+1),
+		}
+		m.hists[name] = h
+	}
+	m.mu.Unlock()
+	return h
+}
+
+// Counter is a monotonically increasing metric.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a point-in-time value that also tracks its high-water mark.
+type Gauge struct{ v, max atomic.Int64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+	g.bumpMax(v)
+}
+
+// Add shifts the value by d.
+func (g *Gauge) Add(d int64) {
+	if g == nil {
+		return
+	}
+	g.bumpMax(g.v.Add(d))
+}
+
+func (g *Gauge) bumpMax(v int64) {
+	for {
+		m := g.max.Load()
+		if v <= m || g.max.CompareAndSwap(m, v) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Max returns the high-water mark.
+func (g *Gauge) Max() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.max.Load()
+}
+
+// Histogram is a fixed-bucket distribution: a sample v lands in the first
+// bucket whose upper bound satisfies v <= bound, or in the overflow bucket
+// beyond the last bound.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64
+	counts []int64 // len(bounds)+1; last entry is the overflow bucket
+	sum    float64
+	n      int64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i]++
+	h.sum += v
+	h.n++
+	h.mu.Unlock()
+}
+
+// Count returns the number of samples observed.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.n
+}
+
+// Snapshot is a point-in-time JSON-marshalable copy of a registry.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]GaugeSnapshot     `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// GaugeSnapshot is a gauge's exported state.
+type GaugeSnapshot struct {
+	Value int64 `json:"value"`
+	Max   int64 `json:"max"`
+}
+
+// HistogramSnapshot is a histogram's exported state.
+type HistogramSnapshot struct {
+	Count    int64    `json:"count"`
+	Sum      float64  `json:"sum"`
+	Buckets  []Bucket `json:"buckets"`
+	Overflow int64    `json:"overflow"`
+}
+
+// Bucket is one histogram bucket: the count of samples v with
+// prevBound < v <= Le.
+type Bucket struct {
+	Le    float64 `json:"le"`
+	Count int64   `json:"count"`
+}
+
+// Snapshot copies the registry. Returns nil for a nil or empty registry,
+// so JSON embeddings can use omitempty.
+func (m *Metrics) Snapshot() *Snapshot {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.counters) == 0 && len(m.gauges) == 0 && len(m.hists) == 0 {
+		return nil
+	}
+	s := &Snapshot{}
+	if len(m.counters) > 0 {
+		s.Counters = make(map[string]int64, len(m.counters))
+		for name, c := range m.counters {
+			s.Counters[name] = c.Value()
+		}
+	}
+	if len(m.gauges) > 0 {
+		s.Gauges = make(map[string]GaugeSnapshot, len(m.gauges))
+		for name, g := range m.gauges {
+			s.Gauges[name] = GaugeSnapshot{Value: g.Value(), Max: g.Max()}
+		}
+	}
+	if len(m.hists) > 0 {
+		s.Histograms = make(map[string]HistogramSnapshot, len(m.hists))
+		for name, h := range m.hists {
+			h.mu.Lock()
+			hs := HistogramSnapshot{
+				Count:    h.n,
+				Sum:      roundSum(h.sum),
+				Buckets:  make([]Bucket, len(h.bounds)),
+				Overflow: h.counts[len(h.bounds)],
+			}
+			for i, b := range h.bounds {
+				hs.Buckets[i] = Bucket{Le: b, Count: h.counts[i]}
+			}
+			h.mu.Unlock()
+			s.Histograms[name] = hs
+		}
+	}
+	return s
+}
+
+// roundSum trims float noise so snapshots of integer-valued samples stay
+// readable in JSON.
+func roundSum(v float64) float64 {
+	r := math.Round(v)
+	if math.Abs(v-r) < 1e-9 {
+		return r
+	}
+	return v
+}

@@ -1,0 +1,328 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// stubClock replaces the trace's monotonic source with a counter that
+// advances 1ms per reading, making every exported timestamp deterministic.
+func stubClock(tr *Trace) {
+	var mu sync.Mutex
+	var tick time.Duration
+	tr.clock = func() time.Duration {
+		mu.Lock()
+		defer mu.Unlock()
+		tick += time.Millisecond
+		return tick
+	}
+}
+
+// TestNilNoOp exercises the disabled path: every method on nil handles must
+// be safe and inert.
+func TestNilNoOp(t *testing.T) {
+	var tr *Trace
+	sp := tr.Start("root", KV("k", 1))
+	if sp != nil {
+		t.Fatal("nil trace returned a span")
+	}
+	child := sp.Start("child")
+	child.Set(KV("a", 2))
+	child.Mark("m")
+	child.StartTrack("w0", "task").End()
+	child.End()
+	if d := child.Duration(); d != 0 {
+		t.Fatalf("nil span duration %v", d)
+	}
+	if sp.Trace() != nil || sp.Metrics() != nil || tr.Metrics() != nil {
+		t.Fatal("nil handles leaked non-nil components")
+	}
+	m := tr.Metrics()
+	m.Counter("c").Inc()
+	m.Gauge("g").Set(5)
+	m.Histogram("h", []float64{1}).Observe(2)
+	if m.Snapshot() != nil {
+		t.Fatal("nil metrics snapshot not nil")
+	}
+	if tr.Pool(sp, "p") != nil {
+		t.Fatal("nil trace built a pool observer")
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteText(&buf); err != nil || buf.Len() != 0 {
+		t.Fatalf("nil WriteText: %v, %d bytes", err, buf.Len())
+	}
+	if err := tr.WriteJSONL(&buf); err != nil || buf.Len() != 0 {
+		t.Fatalf("nil WriteJSONL: %v, %d bytes", err, buf.Len())
+	}
+	buf.Reset()
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatalf("nil WriteChromeTrace: %v", err)
+	}
+	var out map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("nil chrome trace not valid JSON: %v", err)
+	}
+	if evs, ok := out["traceEvents"].([]any); !ok || len(evs) != 0 {
+		t.Fatalf("nil chrome trace events = %v", out["traceEvents"])
+	}
+}
+
+// TestHistogramBuckets pins the bucket semantics: a sample lands in the
+// first bucket with v <= bound, inclusive, with an overflow bucket past the
+// last bound — and the first registration fixes the bounds.
+func TestHistogramBuckets(t *testing.T) {
+	m := NewMetrics()
+	h := m.Histogram("h", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 2, 3, 4, 5} {
+		h.Observe(v)
+	}
+	// Same name, different bounds: first registration wins.
+	if h2 := m.Histogram("h", []float64{100}); h2 != h {
+		t.Fatal("re-registration returned a new histogram")
+	}
+	snap := m.Snapshot()
+	hs, ok := snap.Histograms["h"]
+	if !ok {
+		t.Fatal("histogram missing from snapshot")
+	}
+	if hs.Count != 7 || hs.Sum != 17 {
+		t.Fatalf("count=%d sum=%g, want 7 and 17", hs.Count, hs.Sum)
+	}
+	wantCounts := []int64{2, 2, 2} // ≤1: {0.5,1}; ≤2: {1.5,2}; ≤4: {3,4}
+	for i, b := range hs.Buckets {
+		if b.Count != wantCounts[i] {
+			t.Fatalf("bucket ≤%g count %d, want %d", b.Le, b.Count, wantCounts[i])
+		}
+	}
+	if hs.Overflow != 1 {
+		t.Fatalf("overflow %d, want 1 (sample 5)", hs.Overflow)
+	}
+}
+
+// TestGaugeHighWater pins the gauge max tracking under Add/Set mixes.
+func TestGaugeHighWater(t *testing.T) {
+	m := NewMetrics()
+	g := m.Gauge("g")
+	g.Set(3)
+	g.Add(4) // 7, new max
+	g.Add(-5)
+	g.Set(1)
+	if g.Value() != 1 || g.Max() != 7 {
+		t.Fatalf("value=%d max=%d, want 1 and 7", g.Value(), g.Max())
+	}
+}
+
+// TestRootTrackRecycling: sequential roots share "main"; overlapping roots
+// get distinct tracks so their Chrome slices cannot overlap.
+func TestRootTrackRecycling(t *testing.T) {
+	tr := New()
+	stubClock(tr)
+	a := tr.Start("a")
+	b := tr.Start("b") // concurrent with a -> new track
+	a.End()
+	c := tr.Start("c") // a's track is free again
+	b.End()
+	c.End()
+	_, _, tracks := tr.snapshot()
+	if len(tracks) != 2 || tracks[0] != "main" || tracks[1] != "main#2" {
+		t.Fatalf("tracks = %v, want [main main#2]", tracks)
+	}
+	byName := map[string]int{}
+	spans, _, _ := tr.snapshot()
+	for _, sp := range spans {
+		byName[sp.name] = sp.track
+	}
+	if byName["a"] == byName["b"] {
+		t.Fatal("concurrent roots share a track")
+	}
+	if byName["a"] != byName["c"] {
+		t.Fatal("root track not recycled after end")
+	}
+}
+
+// TestChromeTraceGolden freezes the Chrome export of a deterministic span
+// tree (stubbed clock) and validates it against the trace_event schema:
+// required ph/ts/pid/tid fields, metadata naming the tracks, "X" slices
+// with microsecond durations, "i" instants.
+func TestChromeTraceGolden(t *testing.T) {
+	tr := New()
+	stubClock(tr)
+	tr.Metrics().Counter("milp.nodes").Add(42)
+
+	root := tr.Start("synthesize", KV("assay", "PCR"))
+	sched := root.Start("schedule")
+	sched.End()
+	place := root.Start("place", KV("mode", "rolling"))
+	w := place.StartTrack("w0", "greedy.variant", KV("i", 0))
+	w.End()
+	place.Mark("milp.incumbent", KV("obj", 2))
+	place.End()
+	root.End()
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "chrome_golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/obs -run Golden -update`)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("chrome trace drifted from golden:\n%s", buf.String())
+	}
+
+	// Schema validation, independent of the golden bytes.
+	var out struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+		Unit        string           `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if out.Unit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", out.Unit)
+	}
+	tracks := map[float64]string{}
+	var slices, instants int
+	for _, ev := range out.TraceEvents {
+		name, _ := ev["name"].(string)
+		ph, _ := ev["ph"].(string)
+		pid, pidOK := ev["pid"].(float64)
+		tid, tidOK := ev["tid"].(float64)
+		if name == "" || !pidOK || !tidOK || pid != 1 {
+			t.Fatalf("event missing name/pid/tid: %v", ev)
+		}
+		switch ph {
+		case "M":
+			if name == "thread_name" {
+				args := ev["args"].(map[string]any)
+				tracks[tid] = args["name"].(string)
+			}
+		case "X":
+			slices++
+			ts, tsOK := ev["ts"].(float64)
+			dur, durOK := ev["dur"].(float64)
+			if !tsOK || !durOK || ts <= 0 || dur <= 0 {
+				t.Fatalf("X event lacks positive ts/dur: %v", ev)
+			}
+		case "i":
+			instants++
+			if _, ok := ev["ts"].(float64); !ok || ev["s"] != "t" {
+				t.Fatalf("instant lacks ts/scope: %v", ev)
+			}
+		default:
+			t.Fatalf("unexpected ph %q in %v", ph, ev)
+		}
+	}
+	if slices != 4 || instants != 1 {
+		t.Fatalf("got %d slices and %d instants, want 4 and 1", slices, instants)
+	}
+	names := map[string]bool{}
+	for _, n := range tracks {
+		names[n] = true
+	}
+	if !names["main"] || !names["w0"] {
+		t.Fatalf("thread_name metadata %v lacks main/w0", tracks)
+	}
+	// The stub clock ticks 1ms per reading: synthesize starts at tick 1
+	// (1000µs) and ends at tick 9 after 8 further readings (schedule
+	// start/end, place start, w0 start/end, mark, place end, its own end),
+	// so its duration is 8000µs.
+	for _, ev := range out.TraceEvents {
+		if ev["ph"] == "X" && ev["name"] == "synthesize" {
+			if ev["ts"].(float64) != 1000 || ev["dur"].(float64) != 8000 {
+				t.Fatalf("synthesize ts/dur = %v/%v, want 1000/8000",
+					ev["ts"], ev["dur"])
+			}
+		}
+	}
+}
+
+// TestJSONLStream checks the line shape of the JSONL sink: span lines in
+// start order, then marks, then one metrics line.
+func TestJSONLStream(t *testing.T) {
+	tr := New()
+	stubClock(tr)
+	root := tr.Start("run")
+	child := root.Start("step", KV("i", 1))
+	child.Mark("hit")
+	child.End()
+	root.End()
+	tr.Metrics().Counter("n").Inc()
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines, want 4:\n%s", len(lines), buf.String())
+	}
+	var types []string
+	for _, ln := range lines {
+		var obj map[string]any
+		if err := json.Unmarshal([]byte(ln), &obj); err != nil {
+			t.Fatalf("line %q: %v", ln, err)
+		}
+		types = append(types, obj["type"].(string))
+	}
+	if got := strings.Join(types, ","); got != "span,span,mark,metrics" {
+		t.Fatalf("line types %s, want span,span,mark,metrics", got)
+	}
+}
+
+// TestTextTree checks the summary sink renders the span hierarchy and the
+// metrics block.
+func TestTextTree(t *testing.T) {
+	tr := New()
+	stubClock(tr)
+	root := tr.Start("synthesize")
+	root.Start("schedule").End()
+	rt := root.Start("route")
+	rt.StartTrack("w1", "net").End()
+	rt.End()
+	root.End()
+	tr.Metrics().Counter("route.nets").Add(3)
+
+	var buf bytes.Buffer
+	if err := tr.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"synthesize", "├─ schedule", "└─ route", "[w1]", "route.nets", "metrics:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("summary lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+// BenchmarkNilSpan measures the disabled path: instrumented code running
+// against a nil trace must cost only nil checks.
+func BenchmarkNilSpan(b *testing.B) {
+	var sp *Span
+	b.ReportAllocs()
+	for n := 0; n < b.N; n++ {
+		child := sp.Start("phase", KV("i", n))
+		child.Set(KV("x", 1))
+		child.Metrics().Counter("c").Inc()
+		child.End()
+	}
+}

@@ -1,0 +1,64 @@
+package obs
+
+import "fmt"
+
+// PoolObserver bridges a worker pool's lifecycle callbacks onto the trace:
+// the pool becomes a span on the caller's track, every task becomes a span
+// on a per-worker "w0", "w1", … track, the number of unstarted tasks is
+// exported as the par.queue_depth gauge, and per-worker busy time
+// accumulates into par.wN.busy_us counters (idle time is the pool duration
+// minus busy time, readable off the trace).
+//
+// The method set deliberately matches mfsynth/internal/par.Observer so the
+// adapter satisfies it structurally — obs stays free of engine imports.
+// Construct with Trace.Pool; a nil *PoolObserver must not be handed to the
+// pool (callers guard with a typed nil check, see par.WithObserver docs).
+type PoolObserver struct {
+	parent *Span
+	label  string
+
+	pool  *Span
+	slots []*Span
+	queue *Gauge
+	tasks *Counter
+}
+
+// Pool returns a PoolObserver that nests the pool's spans under parent.
+// Returns nil when the trace or parent is nil (tracing disabled).
+func (t *Trace) Pool(parent *Span, label string) *PoolObserver {
+	if t == nil || parent == nil {
+		return nil
+	}
+	return &PoolObserver{parent: parent, label: label}
+}
+
+// PoolStart opens the pool span. Called once, before any task runs.
+func (o *PoolObserver) PoolStart(workers, tasks int) {
+	o.pool = o.parent.Start(o.label, KV("workers", workers), KV("tasks", tasks))
+	o.slots = make([]*Span, workers)
+	m := o.parent.Metrics()
+	o.queue = m.Gauge("par.queue_depth")
+	o.tasks = m.Counter("par.tasks")
+	o.queue.Set(int64(tasks))
+}
+
+// TaskStart opens the task's span on the worker's track. Called from the
+// worker goroutine; distinct slots never race.
+func (o *PoolObserver) TaskStart(slot, i int) {
+	o.queue.Add(-1)
+	o.tasks.Inc()
+	o.slots[slot] = o.pool.StartTrack(fmt.Sprintf("w%d", slot), o.label, KV("i", i))
+}
+
+// TaskDone closes the task's span and accrues the worker's busy time.
+func (o *PoolObserver) TaskDone(slot, i int) {
+	sp := o.slots[slot]
+	o.slots[slot] = nil
+	sp.End()
+	o.parent.Metrics().
+		Counter(fmt.Sprintf("par.w%d.busy_us", slot)).
+		Add(sp.Duration().Microseconds())
+}
+
+// PoolDone closes the pool span. Called once, after every task finished.
+func (o *PoolObserver) PoolDone() { o.pool.End() }

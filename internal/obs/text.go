@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// WriteText renders the trace as a human-readable summary: the span tree
+// (durations, attributes, track of origin) followed by the metric
+// registry. Nil traces write nothing.
+func (t *Trace) WriteText(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	spans, _, tracks := t.snapshot()
+
+	children := map[int][]*Span{}
+	for _, sp := range spans {
+		children[sp.parent] = append(children[sp.parent], sp)
+	}
+	var write func(sp *Span, prefix, branch string) error
+	write = func(sp *Span, prefix, branch string) error {
+		track := ""
+		if sp.track < len(tracks) && tracks[sp.track] != "main" {
+			track = " [" + tracks[sp.track] + "]"
+		}
+		if _, err := fmt.Fprintf(w, "%s%s%s %s%s%s\n",
+			prefix, branch, sp.name, fmtDur(sp.dur), track, fmtAttrs(sp.attrs)); err != nil {
+			return err
+		}
+		kids := children[sp.id]
+		childPrefix := prefix
+		switch branch {
+		case "├─ ":
+			childPrefix += "│  "
+		case "└─ ":
+			childPrefix += "   "
+		}
+		for i, c := range kids {
+			b := "├─ "
+			if i == len(kids)-1 {
+				b = "└─ "
+			}
+			if err := write(c, childPrefix, b); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, root := range children[0] {
+		if err := write(root, "", ""); err != nil {
+			return err
+		}
+	}
+
+	snap := t.metrics.Snapshot()
+	if snap == nil {
+		return nil
+	}
+	if _, err := fmt.Fprintln(w, "\nmetrics:"); err != nil {
+		return err
+	}
+	for _, name := range sortedKeys(snap.Counters) {
+		if _, err := fmt.Fprintf(w, "  %-28s %d\n", name, snap.Counters[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(snap.Gauges) {
+		g := snap.Gauges[name]
+		if _, err := fmt.Fprintf(w, "  %-28s %d (max %d)\n", name, g.Value, g.Max); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(snap.Histograms) {
+		h := snap.Histograms[name]
+		var parts []string
+		for _, b := range h.Buckets {
+			parts = append(parts, fmt.Sprintf("≤%g:%d", b.Le, b.Count))
+		}
+		parts = append(parts, fmt.Sprintf(">:%d", h.Overflow))
+		if _, err := fmt.Fprintf(w, "  %-28s n=%d sum=%g  %s\n",
+			name, h.Count, h.Sum, strings.Join(parts, " ")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fmtDur renders a duration at a readable precision.
+func fmtDur(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.2fms", float64(d)/float64(time.Millisecond))
+	default:
+		return fmt.Sprintf("%.1fµs", float64(d)/float64(time.Microsecond))
+	}
+}
+
+// fmtAttrs renders attributes as "  k=v k=v".
+func fmtAttrs(attrs []Attr) string {
+	if len(attrs) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	sb.WriteString(" ")
+	for _, a := range attrs {
+		fmt.Fprintf(&sb, " %s=%v", a.Key, a.Val)
+	}
+	return sb.String()
+}
+
+// sortedKeys returns the sorted keys of a string-keyed map.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

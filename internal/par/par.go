@@ -14,11 +14,26 @@
 // executing worker, so callers can key per-worker scratch state (LP
 // clones, tableau arenas) off it without locking: two invocations with
 // the same slot never run concurrently.
+//
+// A panicking task does not crash the pool or deadlock it: panics are
+// recovered per task, the remaining tasks still run, and after the join
+// the lowest-index panic is re-raised on the calling goroutine wrapped in
+// *TaskPanic — the same index a serial loop would have died on, so the
+// surfaced failure is deterministic regardless of worker count.
+//
+// Pools are observable: attach an Observer with WithObserver to receive
+// lifecycle callbacks (pool start/done, per-task start/done with the
+// executing slot). The observability layer uses this to draw parallel
+// work on per-worker tracks of the Chrome trace and to export queue-depth
+// and busy-time metrics; with no observer attached the callbacks cost one
+// nil check.
 package par
 
 import (
 	"context"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 )
 
 // Workers resolves a worker-count knob: n if positive, otherwise
@@ -28,6 +43,46 @@ func Workers(n int) int {
 		return n
 	}
 	return runtime.GOMAXPROCS(0)
+}
+
+// Observer receives worker-pool lifecycle callbacks. PoolStart is called
+// once before any task with the resolved worker count (after clamping to
+// the task count) and the number of tasks; TaskStart/TaskDone bracket
+// each task on its executing worker goroutine (calls with equal slot
+// never overlap); PoolDone is called once after the join, even when a
+// task panicked.
+//
+// mfsynth/internal/obs.PoolObserver implements this interface.
+type Observer interface {
+	PoolStart(workers, tasks int)
+	TaskStart(slot, i int)
+	TaskDone(slot, i int)
+	PoolDone()
+}
+
+// observerKey keys the Observer in a context.
+type observerKey struct{}
+
+// WithObserver attaches an Observer to the context for MapCtx/DoCtx.
+// Callers holding a concrete observer pointer must guard against typed
+// nils themselves (`if po != nil { ctx = par.WithObserver(ctx, po) }`) —
+// a non-nil interface wrapping a nil pointer would be called.
+func WithObserver(ctx context.Context, o Observer) context.Context {
+	return context.WithValue(ctx, observerKey{}, o)
+}
+
+// TaskPanic wraps a panic that escaped a pool task. It is re-panicked on
+// the calling goroutine after the join; Value is the original panic value
+// and Stack the panicking task's stack trace.
+type TaskPanic struct {
+	Index int
+	Value any
+	Stack []byte
+}
+
+// Error makes a TaskPanic usable as an error by code that recovers it.
+func (p *TaskPanic) Error() string {
+	return fmt.Sprintf("par: task %d panicked: %v", p.Index, p.Value)
 }
 
 // Map applies fn to every index in [0, n) using at most workers
@@ -56,13 +111,35 @@ func MapCtx[R any](ctx context.Context, workers, n int, fn func(slot, i int) (R,
 	if workers > n {
 		workers = n
 	}
+	obs, _ := ctx.Value(observerKey{}).(Observer)
+	panics := make([]*TaskPanic, n)
+	run := func(slot, i int) {
+		if obs != nil {
+			obs.TaskStart(slot, i)
+		}
+		defer func() {
+			if r := recover(); r != nil {
+				panics[i] = &TaskPanic{Index: i, Value: r, Stack: debug.Stack()}
+			}
+			if obs != nil {
+				obs.TaskDone(slot, i)
+			}
+		}()
+		results[i], errs[i] = fn(slot, i)
+	}
+	if obs != nil {
+		obs.PoolStart(workers, n)
+		defer obs.PoolDone()
+	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
 			if err := ctx.Err(); err != nil {
+				rethrow(panics)
 				return results, firstError(errs, err)
 			}
-			results[i], errs[i] = fn(0, i)
+			run(0, i)
 		}
+		rethrow(panics)
 		return results, firstError(errs, nil)
 	}
 
@@ -75,7 +152,7 @@ func MapCtx[R any](ctx context.Context, workers, n int, fn func(slot, i int) (R,
 		go func(slot int) {
 			defer func() { done <- struct{}{} }()
 			for i := range feed {
-				results[i], errs[i] = fn(slot, i)
+				run(slot, i)
 			}
 		}(slot)
 	}
@@ -93,12 +170,28 @@ feedLoop:
 	for slot := 0; slot < workers; slot++ {
 		<-done
 	}
+	rethrow(panics)
 	return results, firstError(errs, ctxErr)
+}
+
+// rethrow re-raises the lowest-index recovered panic, if any — the index
+// a serial loop would have died on first.
+func rethrow(panics []*TaskPanic) {
+	for _, p := range panics {
+		if p != nil {
+			panic(p)
+		}
+	}
 }
 
 // Do is Map for side-effecting work without a result value.
 func Do(workers, n int, fn func(slot, i int) error) error {
-	_, err := Map(workers, n, func(slot, i int) (struct{}, error) {
+	return DoCtx(context.Background(), workers, n, fn)
+}
+
+// DoCtx is Do with context cancellation and observer support.
+func DoCtx(ctx context.Context, workers, n int, fn func(slot, i int) error) error {
+	_, err := MapCtx(ctx, workers, n, func(slot, i int) (struct{}, error) {
 		return struct{}{}, fn(slot, i)
 	})
 	return err

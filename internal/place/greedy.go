@@ -1,11 +1,13 @@
 package place
 
 import (
+	"context"
 	"fmt"
 
 	"mfsynth/internal/arch"
 	"mfsynth/internal/graph"
 	"mfsynth/internal/grid"
+	"mfsynth/internal/obs"
 	"mfsynth/internal/par"
 	"mfsynth/internal/storage"
 )
@@ -39,8 +41,8 @@ type greedyState struct {
 
 // solveGreedy is the standalone greedy mapper: a multi-start constructive
 // heuristic over all operations.
-func (pr *problem) solveGreedy() (*Mapping, error) {
-	fixed, info, err := pr.multiStartGreedy(pr.ops, map[int]arch.Placement{}, map[grid.Point]int{})
+func (pr *problem) solveGreedy(sp *obs.Span) (*Mapping, error) {
+	fixed, info, err := pr.multiStartGreedy(sp, pr.ops, map[int]arch.Placement{}, map[grid.Point]int{})
 	if err != nil {
 		return nil, err
 	}
@@ -127,10 +129,14 @@ func greedyDone(st *greedyState) bool {
 // relaxations). With Config.Workers != 1 the variants run concurrently;
 // the merge scans results in variant order with the same early-exit rule,
 // so the chosen state is identical to the serial loop's.
-func (pr *problem) multiStartGreedy(free []int, fixed map[int]arch.Placement, pump map[grid.Point]int) (map[int]arch.Placement, greedyInfo, error) {
+func (pr *problem) multiStartGreedy(sp *obs.Span, free []int, fixed map[int]arch.Placement, pump map[grid.Point]int) (map[int]arch.Placement, greedyInfo, error) {
 	variants := pr.greedyVariants(greedyRuns, true, 0)
-	best, firstErr := pr.bestVariant(variants, nil, true, free, fixed, pump)
+	gsp := sp.Start("place.greedy",
+		obs.KV("ops", len(free)), obs.KV("variants", len(variants)))
+	best, firstErr := pr.bestVariant(gsp, variants, nil, true, free, fixed, pump)
 	if best == nil {
+		gsp.Set(obs.KV("error", "infeasible"))
+		gsp.End()
 		return nil, greedyInfo{}, firstErr
 	}
 	// Packing phase: with the achievable worst-case load known, re-place
@@ -139,8 +145,11 @@ func (pr *problem) multiStartGreedy(free []int, fixed map[int]arch.Placement, pu
 	// where every ring is necessarily fresh.
 	if best.maxPump > 1 {
 		packing := pr.greedyVariants(greedyRuns/2, false, best.maxPump)
-		best, _ = pr.bestVariant(packing, best, false, free, fixed, pump)
+		best, _ = pr.bestVariant(gsp, packing, best, false, free, fixed, pump)
 	}
+	gsp.Set(obs.KV("max_pump", best.maxPump), obs.KV("rc_relaxed", best.rcRelaxed))
+	gsp.End()
+	gsp.Metrics().Counter("place.greedy_runs").Add(int64(len(variants)))
 	return best.fixed, greedyInfo{maxPump: best.maxPump, rcRelaxed: best.rcRelaxed}, nil
 }
 
@@ -151,7 +160,7 @@ func (pr *problem) multiStartGreedy(free []int, fixed map[int]arch.Placement, pu
 // considering further variants once the early-exit rule fires. The merge
 // order makes the chosen state identical to the serial loop's regardless
 // of worker count.
-func (pr *problem) bestVariant(variants []greedyVariant, best *greedyState, earlyExit bool, free []int, fixed map[int]arch.Placement, pump map[grid.Point]int) (*greedyState, error) {
+func (pr *problem) bestVariant(sp *obs.Span, variants []greedyVariant, best *greedyState, earlyExit bool, free []int, fixed map[int]arch.Placement, pump map[grid.Point]int) (*greedyState, error) {
 	var firstErr error
 	workers := par.Workers(pr.cfg.Workers)
 	if workers <= 1 {
@@ -177,7 +186,11 @@ func (pr *problem) bestVariant(variants []greedyVariant, best *greedyState, earl
 		st  *greedyState
 		err error
 	}
-	results, _ := par.Map(workers, len(variants), func(slot, i int) (runResult, error) {
+	ctx := context.Background()
+	if po := sp.Trace().Pool(sp, "greedy.variant"); po != nil {
+		ctx = par.WithObserver(ctx, po)
+	}
+	results, _ := par.MapCtx(ctx, workers, len(variants), func(slot, i int) (runResult, error) {
 		st, err := pr.runVariant(variants[i], free, fixed, pump)
 		return runResult{st: st, err: err}, nil
 	})

@@ -6,6 +6,7 @@ import (
 	"mfsynth/internal/arch"
 	"mfsynth/internal/grid"
 	"mfsynth/internal/milp"
+	"mfsynth/internal/obs"
 )
 
 // batchOpts controls one ILP build.
@@ -15,6 +16,8 @@ type batchOpts struct {
 	noRC bool
 	// maxNodes overrides the config budget when positive.
 	maxNodes int
+	// obs is the span this ILP build and solve report under (nil = off).
+	obs *obs.Span
 }
 
 // batchInfo reports one ILP solve.
@@ -43,6 +46,7 @@ func (pr *problem) solveBatch(free []int, fixed map[int]arch.Placement, pump map
 
 	// 1. Candidates.
 	oms := make([]*opModel, 0, len(free))
+	numCands := 0
 	for _, op := range free {
 		cands := pr.candidates(op, fixed, candOpts{relaxRC: opts.noRC, fullRoots: true})
 		if len(cands) == 0 && !opts.noRC {
@@ -53,8 +57,11 @@ func (pr *problem) solveBatch(free []int, fixed map[int]arch.Placement, pump map
 			return nil, info, fmt.Errorf("place: no feasible placement for %s on a %dx%d chip",
 				pr.res.Assay.Op(op).Name, pr.cfg.Grid, pr.cfg.Grid)
 		}
+		numCands += len(cands)
 		oms = append(oms, &opModel{op: op, cands: cands})
 	}
+	opts.obs.Set(obs.KV("candidates", numCands))
+	opts.obs.Metrics().Counter("place.ilp_candidates").Add(int64(numCands))
 
 	// 2. Model.
 	m := milp.NewModel()
@@ -153,7 +160,7 @@ func (pr *problem) solveBatch(free []int, fixed map[int]arch.Placement, pump map
 	// routing-convenient relaxation later.
 
 	// 3. Incumbent from the greedy heuristic.
-	incumbent := pr.buildIncumbent(m, oms, disjs, fixed, pump, w)
+	incumbent := pr.buildIncumbent(opts.obs, m, oms, disjs, fixed, pump, w)
 
 	// 4. Solve.
 	maxNodes := pr.cfg.MaxNodes
@@ -166,6 +173,7 @@ func (pr *problem) solveBatch(free []int, fixed map[int]arch.Placement, pump map
 		Incumbent: incumbent,
 		AbsGap:    0.999, // w counts whole operations
 		Workers:   pr.cfg.Workers,
+		Obs:       opts.obs,
 	})
 	if err != nil {
 		return nil, info, err
@@ -188,7 +196,7 @@ func (pr *problem) solveBatch(free []int, fixed map[int]arch.Placement, pump map
 			inner.exact = false
 			return placements, inner, err
 		}
-		placements, ginfo, gerr := pr.multiStartGreedy(free, fixed, pump)
+		placements, ginfo, gerr := pr.multiStartGreedy(opts.obs, free, fixed, pump)
 		if gerr != nil {
 			return nil, info, fmt.Errorf("place: ILP %v for batch of %d ops and greedy failed: %v",
 				res.Status, len(free), gerr)
@@ -250,12 +258,12 @@ type disj struct {
 // full variable assignment (selection vars, disjunction binaries, w).
 // Returns nil when greedy fails or picks a candidate outside the model
 // (e.g. an RC-relaxed placement the model forbids).
-func (pr *problem) buildIncumbent(m *milp.Model, oms []*opModel, disjs []disj, fixed map[int]arch.Placement, pump map[grid.Point]int, w milp.Var) []float64 {
+func (pr *problem) buildIncumbent(sp *obs.Span, m *milp.Model, oms []*opModel, disjs []disj, fixed map[int]arch.Placement, pump map[grid.Point]int, w milp.Var) []float64 {
 	free := make([]int, len(oms))
 	for i, om := range oms {
 		free[i] = om.op
 	}
-	local, _, err := pr.multiStartGreedy(free, fixed, pump)
+	local, _, err := pr.multiStartGreedy(sp, free, fixed, pump)
 	if err != nil {
 		return nil
 	}

@@ -27,6 +27,7 @@ import (
 
 	"mfsynth/internal/arch"
 	"mfsynth/internal/graph"
+	"mfsynth/internal/obs"
 	"mfsynth/internal/schedule"
 	"mfsynth/internal/storage"
 )
@@ -86,6 +87,11 @@ type Config struct {
 	// the search at a timing-dependent node in serial runs too; MaxNodes
 	// is the deterministic budget).
 	Workers int
+	// Obs, when non-nil, is the parent span the mapper reports under:
+	// per-repair-iteration spans, per-batch ILP spans, greedy fan-out
+	// pools on per-worker tracks, and the place.* metrics. Observation
+	// never changes results.
+	Obs *obs.Span
 }
 
 func (c Config) withDefaults() Config {
@@ -151,31 +157,56 @@ func Map(res *schedule.Result, cfg Config) (*Mapping, error) {
 	}
 	const maxRepairs = 16
 	for iter := 0; ; iter++ {
+		iterSp := cfg.Obs.Start("place.iter",
+			obs.KV("iter", iter), obs.KV("mode", cfg.Mode.String()))
 		var m *Mapping
 		var err error
 		switch cfg.Mode {
 		case Monolithic:
-			m, err = pr.solveMonolithic()
+			m, err = pr.solveMonolithic(iterSp)
 		case Greedy:
-			m, err = pr.solveGreedy()
+			m, err = pr.solveGreedy(iterSp)
 		default:
-			m, err = pr.solveRolling()
+			m, err = pr.solveRolling(iterSp)
 		}
 		if err != nil {
+			iterSp.End()
 			return nil, err
 		}
 		m.Stats.Repairs = iter
 		bad := pr.storageViolations(m)
+		iterSp.Set(obs.KV("violations", len(bad)))
+		iterSp.End()
 		if len(bad) == 0 {
+			pr.flushObs(m)
 			return m, nil
 		}
 		if iter >= maxRepairs {
 			return nil, fmt.Errorf("place: storage repair did not converge after %d iterations", maxRepairs)
 		}
+		cfg.Obs.Metrics().Counter("place.repairs").Inc()
 		for _, pair := range bad {
 			pr.forbidden[pair] = true
 		}
 	}
+}
+
+// flushObs records the accepted mapping's solve statistics as metrics and
+// attributes on the mapper's parent span.
+func (pr *problem) flushObs(m *Mapping) {
+	sp := pr.cfg.Obs
+	mm := sp.Metrics()
+	if mm == nil {
+		return
+	}
+	mm.Counter("place.ilp_solves").Add(int64(m.Stats.ILPSolves))
+	mm.Counter("place.ilp_nodes").Add(int64(m.Stats.ILPNodes))
+	mm.Counter("place.rc_relaxed").Add(int64(m.Stats.RCRelaxed))
+	sp.Set(obs.KV("mode", m.Stats.Mode.String()),
+		obs.KV("repairs", m.Stats.Repairs),
+		obs.KV("ilp_nodes", m.Stats.ILPNodes),
+		obs.KV("max_pump_ops", m.MaxPumpOps),
+		obs.KV("exact", m.Stats.Exact))
 }
 
 // pairKey identifies a (child, parent) overlap permission.

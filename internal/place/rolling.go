@@ -3,6 +3,7 @@ package place
 import (
 	"mfsynth/internal/arch"
 	"mfsynth/internal/grid"
+	"mfsynth/internal/obs"
 )
 
 // solveRolling runs the rolling-horizon decomposition: the ILP of
@@ -12,7 +13,7 @@ import (
 // paper's; only the scope of simultaneously-open decisions is reduced,
 // which is what makes the two dilution benchmarks tractable for a
 // from-scratch MILP solver.
-func (pr *problem) solveRolling() (*Mapping, error) {
+func (pr *problem) solveRolling(sp *obs.Span) (*Mapping, error) {
 	fixed := map[int]arch.Placement{}
 	pump := map[grid.Point]int{}
 	stats := Stats{Mode: RollingHorizon, Exact: true}
@@ -23,11 +24,14 @@ func (pr *problem) solveRolling() (*Mapping, error) {
 			end = len(pr.ops)
 		}
 		batch := pr.ops[start:end]
-		placements, info, err := pr.solveBatch(batch, fixed, pump, batchOpts{})
+		bsp := sp.Start("place.batch",
+			obs.KV("start", start), obs.KV("ops", len(batch)))
+		placements, info, err := pr.solveBatch(batch, fixed, pump, batchOpts{obs: bsp})
+		bsp.End()
 		if err != nil {
 			// Earlier batches crowded the chip; a full-horizon greedy sees
 			// all couplings at once and regularly still fits.
-			full, ginfo, gerr := pr.multiStartGreedy(pr.ops, map[int]arch.Placement{}, map[grid.Point]int{})
+			full, ginfo, gerr := pr.multiStartGreedy(sp, pr.ops, map[int]arch.Placement{}, map[grid.Point]int{})
 			if gerr != nil {
 				return nil, err
 			}
@@ -58,7 +62,7 @@ func (pr *problem) solveRolling() (*Mapping, error) {
 
 	// Portfolio step: a full-horizon multi-start greedy sees couplings the
 	// per-batch ILPs cannot; keep whichever mapping pumps less.
-	if full, info, err := pr.multiStartGreedy(pr.ops, map[int]arch.Placement{}, map[grid.Point]int{}); err == nil {
+	if full, info, err := pr.multiStartGreedy(sp, pr.ops, map[int]arch.Placement{}, map[grid.Point]int{}); err == nil {
 		if info.maxPump < result.MaxPumpOps {
 			gs := stats
 			gs.RCRelaxed = info.rcRelaxed
@@ -70,9 +74,10 @@ func (pr *problem) solveRolling() (*Mapping, error) {
 }
 
 // solveMonolithic solves the paper's single ILP over every operation.
-func (pr *problem) solveMonolithic() (*Mapping, error) {
+func (pr *problem) solveMonolithic(sp *obs.Span) (*Mapping, error) {
 	placements, info, err := pr.solveBatch(pr.ops, map[int]arch.Placement{}, map[grid.Point]int{}, batchOpts{
 		maxNodes: pr.cfg.MaxNodes,
+		obs:      sp,
 	})
 	if err != nil {
 		return nil, err

@@ -8,6 +8,7 @@ import (
 	"mfsynth/internal/assays"
 	"mfsynth/internal/baseline"
 	"mfsynth/internal/core"
+	"mfsynth/internal/obs"
 	"mfsynth/internal/par"
 	"mfsynth/internal/place"
 	"mfsynth/internal/schedule"
@@ -49,6 +50,10 @@ type RowOptions struct {
 	// cells and runs each cell's mapper serially. Either way the reported
 	// metrics are bit-identical to a serial run.
 	Workers int
+	// Trace, when non-nil, records every synthesis run of the evaluation
+	// under one trace (one root span per cell). Concurrent Table1 cells land
+	// on separate root tracks of the Chrome export.
+	Trace *obs.Trace
 }
 
 // Table1Row evaluates one benchmark × policy cell of Table 1.
@@ -65,6 +70,7 @@ func Table1Row(c assays.Case, policy int, opts RowOptions) (*Row, error) {
 		Policy:  schedule.Resources{Mixers: des.Mixers, Detectors: c.Detectors},
 		Place:   place.Config{Grid: grid, Mode: opts.Mode},
 		Workers: opts.Workers,
+		Trace:   opts.Trace,
 	})
 	if err != nil {
 		return nil, err

@@ -46,6 +46,11 @@ type Router struct {
 	storage map[grid.Point]int  // cell -> storage id
 	used    map[grid.Point]int  // cell -> number of committed paths
 	prefer  map[grid.Point]bool // cells whose valves actuate anyway
+
+	// Pops counts priority-queue extractions across all Route calls on
+	// this router — the Dijkstra work metric the observability layer
+	// aggregates into route.dijkstra_pops.
+	Pops int
 }
 
 // New returns a router over the given lattice bounds.
@@ -174,6 +179,7 @@ func (ro *Router) Route(sources, targets []grid.Point) (Path, error) {
 	dirs := []grid.Point{{X: 1, Y: 0}, {X: -1, Y: 0}, {X: 0, Y: 1}, {X: 0, Y: -1}}
 	for pq.Len() > 0 {
 		it := heap.Pop(&pq).(pqItem)
+		ro.Pops++
 		if it.dist > dist[it.p] {
 			continue // stale entry
 		}

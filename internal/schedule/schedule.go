@@ -15,6 +15,7 @@ import (
 	"sort"
 
 	"mfsynth/internal/graph"
+	"mfsynth/internal/obs"
 )
 
 // DefaultTransportDelay is the fluid transport delay in time units between
@@ -70,6 +71,10 @@ type Options struct {
 	TransportDelay int
 	// Resources bounds device concurrency.
 	Resources Resources
+	// Obs, when non-nil, is the parent span the scheduling passes report
+	// under (schedule.priority, schedule.dispatch) with ops/makespan
+	// attributes and metrics. Observation never changes results.
+	Obs *obs.Span
 }
 
 // List schedules the assay with list scheduling: operations become ready
@@ -89,11 +94,15 @@ func List(a *graph.Assay, opts Options) (*Result, error) {
 		delay = DefaultTransportDelay
 	}
 
+	prioSp := opts.Obs.Start("schedule.priority")
 	order, err := a.TopoOrder()
 	if err != nil {
+		prioSp.End()
 		return nil, err
 	}
 	prio := criticalPath(a, order, delay)
+	prioSp.End()
+	dispSp := opts.Obs.Start("schedule.dispatch")
 
 	res := &Result{
 		Assay:          a,
@@ -173,10 +182,18 @@ func List(a *graph.Assay, opts Options) (*Result, error) {
 			}
 		}
 	}
+	dispSp.End()
 	if scheduled != a.Len() {
 		return nil, fmt.Errorf("schedule: only %d of %d operations scheduled", scheduled, a.Len())
 	}
 	res.Instances = pools.instances()
+	opts.Obs.Set(obs.KV("ops", a.Len()), obs.KV("makespan", res.Makespan),
+		obs.KV("instances", len(res.Instances)))
+	if m := opts.Obs.Metrics(); m != nil {
+		m.Counter("schedule.ops").Add(int64(a.Len()))
+		m.Gauge("schedule.makespan").Set(int64(res.Makespan))
+		m.Gauge("schedule.instances").Set(int64(len(res.Instances)))
+	}
 	return res, nil
 }
 

@@ -31,6 +31,7 @@ import (
 	"mfsynth/internal/control"
 	"mfsynth/internal/core"
 	"mfsynth/internal/graph"
+	"mfsynth/internal/obs"
 	"mfsynth/internal/place"
 	"mfsynth/internal/report"
 	"mfsynth/internal/schedule"
@@ -148,6 +149,20 @@ type Options = core.Options
 
 // Result is a complete synthesis result with both evaluation settings.
 type Result = core.Result
+
+// Trace records hierarchical spans and a metrics registry across synthesis
+// runs; attach one via Options.Trace (or Table1RowOptions.Trace). Export
+// with its WriteText, WriteJSONL and WriteChromeTrace methods — the last
+// loads into chrome://tracing and Perfetto. Tracing never changes results;
+// a nil Trace costs nothing.
+type Trace = obs.Trace
+
+// NewTrace returns an empty trace ready to record runs.
+func NewTrace() *Trace { return obs.New() }
+
+// MetricsSnapshot is a point-in-time JSON-marshalable copy of a trace's
+// metrics registry, obtained via trace.Metrics().Snapshot().
+type MetricsSnapshot = obs.Snapshot
 
 // Synthesize runs the full reliability-aware synthesis (Algorithm 1):
 // scheduling, dynamic-device mapping, routing, and actuation simulation.

@@ -1,0 +1,95 @@
+// Command tracecheck validates a Chrome trace_event JSON file produced by
+// mfsynth -trace / mfbench -trace: it must parse, carry the four pipeline
+// phase slices (schedule, place, route, sim) under a synthesize root, and —
+// with -require-workers — show at least one per-worker track. CI's tier-3
+// target runs it as the trace-artefact smoke check.
+//
+// Usage:
+//
+//	tracecheck [-require-workers] trace.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+)
+
+type event struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	TS   *float64       `json:"ts"`
+	Dur  float64        `json:"dur"`
+	PID  *int           `json:"pid"`
+	TID  *int           `json:"tid"`
+	Args map[string]any `json:"args"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tracecheck: ")
+	requireWorkers := flag.Bool("require-workers", false, "fail unless a per-worker (wN) track is present")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		log.Fatal("usage: tracecheck [-require-workers] trace.json")
+	}
+
+	data, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var trace struct {
+		TraceEvents []event `json:"traceEvents"`
+		Unit        string  `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(data, &trace); err != nil {
+		log.Fatalf("%s: not valid trace_event JSON: %v", flag.Arg(0), err)
+	}
+
+	slices := map[string]int{}
+	workerTracks := 0
+	for _, ev := range trace.TraceEvents {
+		if ev.Name == "" || ev.Ph == "" || ev.TS == nil || ev.PID == nil || ev.TID == nil {
+			log.Fatalf("event missing a required field (name/ph/ts/pid/tid): %+v", ev)
+		}
+		switch ev.Ph {
+		case "X":
+			if ev.Dur < 0 {
+				log.Fatalf("slice %q has negative duration %g", ev.Name, ev.Dur)
+			}
+			slices[ev.Name]++
+		case "M":
+			if ev.Name == "thread_name" {
+				if n, _ := ev.Args["name"].(string); len(n) >= 2 && n[0] == 'w' {
+					workerTracks++
+				}
+			}
+		case "i":
+			// instants carry no duration; presence fields checked above
+		default:
+			log.Fatalf("unexpected event phase %q on %q", ev.Ph, ev.Name)
+		}
+	}
+
+	phases := []string{"schedule", "place", "route", "sim"}
+	missing := []string{}
+	for _, p := range phases {
+		if slices[p] == 0 {
+			missing = append(missing, p)
+		}
+	}
+	if len(missing) > 0 {
+		log.Fatalf("missing phase slices %v (have %v)", missing, slices)
+	}
+	if slices["synthesize"] == 0 {
+		log.Fatalf("no synthesize root slice (have %v)", slices)
+	}
+	if *requireWorkers && workerTracks == 0 {
+		log.Fatal("no per-worker (wN) tracks in trace")
+	}
+
+	fmt.Printf("ok: %d slice names, %d synthesize run(s), %d worker track(s)\n",
+		len(slices), slices["synthesize"], workerTracks)
+}
