@@ -20,6 +20,23 @@ tier3:
 	go run ./tools/tracecheck -require-workers .tier3-trace.json
 	rm -f .tier3-trace.json
 
+# The tier-1 contract under the race detector.
+tier1-race:
+	go build ./...
+	go test -race ./...
+
+# Tier-4: conformance gate — golden benchmark audits, the differential
+# serial-vs-parallel oracle, the route brute-force oracle, a conformance-
+# checked synthesis run, and a short smoke of every native fuzzer.
+# Override FUZZTIME to fuzz longer (e.g. make tier4 FUZZTIME=5m).
+FUZZTIME ?= 10s
+tier4:
+	go test -race ./internal/verify/ ./internal/route/ ./internal/assays/ ./internal/sim/
+	go run ./cmd/mfsynth -case PCR -mode greedy -verify >/dev/null
+	go test -run '^$$' -fuzz FuzzParseAssay -fuzztime $(FUZZTIME) ./internal/assays/
+	go test -run '^$$' -fuzz FuzzRouteOracle -fuzztime $(FUZZTIME) ./internal/route/
+	go test -run '^$$' -fuzz FuzzPipeline -fuzztime $(FUZZTIME) ./internal/verify/
+
 # Serial-vs-parallel engine benchmarks (ns/op and allocs/op per worker count).
 bench-parallel:
 	go test -bench=Parallel -benchmem ./...
@@ -29,4 +46,4 @@ bench-parallel:
 bench-json:
 	go run ./cmd/mfbench -table1 -json BENCH_table1.json
 
-.PHONY: tier1 tier2 tier3 bench-parallel bench-json
+.PHONY: tier1 tier1-race tier2 tier3 tier4 bench-parallel bench-json

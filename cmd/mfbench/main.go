@@ -44,6 +44,7 @@ func main() {
 		traceOut   = flag.String("trace", "", "write a Chrome trace_event JSON of every synthesis run to this file (load in chrome://tracing or Perfetto)")
 		eventsOut  = flag.String("events", "", "write the span/metric event stream as JSON lines to this file")
 		stats      = flag.Bool("stats", false, "print the span tree and metrics summary to stderr")
+		doVerify   = flag.Bool("verify", false, "audit every Table 1 synthesis result against the conformance catalogue")
 	)
 	flag.Parse()
 	all := !*figures && !*table1 && !*extensions
@@ -59,7 +60,7 @@ func main() {
 		printFigures(tr)
 	}
 	if *table1 || all {
-		printTable1(*fast, *workers, *jsonOut, tr)
+		printTable1(*fast, *workers, *jsonOut, *doVerify, tr)
 	}
 	if *extensions || all {
 		printExtensions(*workers, tr)
@@ -295,8 +296,8 @@ func printFigures(tr *mfsynth.Trace) {
 	fmt.Printf("result: %s\n\n", res)
 }
 
-func printTable1(fast bool, workers int, jsonOut string, tr *mfsynth.Trace) {
-	opts := mfsynth.Table1RowOptions{Workers: workers, Trace: tr}
+func printTable1(fast bool, workers int, jsonOut string, doVerify bool, tr *mfsynth.Trace) {
+	opts := mfsynth.Table1RowOptions{Workers: workers, Trace: tr, Verify: doVerify}
 	if fast {
 		opts.Mode = mfsynth.GreedyPlace
 	}

@@ -37,6 +37,7 @@ func main() {
 		traceOut  = flag.String("trace", "", "write a Chrome trace_event JSON of the synthesis run to this file (load in chrome://tracing or Perfetto)")
 		eventsOut = flag.String("events", "", "write the span/metric event stream as JSON lines to this file")
 		stats     = flag.Bool("stats", false, "print the span tree and metrics summary to stderr")
+		doVerify  = flag.Bool("verify", false, "audit the result against the full conformance catalogue; exit non-zero on violations")
 	)
 	flag.Parse()
 
@@ -108,6 +109,13 @@ func main() {
 			row.Imp1, row.Imp2, row.ImpV)
 	}
 	fmt.Printf("  runtime:           %s\n", res.Runtime.Round(res.Runtime/100+1))
+	if *doVerify {
+		rep := mfsynth.Verify(res)
+		fmt.Printf("  conformance:       %d checks, %d violation(s)\n", rep.Checks, len(rep.Violations))
+		if !rep.Clean() {
+			log.Fatalf("conformance audit failed:\n%s", rep)
+		}
+	}
 
 	if *gantt {
 		fmt.Println("\nScheduling result:")

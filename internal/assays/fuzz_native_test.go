@@ -1,0 +1,48 @@
+package assays
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParseAssay is the native fuzzer behind the testing/quick property
+// tests: the parser must never panic on arbitrary bytes, must reject every
+// input it cannot fully validate, and every accepted assay must survive a
+// Write→Parse round trip unchanged.
+func FuzzParseAssay(f *testing.F) {
+	// A well-formed document, a few near-misses, and raw junk.
+	var sb strings.Builder
+	if err := Write(&sb, PCR().Assay); err != nil {
+		f.Fatal(err)
+	}
+	f.Add([]byte(sb.String()))
+	f.Add([]byte("assay demo\nop s input 0\nop m mix 6\nedge s m 4\n"))
+	f.Add([]byte("assay demo\nop m mix -6\n"))
+	f.Add([]byte("assay demo\nedge a b 4\n"))
+	f.Add([]byte("op before header\n"))
+	f.Add([]byte("\x00\xff\xfe"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		a, err := Parse(bytes.NewReader(data))
+		if err != nil {
+			return // rejection is always fine; panicking is not
+		}
+		if verr := a.Validate(); verr != nil {
+			t.Fatalf("Parse accepted an invalid assay: %v\ninput: %q", verr, data)
+		}
+		var out strings.Builder
+		if werr := Write(&out, a); werr != nil {
+			t.Fatalf("accepted assay does not re-serialise: %v\ninput: %q", werr, data)
+		}
+		back, rerr := Parse(strings.NewReader(out.String()))
+		if rerr != nil {
+			t.Fatalf("round trip does not re-parse: %v\nserialised: %q", rerr, out.String())
+		}
+		if back.Len() != a.Len() || back.NumEdges() != a.NumEdges() ||
+			back.Stats().String() != a.Stats().String() {
+			t.Fatalf("round trip lost structure: %d/%d ops, %d/%d edges\ninput: %q",
+				back.Len(), a.Len(), back.NumEdges(), a.NumEdges(), data)
+		}
+	})
+}

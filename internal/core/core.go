@@ -141,6 +141,11 @@ type Result struct {
 	opts Options
 }
 
+// Options returns the effective options of the run, with defaults applied
+// (PumpActuations, DedicatedPumpValves, Place.Grid). Conformance checkers
+// need them to re-derive the actuation accounting from first principles.
+func (r *Result) Options() Options { return r.opts }
+
 // Synthesize runs the full flow on the assay.
 func Synthesize(a *graph.Assay, opts Options) (*Result, error) {
 	start := time.Now()
@@ -336,7 +341,34 @@ func (r *Result) routeAndSimulate(sp *obs.Span) error {
 	}
 	sp.Set(obs.KV("transports", len(r.Transports)),
 		obs.KV("failed", r.FailedRoutes))
-	sort.SliceStable(r.Events, func(i, j int) bool { return r.Events[i].T < r.Events[j].T })
+	// Total order: pump events come from map iteration, so sorting by time
+	// alone would leave the within-step order random from run to run. The
+	// event log is part of the bit-identical-results contract (the verify
+	// package fingerprints it), so break ties all the way down.
+	sort.SliceStable(r.Events, func(i, j int) bool {
+		a, b := r.Events[i], r.Events[j]
+		if a.T != b.T {
+			return a.T < b.T
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		if a.Op != b.Op {
+			return a.Op < b.Op
+		}
+		if len(a.Cells) != len(b.Cells) {
+			return len(a.Cells) < len(b.Cells)
+		}
+		for k := range a.Cells {
+			if a.Cells[k] != b.Cells[k] {
+				if a.Cells[k].Y != b.Cells[k].Y {
+					return a.Cells[k].Y < b.Cells[k].Y
+				}
+				return a.Cells[k].X < b.Cells[k].X
+			}
+		}
+		return false
+	})
 	return nil
 }
 

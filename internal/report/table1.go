@@ -12,6 +12,7 @@ import (
 	"mfsynth/internal/par"
 	"mfsynth/internal/place"
 	"mfsynth/internal/schedule"
+	"mfsynth/internal/verify"
 )
 
 // Row is one line of Table 1: a benchmark under one policy, comparing the
@@ -54,6 +55,10 @@ type RowOptions struct {
 	// under one trace (one root span per cell). Concurrent Table1 cells land
 	// on separate root tracks of the Chrome export.
 	Trace *obs.Trace
+	// Verify audits every synthesis result against the full conformance
+	// catalogue; a cell with violations fails with an error carrying the
+	// report.
+	Verify bool
 }
 
 // Table1Row evaluates one benchmark × policy cell of Table 1.
@@ -74,6 +79,11 @@ func Table1Row(c assays.Case, policy int, opts RowOptions) (*Row, error) {
 	})
 	if err != nil {
 		return nil, err
+	}
+	if opts.Verify {
+		if rep := verify.Conformance(res); !rep.Clean() {
+			return nil, fmt.Errorf("%s p%d fails conformance: %s", c.Assay.Name, policy, rep)
+		}
 	}
 	row := &Row{
 		Case:       c.Assay.Name,

@@ -1,0 +1,274 @@
+package route
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"mfsynth/internal/grid"
+)
+
+// pathCost prices a returned path the way Dijkstra accumulates it: the
+// source cell is free, every subsequent cell costs its entry cost.
+func pathCost(ro *Router, p Path) int {
+	c := 0
+	for _, cell := range p[1:] {
+		c += ro.cellCost(cell)
+	}
+	return c
+}
+
+// bruteForceCost computes the cheapest source→target cost by Bellman-Ford
+// relaxation until fixpoint — no priority queue, no early exit, no tie
+// breaking — and returns the minimum over all targets (-1 when unreachable).
+// The independent oracle for Router.Route.
+func bruteForceCost(ro *Router, sources, targets []grid.Point) int {
+	targetSet := map[grid.Point]bool{}
+	for _, t := range targets {
+		targetSet[t] = true
+	}
+	const inf = 1 << 30
+	dist := map[grid.Point]int{}
+	for _, s := range sources {
+		dist[s] = 0
+	}
+	dirs := []grid.Point{{X: 1}, {X: -1}, {Y: 1}, {Y: -1}}
+	for changed := true; changed; {
+		changed = false
+		for _, p := range ro.bounds.Points() {
+			dp, ok := dist[p]
+			if !ok {
+				continue
+			}
+			// A blocked cell can seed a path (terminals may sit on blocked
+			// cells) but is never an intermediate hop; a target is never
+			// expanded because Route returns upon reaching it.
+			if (ro.blocked[p] && dist[p] != 0) || targetSet[p] {
+				continue
+			}
+			for _, d := range dirs {
+				n := p.Add(d)
+				if !ro.bounds.Contains(n) {
+					continue
+				}
+				if ro.blocked[n] && !targetSet[n] {
+					continue
+				}
+				if nd := dp + ro.cellCost(n); nd < valueOr(dist, n, inf) {
+					dist[n] = nd
+					changed = true
+				}
+			}
+		}
+	}
+	best := -1
+	for _, t := range targets {
+		if d, ok := dist[t]; ok && (best < 0 || d < best) {
+			best = d
+		}
+	}
+	return best
+}
+
+func valueOr(m map[grid.Point]int, k grid.Point, def int) int {
+	if v, ok := m[k]; ok {
+		return v
+	}
+	return def
+}
+
+// randomRouter builds a random small routing instance: scattered blocked
+// cells, one storage block, preferred cells and pre-committed traffic.
+func randomRouter(rng *rand.Rand) (*Router, []grid.Point, []grid.Point) {
+	side := 5 + rng.Intn(4)
+	ro := New(grid.RectWH(0, 0, side, side))
+	for i := 0; i < rng.Intn(side); i++ {
+		ro.Block(grid.RectWH(rng.Intn(side), rng.Intn(side), 1, 1))
+	}
+	if rng.Intn(2) == 0 {
+		ro.AddStorage(1, grid.RectWH(rng.Intn(side-1), rng.Intn(side-1), 2, 2))
+	}
+	var prefer []grid.Point
+	for i := 0; i < rng.Intn(2*side); i++ {
+		prefer = append(prefer, grid.Point{X: rng.Intn(side), Y: rng.Intn(side)})
+	}
+	ro.Prefer(prefer)
+	for i := 0; i < rng.Intn(3); i++ {
+		var traffic Path
+		for j := 0; j < 1+rng.Intn(side); j++ {
+			traffic = append(traffic, grid.Point{X: rng.Intn(side), Y: rng.Intn(side)})
+		}
+		ro.Commit(traffic)
+	}
+	cell := func() grid.Point { return grid.Point{X: rng.Intn(side), Y: rng.Intn(side)} }
+	sources := []grid.Point{cell()}
+	targets := []grid.Point{cell()}
+	if rng.Intn(2) == 0 {
+		sources = append(sources, cell())
+		targets = append(targets, cell())
+	}
+	return ro, sources, targets
+}
+
+// checkAgainstOracle routes one instance and compares against the
+// brute-force oracle: same reachability verdict, same optimal cost, and a
+// well-formed path (connected, on-chip, terminal-to-terminal, interior off
+// blocked cells).
+func checkAgainstOracle(t *testing.T, ro *Router, sources, targets []grid.Point) {
+	t.Helper()
+	want := bruteForceCost(ro, sources, targets)
+	p, err := ro.Route(sources, targets)
+	if err != nil {
+		if !errors.Is(err, ErrNoPath) {
+			t.Fatalf("route error: %v", err)
+		}
+		if want >= 0 {
+			t.Fatalf("Route says unreachable, oracle finds cost %d", want)
+		}
+		return
+	}
+	if want < 0 {
+		t.Fatalf("Route found %v, oracle says unreachable", p)
+	}
+	if got := pathCost(ro, p); got != want {
+		t.Fatalf("path cost %d, oracle optimum %d (path %v)", got, want, p)
+	}
+	srcSet := map[grid.Point]bool{}
+	for _, s := range sources {
+		srcSet[s] = true
+	}
+	tgtSet := map[grid.Point]bool{}
+	for _, tg := range targets {
+		tgtSet[tg] = true
+	}
+	if !srcSet[p[0]] || !tgtSet[p[len(p)-1]] {
+		t.Fatalf("path %v does not connect a source to a target", p)
+	}
+	for k, c := range p {
+		if !ro.bounds.Contains(c) {
+			t.Fatalf("path cell %v off chip", c)
+		}
+		if k > 0 && c.Manhattan(p[k-1]) != 1 {
+			t.Fatalf("path discontinuous between %v and %v", p[k-1], c)
+		}
+		if k > 0 && k < len(p)-1 && ro.blocked[c] && !tgtSet[c] {
+			t.Fatalf("path interior crosses blocked cell %v", c)
+		}
+	}
+}
+
+// TestRouteMatchesBruteForce cross-checks Dijkstra against the exhaustive
+// relaxation oracle on many random instances.
+func TestRouteMatchesBruteForce(t *testing.T) {
+	for seed := int64(0); seed < 200; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		ro, sources, targets := randomRouter(rng)
+		checkAgainstOracle(t, ro, sources, targets)
+	}
+}
+
+// FuzzRouteOracle is the open-ended version of the brute-force cross-check:
+// the fuzzer explores instance seeds beyond the fixed test sweep.
+func FuzzRouteOracle(f *testing.F) {
+	f.Add(int64(1))
+	f.Add(int64(17))
+	f.Add(int64(-3))
+	f.Fuzz(func(t *testing.T, seed int64) {
+		rng := rand.New(rand.NewSource(seed))
+		ro, sources, targets := randomRouter(rng)
+		checkAgainstOracle(t, ro, sources, targets)
+	})
+}
+
+// TestRipUpReroute covers the Algorithm 1 L15 sequence as table-driven
+// cases: a path that borrows storage cells is ripped up, the storage is
+// blocked, and the re-route must converge to a storage-free path (or an
+// honest ErrNoPath when the storage seals the only corridor).
+func TestRipUpReroute(t *testing.T) {
+	cases := []struct {
+		name       string
+		storage    grid.Rect
+		extraBlock []grid.Rect
+		wantPath   bool
+	}{
+		{
+			name:     "detour exists",
+			storage:  grid.RectWH(2, 1, 2, 3), // mid-chip storage, rows 1-3
+			wantPath: true,
+		},
+		{
+			name:    "storage seals corridor",
+			storage: grid.RectWH(2, 0, 2, 6), // full-height storage wall
+			extraBlock: []grid.Rect{
+				// No gap left anywhere around the storage column.
+			},
+			wantPath: false,
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			ro := New(grid.RectWH(0, 0, 6, 6))
+			ro.AddStorage(1, tc.storage)
+			for _, b := range tc.extraBlock {
+				ro.Block(b)
+			}
+			sources := []grid.Point{{X: 0, Y: 2}}
+			targets := []grid.Point{{X: 5, Y: 2}}
+
+			first, err := ro.Route(sources, targets)
+			if err != nil {
+				t.Fatalf("initial route: %v", err)
+			}
+			if ro.StorageCells(first, 1) == 0 {
+				t.Fatalf("test premise broken: initial path %v avoids the storage", first)
+			}
+			ro.Commit(first)
+
+			// The storage turned out to be full: rip up, forbid, re-route.
+			ro.Rip(first)
+			ro.BlockStorage(1)
+			second, err := ro.Route(sources, targets)
+			if !tc.wantPath {
+				if !errors.Is(err, ErrNoPath) {
+					t.Fatalf("want ErrNoPath, got path %v err %v", second, err)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("re-route: %v", err)
+			}
+			if n := ro.StorageCells(second, 1); n != 0 {
+				t.Fatalf("re-routed path still borrows %d storage cells: %v", n, second)
+			}
+			if got := pathCost(ro, second); got != bruteForceCost(ro, sources, targets) {
+				t.Fatalf("re-routed path cost %d is not optimal", got)
+			}
+		})
+	}
+}
+
+// TestCommitAvoidance: once a path is committed, an identical second demand
+// must route around it when a same-cost detour exists, because crossing a
+// committed cell costs CrossCost.
+func TestCommitAvoidance(t *testing.T) {
+	ro := New(grid.RectWH(0, 0, 7, 7))
+	sources := []grid.Point{{X: 0, Y: 3}}
+	targets := []grid.Point{{X: 6, Y: 3}}
+	first, err := ro.Route(sources, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ro.Commit(first)
+	second, err := ro.Route(sources, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := pathCost(ro, second), bruteForceCost(ro, sources, targets); got != want {
+		t.Fatalf("second path cost %d, oracle optimum %d", got, want)
+	}
+	// The shared cells are exactly the unavoidable terminals.
+	if n := ro.Crossings(second); n > 2 {
+		t.Errorf("second path crosses the committed one on %d cells: %v vs %v", n, second, first)
+	}
+}

@@ -1,15 +1,16 @@
-// Package sim validates synthesis results: it replays a core.Result event
-// by event and checks the physical invariants a fabricated chip would
-// enforce — the design-rule check of the flow. A clean result produces no
-// violations; every rule corresponds to a constraint of the paper's model.
+// Package sim validates synthesis results: it audits a core.Result against
+// the physical invariants a fabricated chip would enforce — the design-rule
+// check of the flow. A clean result produces no violations; every rule
+// corresponds to a constraint of the paper's model.
+//
+// The actual checking lives in the verify package, which re-derives every
+// audited quantity from first principles; sim remains the stable façade the
+// public API exposes.
 package sim
 
 import (
-	"fmt"
-
 	"mfsynth/internal/core"
-	"mfsynth/internal/graph"
-	"mfsynth/internal/grid"
+	"mfsynth/internal/verify"
 )
 
 // Violation is one broken invariant.
@@ -23,216 +24,14 @@ type Violation struct {
 // String renders "rule: detail".
 func (v Violation) String() string { return v.Rule + ": " + v.Detail }
 
-// Check replays the synthesis result and returns all rule violations.
+// Check audits the synthesis result against the full conformance catalogue
+// and returns all rule violations. Rule names are stable; the verify
+// package's Catalogue maps each to its paper constraint number.
 func Check(res *core.Result) []Violation {
-	var out []Violation
-	out = append(out, checkPlacements(res)...)
-	out = append(out, checkDeviceConflicts(res)...)
-	out = append(out, checkTransports(res)...)
-	out = append(out, checkConservation(res)...)
-	out = append(out, checkMetrics(res)...)
-	return out
-}
-
-// checkPlacements: every on-chip operation has a device that fits the chip
-// with its wall band and holds the operation's fluid volume.
-func checkPlacements(res *core.Result) []Violation {
-	var out []Violation
-	bounds := grid.RectWH(0, 0, res.Grid, res.Grid)
-	for _, op := range res.Assay.Ops() {
-		if op.Kind == graph.Input || op.Kind == graph.Output {
-			continue
-		}
-		pl, ok := res.Mapping.Placements[op.ID]
-		if !ok {
-			out = append(out, Violation{"unplaced-op",
-				fmt.Sprintf("operation %s has no device", op.Name)})
-			continue
-		}
-		if !bounds.ContainsRect(pl.WallBox()) {
-			out = append(out, Violation{"off-chip",
-				fmt.Sprintf("%s: wall box %v leaves the %dx%d chip", op.Name, pl.WallBox(), res.Grid, res.Grid)})
-		}
-		if pl.Volume() < res.Assay.Volume(op.ID) {
-			out = append(out, Violation{"undersized-device",
-				fmt.Sprintf("%s: ring volume %d < fluid volume %d", op.Name, pl.Volume(), res.Assay.Volume(op.ID))})
-		}
-	}
-	return out
-}
-
-// checkDeviceConflicts: temporally overlapping devices keep a wall between
-// their footprints, except a storage overlapping its parent device within
-// the storage's free space (constraints (3)-(8) and the c5 relaxation).
-func checkDeviceConflicts(res *core.Result) []Violation {
-	var out []Violation
-	m := res.Mapping
-	ids := make([]int, 0, len(m.Placements))
-	for id := range m.Placements {
-		ids = append(ids, id)
-	}
-	for i := 0; i < len(ids); i++ {
-		for j := i + 1; j < len(ids); j++ {
-			a, b := ids[i], ids[j]
-			wa, wb := m.Windows[a], m.Windows[b]
-			if wa[0] >= wb[1] || wb[0] >= wa[1] {
-				continue
-			}
-			pa, pb := m.Placements[a], m.Placements[b]
-			if pa.CompatibleWith(pb) {
-				continue
-			}
-			if storageOverlapOK(res, a, b) || storageOverlapOK(res, b, a) {
-				continue
-			}
-			out = append(out, Violation{"device-overlap",
-				fmt.Sprintf("%s (%v) and %s (%v) conflict in space and time",
-					res.Assay.Op(a).Name, pa, res.Assay.Op(b).Name, pb)})
-		}
-	}
-	return out
-}
-
-// storageOverlapOK: child's storage may host parent's footprint intrusion
-// while the intruded cells fit its free space.
-func storageOverlapOK(res *core.Result, child, parent int) bool {
-	isParent := false
-	for _, p := range res.Assay.DeviceParents(child) {
-		if p == parent {
-			isParent = true
-		}
-	}
-	tl := res.Mapping.Storages[child]
-	if !isParent || tl == nil {
-		return false
-	}
-	area := res.Mapping.Placements[child].Footprint().OverlapArea(
-		res.Mapping.Placements[parent].Footprint())
-	pw := res.Mapping.Windows[parent]
-	return tl.CanOverlap(area, pw[0], pw[1])
-}
-
-// checkTransports: every transport path is connected, on-chip, starts and
-// ends at plausible terminals, and never crosses a device that is executing
-// at transport time (the paper's obstacle rule; storages with free space
-// are passable).
-func checkTransports(res *core.Result) []Violation {
-	var out []Violation
-	bounds := grid.RectWH(0, 0, res.Grid, res.Grid)
-	for _, tr := range res.Transports {
-		if tr.InPlace {
-			// The endpoints share cells; nothing moves. Valid by
-			// construction when the path is non-empty.
-			if len(tr.Path) == 0 {
-				out = append(out, Violation{"empty-inplace",
-					fmt.Sprintf("t=%d %s->%s shares no cells", tr.T, tr.From, tr.To)})
-			}
-			continue
-		}
-		if len(tr.Path) < 2 {
-			out = append(out, Violation{"trivial-path",
-				fmt.Sprintf("t=%d %s->%s has %d cells", tr.T, tr.From, tr.To, len(tr.Path))})
-			continue
-		}
-		for k, c := range tr.Path {
-			if !bounds.Contains(c) {
-				out = append(out, Violation{"path-off-chip",
-					fmt.Sprintf("t=%d %s->%s cell %v", tr.T, tr.From, tr.To, c)})
-			}
-			if k > 0 && c.Manhattan(tr.Path[k-1]) != 1 {
-				out = append(out, Violation{"path-discontinuous",
-					fmt.Sprintf("t=%d %s->%s between %v and %v", tr.T, tr.From, tr.To, tr.Path[k-1], c)})
-			}
-		}
-		out = append(out, checkPathObstacles(res, tr)...)
-	}
-	return out
-}
-
-// checkPathObstacles verifies the interior of a path against devices
-// executing at the transport time.
-func checkPathObstacles(res *core.Result, tr core.Transport) []Violation {
-	var out []Violation
-	m := res.Mapping
-	for id, pl := range m.Placements {
-		op := res.Assay.Op(id)
-		// Devices executing (not storing) at tr.T are hard obstacles,
-		// except the endpoints' own devices.
-		start := res.Schedule.Start[id]
-		finish := res.Schedule.Finish[id]
-		if tr.T < start || tr.T >= finish {
-			continue
-		}
-		if id == tr.FromID || id == tr.ToID {
-			continue
-		}
-		fp := pl.Footprint()
-		for _, c := range tr.Path[1 : len(tr.Path)-1] {
-			if fp.Contains(c) {
-				out = append(out, Violation{"path-through-device",
-					fmt.Sprintf("t=%d %s->%s crosses executing %s at %v",
-						tr.T, tr.From, tr.To, op.Name, c)})
-				break
-			}
-		}
-	}
-	return out
-}
-
-// checkConservation: every fluid edge of the assay is realised by exactly
-// one transport, and every childless on-chip product is drained.
-func checkConservation(res *core.Result) []Violation {
-	var out []Violation
-	a := res.Assay
-	type key struct{ from, to int }
-	routed := map[key]int{}
-	for _, tr := range res.Transports {
-		routed[key{tr.FromID, tr.ToID}]++
-	}
-	for _, op := range a.Ops() {
-		if op.Kind == graph.Input || op.Kind == graph.Output {
-			continue
-		}
-		if _, placed := res.Mapping.Placements[op.ID]; !placed {
-			continue
-		}
-		for _, e := range a.In(op.ID) {
-			want := key{e.From, op.ID}
-			if routed[want] != 1 {
-				out = append(out, Violation{"unrouted-edge",
-					fmt.Sprintf("edge %s->%s routed %d times, want 1",
-						a.Op(e.From).Name, op.Name, routed[want])})
-			}
-		}
-		if len(a.Out(op.ID)) == 0 {
-			if routed[key{op.ID, -1}] != 1 {
-				out = append(out, Violation{"undrained-product",
-					fmt.Sprintf("product of %s never drained", op.Name)})
-			}
-		}
-	}
-	return out
-}
-
-// checkMetrics: the reported maxima must match an independent replay of the
-// event log.
-func checkMetrics(res *core.Result) []Violation {
-	var out []Violation
-	c1 := res.ChipAt(-1, 1)
-	if c1.MaxTotal() != res.VsMax1 || c1.MaxPump() != res.VsPump1 {
-		out = append(out, Violation{"metric-mismatch",
-			fmt.Sprintf("setting 1 replay %d(%d) != reported %d(%d)",
-				c1.MaxTotal(), c1.MaxPump(), res.VsMax1, res.VsPump1)})
-	}
-	c2 := res.ChipAt(-1, 2)
-	if c2.MaxTotal() != res.VsMax2 || c2.MaxPump() != res.VsPump2 {
-		out = append(out, Violation{"metric-mismatch",
-			fmt.Sprintf("setting 2 replay %d(%d) != reported %d(%d)",
-				c2.MaxTotal(), c2.MaxPump(), res.VsMax2, res.VsPump2)})
-	}
-	if got := c1.UsedValves(); got != res.UsedValves {
-		out = append(out, Violation{"metric-mismatch",
-			fmt.Sprintf("used valves replay %d != reported %d", got, res.UsedValves)})
+	rep := verify.Conformance(res)
+	out := make([]Violation, len(rep.Violations))
+	for i, v := range rep.Violations {
+		out[i] = Violation{Rule: v.Rule, Detail: v.Detail}
 	}
 	return out
 }

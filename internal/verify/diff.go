@@ -1,0 +1,100 @@
+package verify
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+
+	"mfsynth/internal/assays"
+	"mfsynth/internal/core"
+	"mfsynth/internal/graph"
+)
+
+// Canonical serialises every decision of a synthesis result — schedule,
+// binding, placements, windows, transports, events and the reported
+// metrics — as a deterministic text, independent of map iteration order and
+// wall-clock time. Two results are bit-identical (in the sense of the
+// parallel engine's contract) exactly when their canonical forms are equal.
+func Canonical(res *core.Result) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "assay %s grid %d\n", res.Assay.Name, res.Grid)
+	fmt.Fprintf(&sb, "metrics vs1=%d(%d) vs2=%d(%d) used=%d failed=%d maxpump=%d\n",
+		res.VsMax1, res.VsPump1, res.VsMax2, res.VsPump2,
+		res.UsedValves, res.FailedRoutes, res.Mapping.MaxPumpOps)
+
+	s := res.Schedule
+	for _, op := range res.Assay.Ops() {
+		fmt.Fprintf(&sb, "sched %d %s [%d,%d) inst=%d\n",
+			op.ID, op.Name, s.Start[op.ID], s.Finish[op.ID], s.InstanceOf[op.ID])
+	}
+
+	ids := make([]int, 0, len(res.Mapping.Placements))
+	for id := range res.Mapping.Placements {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		w := res.Mapping.Windows[id]
+		fmt.Fprintf(&sb, "place %d %v window [%d,%d)\n", id, res.Mapping.Placements[id], w[0], w[1])
+	}
+
+	for _, tr := range res.Transports {
+		fmt.Fprintf(&sb, "transport t=%d %d->%d inplace=%v path=%v\n",
+			tr.T, tr.FromID, tr.ToID, tr.InPlace, tr.Path)
+	}
+	for _, ev := range res.Events {
+		fmt.Fprintf(&sb, "event t=%d kind=%d op=%d ring=%d cells=%v\n",
+			ev.T, int(ev.Kind), ev.Op, ev.Ring, ev.Cells)
+	}
+	return sb.String()
+}
+
+// Fingerprint returns the SHA-256 of the canonical form, hex-encoded — the
+// oracle value of the serial-vs-parallel bit-identity comparison.
+func Fingerprint(res *core.Result) string {
+	sum := sha256.Sum256([]byte(Canonical(res)))
+	return hex.EncodeToString(sum[:])
+}
+
+// Diff compares two results decision by decision and returns a list of
+// human-readable differences (nil when bit-identical). Labels a and b name
+// the runs, e.g. "serial" and "workers=8".
+func Diff(labelA string, a *core.Result, labelB string, b *core.Result) []string {
+	la := strings.Split(strings.TrimRight(Canonical(a), "\n"), "\n")
+	lb := strings.Split(strings.TrimRight(Canonical(b), "\n"), "\n")
+	var out []string
+	n := len(la)
+	if len(lb) > n {
+		n = len(lb)
+	}
+	for i := 0; i < n && len(out) < 20; i++ {
+		va, vb := "<missing>", "<missing>"
+		if i < len(la) {
+			va = la[i]
+		}
+		if i < len(lb) {
+			vb = lb[i]
+		}
+		if va != vb {
+			out = append(out, fmt.Sprintf("line %d: %s %q != %s %q", i+1, labelA, va, labelB, vb))
+		}
+	}
+	if len(out) == 20 {
+		out = append(out, "… diff truncated")
+	}
+	return out
+}
+
+// DumpAssay renders the assay in the assays text format, for embedding in a
+// failure report: the dump can be saved to a file and replayed with
+// `mfsynth -assay <file> -verify`. Errors (a cyclic assay) are reported in
+// place of the dump.
+func DumpAssay(a *graph.Assay) string {
+	var sb strings.Builder
+	if err := assays.Write(&sb, a); err != nil {
+		return fmt.Sprintf("# assay dump failed: %v", err)
+	}
+	return sb.String()
+}

@@ -1,0 +1,150 @@
+package verify
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mfsynth/internal/core"
+	"mfsynth/internal/graph"
+	"mfsynth/internal/grid"
+)
+
+// checkFlow audits fluid conservation and the event log. Conservation:
+// every fluid edge of the assay is realised by exactly as many transports
+// as the assay has parallel edges between the pair, and every childless
+// on-chip product drains to a port exactly once. The event log is then
+// re-derived from schedule, mapping and transports and compared.
+func checkFlow(r *Report, res *core.Result) {
+	a := res.Assay
+
+	type key struct{ from, to int }
+	routed := map[key]int{}
+	for _, tr := range res.Transports {
+		routed[key{tr.FromID, tr.ToID}]++
+	}
+
+	// Expected transport multiset, mirroring the demand construction of the
+	// synthesis flow: per incoming port edge, per outgoing edge, plus one
+	// drain for childless products.
+	expected := map[key]int{}
+	for _, op := range a.Ops() {
+		if op.Kind == graph.Input || op.Kind == graph.Output {
+			continue
+		}
+		if _, placed := res.Mapping.Placements[op.ID]; !placed {
+			continue // reported as unplaced-op
+		}
+		for _, e := range a.In(op.ID) {
+			if a.Op(e.From).Kind == graph.Input {
+				expected[key{e.From, op.ID}]++
+			}
+		}
+		for _, e := range a.Out(op.ID) {
+			expected[key{op.ID, e.To}]++
+		}
+		if len(a.Out(op.ID)) == 0 {
+			expected[key{op.ID, -1}]++
+		}
+	}
+
+	name := func(id int) string {
+		if id < 0 {
+			return "out"
+		}
+		return a.Op(id).Name
+	}
+	for k, want := range expected {
+		r.check()
+		if routed[k] != want {
+			rule := "unrouted-edge"
+			if k.to == -1 {
+				rule = "undrained-product"
+			}
+			r.add(rule, fmt.Sprintf("edge %s->%s routed %d times, want %d",
+				name(k.from), name(k.to), routed[k], want))
+		}
+	}
+	for k, got := range routed {
+		r.check()
+		if expected[k] == 0 {
+			r.add("unrouted-edge", fmt.Sprintf("unexpected transport %s->%s routed %d times",
+				name(k.from), name(k.to), got))
+		}
+	}
+
+	r.check()
+	if res.FailedRoutes != 0 {
+		r.add("failed-routes", fmt.Sprintf("%d transport(s) could not be routed", res.FailedRoutes))
+	}
+
+	checkEvents(r, res)
+}
+
+// checkEvents re-derives the actuation event log from the schedule, the
+// mapping and the transports, and compares it with the recorded one as a
+// canonical multiset.
+func checkEvents(r *Report, res *core.Result) {
+	var derived []string
+	for id, pl := range res.Mapping.Placements {
+		if res.Assay.Op(id).Kind != graph.Mix {
+			continue
+		}
+		derived = append(derived, pumpKey(res.Schedule.Start[id], id, pl.Volume(), pl.Ring()))
+	}
+	for _, tr := range res.Transports {
+		if tr.InPlace {
+			continue
+		}
+		derived = append(derived, ctrlKey(tr.T, tr.Path))
+	}
+
+	var recorded []string
+	for _, ev := range res.Events {
+		switch ev.Kind {
+		case core.PumpEvent:
+			recorded = append(recorded, pumpKey(ev.T, ev.Op, ev.Ring, ev.Cells))
+		case core.CtrlEvent:
+			recorded = append(recorded, ctrlKey(ev.T, ev.Cells))
+		default:
+			r.check()
+			r.add("event-mismatch", fmt.Sprintf("unknown event kind %d at t=%d", int(ev.Kind), ev.T))
+		}
+	}
+
+	sort.Strings(derived)
+	sort.Strings(recorded)
+	r.check()
+	if len(derived) != len(recorded) {
+		r.add("event-mismatch", fmt.Sprintf("%d events recorded, %d derived from schedule+transports",
+			len(recorded), len(derived)))
+		return
+	}
+	for i := range derived {
+		r.check()
+		if derived[i] != recorded[i] {
+			r.add("event-mismatch", fmt.Sprintf("event %q recorded, %q derived", recorded[i], derived[i]))
+			return
+		}
+	}
+}
+
+// pumpKey canonicalises one pump event (cells sorted, so ring enumeration
+// order does not matter).
+func pumpKey(t, op, ring int, cells []grid.Point) string {
+	return fmt.Sprintf("pump t=%d op=%d ring=%d %s", t, op, ring, cellsKey(cells))
+}
+
+// ctrlKey canonicalises one control event by time and cell set.
+func ctrlKey(t int, cells []grid.Point) string {
+	return fmt.Sprintf("ctrl t=%d %s", t, cellsKey(cells))
+}
+
+func cellsKey(cells []grid.Point) string {
+	ss := make([]string, len(cells))
+	for i, c := range cells {
+		ss[i] = fmt.Sprintf("(%d,%d)", c.X, c.Y)
+	}
+	sort.Strings(ss)
+	return strings.Join(ss, " ")
+}

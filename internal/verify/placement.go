@@ -1,0 +1,131 @@
+package verify
+
+import (
+	"fmt"
+
+	"mfsynth/internal/core"
+	"mfsynth/internal/graph"
+	"mfsynth/internal/grid"
+	"mfsynth/internal/storage"
+)
+
+// checkPlacement audits the dynamic-device mapping: completeness, on-chip
+// bounds with the wall band, device sizing, lifetime windows, the
+// non-overlap constraints with the in-situ-storage exception, and storage
+// capacity — all against windows and storage timelines re-derived from the
+// schedule, not the mapping's own copies.
+func checkPlacement(r *Report, res *core.Result) {
+	a := res.Assay
+	m := res.Mapping
+	bounds := grid.RectWH(0, 0, res.Grid, res.Grid)
+
+	var placed []int
+	for _, op := range a.Ops() {
+		if op.Kind == graph.Input || op.Kind == graph.Output {
+			continue
+		}
+		pl, ok := m.Placements[op.ID]
+		r.check()
+		if !ok {
+			r.add("unplaced-op", fmt.Sprintf("operation %s has no device", op.Name))
+			continue
+		}
+		placed = append(placed, op.ID)
+		r.check()
+		if !bounds.ContainsRect(pl.WallBox()) {
+			r.add("off-chip", fmt.Sprintf("%s: wall box %v leaves the %dx%d chip",
+				op.Name, pl.WallBox(), res.Grid, res.Grid))
+		}
+		r.check()
+		if pl.Volume() < a.Volume(op.ID) {
+			r.add("undersized-device", fmt.Sprintf("%s: ring volume %d < fluid volume %d",
+				op.Name, pl.Volume(), a.Volume(op.ID)))
+		}
+		// The mapping's lifetime window must equal the schedule-derived one.
+		from, to := res.Schedule.DeviceWindow(op.ID)
+		r.check()
+		if w, ok := m.Windows[op.ID]; ok && (w[0] != from || w[1] != to) {
+			r.add("window-mismatch", fmt.Sprintf("%s: mapping window [%d,%d), schedule derives [%d,%d)",
+				op.Name, w[0], w[1], from, to))
+		}
+		// Storage capacity: deposits re-derived from the schedule must fit
+		// the device ring.
+		r.check()
+		if total := depositTotal(res, op.ID); total > pl.Volume() {
+			r.add("storage-capacity", fmt.Sprintf("%s: stores %d units in ring volume %d",
+				op.Name, total, pl.Volume()))
+		}
+	}
+
+	// Non-overlap, constraints (3)-(8) with the (12) relaxation.
+	for i := 0; i < len(placed); i++ {
+		for j := i + 1; j < len(placed); j++ {
+			x, y := placed[i], placed[j]
+			xa, xb := res.Schedule.DeviceWindow(x)
+			ya, yb := res.Schedule.DeviceWindow(y)
+			if xa >= yb || ya >= xb {
+				continue // disjoint lifetimes
+			}
+			px, py := m.Placements[x], m.Placements[y]
+			r.check()
+			if px.CompatibleWith(py) {
+				continue
+			}
+			if storageOverlapOK(res, x, y) || storageOverlapOK(res, y, x) {
+				continue
+			}
+			r.add("device-overlap", fmt.Sprintf("%s (%v) and %s (%v) conflict in space and time",
+				a.Op(x).Name, px, a.Op(y).Name, py))
+		}
+	}
+}
+
+// depositTotal sums the product volumes the in situ storage of id receives
+// from its device parents (port inputs arrive at operation start and are
+// never stored).
+func depositTotal(res *core.Result, id int) int {
+	total := 0
+	for _, e := range res.Assay.In(id) {
+		if res.Assay.Op(e.From).Kind != graph.Input {
+			total += e.Volume
+		}
+	}
+	return total
+}
+
+// derivedTimeline rebuilds the in situ storage timeline of id from the
+// schedule alone. It returns nil when id has no storage phase or when the
+// deposits exceed capacity (that case is reported as storage-capacity).
+func derivedTimeline(res *core.Result, id int) *storage.Timeline {
+	pl, ok := res.Mapping.Placements[id]
+	if !ok {
+		return nil
+	}
+	if depositTotal(res, id) > pl.Volume() {
+		return nil
+	}
+	return storage.NewTimeline(res.Schedule, id, pl.Volume())
+}
+
+// storageOverlapOK reports whether parent's footprint may intrude into
+// child's in situ storage: parent must be a device parent of child and the
+// intruded area must fit the storage's free space for parent's lifetime.
+func storageOverlapOK(res *core.Result, child, parent int) bool {
+	isParent := false
+	for _, p := range res.Assay.DeviceParents(child) {
+		if p == parent {
+			isParent = true
+		}
+	}
+	if !isParent {
+		return false
+	}
+	tl := derivedTimeline(res, child)
+	if tl == nil {
+		return false
+	}
+	area := res.Mapping.Placements[child].Footprint().OverlapArea(
+		res.Mapping.Placements[parent].Footprint())
+	pa, pb := res.Schedule.DeviceWindow(parent)
+	return tl.CanOverlap(area, pa, pb)
+}

@@ -1,0 +1,186 @@
+package verify
+
+import (
+	"fmt"
+
+	"mfsynth/internal/arch"
+	"mfsynth/internal/core"
+	"mfsynth/internal/graph"
+	"mfsynth/internal/grid"
+)
+
+// checkRouting audits every transport: in-place legality, path
+// well-formedness (length, bounds, continuity), terminal endpoints, the
+// executing-device obstacle rule, and the storage free-space rule for every
+// cell a path borrows from an active in situ storage.
+func checkRouting(r *Report, res *core.Result) {
+	bounds := grid.RectWH(0, 0, res.Grid, res.Grid)
+	inPorts, outPorts := portCells(res.Grid)
+
+	for _, tr := range res.Transports {
+		where := fmt.Sprintf("t=%d %s->%s", tr.T, tr.From, tr.To)
+		if tr.InPlace {
+			r.check()
+			if len(tr.Path) == 0 {
+				r.add("empty-inplace", where+" shares no cells")
+				continue
+			}
+			// Every shared cell must genuinely belong to both rings.
+			src, dst := ringOf(res, tr.FromID), ringOf(res, tr.ToID)
+			r.check()
+			for _, c := range tr.Path {
+				if !src[c] || !dst[c] {
+					r.add("empty-inplace", fmt.Sprintf("%s claims shared cell %v outside both rings", where, c))
+					break
+				}
+			}
+			continue
+		}
+
+		r.check()
+		if len(tr.Path) < 2 {
+			r.add("trivial-path", fmt.Sprintf("%s has %d cells", where, len(tr.Path)))
+			continue
+		}
+		for k, c := range tr.Path {
+			r.check()
+			if !bounds.Contains(c) {
+				r.add("path-off-chip", fmt.Sprintf("%s cell %v", where, c))
+			}
+			r.check()
+			if k > 0 && c.Manhattan(tr.Path[k-1]) != 1 {
+				r.add("path-discontinuous", fmt.Sprintf("%s between %v and %v", where, tr.Path[k-1], c))
+			}
+		}
+		checkEndpoints(r, res, tr, inPorts, outPorts, where)
+		checkObstacles(r, res, tr, where)
+		checkStorageCrossing(r, res, tr, where)
+	}
+}
+
+// checkEndpoints verifies the path starts on the source terminal set and
+// ends on the target terminal set.
+func checkEndpoints(r *Report, res *core.Result, tr core.Transport, inPorts, outPorts map[grid.Point]bool, where string) {
+	src := terminalSet(res, tr.FromID, inPorts, outPorts)
+	dst := terminalSet(res, tr.ToID, inPorts, outPorts)
+	r.check()
+	if src != nil && !src[tr.Path[0]] {
+		r.add("path-endpoints", fmt.Sprintf("%s starts at %v outside the source terminals", where, tr.Path[0]))
+	}
+	r.check()
+	if dst != nil && !dst[tr.Path[len(tr.Path)-1]] {
+		r.add("path-endpoints", fmt.Sprintf("%s ends at %v outside the target terminals", where, tr.Path[len(tr.Path)-1]))
+	}
+}
+
+// terminalSet returns the legal terminal cells of one transport endpoint:
+// the device ring for a placed operation, the input ports for a port load,
+// the output ports for a drain. nil means the endpoint cannot be resolved
+// (reported elsewhere as unplaced-op).
+func terminalSet(res *core.Result, id int, inPorts, outPorts map[grid.Point]bool) map[grid.Point]bool {
+	if id < 0 {
+		return outPorts // waste/collection drain
+	}
+	switch res.Assay.Op(id).Kind {
+	case graph.Input:
+		return inPorts
+	case graph.Output:
+		return outPorts
+	}
+	if ring := ringOf(res, id); ring != nil {
+		return ring
+	}
+	return nil
+}
+
+// checkObstacles verifies the path interior against devices that are
+// executing at transport time (storing devices are handled by the storage
+// free-space rule, unless pass-through is disabled).
+func checkObstacles(r *Report, res *core.Result, tr core.Transport, where string) {
+	for id, pl := range res.Mapping.Placements {
+		if id == tr.FromID || id == tr.ToID {
+			continue
+		}
+		if tr.T < res.Schedule.Start[id] || tr.T >= res.Schedule.Finish[id] {
+			continue
+		}
+		fp := pl.Footprint()
+		r.check()
+		for _, c := range tr.Path[1 : len(tr.Path)-1] {
+			if fp.Contains(c) {
+				r.add("path-through-device", fmt.Sprintf("%s crosses executing %s at %v",
+					where, res.Assay.Op(id).Name, c))
+				break
+			}
+		}
+	}
+}
+
+// checkStorageCrossing verifies every cell the path borrows from an active
+// in situ storage against the storage's free space over the transport
+// window [t, t+delay) — Algorithm 1 L14's feasibility test, re-derived.
+func checkStorageCrossing(r *Report, res *core.Result, tr core.Transport, where string) {
+	delay := res.Schedule.TransportDelay
+	noPass := res.Options().DisableStoragePassthrough
+	for id, pl := range res.Mapping.Placements {
+		if id == tr.FromID || id == tr.ToID {
+			continue
+		}
+		tl := derivedTimeline(res, id)
+		if tl == nil || !tl.Active(tr.T) {
+			continue
+		}
+		fp := pl.Footprint()
+		cells := 0
+		for _, c := range tr.Path {
+			if fp.Contains(c) {
+				cells++
+			}
+		}
+		if cells == 0 {
+			continue
+		}
+		r.check()
+		if noPass {
+			r.add("storage-crossing", fmt.Sprintf("%s crosses storage of %s with pass-through disabled",
+				where, res.Assay.Op(id).Name))
+			continue
+		}
+		if !tl.CanOverlap(cells, tr.T, tr.T+delay) {
+			r.add("storage-crossing", fmt.Sprintf("%s borrows %d cells from %s's storage beyond its free space",
+				where, cells, res.Assay.Op(id).Name))
+		}
+	}
+}
+
+// ringOf returns the ring-cell set of id's device, nil when unplaced.
+func ringOf(res *core.Result, id int) map[grid.Point]bool {
+	if id < 0 {
+		return nil
+	}
+	pl, ok := res.Mapping.Placements[id]
+	if !ok {
+		return nil
+	}
+	set := map[grid.Point]bool{}
+	for _, c := range pl.Ring() {
+		set[c] = true
+	}
+	return set
+}
+
+// portCells returns the input and output port cell sets of the standard
+// chip of the given side length.
+func portCells(gridSize int) (in, out map[grid.Point]bool) {
+	chip := arch.NewChip(gridSize, gridSize)
+	in, out = map[grid.Point]bool{}, map[grid.Point]bool{}
+	for _, p := range chip.Ports {
+		switch p.Kind {
+		case arch.InPort:
+			in[p.At] = true
+		case arch.OutPort:
+			out[p.At] = true
+		}
+	}
+	return in, out
+}

@@ -1,0 +1,92 @@
+package verify
+
+import (
+	"fmt"
+
+	"mfsynth/internal/core"
+	"mfsynth/internal/graph"
+)
+
+// checkSchedule audits the scheduling result: precedence with transport
+// delay, duration consistency, makespan, and the dedicated-instance binding
+// (exclusivity and policy limits).
+func checkSchedule(r *Report, res *core.Result) {
+	a := res.Assay
+	s := res.Schedule
+	delay := s.TransportDelay
+
+	maxFinish := 0
+	for _, op := range a.Ops() {
+		id := op.ID
+		r.check()
+		if s.Start[id] < 0 {
+			r.add("schedule-precedence", fmt.Sprintf("%s starts at negative time %d", op.Name, s.Start[id]))
+		}
+		r.check()
+		if s.Finish[id] != s.Start[id]+op.Duration {
+			r.add("schedule-precedence", fmt.Sprintf("%s: finish %d != start %d + duration %d",
+				op.Name, s.Finish[id], s.Start[id], op.Duration))
+		}
+		if s.Finish[id] > maxFinish {
+			maxFinish = s.Finish[id]
+		}
+		for _, e := range a.In(id) {
+			parent := a.Op(e.From)
+			want := s.Finish[e.From]
+			if parent.Kind != graph.Input {
+				// On-chip products must be transported to the consumer.
+				want += delay
+			}
+			r.check()
+			if s.Start[id] < want {
+				r.add("schedule-precedence", fmt.Sprintf("%s starts at %d before %s's product is ready at %d",
+					op.Name, s.Start[id], parent.Name, want))
+			}
+		}
+	}
+	r.check()
+	if s.Makespan != maxFinish {
+		r.add("schedule-makespan", fmt.Sprintf("reported makespan %d, max finish %d", s.Makespan, maxFinish))
+	}
+
+	// Instance binding: bound windows must be disjoint per instance.
+	for _, inst := range s.Instances {
+		for i := 0; i < len(inst.Ops); i++ {
+			for j := i + 1; j < len(inst.Ops); j++ {
+				x, y := inst.Ops[i], inst.Ops[j]
+				r.check()
+				if s.Start[x] < s.Finish[y] && s.Start[y] < s.Finish[x] {
+					r.add("instance-conflict", fmt.Sprintf("%s and %s overlap on %s instance %d",
+						a.Op(x).Name, a.Op(y).Name, sizeName(inst.Size), inst.Index))
+				}
+			}
+		}
+	}
+
+	// Policy limits: instances per class must not exceed the policy.
+	policy := res.Options().Policy
+	counts := map[int]int{} // size (0 = detector) -> instance count
+	for _, inst := range s.Instances {
+		counts[inst.Size]++
+	}
+	for size, n := range counts {
+		var limit int
+		if size == 0 {
+			limit = policy.Detectors
+		} else {
+			limit = policy.Mixers[size]
+		}
+		r.check()
+		if limit > 0 && n > limit {
+			r.add("instance-limit", fmt.Sprintf("%d %s instances used, policy allows %d",
+				n, sizeName(size), limit))
+		}
+	}
+}
+
+func sizeName(size int) string {
+	if size == 0 {
+		return "detector"
+	}
+	return fmt.Sprintf("mixer-%d", size)
+}

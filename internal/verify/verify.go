@@ -1,0 +1,169 @@
+// Package verify is the pipeline-wide conformance checker: it audits a
+// complete core.Result against a numbered catalogue of the paper's
+// invariants — constraints (1)-(16) of the ILP formulation plus the routing
+// and storage legality rules of Algorithm 1 — re-deriving every quantity
+// from first principles instead of trusting the pipeline's own bookkeeping.
+//
+// The catalogue is the single source of truth for "what a correct synthesis
+// result looks like": sim.Check delegates here, the fuzzers assert a clean
+// report on every random assay, and the golden tests pin the four Table 1
+// benchmarks. Each rule carries the paper constraint it realises (see
+// Catalogue and DESIGN.md §8).
+//
+// On top of Conformance sits a differential layer (diff.go): canonical
+// fingerprints of results for serial-vs-parallel bit-identity oracles,
+// field-level diffs, and assay dumps in the assays text format so any
+// failing random input can be replayed with `mfsynth -assay`.
+package verify
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mfsynth/internal/core"
+)
+
+// Violation is one broken invariant.
+type Violation struct {
+	// Rule is the stable kebab-case rule identifier, e.g. "device-overlap".
+	Rule string
+	// Constraint references the paper: a constraint number like "(3)-(8)",
+	// an algorithm line like "Alg.1 L13-L17", or a section.
+	Constraint string
+	// Detail is a human-readable description of the specific failure.
+	Detail string
+}
+
+// String renders "rule [constraint]: detail".
+func (v Violation) String() string {
+	return fmt.Sprintf("%s [%s]: %s", v.Rule, v.Constraint, v.Detail)
+}
+
+// Invariant is one catalogue entry.
+type Invariant struct {
+	// Rule is the identifier violations carry.
+	Rule string
+	// Constraint is the paper reference.
+	Constraint string
+	// Desc says what must hold.
+	Desc string
+}
+
+// Catalogue lists every invariant Conformance audits, in audit order. It is
+// the machine-readable counterpart of DESIGN.md §8.
+var Catalogue = []Invariant{
+	{"schedule-precedence", "§2 problem formulation", "every consumer starts no earlier than each producer's finish plus the transport delay (delay waived for port inputs); Finish = Start + Duration"},
+	{"schedule-makespan", "§2 problem formulation", "the reported makespan is the maximum finish time"},
+	{"instance-conflict", "§2 optimal binding", "operations bound to the same dedicated instance never overlap in execution time"},
+	{"instance-limit", "§2 policy", "no more instances of a mixer size (or detectors) than the policy provides"},
+	{"unplaced-op", "(1)", "every on-chip operation is mapped to exactly one dynamic device"},
+	{"off-chip", "(10)-(11)", "every device footprint plus its one-valve wall band lies on the chip"},
+	{"undersized-device", "§3.2", "a device's peristaltic ring holds at least the operation's fluid volume"},
+	{"window-mismatch", "§3.3", "the mapping's device lifetime equals the schedule-derived window (storage start to operation finish)"},
+	{"device-overlap", "(3)-(8), (12)", "temporally overlapping devices keep a wall between footprints, except a storage hosting a parent within its free space"},
+	{"storage-capacity", "§3.3", "deposits re-derived from the schedule never exceed the storage's ring capacity"},
+	{"empty-inplace", "§3.3", "an in-place transfer's endpoints genuinely share cells"},
+	{"trivial-path", "Alg.1 L10-L19", "a routed transport has at least two cells"},
+	{"path-off-chip", "Alg.1 L10-L19", "every path cell lies on the valve lattice"},
+	{"path-discontinuous", "Alg.1 L10-L19", "consecutive path cells are lattice neighbours"},
+	{"path-endpoints", "Alg.1 L10-L19", "a path starts on its source terminal set (device ring or input port) and ends on its target terminal set (device ring or output port)"},
+	{"path-through-device", "Alg.1 L13", "no path interior crosses a device that is executing at transport time"},
+	{"storage-crossing", "§3.5, Alg.1 L14-L15", "cells a path borrows from an active storage fit the storage's free space for the transport duration"},
+	{"unrouted-edge", "§2 problem formulation", "every fluid edge of the assay is realised by exactly as many transports as the assay has parallel edges"},
+	{"undrained-product", "§2 problem formulation", "every childless on-chip product is drained to an output port exactly once"},
+	{"failed-routes", "Alg.1 L10-L19", "the result declares no failed routes"},
+	{"event-mismatch", "§4 evaluation", "the event log re-derived from schedule, mapping and transports matches the recorded one"},
+	{"wear-accounting", "§4 settings 1-2", "per-valve actuation counts re-derived from first principles match the result's chip replay in both settings"},
+	{"metric-mismatch", "§4 Table 1", "vs_max, pump-only maxima and the used-valve count match the re-derived counts in both settings"},
+}
+
+// Report is the outcome of one conformance audit.
+type Report struct {
+	// Violations lists every broken invariant, in catalogue order.
+	Violations []Violation
+	// Checks counts the individual assertions evaluated (a measure of audit
+	// depth, not of failures).
+	Checks int
+}
+
+// Clean reports whether the audit found no violations.
+func (r *Report) Clean() bool { return len(r.Violations) == 0 }
+
+// Rules returns the distinct violated rule names in first-seen order.
+func (r *Report) Rules() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, v := range r.Violations {
+		if !seen[v.Rule] {
+			seen[v.Rule] = true
+			out = append(out, v.Rule)
+		}
+	}
+	return out
+}
+
+// String summarises the report: "conformance: N checks, clean" or the
+// violation list.
+func (r *Report) String() string {
+	if r.Clean() {
+		return fmt.Sprintf("conformance: %d checks, clean", r.Checks)
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "conformance: %d checks, %d violation(s):\n", r.Checks, len(r.Violations))
+	for _, v := range r.Violations {
+		fmt.Fprintf(&sb, "  %s\n", v)
+	}
+	return strings.TrimRight(sb.String(), "\n")
+}
+
+func (r *Report) add(rule, detail string) {
+	r.Violations = append(r.Violations, Violation{
+		Rule:       rule,
+		Constraint: constraintOf(rule),
+		Detail:     detail,
+	})
+}
+
+// check counts one assertion; violated assertions additionally call add.
+func (r *Report) check() { r.Checks++ }
+
+func constraintOf(rule string) string {
+	for _, inv := range Catalogue {
+		if inv.Rule == rule {
+			return inv.Constraint
+		}
+	}
+	return "?"
+}
+
+// Conformance audits res against the full invariant catalogue and returns
+// the report. The audit is read-only and re-derives schedules, obstacle
+// sets, storage fill levels and actuation counts independently of the
+// pipeline's own accounting.
+func Conformance(res *core.Result) *Report {
+	r := &Report{}
+	checkSchedule(r, res)
+	checkPlacement(r, res)
+	checkRouting(r, res)
+	checkFlow(r, res)
+	checkWear(r, res)
+	sortViolations(r)
+	return r
+}
+
+// sortViolations orders violations by catalogue position, then detail, so
+// reports are deterministic regardless of map iteration order.
+func sortViolations(r *Report) {
+	pos := map[string]int{}
+	for i, inv := range Catalogue {
+		pos[inv.Rule] = i
+	}
+	sort.SliceStable(r.Violations, func(i, j int) bool {
+		a, b := r.Violations[i], r.Violations[j]
+		if pos[a.Rule] != pos[b.Rule] {
+			return pos[a.Rule] < pos[b.Rule]
+		}
+		return a.Detail < b.Detail
+	})
+}

@@ -1,0 +1,288 @@
+package verify
+
+import (
+	"strings"
+	"testing"
+
+	"mfsynth/internal/assays"
+	"mfsynth/internal/core"
+	"mfsynth/internal/grid"
+	"mfsynth/internal/place"
+	"mfsynth/internal/schedule"
+)
+
+func synthCase(t *testing.T, c assays.Case, mode place.Mode) *core.Result {
+	t.Helper()
+	res, err := core.Synthesize(c.Assay, core.Options{
+		Policy: schedule.Resources{Mixers: c.BaseMixers, Detectors: c.Detectors},
+		Place:  place.Config{Grid: c.GridSize, Mode: mode},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestCatalogueRulesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, inv := range Catalogue {
+		if seen[inv.Rule] {
+			t.Errorf("duplicate catalogue rule %q", inv.Rule)
+		}
+		seen[inv.Rule] = true
+		if inv.Constraint == "" || inv.Desc == "" {
+			t.Errorf("catalogue rule %q lacks constraint or description", inv.Rule)
+		}
+	}
+}
+
+func TestPCRCleanUnderAllMappers(t *testing.T) {
+	c := assays.PCR()
+	for _, mode := range []place.Mode{place.Greedy, place.RollingHorizon} {
+		rep := Conformance(synthCase(t, c, mode))
+		if !rep.Clean() {
+			t.Errorf("%v mapping: %s", mode, rep)
+		}
+		if rep.Checks == 0 {
+			t.Errorf("%v mapping: no checks evaluated", mode)
+		}
+	}
+}
+
+func TestRandomAssaysClean(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		a := assays.Random(seed, assays.RandomOptions{MixOps: 6, Detects: 1})
+		res, err := core.Synthesize(a, core.Options{
+			Place: place.Config{Grid: 14, Mode: place.Greedy},
+		})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if rep := Conformance(res); !rep.Clean() {
+			t.Errorf("seed %d: %s\nreplay assay:\n%s", seed, rep, DumpAssay(a))
+		}
+	}
+}
+
+// Every corruption of a clean result must be caught by the expected rule —
+// the self-test of the invariant catalogue.
+func TestCorruptionDetection(t *testing.T) {
+	c := assays.PCR()
+	res := synthCase(t, c, place.Greedy)
+	if rep := Conformance(res); !rep.Clean() {
+		t.Fatalf("baseline result not clean: %s", rep)
+	}
+
+	anyPlaced := func() int {
+		for id := range res.Mapping.Placements {
+			return id
+		}
+		t.Fatal("no placements")
+		return -1
+	}
+
+	cases := []struct {
+		name    string
+		rule    string
+		corrupt func() (restore func())
+	}{
+		{"late start", "schedule-precedence", func() func() {
+			id := anyPlaced()
+			saved := res.Schedule.Start[id]
+			res.Schedule.Start[id] = saved - 1 // breaks finish = start+duration too
+			return func() { res.Schedule.Start[id] = saved }
+		}},
+		{"wrong makespan", "schedule-makespan", func() func() {
+			saved := res.Schedule.Makespan
+			res.Schedule.Makespan = saved + 7
+			return func() { res.Schedule.Makespan = saved }
+		}},
+		{"missing placement", "unplaced-op", func() func() {
+			id := anyPlaced()
+			saved := res.Mapping.Placements[id]
+			delete(res.Mapping.Placements, id)
+			return func() { res.Mapping.Placements[id] = saved }
+		}},
+		{"device off chip", "off-chip", func() func() {
+			id := anyPlaced()
+			saved := res.Mapping.Placements[id]
+			moved := saved
+			moved.At = grid.Point{X: res.Grid - 1, Y: res.Grid - 1}
+			res.Mapping.Placements[id] = moved
+			return func() { res.Mapping.Placements[id] = saved }
+		}},
+		{"undersized device", "undersized-device", func() func() {
+			id := -1
+			for cand := range res.Mapping.Placements {
+				if res.Assay.Volume(cand) >= 8 {
+					id = cand
+					break
+				}
+			}
+			if id < 0 {
+				t.Fatal("no 8-volume op")
+			}
+			saved := res.Mapping.Placements[id]
+			small := saved
+			small.Shape.W, small.Shape.H = 2, 2
+			res.Mapping.Placements[id] = small
+			return func() { res.Mapping.Placements[id] = saved }
+		}},
+		{"shifted window", "window-mismatch", func() func() {
+			id := anyPlaced()
+			saved := res.Mapping.Windows[id]
+			res.Mapping.Windows[id] = [2]int{saved[0] + 1, saved[1] + 1}
+			return func() { res.Mapping.Windows[id] = saved }
+		}},
+		{"dropped transport", "unrouted-edge", func() func() {
+			idx := -1
+			for i, tr := range res.Transports {
+				if tr.ToID >= 0 {
+					idx = i
+					break
+				}
+			}
+			if idx < 0 {
+				t.Fatal("no non-drain transport")
+			}
+			saved := res.Transports
+			res.Transports = append(append([]core.Transport(nil),
+				saved[:idx]...), saved[idx+1:]...)
+			return func() { res.Transports = saved }
+		}},
+		{"dropped drain", "undrained-product", func() func() {
+			idx := -1
+			for i, tr := range res.Transports {
+				if tr.ToID == -1 {
+					idx = i
+					break
+				}
+			}
+			if idx < 0 {
+				t.Fatal("no drain transport")
+			}
+			saved := res.Transports
+			res.Transports = append(append([]core.Transport(nil),
+				saved[:idx]...), saved[idx+1:]...)
+			return func() { res.Transports = saved }
+		}},
+		{"declared failure", "failed-routes", func() func() {
+			res.FailedRoutes = 1
+			return func() { res.FailedRoutes = 0 }
+		}},
+		{"dropped event", "event-mismatch", func() func() {
+			saved := res.Events
+			res.Events = res.Events[:len(res.Events)-1]
+			return func() { res.Events = saved }
+		}},
+		{"inflated metric", "metric-mismatch", func() func() {
+			saved := res.VsMax1
+			res.VsMax1 = saved + 1
+			return func() { res.VsMax1 = saved }
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			restore := tc.corrupt()
+			defer restore()
+			rep := Conformance(res)
+			if rep.Clean() {
+				t.Fatalf("corruption not detected")
+			}
+			found := false
+			for _, rule := range rep.Rules() {
+				if rule == tc.rule {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("want rule %q, got %v", tc.rule, rep.Rules())
+			}
+		})
+	}
+	if rep := Conformance(res); !rep.Clean() {
+		t.Fatalf("result not restored after corruption tests: %s", rep)
+	}
+}
+
+// A corrupted path interior must trip the continuity or obstacle checks.
+func TestPathCorruptionDetection(t *testing.T) {
+	c := assays.PCR()
+	res := synthCase(t, c, place.Greedy)
+	idx := -1
+	for i, tr := range res.Transports {
+		if !tr.InPlace && len(tr.Path) >= 4 {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		t.Skip("no long transport found")
+	}
+	saved := append([]grid.Point(nil), res.Transports[idx].Path...)
+	defer func() { copy(res.Transports[idx].Path, saved) }()
+
+	// Teleport a middle cell far away: breaks continuity (and possibly the
+	// event comparison, since events carry the same cells).
+	res.Transports[idx].Path[len(saved)/2] = grid.Point{X: 0, Y: 0}
+	rep := Conformance(res)
+	found := false
+	for _, rule := range rep.Rules() {
+		switch rule {
+		case "path-discontinuous", "path-endpoints", "path-through-device":
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("teleported path cell not detected: %v", rep.Rules())
+	}
+}
+
+func TestReportString(t *testing.T) {
+	r := &Report{Checks: 3}
+	if got := r.String(); !strings.Contains(got, "clean") {
+		t.Errorf("clean report renders %q", got)
+	}
+	r.add("device-overlap", "x and y collide")
+	if got := r.String(); !strings.Contains(got, "device-overlap") || !strings.Contains(got, "(3)-(8)") {
+		t.Errorf("violation report renders %q", got)
+	}
+	if rules := r.Rules(); len(rules) != 1 || rules[0] != "device-overlap" {
+		t.Errorf("Rules = %v", rules)
+	}
+}
+
+func TestDiffAndFingerprint(t *testing.T) {
+	c := assays.PCR()
+	a := synthCase(t, c, place.Greedy)
+	b := synthCase(t, c, place.Greedy)
+	if Fingerprint(a) != Fingerprint(b) {
+		t.Fatalf("same synthesis, different fingerprints:\n%s",
+			strings.Join(Diff("a", a, "b", b), "\n"))
+	}
+	if d := Diff("a", a, "b", b); d != nil {
+		t.Fatalf("identical results diff: %v", d)
+	}
+	saved := b.VsMax1
+	b.VsMax1++
+	if Fingerprint(a) == Fingerprint(b) {
+		t.Fatal("metric change did not change the fingerprint")
+	}
+	if d := Diff("a", a, "b", b); len(d) == 0 {
+		t.Fatal("metric change produced an empty diff")
+	}
+	b.VsMax1 = saved
+}
+
+func TestDumpAssayRoundTrips(t *testing.T) {
+	a := assays.Random(3, assays.RandomOptions{MixOps: 5})
+	dump := DumpAssay(a)
+	got, err := assays.Parse(strings.NewReader(dump))
+	if err != nil {
+		t.Fatalf("dump does not re-parse: %v\n%s", err, dump)
+	}
+	if got.Len() != a.Len() || got.NumEdges() != a.NumEdges() {
+		t.Fatalf("dump round-trip lost structure: %d/%d ops, %d/%d edges",
+			got.Len(), a.Len(), got.NumEdges(), a.NumEdges())
+	}
+}

@@ -1,0 +1,148 @@
+package verify
+
+import (
+	"fmt"
+
+	"mfsynth/internal/core"
+	"mfsynth/internal/graph"
+	"mfsynth/internal/wear"
+)
+
+// checkWear re-derives the per-valve actuation counts of both evaluation
+// settings from first principles — schedule, mapping and transports, never
+// the event log — and requires the result's chip replay (ChipAt, the source
+// of ChipActuationCounts) and its reported Table 1 metrics to match.
+func checkWear(r *Report, res *core.Result) {
+	opts := res.Options()
+	for _, setting := range []int{1, 2} {
+		pump := make([][]int, res.Grid)
+		ctrl := make([][]int, res.Grid)
+		for y := range pump {
+			pump[y] = make([]int, res.Grid)
+			ctrl[y] = make([]int, res.Grid)
+		}
+
+		// Peristalsis: every placed mixing operation actuates each of its
+		// ring valves; setting 2 scales the per-valve count so one mixing
+		// operation always costs DedicatedPumpValves × PumpActuations total.
+		for id, pl := range res.Mapping.Placements {
+			if res.Assay.Op(id).Kind != graph.Mix {
+				continue
+			}
+			n := opts.PumpActuations
+			if setting == 2 {
+				n = opts.DedicatedPumpValves * opts.PumpActuations / pl.Volume()
+			}
+			for _, pt := range pl.Ring() {
+				if pt.Y >= 0 && pt.Y < res.Grid && pt.X >= 0 && pt.X < res.Grid {
+					pump[pt.Y][pt.X] += n
+				}
+			}
+		}
+		// Control: every routed transport opens and closes each path valve
+		// once — two state changes per valve.
+		for _, tr := range res.Transports {
+			if tr.InPlace {
+				continue
+			}
+			for _, c := range tr.Path {
+				if c.Y >= 0 && c.Y < res.Grid && c.X >= 0 && c.X < res.Grid {
+					ctrl[c.Y][c.X] += 2
+				}
+			}
+		}
+
+		// The replayed chip must match cell by cell.
+		chip := res.ChipAt(-1, setting)
+		mismatches := 0
+		for y := 0; y < res.Grid; y++ {
+			for x := 0; x < res.Grid; x++ {
+				r.check()
+				if chip.PumpAt(x, y) != pump[y][x] || chip.CtrlAt(x, y) != ctrl[y][x] {
+					if mismatches == 0 {
+						r.add("wear-accounting", fmt.Sprintf(
+							"setting %d valve (%d,%d): replay %d+%d, first principles %d+%d",
+							setting, x, y, chip.PumpAt(x, y), chip.CtrlAt(x, y), pump[y][x], ctrl[y][x]))
+					}
+					mismatches++
+				}
+			}
+		}
+		if mismatches > 1 {
+			r.add("wear-accounting", fmt.Sprintf("setting %d: %d valves disagree in total", setting, mismatches))
+		}
+
+		// The reported Table 1 metrics must match the re-derived counts.
+		maxTotal, maxPump, used := 0, 0, 0
+		var counts []int
+		for y := 0; y < res.Grid; y++ {
+			for x := 0; x < res.Grid; x++ {
+				t := pump[y][x] + ctrl[y][x]
+				if t > maxTotal {
+					maxTotal = t
+				}
+				if pump[y][x] > maxPump {
+					maxPump = pump[y][x]
+				}
+				if t > 0 {
+					used++
+					counts = append(counts, t)
+				}
+			}
+		}
+		repMax, repPump := res.VsMax1, res.VsPump1
+		if setting == 2 {
+			repMax, repPump = res.VsMax2, res.VsPump2
+		}
+		r.check()
+		if repMax != maxTotal || repPump != maxPump {
+			r.add("metric-mismatch", fmt.Sprintf("setting %d: reported %d(%d), first principles %d(%d)",
+				setting, repMax, repPump, maxTotal, maxPump))
+		}
+		if setting == 1 {
+			r.check()
+			if res.UsedValves != used {
+				r.add("metric-mismatch", fmt.Sprintf("reported %d used valves, first principles %d",
+					res.UsedValves, used))
+			}
+			// ChipActuationCounts (wear.ChipCounts of the replayed chip) must
+			// equal the first-principles profile, descending.
+			got := wear.ChipCounts(chip)
+			want := append([]int(nil), counts...)
+			sortDesc(want)
+			r.check()
+			if !equalInts(got, want) {
+				r.add("wear-accounting", fmt.Sprintf(
+					"ChipActuationCounts has %d entries (max %d), first principles %d (max %d)",
+					len(got), headInt(got), len(want), headInt(want)))
+			}
+		}
+	}
+}
+
+func sortDesc(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] > xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func headInt(xs []int) int {
+	if len(xs) == 0 {
+		return 0
+	}
+	return xs[0]
+}

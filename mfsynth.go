@@ -37,6 +37,7 @@ import (
 	"mfsynth/internal/schedule"
 	"mfsynth/internal/sim"
 	"mfsynth/internal/svg"
+	"mfsynth/internal/verify"
 	"mfsynth/internal/wear"
 )
 
@@ -231,6 +232,29 @@ type Violation = sim.Violation
 // invariants of the paper's model (non-overlap, storage free space,
 // routing obstacles, fluid conservation, metric consistency).
 func CheckResult(res *Result) []Violation { return sim.Check(res) }
+
+// ConformanceReport is the full audit of a synthesis result: every checked
+// invariant, every violation, and the paper constraint each rule encodes.
+type ConformanceReport = verify.Report
+
+// Invariant is one entry of the conformance catalogue.
+type Invariant = verify.Invariant
+
+// InvariantCatalogue lists every invariant the conformance audit checks,
+// with the paper constraint number each rule encodes.
+func InvariantCatalogue() []Invariant { return verify.Catalogue }
+
+// Verify audits a synthesis result against the complete invariant
+// catalogue, re-deriving schedules, windows, storage timelines, flow
+// conservation, events and actuation counts from first principles.
+// CheckResult is the flat-slice view of the same audit.
+func Verify(res *Result) *ConformanceReport { return verify.Conformance(res) }
+
+// ResultFingerprint returns a SHA-256 digest over every decision of the
+// result (schedule, placement, routing, events, metrics). Two runs are
+// bit-identical — the parallel engine's determinism contract — exactly when
+// their fingerprints are equal.
+func ResultFingerprint(res *Result) string { return verify.Fingerprint(res) }
 
 // WearModel turns actuation counts into lifetime estimates.
 type WearModel = wear.Model
