@@ -37,6 +37,20 @@ tier4:
 	go test -run '^$$' -fuzz FuzzRouteOracle -fuzztime $(FUZZTIME) ./internal/route/
 	go test -run '^$$' -fuzz FuzzPipeline -fuzztime $(FUZZTIME) ./internal/verify/
 
+# Tier-5: fault-injection gate — the fault/cancellation unit suites under
+# the race detector, the zero-fault bit-identity and stuck-closed property
+# tests, a verified single-run injection smoke, and a seeded campaign over
+# all four benchmarks (each run conformance-audited, success rate gated).
+# Override CAMPAIGN_RUNS / FAULT_RATE for a longer sweep.
+CAMPAIGN_RUNS ?= 6
+FAULT_RATE ?= 0.05
+tier5:
+	go test -race ./internal/fault/ ./internal/synerr/
+	go test -race -run 'Cancel|MaxRipups' ./internal/core/
+	go test -race -run 'TestStuckClosedNeverUsed|TestZeroFaultsBitIdentical|TestDegradedPartialConforms' ./internal/verify/
+	go run ./cmd/mfsynth -case PCR -mode greedy -fault-seed 7 -fault-rate $(FAULT_RATE) -verify >/dev/null
+	go run ./cmd/mfbench -campaign $(CAMPAIGN_RUNS) -fault-rate $(FAULT_RATE) -fast -verify -min-success 0.5
+
 # Serial-vs-parallel engine benchmarks (ns/op and allocs/op per worker count).
 bench-parallel:
 	go test -bench=Parallel -benchmem ./...
@@ -46,4 +60,4 @@ bench-parallel:
 bench-json:
 	go run ./cmd/mfbench -table1 -json BENCH_table1.json
 
-.PHONY: tier1 tier1-race tier2 tier3 tier4 bench-parallel bench-json
+.PHONY: tier1 tier1-race tier2 tier3 tier4 tier5 bench-parallel bench-json

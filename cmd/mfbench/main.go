@@ -45,9 +45,14 @@ func main() {
 		eventsOut  = flag.String("events", "", "write the span/metric event stream as JSON lines to this file")
 		stats      = flag.Bool("stats", false, "print the span tree and metrics summary to stderr")
 		doVerify   = flag.Bool("verify", false, "audit every Table 1 synthesis result against the conformance catalogue")
+		faultFile  = flag.String("faults", "", "fault-spec file injected into every Table 1 synthesis run")
+		faultSeed  = flag.Int64("fault-seed", 0, "generate a random fault set with this seed (with -fault-rate)")
+		faultRate  = flag.Float64("fault-rate", 0, "per-valve defect probability for -fault-seed / -campaign (e.g. 0.05)")
+		campaign   = flag.Int("campaign", 0, "run a fault-injection campaign with this many seeded runs per benchmark")
+		minSuccess = flag.Float64("min-success", 0, "fail (non-zero exit) when a campaign's success rate drops below this fraction")
 	)
 	flag.Parse()
-	all := !*figures && !*table1 && !*extensions
+	all := !*figures && !*table1 && !*extensions && *campaign == 0
 
 	// The trace also feeds the -json metrics snapshot, so -json alone
 	// enables it.
@@ -56,14 +61,22 @@ func main() {
 		tr = mfsynth.NewTrace()
 	}
 
+	faults, err := loadFaults(*faultFile, *faultSeed, *faultRate)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	if *figures || all {
 		printFigures(tr)
 	}
 	if *table1 || all {
-		printTable1(*fast, *workers, *jsonOut, *doVerify, tr)
+		printTable1(*fast, *workers, *jsonOut, *doVerify, faults, *faultSeed, *faultRate, tr)
 	}
 	if *extensions || all {
 		printExtensions(*workers, tr)
+	}
+	if *campaign > 0 {
+		runCampaigns(*campaign, *faultSeed, *faultRate, *fast, *workers, *doVerify, *minSuccess)
 	}
 
 	if *traceOut != "" {
@@ -86,6 +99,68 @@ func main() {
 	if cellsFailed > 0 {
 		log.Fatalf("%d evaluation cell(s) failed", cellsFailed)
 	}
+}
+
+// loadFaults resolves the Table 1 fault injection: an explicit spec file
+// wins; seeded generation is deferred to the per-cell grid (see
+// Table1RowOptions.FaultRate) and the campaign harness.
+func loadFaults(file string, seed int64, rate float64) (*mfsynth.FaultSet, error) {
+	_ = seed
+	_ = rate
+	if file == "" {
+		return nil, nil
+	}
+	f, err := os.Open(file)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return mfsynth.ParseFaults(f)
+}
+
+// runCampaigns fault-injects every benchmark `runs` times under policy p1
+// and reports how gracefully the synthesis degrades. With minSuccess > 0 a
+// benchmark whose success rate falls below the bar counts as a failed cell.
+func runCampaigns(runs int, seed int64, rate float64, fast bool, workers int, doVerify bool, minSuccess float64) {
+	if rate <= 0 {
+		rate = 0.05
+	}
+	mode := mfsynth.RollingHorizon
+	if fast {
+		mode = mfsynth.GreedyPlace
+	}
+	fmt.Printf("== Fault-injection campaign: %d runs/case, rate %.3f, seed %d ==\n", runs, rate, seed)
+	for _, name := range mfsynth.CaseNames() {
+		c, err := mfsynth.CaseByName(name)
+		if err != nil {
+			log.Print(err)
+			cellsFailed++
+			continue
+		}
+		camp, err := mfsynth.RunCampaign(c, 1, mfsynth.CampaignOptions{
+			Runs:    runs,
+			Seed:    seed,
+			Rate:    rate,
+			Mode:    mode,
+			Workers: workers,
+			Verify:  doVerify,
+		})
+		if err != nil {
+			log.Printf("%s: %v", name, err)
+			cellsFailed++
+			continue
+		}
+		fmt.Println(mfsynth.RenderCampaign(camp))
+		if camp.ViolationRuns() > 0 {
+			cellsFailed++
+		}
+		if minSuccess > 0 && camp.SuccessRate() < minSuccess {
+			log.Printf("%s: success rate %.1f%% below the %.1f%% bar",
+				name, 100*camp.SuccessRate(), 100*minSuccess)
+			cellsFailed++
+		}
+	}
+	fmt.Println()
 }
 
 // writeSink creates path and streams one trace export into it.
@@ -136,7 +211,7 @@ func printExtensions(workers int, tr *mfsynth.Trace) {
 		s   *mfsynth.Speedup
 		err error
 	}
-	speedups, _ := par.Map(outer, len(cells), func(_, i int) (speedRes, error) {
+	speedups, perr := par.Map(outer, len(cells), func(_, i int) (speedRes, error) {
 		c, err := mfsynth.CaseByName(cells[i].name)
 		if err != nil {
 			return speedRes{err: err}, nil
@@ -144,6 +219,11 @@ func printExtensions(workers int, tr *mfsynth.Trace) {
 		s, err := mfsynth.ExecutionSpeedup(c, cells[i].policy)
 		return speedRes{s: s, err: err}, nil
 	})
+	if perr != nil {
+		// Per-cell errors ride in speedRes; an error here is a recovered
+		// worker panic and must not be dropped.
+		log.Fatal(perr)
+	}
 	var rows []*mfsynth.Speedup
 	for i, r := range speedups {
 		if r.err != nil {
@@ -241,7 +321,7 @@ func printExtensions(workers int, tr *mfsynth.Trace) {
 		res *mfsynth.Result
 		err error
 	}
-	vitro, _ := par.Map(outer, len(sizes), func(_, i int) (vitroRes, error) {
+	vitro, verr := par.Map(outer, len(sizes), func(_, i int) (vitroRes, error) {
 		s := sizes[i]
 		a := mfsynth.InVitro(s, s, 8)
 		grid := 12 + 2*(s-2)
@@ -253,6 +333,9 @@ func printExtensions(workers int, tr *mfsynth.Trace) {
 		})
 		return vitroRes{a: a, res: res, err: err}, nil
 	})
+	if verr != nil {
+		log.Fatal(verr) // recovered worker panic
+	}
 	for i, vr := range vitro {
 		s := sizes[i]
 		if vr.err != nil {
@@ -296,10 +379,16 @@ func printFigures(tr *mfsynth.Trace) {
 	fmt.Printf("result: %s\n\n", res)
 }
 
-func printTable1(fast bool, workers int, jsonOut string, doVerify bool, tr *mfsynth.Trace) {
-	opts := mfsynth.Table1RowOptions{Workers: workers, Trace: tr, Verify: doVerify}
+func printTable1(fast bool, workers int, jsonOut string, doVerify bool, faults *mfsynth.FaultSet, faultSeed int64, faultRate float64, tr *mfsynth.Trace) {
+	opts := mfsynth.Table1RowOptions{
+		Workers: workers, Trace: tr, Verify: doVerify,
+		Faults: faults, FaultSeed: faultSeed, FaultRate: faultRate,
+	}
 	if fast {
 		opts.Mode = mfsynth.GreedyPlace
+	}
+	if !faults.Empty() || faultRate > 0 {
+		fmt.Println("(fault injection active: metrics may deviate from the paper's Table 1)")
 	}
 	fmt.Println("== Table 1: comparison with optimal binding for traditional designs ==")
 	start := time.Now()

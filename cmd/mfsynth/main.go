@@ -38,6 +38,9 @@ func main() {
 		eventsOut = flag.String("events", "", "write the span/metric event stream as JSON lines to this file")
 		stats     = flag.Bool("stats", false, "print the span tree and metrics summary to stderr")
 		doVerify  = flag.Bool("verify", false, "audit the result against the full conformance catalogue; exit non-zero on violations")
+		faultFile = flag.String("faults", "", "fault-spec file: defective valves the synthesis must work around")
+		faultSeed = flag.Int64("fault-seed", 0, "generate a random fault set with this seed (with -fault-rate)")
+		faultRate = flag.Float64("fault-rate", 0, "per-valve defect probability for -fault-seed (e.g. 0.05)")
 	)
 	flag.Parse()
 
@@ -76,7 +79,28 @@ func main() {
 		c.GridSize = *grid
 	}
 
-	row, err := mfsynth.EvaluateRow(c, *policy, mfsynth.Table1RowOptions{Mode: placeMode, Grid: c.GridSize, Workers: *workers})
+	// Fault injection: an explicit spec file wins over seeded generation.
+	var faults *mfsynth.FaultSet
+	switch {
+	case *faultFile != "":
+		f, err := os.Open(*faultFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		faults, err = mfsynth.ParseFaults(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+	case *faultRate > 0:
+		faults = mfsynth.GenerateFaults(*faultSeed, mfsynth.FaultGenOptions{
+			Grid: c.GridSize, Rate: *faultRate, KeepPorts: true,
+		})
+	}
+
+	row, err := mfsynth.EvaluateRow(c, *policy, mfsynth.Table1RowOptions{
+		Mode: placeMode, Grid: c.GridSize, Workers: *workers, Faults: faults,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -91,6 +115,7 @@ func main() {
 		Place:   mfsynth.PlaceConfig{Grid: c.GridSize, Mode: placeMode},
 		Workers: *workers,
 		Trace:   tr,
+		Faults:  faults,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -102,6 +127,14 @@ func main() {
 	fmt.Printf("  setting 1:         vs_max %d (pump %d)\n", res.VsMax1, res.VsPump1)
 	fmt.Printf("  setting 2:         vs_max %d (pump %d)\n", res.VsMax2, res.VsPump2)
 	fmt.Printf("  valves used:       %d of %d virtual\n", res.UsedValves, c.GridSize*c.GridSize)
+	if !faults.Empty() {
+		fmt.Printf("  faults injected:   %d defective valve(s)\n", faults.Len())
+	}
+	if res.Degraded() {
+		fmt.Printf("  degradation:       %s\n", res.Degradation)
+	} else if !faults.Empty() {
+		fmt.Printf("  degradation:       none (nominal result despite faults)\n")
+	}
 	if *compare {
 		fmt.Printf("  traditional:       vs_tmax %d with %d valves (#d %d, #m %s)\n",
 			des.VsTmax, des.Valves, des.NumDevices, des.MixVector())

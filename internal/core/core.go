@@ -16,17 +16,21 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"time"
 
 	"mfsynth/internal/arch"
+	"mfsynth/internal/fault"
 	"mfsynth/internal/graph"
 	"mfsynth/internal/grid"
 	"mfsynth/internal/obs"
 	"mfsynth/internal/place"
 	"mfsynth/internal/route"
 	"mfsynth/internal/schedule"
+	"mfsynth/internal/synerr"
 )
 
 // DefaultPumpActuations is the per-valve actuation count of one mixing
@@ -67,6 +71,20 @@ type Options struct {
 	// the run (one root span per Synthesize call). Tracing never changes
 	// synthesis results; a nil Trace costs nothing.
 	Trace *obs.Trace
+	// Faults lists the defective valves the synthesis must work around:
+	// stuck-closed cells are kept out of every footprint and path,
+	// stuck-open cells out of every ring and wall band, and wear-out cells
+	// whose actuation count would exceed their threshold are re-mapped
+	// around. Nil means a fault-free chip and changes nothing — with no
+	// faults the result is bit-identical to a run without this field.
+	Faults *fault.Set
+	// MaxRipups bounds the rip-up & re-route attempts per net
+	// (Algorithm 1 L13-L17). Default 8.
+	MaxRipups int
+	// DisableDegradation turns off the graceful-degradation ladder: only
+	// the configured mapper runs, and its failure is the run's failure.
+	// Failed routes and wear overruns are still reported either way.
+	DisableDegradation bool
 }
 
 // EventKind classifies actuation events.
@@ -133,8 +151,14 @@ type Result struct {
 	// once — the valves actually manufactured (#v).
 	UsedValves int
 	// FailedRoutes counts transports that could not be routed (0 on all
-	// benchmarks; kept for diagnostics on dense custom assays).
+	// benchmarks; kept for diagnostics on dense custom assays). Each one
+	// is itemised in Degradation.FailedNets.
 	FailedRoutes int
+	// Degradation is non-nil when the run deviated from nominal in any
+	// way: a fallback rung of the mapper was used, operations were
+	// dropped, nets went unrouted, or wear-out valves were promoted. Nil
+	// on every clean run, so nominal results are unchanged bit for bit.
+	Degradation *Degradation
 	// Runtime is the wall-clock synthesis time.
 	Runtime time.Duration
 
@@ -148,6 +172,29 @@ func (r *Result) Options() Options { return r.opts }
 
 // Synthesize runs the full flow on the assay.
 func Synthesize(a *graph.Assay, opts Options) (*Result, error) {
+	return SynthesizeCtx(context.Background(), a, opts)
+}
+
+// maxWearRounds bounds the wear-promotion re-mapping loop: each round may
+// push actuations onto fresh wear-out cells, so without a bound a chip
+// riddled with low-threshold valves could cycle. After the last round the
+// remaining overruns are reported in Degradation.WearExceeded instead.
+const maxWearRounds = 4
+
+// SynthesizeCtx is Synthesize with cancellation: ctx is checked in every
+// phase (scheduling, each branch-and-bound node, routing each net), and a
+// cancelled run returns an error matching synerr.ErrDeadline. A panic
+// anywhere in the pipeline is recovered and returned as an error — a
+// synthesis call never takes the process down.
+//
+// With Options.Faults set, mapping and routing avoid the defective valves,
+// and wear-out cells whose simulated actuation count exceeds their
+// threshold are promoted to obstacles and the synthesis re-runs (bounded by
+// maxWearRounds). When the configured mapper cannot produce a result, a
+// degradation ladder backs off — relaxed couplings, then greedy, then
+// best-effort partial mapping — and the accepted rung is reported in
+// Result.Degradation rather than hidden behind an error.
+func SynthesizeCtx(ctx context.Context, a *graph.Assay, opts Options) (res *Result, err error) {
 	start := time.Now()
 	if opts.PumpActuations == 0 {
 		opts.PumpActuations = DefaultPumpActuations
@@ -164,56 +211,187 @@ func Synthesize(a *graph.Assay, opts Options) (*Result, error) {
 	root := opts.Trace.Start("synthesize",
 		obs.KV("assay", a.Name), obs.KV("grid", opts.Place.Grid),
 		obs.KV("workers", opts.Place.Workers))
-	fail := func(err error) (*Result, error) {
-		root.Set(obs.KV("error", err.Error()))
+	defer func() {
+		if p := recover(); p != nil {
+			res, err = nil, fmt.Errorf("core: synthesis panic: %v", p)
+		}
+		if err != nil {
+			root.Set(obs.KV("error", err.Error()))
+		} else {
+			root.Set(obs.KV("vs_max1", res.VsMax1), obs.KV("vs_max2", res.VsMax2),
+				obs.KV("used_valves", res.UsedValves))
+		}
 		root.End()
-		return nil, err
+	}()
+
+	// Wear-promotion loop: synthesize, simulate the actuation counts,
+	// promote over-threshold wear-out valves to obstacles, repeat.
+	working := opts.Faults
+	var worn []grid.Point
+	for round := 0; ; round++ {
+		attemptOpts := opts
+		attemptOpts.Faults = working
+		res, err = synthesizeAttempt(ctx, a, attemptOpts, root)
+		if err != nil {
+			return nil, err
+		}
+		over := wearExceeded(res, working)
+		if len(over) == 0 {
+			break
+		}
+		if round == maxWearRounds-1 {
+			res.degrade().WearExceeded = over
+			break
+		}
+		working = working.Clone()
+		for _, p := range over {
+			working.Promote(p)
+			worn = append(worn, p)
+		}
+		root.Mark("wear.promote",
+			obs.KV("round", round), obs.KV("cells", len(over)))
+	}
+	if len(worn) > 0 {
+		sort.Slice(worn, func(i, j int) bool {
+			if worn[i].Y != worn[j].Y {
+				return worn[i].Y < worn[j].Y
+			}
+			return worn[i].X < worn[j].X
+		})
+		res.degrade().WornValves = worn
 	}
 
+	res.Runtime = time.Since(start)
+	return res, nil
+}
+
+// synthesizeAttempt runs one schedule→place→route→simulate pass against a
+// fixed working fault set.
+func synthesizeAttempt(ctx context.Context, a *graph.Assay, opts Options, root *obs.Span) (*Result, error) {
 	schedSp := root.Start("schedule")
-	sched, err := schedule.List(a, schedule.Options{
+	sched, err := schedule.ListCtx(ctx, a, schedule.Options{
 		TransportDelay: opts.TransportDelay,
 		Resources:      opts.Policy,
 		Obs:            schedSp,
 	})
 	schedSp.End()
 	if err != nil {
-		return fail(err)
+		return nil, err
 	}
 
-	placeSp := root.Start("place")
-	pcfg := opts.Place
-	pcfg.Obs = placeSp
-	mapping, err := place.Map(sched, pcfg)
-	placeSp.End()
+	mapping, deg, err := placeLadder(ctx, sched, opts, root)
 	if err != nil {
-		return fail(err)
+		return nil, err
 	}
 
 	res := &Result{
-		Assay:    a,
-		Schedule: sched,
-		Mapping:  mapping,
-		Grid:     opts.Place.Grid,
-		opts:     opts,
+		Assay:       a,
+		Schedule:    sched,
+		Mapping:     mapping,
+		Grid:        opts.Place.Grid,
+		Degradation: deg,
+		opts:        opts,
 	}
+	if len(mapping.Dropped) > 0 {
+		d := res.degrade()
+		for _, op := range mapping.Dropped {
+			d.DroppedOps = append(d.DroppedOps, a.Op(op).Name)
+		}
+		d.escalate(DegradePartial)
+	}
+
 	routeSp := root.Start("route")
-	err = res.routeAndSimulate(routeSp)
+	err = res.routeAndSimulate(ctx, routeSp)
 	routeSp.End()
 	if err != nil {
-		return fail(err)
+		return nil, err
 	}
 
 	simSp := root.Start("sim")
 	res.computeMetrics()
 	simSp.Set(obs.KV("events", len(res.Events)))
 	simSp.End()
-
-	res.Runtime = time.Since(start)
-	root.Set(obs.KV("vs_max1", res.VsMax1), obs.KV("vs_max2", res.VsMax2),
-		obs.KV("used_valves", res.UsedValves))
-	root.End()
 	return res, nil
+}
+
+// placeLadder maps the scheduled assay, backing off rung by rung when the
+// configured mapper fails: the full configuration first, then with the
+// storage-overlap and routing-convenient couplings dropped (the two
+// constraint families whose interaction causes repair divergence on tight
+// instances), then the greedy heuristic, and finally greedy in best-effort
+// mode, which drops unplaceable operations instead of failing. The first
+// rung that succeeds wins; any later rung yields a non-nil Degradation
+// listing the failed attempts. Cancellation aborts the ladder immediately
+// — a dead context would fail every rung for the wrong reason.
+func placeLadder(ctx context.Context, sched *schedule.Result, opts Options, root *obs.Span) (*place.Mapping, *Degradation, error) {
+	type rung struct {
+		name   string
+		level  DegradationLevel
+		mutate func(*place.Config)
+	}
+	rungs := []rung{
+		{"configured", DegradeNone, func(*place.Config) {}},
+		{"relaxed-couplings", DegradeRelaxed, func(c *place.Config) {
+			c.NoStorageOverlap = true
+			c.NoRoutingConvenient = true
+		}},
+		{"greedy", DegradeGreedy, func(c *place.Config) {
+			c.Mode = place.Greedy
+		}},
+		{"greedy-best-effort", DegradePartial, func(c *place.Config) {
+			c.Mode = place.Greedy
+			c.BestEffort = true
+		}},
+	}
+	if opts.DisableDegradation {
+		rungs = rungs[:1]
+	}
+	var attempts []Attempt
+	var firstErr error
+	for i, rg := range rungs {
+		cfg := opts.Place
+		if opts.Faults != nil {
+			cfg.Faults = opts.Faults // the working set, wear promotions included
+		}
+		rg.mutate(&cfg)
+		placeSp := root.Start("place", obs.KV("rung", rg.name))
+		cfg.Obs = placeSp
+		mapping, err := place.MapCtx(ctx, sched, cfg)
+		placeSp.End()
+		if err == nil {
+			var deg *Degradation
+			if i > 0 {
+				deg = &Degradation{Level: rg.level, Attempts: attempts}
+			}
+			return mapping, deg, nil
+		}
+		if errors.Is(err, synerr.ErrDeadline) {
+			return nil, nil, err
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+		attempts = append(attempts, Attempt{Rung: rg.name, Err: err.Error()})
+	}
+	return nil, nil, fmt.Errorf("core: every placement rung failed: %w", firstErr)
+}
+
+// wearExceeded simulates the result's full actuation horizon and returns
+// the wear-out cells of fs whose total count exceeds their threshold,
+// sorted row-major.
+func wearExceeded(r *Result, fs *fault.Set) []grid.Point {
+	wearOuts := fs.WearOuts()
+	if len(wearOuts) == 0 {
+		return nil
+	}
+	chip := r.ChipAt(-1, 1)
+	var out []grid.Point
+	for _, f := range wearOuts {
+		if chip.TotalAt(f.At.X, f.At.Y) > f.Threshold {
+			out = append(out, f.At)
+		}
+	}
+	return out
 }
 
 // routeObs bundles the routing-phase instrument handles. Every field is
@@ -230,7 +408,7 @@ type routeObs struct {
 
 // routeAndSimulate builds the event log: pump events from the schedule and
 // control events from routing every transport (Algorithm 1 L10-L19).
-func (r *Result) routeAndSimulate(sp *obs.Span) error {
+func (r *Result) routeAndSimulate(ctx context.Context, sp *obs.Span) error {
 	a := r.Assay
 	sched := r.Schedule
 	m := r.Mapping
@@ -324,6 +502,11 @@ func (r *Result) routeAndSimulate(sp *obs.Span) error {
 		return demands[i].op < demands[j].op
 	})
 
+	// Cells no path may cross: stuck-closed valves cannot open for fluid,
+	// stuck-open valves cannot close behind it. Computed once; the set is
+	// immutable within a run.
+	faulty := r.opts.Faults.UnroutableCells()
+
 	// Route time step by time step.
 	for i := 0; i < len(demands); {
 		j := i
@@ -332,7 +515,7 @@ func (r *Result) routeAndSimulate(sp *obs.Span) error {
 		}
 		stepSp := sp.Start("route.step",
 			obs.KV("t", demands[i].t), obs.KV("nets", j-i))
-		err := r.routeStep(chip, demands[i].t, demands[i:j], ro)
+		err := r.routeStep(ctx, chip, demands[i].t, demands[i:j], faulty, stepSp, ro)
 		stepSp.End()
 		if err != nil {
 			return err
@@ -384,10 +567,16 @@ type net struct {
 }
 
 // routeStep routes all nets of one time step with shared congestion state,
-// applying the storage pass-through rule and rip-up & re-route.
-func (r *Result) routeStep(chip *arch.Chip, t int, nets []net, ro *routeObs) error {
+// applying the storage pass-through rule and rip-up & re-route. An
+// unroutable net is not an error: it is counted, itemised in
+// Degradation.FailedNets and marked on the span, and routing continues —
+// the rest of the step's fluid still moves.
+func (r *Result) routeStep(ctx context.Context, chip *arch.Chip, t int, nets []net, faulty []grid.Point, sp *obs.Span, ro *routeObs) error {
 	m := r.Mapping
 	for _, n := range nets {
+		if err := ctx.Err(); err != nil {
+			return synerr.Deadline("route", err)
+		}
 		ro.nets.Inc()
 		// In-place transfer: the endpoints share cells (a storage that
 		// overlaps its parent device); the fluid is already in position.
@@ -400,6 +589,7 @@ func (r *Result) routeStep(chip *arch.Chip, t int, nets []net, ro *routeObs) err
 			continue
 		}
 		router := route.New(chip.Bounds())
+		router.BlockFaulty(faulty)
 		// Build obstacles: devices alive at t. Ring cells of every device
 		// actuate anyway, so they are preferred path material whenever the
 		// device is not alive right now.
@@ -429,9 +619,17 @@ func (r *Result) routeStep(chip *arch.Chip, t int, nets []net, ro *routeObs) err
 
 		path, err := r.routeNet(router, n, t, ro)
 		ro.pops.Add(int64(router.Pops))
-		if err == route.ErrNoPath {
+		if errors.Is(err, route.ErrNoPath) {
 			r.FailedRoutes++
 			ro.failed.Inc()
+			d := r.degrade()
+			d.FailedNets = append(d.FailedNets, FailedNet{
+				T: t, From: n.fromName, To: n.toName,
+				FromID: n.fromID, ToID: n.toID,
+			})
+			d.escalate(DegradePartial)
+			sp.Mark("route.failed_net",
+				obs.KV("from", n.fromName), obs.KV("to", n.toName))
 			continue
 		}
 		if err != nil {
@@ -453,7 +651,11 @@ func (r *Result) routeStep(chip *arch.Chip, t int, nets []net, ro *routeObs) err
 func (r *Result) routeNet(router *route.Router, n net, t int, ro *routeObs) (route.Path, error) {
 	m := r.Mapping
 	delay := r.Schedule.TransportDelay
-	for attempt := 0; attempt < 8; attempt++ {
+	limit := r.opts.MaxRipups
+	if limit <= 0 {
+		limit = 8
+	}
+	for attempt := 0; attempt < limit; attempt++ {
 		path, err := router.Route(n.from, n.to)
 		if err != nil {
 			return nil, err

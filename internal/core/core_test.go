@@ -277,12 +277,35 @@ func TestSynthesizeDefaultGrid(t *testing.T) {
 }
 
 func TestSynthesizeGridTooSmallForAssay(t *testing.T) {
+	// An 8x8 chip cannot hold the interpolating dilution. With the
+	// degradation ladder disabled that is a hard error; by default the
+	// ladder ends in a best-effort partial result that says what was lost.
 	c := assays.InterpolatingDilution()
-	if _, err := Synthesize(c.Assay, Options{
-		Policy: schedule.Resources{Mixers: c.BaseMixers},
-		Place:  place.Config{Grid: 8, Mode: place.Greedy},
-	}); err == nil {
-		t.Fatal("8x8 chip accepted for the interpolating dilution")
+	opts := Options{
+		Policy:             schedule.Resources{Mixers: c.BaseMixers},
+		Place:              place.Config{Grid: 8, Mode: place.Greedy},
+		DisableDegradation: true,
+	}
+	if _, err := Synthesize(c.Assay, opts); err == nil {
+		t.Fatal("8x8 chip accepted for the interpolating dilution with degradation disabled")
+	}
+
+	opts.DisableDegradation = false
+	r, err := Synthesize(c.Assay, opts)
+	if err != nil {
+		t.Fatalf("degradation ladder did not rescue the 8x8 run: %v", err)
+	}
+	if !r.Degraded() {
+		t.Fatal("8x8 run succeeded without a degradation report")
+	}
+	if r.Degradation.Level != DegradePartial {
+		t.Errorf("level = %v, want %v", r.Degradation.Level, DegradePartial)
+	}
+	if len(r.Degradation.DroppedOps) == 0 {
+		t.Error("partial result reports no dropped operations")
+	}
+	if len(r.Mapping.Dropped)+len(r.Mapping.Placements) == 0 {
+		t.Error("empty mapping")
 	}
 }
 

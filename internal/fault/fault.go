@@ -1,0 +1,236 @@
+// Package fault models defective valves in the virtual valve matrix and is
+// the substrate of the fault-injection campaigns. The valve-centered
+// architecture makes defect tolerance a mapping problem: because any w×h
+// window of the matrix can host a device, the synthesizer can simply map
+// around a dead cell. The fault classes follow the FPVA testing literature
+// (Liu et al., "Testing Microfluidic Fully Programmable Valve Arrays"):
+//
+//   - StuckClosed: the valve is permanently closed. The cell is an obstacle —
+//     it can never be part of a device footprint, a pump ring, a storage, or
+//     a routed channel path. It is however a perfectly good wall: a wall
+//     cell's job is to stay closed.
+//   - StuckOpen: the valve cannot close. The cell cannot serve anywhere a
+//     closed state is required — as a ring (peristalsis needs actuation), as
+//     a wall band cell, or on a routed path (path cells must close to
+//     confine the fluid after transport). It may sit in a footprint
+//     interior, where chamber cells are held open anyway.
+//   - WearOut: the valve works now but fails permanently (becomes
+//     StuckClosed) once its cumulative actuation count crosses Threshold.
+//     Thresholds interact with the internal/wear counters: the synthesizer
+//     re-maps with the cell promoted to StuckClosed when an execution would
+//     cross the threshold.
+//
+// A *Set is nil-safe: all read accessors treat a nil set as empty, so
+// fault-free code paths pay a single nil check.
+package fault
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mfsynth/internal/grid"
+)
+
+// Kind classifies a valve defect.
+type Kind uint8
+
+// Defect classes.
+const (
+	StuckClosed Kind = iota // permanently closed: obstacle for placement and routing
+	StuckOpen               // cannot close: unusable as ring, wall or path cell
+	WearOut                 // fails (to StuckClosed) after Threshold actuations
+)
+
+func (k Kind) String() string {
+	switch k {
+	case StuckClosed:
+		return "stuck-closed"
+	case StuckOpen:
+		return "stuck-open"
+	case WearOut:
+		return "wear-out"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Fault is one defective valve.
+type Fault struct {
+	At   grid.Point
+	Kind Kind
+	// Threshold is the remaining actuation budget of a WearOut valve: the
+	// valve dies when its cumulative actuation count exceeds it. Ignored
+	// for the other kinds.
+	Threshold int
+}
+
+func (f Fault) String() string {
+	if f.Kind == WearOut {
+		return fmt.Sprintf("%s %d %d %d", f.Kind, f.At.X, f.At.Y, f.Threshold)
+	}
+	return fmt.Sprintf("%s %d %d", f.Kind, f.At.X, f.At.Y)
+}
+
+// Set is a collection of valve defects, at most one per cell. The zero
+// value and nil are both empty sets.
+type Set struct {
+	gridSize int
+	byCell   map[grid.Point]Fault
+}
+
+// NewSet builds a set for a gridSize×gridSize matrix. Later faults on the
+// same cell overwrite earlier ones.
+func NewSet(gridSize int, faults ...Fault) *Set {
+	s := &Set{gridSize: gridSize, byCell: make(map[grid.Point]Fault, len(faults))}
+	for _, f := range faults {
+		s.Add(f)
+	}
+	return s
+}
+
+// Add inserts or overwrites the fault at f.At.
+func (s *Set) Add(f Fault) {
+	if s.byCell == nil {
+		s.byCell = make(map[grid.Point]Fault)
+	}
+	s.byCell[f.At] = f
+}
+
+// Empty reports whether the set (possibly nil) has no faults.
+func (s *Set) Empty() bool { return s == nil || len(s.byCell) == 0 }
+
+// Len returns the number of faulty cells.
+func (s *Set) Len() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.byCell)
+}
+
+// Grid returns the matrix side length the set was built for (0 if unknown).
+func (s *Set) Grid() int {
+	if s == nil {
+		return 0
+	}
+	return s.gridSize
+}
+
+// At returns the fault on cell p, if any.
+func (s *Set) At(p grid.Point) (Fault, bool) {
+	if s == nil {
+		return Fault{}, false
+	}
+	f, ok := s.byCell[p]
+	return f, ok
+}
+
+// Faults returns all faults sorted by (Y, X) — a deterministic order for
+// iteration, serialization and reporting.
+func (s *Set) Faults() []Fault {
+	if s.Empty() {
+		return nil
+	}
+	out := make([]Fault, 0, len(s.byCell))
+	for _, f := range s.byCell {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].At.Y != out[j].At.Y {
+			return out[i].At.Y < out[j].At.Y
+		}
+		return out[i].At.X < out[j].At.X
+	})
+	return out
+}
+
+// Clone returns an independent copy (nil stays nil-equivalent: an empty
+// non-nil set, safe to mutate).
+func (s *Set) Clone() *Set {
+	c := &Set{byCell: make(map[grid.Point]Fault, s.Len())}
+	if s != nil {
+		c.gridSize = s.gridSize
+		for p, f := range s.byCell {
+			c.byCell[p] = f
+		}
+	}
+	return c
+}
+
+// Promote marks cell p permanently dead (StuckClosed). It is how a WearOut
+// valve that crossed its threshold enters the working fault set.
+func (s *Set) Promote(p grid.Point) {
+	s.Add(Fault{At: p, Kind: StuckClosed})
+}
+
+// Blocked reports whether cell p may never carry fluid or belong to a
+// device footprint: true for StuckClosed cells.
+func (s *Set) Blocked(p grid.Point) bool {
+	f, ok := s.At(p)
+	return ok && f.Kind == StuckClosed
+}
+
+// CannotClose reports whether cell p cannot realise a closed state: true
+// for StuckOpen cells. Such a cell is unusable as a ring, wall-band or
+// path cell.
+func (s *Set) CannotClose(p grid.Point) bool {
+	f, ok := s.At(p)
+	return ok && f.Kind == StuckOpen
+}
+
+// UnroutableCells returns the cells (sorted by Y then X) that a channel
+// path may never cross: StuckClosed cells cannot open, StuckOpen cells
+// cannot re-close to confine the fluid.
+func (s *Set) UnroutableCells() []grid.Point {
+	var out []grid.Point
+	for _, f := range s.Faults() {
+		if f.Kind == StuckClosed || f.Kind == StuckOpen {
+			out = append(out, f.At)
+		}
+	}
+	return out
+}
+
+// WearOuts returns the WearOut faults, sorted by Y then X.
+func (s *Set) WearOuts() []Fault {
+	var out []Fault
+	for _, f := range s.Faults() {
+		if f.Kind == WearOut {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// String renders a compact single-line summary, e.g.
+// "3 faults (2 stuck-closed, 1 wear-out) on 12x12".
+func (s *Set) String() string {
+	if s.Empty() {
+		return "no faults"
+	}
+	var nc, no, nw int
+	for _, f := range s.Faults() {
+		switch f.Kind {
+		case StuckClosed:
+			nc++
+		case StuckOpen:
+			no++
+		case WearOut:
+			nw++
+		}
+	}
+	var parts []string
+	if nc > 0 {
+		parts = append(parts, fmt.Sprintf("%d stuck-closed", nc))
+	}
+	if no > 0 {
+		parts = append(parts, fmt.Sprintf("%d stuck-open", no))
+	}
+	if nw > 0 {
+		parts = append(parts, fmt.Sprintf("%d wear-out", nw))
+	}
+	desc := fmt.Sprintf("%d fault(s) (%s)", s.Len(), strings.Join(parts, ", "))
+	if s.gridSize > 0 {
+		desc += fmt.Sprintf(" on %dx%d", s.gridSize, s.gridSize)
+	}
+	return desc
+}

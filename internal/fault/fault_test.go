@@ -1,0 +1,132 @@
+package fault
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"mfsynth/internal/grid"
+)
+
+func TestNilSetIsEmpty(t *testing.T) {
+	var s *Set
+	if !s.Empty() || s.Len() != 0 || s.Grid() != 0 {
+		t.Fatalf("nil set not empty: %v %d %d", s.Empty(), s.Len(), s.Grid())
+	}
+	if s.Blocked(grid.Point{}) || s.CannotClose(grid.Point{}) {
+		t.Fatal("nil set reports faults")
+	}
+	if s.UnroutableCells() != nil || s.Faults() != nil || s.WearOuts() != nil {
+		t.Fatal("nil set returns non-nil slices")
+	}
+	c := s.Clone()
+	c.Promote(grid.Point{X: 1, Y: 1}) // must not panic
+	if c.Len() != 1 {
+		t.Fatalf("clone of nil not mutable: %d", c.Len())
+	}
+}
+
+func TestRolePredicates(t *testing.T) {
+	s := NewSet(10,
+		Fault{At: grid.Point{X: 1, Y: 2}, Kind: StuckClosed},
+		Fault{At: grid.Point{X: 3, Y: 4}, Kind: StuckOpen},
+		Fault{At: grid.Point{X: 5, Y: 6}, Kind: WearOut, Threshold: 100},
+	)
+	if !s.Blocked(grid.Point{X: 1, Y: 2}) || s.Blocked(grid.Point{X: 3, Y: 4}) || s.Blocked(grid.Point{X: 5, Y: 6}) {
+		t.Fatal("Blocked should be true only for stuck-closed")
+	}
+	if !s.CannotClose(grid.Point{X: 3, Y: 4}) || s.CannotClose(grid.Point{X: 1, Y: 2}) {
+		t.Fatal("CannotClose should be true only for stuck-open")
+	}
+	want := []grid.Point{{X: 1, Y: 2}, {X: 3, Y: 4}}
+	if got := s.UnroutableCells(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("UnroutableCells = %v, want %v", got, want)
+	}
+	if wo := s.WearOuts(); len(wo) != 1 || wo[0].Threshold != 100 {
+		t.Fatalf("WearOuts = %v", wo)
+	}
+}
+
+func TestPromote(t *testing.T) {
+	s := NewSet(10, Fault{At: grid.Point{X: 5, Y: 6}, Kind: WearOut, Threshold: 10})
+	c := s.Clone()
+	c.Promote(grid.Point{X: 5, Y: 6})
+	if !c.Blocked(grid.Point{X: 5, Y: 6}) {
+		t.Fatal("promoted cell should be blocked")
+	}
+	if s.Blocked(grid.Point{X: 5, Y: 6}) {
+		t.Fatal("Promote on clone mutated the original")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	opts := GenOptions{Grid: 12, Rate: 0.1, StuckOpenFrac: 0.2, WearOutFrac: 0.3}
+	a, b := Generate(42, opts), Generate(42, opts)
+	if !reflect.DeepEqual(a.Faults(), b.Faults()) {
+		t.Fatal("same seed produced different sets")
+	}
+	if a.Empty() {
+		t.Fatal("rate 0.1 on 144 cells produced no faults")
+	}
+	c := Generate(43, opts)
+	if reflect.DeepEqual(a.Faults(), c.Faults()) {
+		t.Fatal("different seeds produced identical sets")
+	}
+}
+
+func TestGenerateKeepPorts(t *testing.T) {
+	opts := GenOptions{Grid: 10, Rate: 1.0, KeepPorts: true}
+	s := Generate(1, opts)
+	for _, p := range StandardPorts(10) {
+		if _, hit := s.At(p); hit {
+			t.Fatalf("port cell %s was injected despite KeepPorts", p)
+		}
+	}
+	if s.Len() != 10*10-len(StandardPorts(10)) {
+		t.Fatalf("rate 1.0 should fault every non-port cell, got %d", s.Len())
+	}
+}
+
+func TestSpecRoundTrip(t *testing.T) {
+	s := NewSet(12,
+		Fault{At: grid.Point{X: 4, Y: 7}, Kind: StuckClosed},
+		Fault{At: grid.Point{X: 0, Y: 5}, Kind: StuckOpen},
+		Fault{At: grid.Point{X: 9, Y: 2}, Kind: WearOut, Threshold: 250},
+	)
+	var buf bytes.Buffer
+	if err := Write(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Grid() != 12 || !reflect.DeepEqual(back.Faults(), s.Faults()) {
+		t.Fatalf("round trip mismatch:\n got %v\nwant %v", back.Faults(), s.Faults())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"grid nope",
+		"stuck-closed 1",
+		"stuck-open a b",
+		"wear-out 1 2",
+		"wear-out 1 2 -5",
+		"grid 8\nstuck-closed 8 0",
+		"flux-capacitor 1 2",
+	}
+	for _, in := range cases {
+		if _, err := Parse(strings.NewReader(in)); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", in)
+		}
+	}
+	s, err := Parse(strings.NewReader("# comment only\n\ngrid 9 # trailing\nstuck-open 3 3\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Grid() != 9 || s.Len() != 1 {
+		t.Fatalf("got grid %d, %d faults", s.Grid(), s.Len())
+	}
+}

@@ -1,0 +1,89 @@
+package fault
+
+import (
+	"math/rand"
+
+	"mfsynth/internal/arch"
+	"mfsynth/internal/grid"
+)
+
+// GenOptions parameterises the deterministic fault generator.
+type GenOptions struct {
+	// Grid is the valve-matrix side length (required, > 0).
+	Grid int
+	// Rate is the per-cell defect probability in [0, 1].
+	Rate float64
+	// StuckOpenFrac and WearOutFrac split the defect mass between kinds:
+	// a defective cell is stuck-open with probability StuckOpenFrac,
+	// wear-out with probability WearOutFrac, and stuck-closed otherwise.
+	// Both default to 0 (all defects stuck-closed), the hardest class.
+	StuckOpenFrac float64
+	WearOutFrac   float64
+	// MinLife and MaxLife bound the uniformly drawn WearOut threshold.
+	// Defaults: 50..500 actuations — low enough that campaign runs
+	// actually cross them.
+	MinLife, MaxLife int
+	// KeepPorts excludes the chip's standard port cells (and the cells a
+	// load/drain must traverse next to them) from injection. Campaigns
+	// usually set this: a dead port makes every outcome trivially
+	// infeasible, which measures the port, not the synthesizer.
+	KeepPorts bool
+}
+
+// Generate draws a fault set from a seeded PRNG. The same (seed, opts)
+// always produces the same set: cells are visited in row-major order and
+// each consumes a fixed number of draws, so campaigns are reproducible.
+func Generate(seed int64, opts GenOptions) *Set {
+	rng := rand.New(rand.NewSource(seed))
+	s := NewSet(opts.Grid)
+	if opts.Grid <= 0 || opts.Rate <= 0 {
+		return s
+	}
+	minLife, maxLife := opts.MinLife, opts.MaxLife
+	if minLife <= 0 {
+		minLife = 50
+	}
+	if maxLife < minLife {
+		maxLife = minLife + 450
+	}
+	keep := make(map[grid.Point]bool)
+	if opts.KeepPorts {
+		for _, p := range StandardPorts(opts.Grid) {
+			keep[p] = true
+		}
+	}
+	for y := 0; y < opts.Grid; y++ {
+		for x := 0; x < opts.Grid; x++ {
+			// Fixed draw budget per cell keeps the stream aligned
+			// regardless of which branches fire.
+			hit := rng.Float64() < opts.Rate
+			kindDraw := rng.Float64()
+			life := minLife + rng.Intn(maxLife-minLife+1)
+			p := grid.Point{X: x, Y: y}
+			if !hit || keep[p] {
+				continue
+			}
+			switch {
+			case kindDraw < opts.StuckOpenFrac:
+				s.Add(Fault{At: p, Kind: StuckOpen})
+			case kindDraw < opts.StuckOpenFrac+opts.WearOutFrac:
+				s.Add(Fault{At: p, Kind: WearOut, Threshold: life})
+			default:
+				s.Add(Fault{At: p, Kind: StuckClosed})
+			}
+		}
+	}
+	return s
+}
+
+// StandardPorts returns the port cells of a gridSize×gridSize chip as laid
+// out by arch.NewChip (two inlets on the west edge, one outlet on the east
+// edge).
+func StandardPorts(gridSize int) []grid.Point {
+	c := arch.NewChip(gridSize, gridSize)
+	out := make([]grid.Point, 0, len(c.Ports))
+	for _, p := range c.Ports {
+		out = append(out, p.At)
+	}
+	return out
+}

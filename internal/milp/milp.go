@@ -7,6 +7,7 @@
 package milp
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -14,6 +15,7 @@ import (
 	"mfsynth/internal/lp"
 	"mfsynth/internal/obs"
 	"mfsynth/internal/par"
+	"mfsynth/internal/synerr"
 )
 
 // Re-exported row relations, for convenience of model-building code.
@@ -146,6 +148,11 @@ type Options struct {
 	MaxNodes int
 	// Timeout bounds wall-clock time (0 = none).
 	Timeout time.Duration
+	// Ctx, when non-nil, cancels the search: Solve returns a
+	// synerr.ErrDeadline-compatible error as soon as a node observes the
+	// cancellation. Unlike Timeout (which returns the incumbent found so
+	// far with Status Limit), cancellation abandons the solve entirely.
+	Ctx context.Context
 	// Incumbent, when non-nil, is a known feasible assignment used as the
 	// initial upper bound. It must be integer-feasible; otherwise it is
 	// ignored.
@@ -207,6 +214,12 @@ func (m *Model) Solve(opts Options) (*Result, error) {
 		// loop: node() polls time.Now only when hasDeadline is set.
 		s.hasDeadline = true
 		s.deadline = time.Now().Add(opts.Timeout)
+	}
+	if opts.Ctx != nil {
+		// Same hoist for cancellation: ctx.Err() (an atomic load) is polled
+		// per node only when a context is attached.
+		s.hasCtx = true
+		s.ctx = opts.Ctx
 	}
 	if opts.Incumbent != nil {
 		if ok, obj := m.CheckFeasible(opts.Incumbent); ok {
@@ -347,6 +360,8 @@ type search struct {
 	maxNodes    int
 	hasDeadline bool // hoisted deadline.IsZero(), kept out of the hot loop
 	deadline    time.Time
+	hasCtx      bool // hoisted Ctx != nil, same reasoning
+	ctx         context.Context
 	absGap      float64
 
 	bestObj  float64
@@ -383,6 +398,11 @@ func (s *search) node() (nodeStatus, error) {
 		s.deadlineChecks++
 		if time.Now().After(s.deadline) {
 			return nodeLimit, nil
+		}
+	}
+	if s.hasCtx {
+		if err := s.ctx.Err(); err != nil {
+			return nodeLimit, synerr.Deadline("milp", err)
 		}
 	}
 	s.nodes++

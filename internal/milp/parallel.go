@@ -6,6 +6,7 @@ import (
 
 	"mfsynth/internal/lp"
 	"mfsynth/internal/par"
+	"mfsynth/internal/synerr"
 )
 
 // Parallel branch and bound.
@@ -70,7 +71,9 @@ func (s *search) runParallel(workers int) (nodeStatus, error) {
 		}
 		if len(pending) > 0 {
 			batch := pending
-			_ = par.Do(workers, len(batch), func(slot, i int) error {
+			// The work fn never errors, so a non-nil return is a recovered
+			// worker panic surfaced by the pool — abort the solve with it.
+			poolErr := par.Do(workers, len(batch), func(slot, i int) error {
 				nd := batch[i]
 				cl := clones[slot]
 				cl.RestoreBounds(s.rootLo, s.rootHi)
@@ -80,6 +83,9 @@ func (s *search) runParallel(workers int) (nodeStatus, error) {
 				nd.sol, nd.err = cl.SolveScratch(arenas[slot])
 				return nil
 			})
+			if poolErr != nil {
+				return nodeDone, poolErr
+			}
 			// LP accounting happens here (not in processNode) because the
 			// parallel rounds own the solves; summed after the join, on the
 			// merge goroutine.
@@ -119,6 +125,11 @@ func (s *search) processNode(nd *bbNode) (nodeStatus, []*bbNode, error) {
 		s.deadlineChecks++
 		if time.Now().After(s.deadline) {
 			return nodeLimit, nil, nil
+		}
+	}
+	if s.hasCtx {
+		if err := s.ctx.Err(); err != nil {
+			return nodeLimit, nil, synerr.Deadline("milp", err)
 		}
 	}
 	s.nodes++

@@ -1,6 +1,7 @@
 package par
 
 import (
+	"errors"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -25,43 +26,42 @@ func TestMapEmptyInput(t *testing.T) {
 }
 
 // TestPanicPropagation verifies the pool's panic contract: a panicking task
-// neither crashes the worker goroutines nor deadlocks the join; every other
-// task still runs; and after the join the panic re-raises on the caller
-// wrapped in *TaskPanic with the lowest panicking index — the index a
-// serial loop would have died on.
+// neither crashes the worker goroutines nor deadlocks the join, never
+// re-panics on the caller, every other task still runs, and after the join
+// the panic surfaces as a *TaskPanic error with the lowest panicking index
+// — the index a serial loop would have died on.
 func TestPanicPropagation(t *testing.T) {
 	for _, workers := range []int{1, 4} {
 		var ran atomic.Int64
-		done := make(chan *TaskPanic, 1)
+		done := make(chan error, 1)
 		go func() {
 			defer func() {
-				r := recover()
-				tp, ok := r.(*TaskPanic)
-				if !ok {
-					t.Errorf("workers=%d: recovered %T (%v), want *TaskPanic", workers, r, r)
+				if r := recover(); r != nil {
+					t.Errorf("workers=%d: Map re-panicked with %v, want error return", workers, r)
 					done <- nil
-					return
 				}
-				done <- tp
 			}()
-			Map(workers, 20, func(slot, i int) (int, error) {
+			_, err := Map(workers, 20, func(slot, i int) (int, error) {
 				ran.Add(1)
 				if i == 7 || i == 13 {
 					panic(i)
 				}
 				return i, nil
 			})
-			t.Errorf("workers=%d: Map returned instead of panicking", workers)
-			done <- nil
+			done <- err
 		}()
-		var tp *TaskPanic
+		var err error
 		select {
-		case tp = <-done:
+		case err = <-done:
 		case <-time.After(10 * time.Second):
 			t.Fatalf("workers=%d: pool deadlocked after task panic", workers)
 		}
-		if tp == nil {
-			continue
+		if err == nil {
+			t.Fatalf("workers=%d: Map returned nil error despite panicking tasks", workers)
+		}
+		var tp *TaskPanic
+		if !errors.As(err, &tp) {
+			t.Fatalf("workers=%d: error %T (%v) does not unwrap to *TaskPanic", workers, err, err)
 		}
 		if tp.Index != 7 || tp.Value != 7 {
 			t.Fatalf("workers=%d: TaskPanic{Index:%d, Value:%v}, want index 7",

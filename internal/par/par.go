@@ -17,9 +17,11 @@
 //
 // A panicking task does not crash the pool or deadlock it: panics are
 // recovered per task, the remaining tasks still run, and after the join
-// the lowest-index panic is re-raised on the calling goroutine wrapped in
-// *TaskPanic — the same index a serial loop would have died on, so the
-// surfaced failure is deterministic regardless of worker count.
+// the panic surfaces as a *TaskPanic error return. When several tasks fail
+// (by error or panic) the lowest index wins — the same index a serial loop
+// would have died on, so the surfaced failure is deterministic regardless
+// of worker count. Callers that must not continue past a panic match it
+// with errors.As(err, &taskPanic).
 //
 // Pools are observable: attach an Observer with WithObserver to receive
 // lifecycle callbacks (pool start/done, per-task start/done with the
@@ -71,16 +73,18 @@ func WithObserver(ctx context.Context, o Observer) context.Context {
 	return context.WithValue(ctx, observerKey{}, o)
 }
 
-// TaskPanic wraps a panic that escaped a pool task. It is re-panicked on
-// the calling goroutine after the join; Value is the original panic value
-// and Stack the panicking task's stack trace.
+// TaskPanic wraps a panic that escaped a pool task. It is returned as the
+// pool's error after the join (never re-panicked), so a crashing task
+// degrades into an ordinary error at the fan-in point instead of killing
+// the process; Value is the original panic value and Stack the panicking
+// task's stack trace.
 type TaskPanic struct {
 	Index int
 	Value any
 	Stack []byte
 }
 
-// Error makes a TaskPanic usable as an error by code that recovers it.
+// Error implements error.
 func (p *TaskPanic) Error() string {
 	return fmt.Sprintf("par: task %d panicked: %v", p.Index, p.Value)
 }
@@ -134,12 +138,12 @@ func MapCtx[R any](ctx context.Context, workers, n int, fn func(slot, i int) (R,
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
 			if err := ctx.Err(); err != nil {
-				rethrow(panics)
+				mergePanics(errs, panics)
 				return results, firstError(errs, err)
 			}
 			run(0, i)
 		}
-		rethrow(panics)
+		mergePanics(errs, panics)
 		return results, firstError(errs, nil)
 	}
 
@@ -170,16 +174,17 @@ feedLoop:
 	for slot := 0; slot < workers; slot++ {
 		<-done
 	}
-	rethrow(panics)
+	mergePanics(errs, panics)
 	return results, firstError(errs, ctxErr)
 }
 
-// rethrow re-raises the lowest-index recovered panic, if any — the index
-// a serial loop would have died on first.
-func rethrow(panics []*TaskPanic) {
-	for _, p := range panics {
+// mergePanics folds recovered panics into the per-index error slice so the
+// normal lowest-index-wins selection applies. A panicking fn never reached
+// its return, so errs[i] is guaranteed nil where panics[i] is set.
+func mergePanics(errs []error, panics []*TaskPanic) {
+	for i, p := range panics {
 		if p != nil {
-			panic(p)
+			errs[i] = p
 		}
 	}
 }

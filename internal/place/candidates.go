@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"mfsynth/internal/arch"
+	"mfsynth/internal/fault"
 	"mfsynth/internal/grid"
 )
 
@@ -107,6 +108,9 @@ func (pr *problem) candidates(op int, fixed map[int]arch.Placement, o candOpts) 
 
 // admissible checks one placement against fixed context.
 func (pr *problem) admissible(op int, pl arch.Placement, fixedParents []arch.Placement, obstacles []obstacle, o candOpts) bool {
+	if !pr.faultAdmissible(pl) {
+		return false
+	}
 	fp := pl.Footprint()
 	for _, ob := range obstacles {
 		if fp.Distance(ob.pl.Footprint()) >= 1 {
@@ -125,6 +129,43 @@ func (pr *problem) admissible(op int, pl arch.Placement, fixedParents []arch.Pla
 	if !o.relaxRC {
 		for _, parent := range fixedParents {
 			if fp.Distance(parent.Footprint()) > pr.d {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// faultAdmissible checks a placement against the configured fault set by
+// cell role. A stuck-closed valve may appear nowhere in the footprint (the
+// chamber must hold and move fluid), but is fine in the wall band — a wall
+// cell's job is to stay closed. A stuck-open valve cannot realise a closed
+// state, so it is rejected on the pump ring and in the wall band, but
+// tolerated in the footprint interior, where chamber cells are held open.
+// Since candidate enumeration feeds both the greedy mapper and the ILP's
+// variable generation, rejecting a placement here is equivalent to a
+// forbidding constraint in the model.
+func (pr *problem) faultAdmissible(pl arch.Placement) bool {
+	fs := pr.cfg.Faults
+	if fs.Empty() {
+		return true
+	}
+	fp := pl.Footprint()
+	wall := pl.WallBox()
+	for _, f := range fs.Faults() {
+		if !wall.Contains(f.At) {
+			continue
+		}
+		switch f.Kind {
+		case fault.StuckClosed:
+			if fp.Contains(f.At) {
+				return false
+			}
+		case fault.StuckOpen:
+			onRing := fp.Contains(f.At) &&
+				(f.At.X == fp.X0 || f.At.X == fp.X1-1 || f.At.Y == fp.Y0 || f.At.Y == fp.Y1-1)
+			inWallBand := !fp.Contains(f.At) // within wall box but outside footprint
+			if onRing || inWallBand {
 				return false
 			}
 		}

@@ -1,8 +1,7 @@
 package place
 
 import (
-	"context"
-	"fmt"
+	"sort"
 
 	"mfsynth/internal/arch"
 	"mfsynth/internal/graph"
@@ -10,6 +9,7 @@ import (
 	"mfsynth/internal/obs"
 	"mfsynth/internal/par"
 	"mfsynth/internal/storage"
+	"mfsynth/internal/synerr"
 )
 
 // greedyRuns is the number of multi-start variants tried: combinations of
@@ -32,6 +32,11 @@ type greedyState struct {
 	// valves, minimising the number of manufactured valves at equal
 	// worst-case wear.
 	packLimit int
+
+	// dropped lists operations skipped under Config.BestEffort because no
+	// candidate (even RC-relaxed) was admissible. Placing more operations
+	// always beats any other quality key.
+	dropped []int
 
 	rcRelaxed int
 	maxPump   int
@@ -117,10 +122,10 @@ func (pr *problem) runVariant(gv greedyVariant, free []int, fixed map[int]arch.P
 	return st, nil
 }
 
-// greedyDone is the multi-start early-exit rule: nothing can beat one pump
-// use per valve with no relaxations.
+// greedyDone is the multi-start early-exit rule: nothing can beat a
+// complete mapping with one pump use per valve and no relaxations.
 func greedyDone(st *greedyState) bool {
-	return st != nil && st.maxPump <= 1 && st.rcRelaxed == 0
+	return st != nil && len(st.dropped) == 0 && st.maxPump <= 1 && st.rcRelaxed == 0
 }
 
 // multiStartGreedy places the free operations on top of the fixed context,
@@ -186,14 +191,21 @@ func (pr *problem) bestVariant(sp *obs.Span, variants []greedyVariant, best *gre
 		st  *greedyState
 		err error
 	}
-	ctx := context.Background()
+	ctx := pr.ctx
 	if po := sp.Trace().Pool(sp, "greedy.variant"); po != nil {
 		ctx = par.WithObserver(ctx, po)
 	}
-	results, _ := par.MapCtx(ctx, workers, len(variants), func(slot, i int) (runResult, error) {
+	// Per-variant errors travel inside runResult, so a non-nil pool error
+	// is a recovered worker panic (surfaced as *par.TaskPanic since the
+	// pool stopped re-raising) — abort rather than silently dropping the
+	// variant a serial run would have died on.
+	results, poolErr := par.MapCtx(ctx, workers, len(variants), func(slot, i int) (runResult, error) {
 		st, err := pr.runVariant(variants[i], free, fixed, pump)
 		return runResult{st: st, err: err}, nil
 	})
+	if poolErr != nil {
+		return nil, poolErr
+	}
 	for _, r := range results {
 		if r.err != nil {
 			if firstErr == nil {
@@ -211,11 +223,15 @@ func (pr *problem) bestVariant(sp *obs.Span, variants []greedyVariant, best *gre
 	return best, firstErr
 }
 
-// better orders completed runs: pump quality first, then routing-convenient
-// fidelity, then the number of manufactured pump valves, then load spread;
-// among remaining ties prefer the compact (port-attracted) run, which needs
-// fewer control valves.
+// better orders completed runs: mapping completeness first (fewest dropped
+// operations — only relevant under BestEffort), then pump quality, then
+// routing-convenient fidelity, then the number of manufactured pump valves,
+// then load spread; among remaining ties prefer the compact (port-attracted)
+// run, which needs fewer control valves.
 func (st *greedyState) better(o *greedyState) bool {
+	if len(st.dropped) != len(o.dropped) {
+		return len(st.dropped) < len(o.dropped)
+	}
 	if st.maxPump != o.maxPump {
 		return st.maxPump < o.maxPump
 	}
@@ -235,6 +251,12 @@ func (st *greedyState) better(o *greedyState) bool {
 func (pr *problem) greedyPlace(st *greedyState, op int) error {
 	pl, relaxed, err := pr.greedyPick(op, st)
 	if err != nil {
+		if pr.cfg.BestEffort {
+			// Partial-result mode: skip the unplaceable operation and keep
+			// going; the drop is reported through Mapping.Dropped.
+			st.dropped = append(st.dropped, op)
+			return nil
+		}
 		return err
 	}
 	if relaxed {
@@ -268,8 +290,8 @@ func (pr *problem) greedyPick(op int, st *greedyState) (arch.Placement, bool, er
 		relaxed = true
 	}
 	if len(cands) == 0 {
-		return arch.Placement{}, false, fmt.Errorf(
-			"place: no feasible placement for %s on a %dx%d chip",
+		return arch.Placement{}, false, synerr.Infeasible("place",
+			"no feasible placement for %s on a %dx%d chip",
 			pr.res.Assay.Op(op).Name, pr.cfg.Grid, pr.cfg.Grid)
 	}
 	best := cands[0]
@@ -416,7 +438,9 @@ func clonePump(m map[grid.Point]int) map[grid.Point]int {
 	return out
 }
 
-// finishMapping assembles the Mapping from chosen placements.
+// finishMapping assembles the Mapping from chosen placements. Operations
+// absent from fixed (skipped under BestEffort) get no window or storage and
+// are listed in Mapping.Dropped.
 func (pr *problem) finishMapping(fixed map[int]arch.Placement, stats Stats) *Mapping {
 	m := &Mapping{
 		Placements: fixed,
@@ -426,10 +450,15 @@ func (pr *problem) finishMapping(fixed map[int]arch.Placement, stats Stats) *Map
 	}
 	pump := map[grid.Point]int{}
 	for _, op := range pr.ops {
+		pl, placed := fixed[op]
+		if !placed {
+			m.Dropped = append(m.Dropped, op)
+			continue
+		}
 		m.Windows[op] = pr.win[op]
 		m.Storages[op] = pr.stor[op]
 		if pr.pump[op] {
-			for _, pt := range fixed[op].Ring() {
+			for _, pt := range pl.Ring() {
 				pump[pt]++
 				if pump[pt] > m.MaxPumpOps {
 					m.MaxPumpOps = pump[pt]
@@ -437,5 +466,6 @@ func (pr *problem) finishMapping(fixed map[int]arch.Placement, stats Stats) *Map
 			}
 		}
 	}
+	sort.Ints(m.Dropped)
 	return m
 }

@@ -7,6 +7,7 @@ import (
 	"mfsynth/internal/grid"
 	"mfsynth/internal/milp"
 	"mfsynth/internal/obs"
+	"mfsynth/internal/synerr"
 )
 
 // batchOpts controls one ILP build.
@@ -54,7 +55,7 @@ func (pr *problem) solveBatch(free []int, fixed map[int]arch.Placement, pump map
 			info.rcRelaxed++
 		}
 		if len(cands) == 0 {
-			return nil, info, fmt.Errorf("place: no feasible placement for %s on a %dx%d chip",
+			return nil, info, synerr.Infeasible("place", "no feasible placement for %s on a %dx%d chip",
 				pr.res.Assay.Op(op).Name, pr.cfg.Grid, pr.cfg.Grid)
 		}
 		numCands += len(cands)
@@ -170,6 +171,7 @@ func (pr *problem) solveBatch(free []int, fixed map[int]arch.Placement, pump map
 	res, err := m.Solve(milp.Options{
 		MaxNodes:  maxNodes,
 		Timeout:   pr.cfg.SolveTimeout,
+		Ctx:       pr.ctx,
 		Incumbent: incumbent,
 		AbsGap:    0.999, // w counts whole operations
 		Workers:   pr.cfg.Workers,

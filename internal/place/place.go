@@ -22,14 +22,17 @@
 package place
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"mfsynth/internal/arch"
+	"mfsynth/internal/fault"
 	"mfsynth/internal/graph"
 	"mfsynth/internal/obs"
 	"mfsynth/internal/schedule"
 	"mfsynth/internal/storage"
+	"mfsynth/internal/synerr"
 )
 
 // Mode selects the mapping algorithm.
@@ -92,6 +95,19 @@ type Config struct {
 	// pools on per-worker tracks, and the place.* metrics. Observation
 	// never changes results.
 	Obs *obs.Span
+	// Faults excludes defective valves from the mapping: stuck-closed
+	// cells may not lie in any footprint (and hence no ring or storage),
+	// and stuck-open cells may not serve as ring or wall-band cells.
+	// Filtering happens in candidate enumeration, which is also what makes
+	// the ILP fault-aware: an excluded candidate is a forbidding
+	// constraint the model never has to express. Nil means a fault-free
+	// chip and costs one nil check.
+	Faults *fault.Set
+	// BestEffort makes the greedy mapper skip operations with no feasible
+	// placement instead of failing, recording them in Mapping.Dropped —
+	// the last rung of core's degradation ladder. Only the greedy paths
+	// honour it; the ILP modes still require a complete assignment.
+	BestEffort bool
 }
 
 func (c Config) withDefaults() Config {
@@ -128,6 +144,10 @@ type Mapping struct {
 	// Multiply by the per-operation pump actuation count (40 in the
 	// paper's setting 1) for the actuation figure.
 	MaxPumpOps int
+	// Dropped lists operations (ascending IDs) that found no feasible
+	// placement and were skipped under Config.BestEffort. Empty on
+	// complete mappings.
+	Dropped []int
 	// Stats describes the solve.
 	Stats Stats
 }
@@ -150,13 +170,25 @@ type Stats struct {
 
 // Map runs the configured mapper with the Algorithm 1 repair loop.
 func Map(res *schedule.Result, cfg Config) (*Mapping, error) {
+	return MapCtx(context.Background(), res, cfg)
+}
+
+// MapCtx is Map with cancellation: ctx is checked between repair
+// iterations, per rolling batch and per branch-and-bound node, so a
+// cancelled mapping returns a synerr.ErrDeadline-compatible error instead
+// of finishing the current solve.
+func MapCtx(ctx context.Context, res *schedule.Result, cfg Config) (*Mapping, error) {
 	cfg = cfg.withDefaults()
 	pr, err := newProblem(res, cfg)
 	if err != nil {
 		return nil, err
 	}
+	pr.ctx = ctx
 	const maxRepairs = 16
 	for iter := 0; ; iter++ {
+		if err := ctx.Err(); err != nil {
+			return nil, synerr.Deadline("place", err)
+		}
 		iterSp := cfg.Obs.Start("place.iter",
 			obs.KV("iter", iter), obs.KV("mode", cfg.Mode.String()))
 		var m *Mapping
@@ -182,7 +214,7 @@ func Map(res *schedule.Result, cfg Config) (*Mapping, error) {
 			return m, nil
 		}
 		if iter >= maxRepairs {
-			return nil, fmt.Errorf("place: storage repair did not converge after %d iterations", maxRepairs)
+			return nil, synerr.Infeasible("place", "storage repair did not converge after %d iterations", maxRepairs)
 		}
 		cfg.Obs.Metrics().Counter("place.repairs").Inc()
 		for _, pair := range bad {
@@ -216,6 +248,7 @@ type pairKey struct{ child, parent int }
 type problem struct {
 	res *schedule.Result
 	cfg Config
+	ctx context.Context // cancellation; context.Background() via Map
 
 	chip *arch.Chip
 	ops  []int          // on-chip operations in device-creation order
@@ -233,6 +266,7 @@ func newProblem(res *schedule.Result, cfg Config) (*problem, error) {
 	pr := &problem{
 		res:       res,
 		cfg:       cfg,
+		ctx:       context.Background(),
 		chip:      arch.NewChip(cfg.Grid, cfg.Grid),
 		win:       map[int][2]int{},
 		vol:       map[int]int{},
@@ -251,7 +285,7 @@ func newProblem(res *schedule.Result, cfg Config) (*problem, error) {
 		v := DeviceVolume(a.Volume(id))
 		shapes := arch.ShapesForVolume(v)
 		if len(shapes) == 0 {
-			return nil, fmt.Errorf("place: op %s has no shapes for volume %d", op.Name, v)
+			return nil, synerr.Infeasible("place", "op %s has no shapes for volume %d", op.Name, v)
 		}
 		// Keep only shapes that fit on the chip.
 		var fit []arch.Shape
@@ -261,7 +295,7 @@ func newProblem(res *schedule.Result, cfg Config) (*problem, error) {
 			}
 		}
 		if len(fit) == 0 {
-			return nil, fmt.Errorf("place: op %s (volume %d) does not fit a %dx%d chip",
+			return nil, synerr.Infeasible("place", "op %s (volume %d) does not fit a %dx%d chip",
 				op.Name, v, cfg.Grid, cfg.Grid)
 		}
 		pr.ops = append(pr.ops, id)
@@ -274,7 +308,7 @@ func newProblem(res *schedule.Result, cfg Config) (*problem, error) {
 		volumes = append(volumes, v)
 	}
 	if len(pr.ops) == 0 {
-		return nil, fmt.Errorf("place: assay %q has no on-chip operations", a.Name)
+		return nil, synerr.Infeasible("place", "assay %q has no on-chip operations", a.Name)
 	}
 	pr.d = arch.MinShapeDim(volumes)
 	return pr, nil

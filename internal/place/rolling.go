@@ -1,9 +1,12 @@
 package place
 
 import (
+	"errors"
+
 	"mfsynth/internal/arch"
 	"mfsynth/internal/grid"
 	"mfsynth/internal/obs"
+	"mfsynth/internal/synerr"
 )
 
 // solveRolling runs the rolling-horizon decomposition: the ILP of
@@ -29,6 +32,9 @@ func (pr *problem) solveRolling(sp *obs.Span) (*Mapping, error) {
 		placements, info, err := pr.solveBatch(batch, fixed, pump, batchOpts{obs: bsp})
 		bsp.End()
 		if err != nil {
+			if errors.Is(err, synerr.ErrDeadline) {
+				return nil, err // cancelled, not crowded: no fallback
+			}
 			// Earlier batches crowded the chip; a full-horizon greedy sees
 			// all couplings at once and regularly still fits.
 			full, ginfo, gerr := pr.multiStartGreedy(sp, pr.ops, map[int]arch.Placement{}, map[grid.Point]int{})

@@ -8,6 +8,7 @@ import (
 	"mfsynth/internal/assays"
 	"mfsynth/internal/baseline"
 	"mfsynth/internal/core"
+	"mfsynth/internal/fault"
 	"mfsynth/internal/obs"
 	"mfsynth/internal/par"
 	"mfsynth/internal/place"
@@ -59,6 +60,15 @@ type RowOptions struct {
 	// catalogue; a cell with violations fails with an error carrying the
 	// report.
 	Verify bool
+	// Faults injects a valve defect set into every synthesis run (nil =
+	// healthy chip). The mapper and router work around the defects; the
+	// conformance audit (with Verify) proves no faulty valve is used.
+	Faults *fault.Set
+	// FaultSeed and FaultRate, when Faults is nil and FaultRate > 0, draw
+	// a seeded random defect set sized to each cell's grid (ports kept
+	// healthy) — the per-cell form of Faults for multi-grid sweeps.
+	FaultSeed int64
+	FaultRate float64
 }
 
 // Table1Row evaluates one benchmark × policy cell of Table 1.
@@ -71,11 +81,17 @@ func Table1Row(c assays.Case, policy int, opts RowOptions) (*Row, error) {
 	if opts.Grid > 0 {
 		grid = opts.Grid
 	}
+	if opts.Faults == nil && opts.FaultRate > 0 {
+		opts.Faults = fault.Generate(opts.FaultSeed, fault.GenOptions{
+			Grid: grid, Rate: opts.FaultRate, KeepPorts: true,
+		})
+	}
 	res, err := core.Synthesize(c.Assay, core.Options{
 		Policy:  schedule.Resources{Mixers: des.Mixers, Detectors: c.Detectors},
 		Place:   place.Config{Grid: grid, Mode: opts.Mode},
 		Workers: opts.Workers,
 		Trace:   opts.Trace,
+		Faults:  opts.Faults,
 	})
 	if err != nil {
 		return nil, err

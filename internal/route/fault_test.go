@@ -1,0 +1,63 @@
+package route
+
+import (
+	"errors"
+	"testing"
+
+	"mfsynth/internal/grid"
+	"mfsynth/internal/synerr"
+)
+
+func TestFaultyCellsAvoided(t *testing.T) {
+	r := New(bounds10())
+	// Dead valves form a wall with a gap at the bottom.
+	var wall []grid.Point
+	for y := 0; y < 9; y++ {
+		wall = append(wall, pt(5, y))
+	}
+	r.BlockFaulty(wall)
+	p, err := r.Route([]grid.Point{pt(0, 0)}, []grid.Point{pt(9, 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range p {
+		if r.faulty[c] {
+			t.Fatalf("path crosses faulty cell %v", c)
+		}
+	}
+	if len(p) < 10+2*9 {
+		t.Fatalf("path length = %d, expected a detour via y=9", len(p))
+	}
+}
+
+func TestFaultyTerminalUnreachable(t *testing.T) {
+	// Unlike Block, a faulty cell may not even be a terminal.
+	r := New(bounds10())
+	r.BlockFaulty([]grid.Point{pt(9, 5)})
+	if _, err := r.Route([]grid.Point{pt(0, 5)}, []grid.Point{pt(9, 5)}); err != ErrNoPath {
+		t.Fatalf("err = %v, want ErrNoPath for a faulty target", err)
+	}
+	if _, err := r.Route([]grid.Point{pt(9, 5)}, []grid.Point{pt(0, 5)}); err != ErrNoPath {
+		t.Fatalf("err = %v, want ErrNoPath for a faulty source", err)
+	}
+	// With a second healthy terminal the route succeeds around the fault.
+	p, err := r.Route([]grid.Point{pt(0, 5)}, []grid.Point{pt(9, 5), pt(9, 6)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last := p[len(p)-1]; last != pt(9, 6) {
+		t.Fatalf("path ends at %v, want the healthy terminal (9,6)", last)
+	}
+}
+
+func TestErrNoPathMatchesTaxonomy(t *testing.T) {
+	if !errors.Is(ErrNoPath, synerr.ErrUnroutable) {
+		t.Fatal("ErrNoPath should wrap synerr.ErrUnroutable")
+	}
+	r := New(bounds10())
+	r.Block(grid.RectWH(4, 0, 2, 10))
+	_, err := r.Route([]grid.Point{pt(0, 0)}, []grid.Point{pt(9, 0)})
+	if !errors.Is(err, synerr.ErrUnroutable) {
+		t.Fatalf("Route error %v does not match synerr.ErrUnroutable", err)
+	}
+}

@@ -8,10 +8,10 @@ package route
 
 import (
 	"container/heap"
-	"errors"
 	"fmt"
 
 	"mfsynth/internal/grid"
+	"mfsynth/internal/synerr"
 )
 
 // Default cost weights. Costs are per cell entered.
@@ -32,8 +32,10 @@ const (
 	CrossCost = 64
 )
 
-// ErrNoPath reports that no path exists between the given terminals.
-var ErrNoPath = errors.New("route: no path")
+// ErrNoPath reports that no path exists between the given terminals. It
+// wraps synerr.ErrUnroutable, so errors.Is(err, synerr.ErrUnroutable)
+// matches it across package boundaries.
+var ErrNoPath = fmt.Errorf("route: no path: %w", synerr.ErrUnroutable)
 
 // Path is a cell sequence from a source terminal to a target terminal.
 type Path []grid.Point
@@ -43,6 +45,7 @@ type Router struct {
 	bounds grid.Rect
 
 	blocked map[grid.Point]bool
+	faulty  map[grid.Point]bool // defective valves: impassable even as terminals
 	storage map[grid.Point]int  // cell -> storage id
 	used    map[grid.Point]int  // cell -> number of committed paths
 	prefer  map[grid.Point]bool // cells whose valves actuate anyway
@@ -58,9 +61,20 @@ func New(bounds grid.Rect) *Router {
 	return &Router{
 		bounds:  bounds,
 		blocked: map[grid.Point]bool{},
+		faulty:  map[grid.Point]bool{},
 		storage: map[grid.Point]int{},
 		used:    map[grid.Point]int{},
 		prefer:  map[grid.Point]bool{},
+	}
+}
+
+// BlockFaulty marks defective valves as impassable. Unlike Block, a faulty
+// cell is excluded even when it is a terminal: a stuck valve at a device
+// boundary makes that boundary cell unusable, it does not become reachable
+// just because a transport ends there.
+func (ro *Router) BlockFaulty(cells []grid.Point) {
+	for _, c := range cells {
+		ro.faulty[c] = true
 	}
 }
 
@@ -151,7 +165,13 @@ func (ro *Router) Route(sources, targets []grid.Point) (Path, error) {
 		if !ro.bounds.Contains(t) {
 			return nil, fmt.Errorf("route: target %v out of bounds", t)
 		}
+		if ro.faulty[t] {
+			continue
+		}
 		targetSet[t] = true
+	}
+	if len(targetSet) == 0 {
+		return nil, ErrNoPath // every target cell is a dead valve
 	}
 
 	dist := map[grid.Point]int{}
@@ -173,6 +193,9 @@ func (ro *Router) Route(sources, targets []grid.Point) (Path, error) {
 		if !ro.bounds.Contains(s) {
 			return nil, fmt.Errorf("route: source %v out of bounds", s)
 		}
+		if ro.faulty[s] {
+			continue
+		}
 		push(s, 0, grid.Point{}, false)
 	}
 
@@ -189,6 +212,9 @@ func (ro *Router) Route(sources, targets []grid.Point) (Path, error) {
 		for _, d := range dirs {
 			n := it.p.Add(d)
 			if !ro.bounds.Contains(n) {
+				continue
+			}
+			if ro.faulty[n] {
 				continue
 			}
 			if ro.blocked[n] && !targetSet[n] {

@@ -11,11 +11,13 @@
 package schedule
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"mfsynth/internal/graph"
 	"mfsynth/internal/obs"
+	"mfsynth/internal/synerr"
 )
 
 // DefaultTransportDelay is the fluid transport delay in time units between
@@ -86,6 +88,16 @@ type Options struct {
 // one with the fewest bound operations is preferred, which realises the
 // paper's optimal binding for traditional designs.
 func List(a *graph.Assay, opts Options) (*Result, error) {
+	return ListCtx(context.Background(), a, opts)
+}
+
+// ListCtx is List with cancellation: the scheduler checks ctx before it
+// starts and once per dispatched operation, returning a
+// synerr.ErrDeadline-compatible error when cancelled.
+func ListCtx(ctx context.Context, a *graph.Assay, opts Options) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, synerr.Deadline("schedule", err)
+	}
 	if err := a.Validate(); err != nil {
 		return nil, err
 	}
@@ -132,6 +144,10 @@ func List(a *graph.Assay, opts Options) (*Result, error) {
 
 	scheduled := 0
 	for len(queue) > 0 {
+		if err := ctx.Err(); err != nil {
+			dispSp.End()
+			return nil, synerr.Deadline("schedule", err)
+		}
 		// Pick the ready op with the largest critical path; ties by ID for
 		// determinism.
 		sort.Slice(queue, func(i, j int) bool {

@@ -1,0 +1,81 @@
+// Package synerr defines the typed error taxonomy of the synthesis
+// pipeline. It sits below every other package (it only imports the standard
+// library) so that schedule, place, milp, route and core can all tag their
+// failures with the same sentinels without import cycles.
+//
+// The three sentinels classify how a synthesis attempt ends:
+//
+//   - ErrInfeasible: the instance admits no solution under the current
+//     constraints (no fitting shape, no admissible candidate, ILP proven
+//     infeasible). Callers may retry with relaxed constraints.
+//   - ErrDeadline: a deadline or context cancellation stopped the work
+//     before a verdict. Retrying with the same budget is pointless.
+//   - ErrUnroutable: a flow demand cannot be realised on the chip (no
+//     channel path between the endpoints). Callers may rip up and retry or
+//     degrade to a partial result.
+//
+// Errors are matched with errors.Is/errors.As; PhaseError carries which
+// pipeline phase failed.
+package synerr
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Sentinel errors. Wrap them with %w (or via the helpers below) so that
+// errors.Is works across package boundaries.
+var (
+	// ErrInfeasible marks an instance with no solution under the current
+	// constraints.
+	ErrInfeasible = errors.New("infeasible")
+	// ErrDeadline marks work cut short by a deadline or a cancelled
+	// context.
+	ErrDeadline = errors.New("deadline exceeded or cancelled")
+	// ErrUnroutable marks a flow demand with no channel path.
+	ErrUnroutable = errors.New("unroutable")
+)
+
+// PhaseError tags an error with the pipeline phase that produced it
+// ("schedule", "place", "milp", "route", "core"). It unwraps to the cause,
+// so errors.Is(err, ErrDeadline) etc. see through it.
+type PhaseError struct {
+	Phase string
+	Err   error
+}
+
+func (e *PhaseError) Error() string { return e.Phase + ": " + e.Err.Error() }
+
+func (e *PhaseError) Unwrap() error { return e.Err }
+
+// Deadline wraps cause (typically ctx.Err()) as an ErrDeadline carrying the
+// phase. The cause's message is preserved; the result matches both
+// ErrDeadline and, via Is on the cause, context.Canceled or
+// context.DeadlineExceeded.
+func Deadline(phase string, cause error) error {
+	if cause == nil {
+		return &PhaseError{Phase: phase, Err: ErrDeadline}
+	}
+	return &PhaseError{Phase: phase, Err: fmt.Errorf("%w: %w", ErrDeadline, cause)}
+}
+
+// Infeasible builds an ErrInfeasible-compatible PhaseError with a formatted
+// detail message.
+func Infeasible(phase, format string, args ...any) error {
+	return &PhaseError{Phase: phase, Err: fmt.Errorf("%w: "+format, append([]any{ErrInfeasible}, args...)...)}
+}
+
+// Unroutable builds an ErrUnroutable-compatible PhaseError with a formatted
+// detail message.
+func Unroutable(phase, format string, args ...any) error {
+	return &PhaseError{Phase: phase, Err: fmt.Errorf("%w: "+format, append([]any{ErrUnroutable}, args...)...)}
+}
+
+// Phase returns the phase recorded on err's PhaseError, or "" if none.
+func Phase(err error) string {
+	var pe *PhaseError
+	if errors.As(err, &pe) {
+		return pe.Phase
+	}
+	return ""
+}

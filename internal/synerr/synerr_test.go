@@ -1,0 +1,56 @@
+package synerr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestDeadlineWrapsCause(t *testing.T) {
+	err := Deadline("route", context.Canceled)
+	if !errors.Is(err, ErrDeadline) {
+		t.Error("Deadline does not match ErrDeadline")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Error("Deadline does not preserve the context cause")
+	}
+	if got := Phase(err); got != "route" {
+		t.Errorf("Phase = %q, want %q", got, "route")
+	}
+
+	bare := Deadline("milp", nil)
+	if !errors.Is(bare, ErrDeadline) || Phase(bare) != "milp" {
+		t.Errorf("Deadline(nil cause) = %v, phase %q", bare, Phase(bare))
+	}
+}
+
+func TestSentinelsAreDistinct(t *testing.T) {
+	inf := Infeasible("place", "no shape fits %dx%d", 3, 3)
+	unr := Unroutable("route", "net %s->%s blocked", "a", "b")
+
+	if !errors.Is(inf, ErrInfeasible) || errors.Is(inf, ErrUnroutable) || errors.Is(inf, ErrDeadline) {
+		t.Errorf("Infeasible matches the wrong sentinels: %v", inf)
+	}
+	if !errors.Is(unr, ErrUnroutable) || errors.Is(unr, ErrInfeasible) {
+		t.Errorf("Unroutable matches the wrong sentinels: %v", unr)
+	}
+	if Phase(inf) != "place" || Phase(unr) != "route" {
+		t.Errorf("phases: %q, %q", Phase(inf), Phase(unr))
+	}
+}
+
+func TestPhaseSeesThroughWrapping(t *testing.T) {
+	err := fmt.Errorf("outer context: %w", Infeasible("milp", "proven infeasible"))
+	if got := Phase(err); got != "milp" {
+		t.Errorf("Phase through a %%w wrap = %q, want %q", got, "milp")
+	}
+	if got := Phase(errors.New("untyped")); got != "" {
+		t.Errorf("Phase of an untagged error = %q, want empty", got)
+	}
+
+	var pe *PhaseError
+	if !errors.As(err, &pe) || pe.Phase != "milp" {
+		t.Error("errors.As does not recover the PhaseError")
+	}
+}

@@ -1,0 +1,96 @@
+package verify
+
+import (
+	"fmt"
+
+	"mfsynth/internal/core"
+	"mfsynth/internal/fault"
+	"mfsynth/internal/grid"
+)
+
+// checkFaults audits the result against the fault set it was synthesised
+// with (Options().Faults — the working set, including wear-out valves
+// promoted during synthesis). The roles mirror place's admissibility rules
+// and route's blocking, but are re-derived from the final placements and
+// paths: a stuck-closed valve may appear in no footprint (and therefore no
+// ring or in situ storage) and no routed path; a stuck-open valve may serve
+// on no ring, in no wall band and on no path; a wear-out valve's replayed
+// actuation total stays within its threshold unless the degradation report
+// declares the overrun.
+func checkFaults(r *Report, res *core.Result) {
+	fs := res.Options().Faults
+	if fs.Empty() {
+		return
+	}
+	a := res.Assay
+	m := res.Mapping
+	faults := fs.Faults()
+
+	for _, op := range a.Ops() {
+		pl, ok := m.Placements[op.ID]
+		if !ok {
+			continue
+		}
+		fp := pl.Footprint()
+		wall := pl.WallBox()
+		ring := map[grid.Point]bool{}
+		for _, p := range pl.Ring() {
+			ring[p] = true
+		}
+		for _, f := range faults {
+			if !wall.Contains(f.At) {
+				continue
+			}
+			switch f.Kind {
+			case fault.StuckClosed:
+				r.check()
+				if fp.Contains(f.At) {
+					r.add("faulty-footprint", fmt.Sprintf("%s: stuck-closed valve %v inside footprint %v",
+						op.Name, f.At, fp))
+				}
+			case fault.StuckOpen:
+				r.check()
+				if ring[f.At] || !fp.Contains(f.At) {
+					r.add("faulty-footprint", fmt.Sprintf("%s: stuck-open valve %v on the ring or wall band of %v",
+						op.Name, f.At, fp))
+				}
+			}
+		}
+	}
+
+	// Routed paths must avoid every unroutable cell. In-place transfers are
+	// exempt: their "path" is the shared ring cells and nothing actuates.
+	unroutable := map[grid.Point]fault.Kind{}
+	for _, p := range fs.UnroutableCells() {
+		f, _ := fs.At(p)
+		unroutable[p] = f.Kind
+	}
+	for _, tr := range res.Transports {
+		if tr.InPlace {
+			continue
+		}
+		for _, p := range tr.Path {
+			r.check()
+			if k, bad := unroutable[p]; bad {
+				r.add("faulty-path", fmt.Sprintf("transport %s->%s at t=%d crosses %v valve %v",
+					tr.From, tr.To, tr.T, k, p))
+			}
+		}
+	}
+
+	// Wear thresholds against the full-horizon replay.
+	declared := map[grid.Point]bool{}
+	if res.Degradation != nil {
+		for _, p := range res.Degradation.WearExceeded {
+			declared[p] = true
+		}
+	}
+	chip := res.ChipAt(-1, 1)
+	for _, f := range fs.WearOuts() {
+		r.check()
+		if got := chip.TotalAt(f.At.X, f.At.Y); got > f.Threshold && !declared[f.At] {
+			r.add("wear-threshold", fmt.Sprintf("valve %v actuates %d times against threshold %d, undeclared",
+				f.At, got, f.Threshold))
+		}
+	}
+}

@@ -26,14 +26,19 @@ func checkFlow(r *Report, res *core.Result) {
 
 	// Expected transport multiset, mirroring the demand construction of the
 	// synthesis flow: per incoming port edge, per outgoing edge, plus one
-	// drain for childless products.
+	// drain for childless products. Edges to dropped consumers generate no
+	// demand (the drop itself is audited in checkPlacement).
+	dropped := map[int]bool{}
+	for _, id := range res.Mapping.Dropped {
+		dropped[id] = true
+	}
 	expected := map[key]int{}
 	for _, op := range a.Ops() {
 		if op.Kind == graph.Input || op.Kind == graph.Output {
 			continue
 		}
 		if _, placed := res.Mapping.Placements[op.ID]; !placed {
-			continue // reported as unplaced-op
+			continue // unplaced-op, or a declared drop
 		}
 		for _, e := range a.In(op.ID) {
 			if a.Op(e.From).Kind == graph.Input {
@@ -41,6 +46,9 @@ func checkFlow(r *Report, res *core.Result) {
 			}
 		}
 		for _, e := range a.Out(op.ID) {
+			if dropped[e.To] {
+				continue
+			}
 			expected[key{op.ID, e.To}]++
 		}
 		if len(a.Out(op.ID)) == 0 {
@@ -53,6 +61,22 @@ func checkFlow(r *Report, res *core.Result) {
 			return "out"
 		}
 		return a.Op(id).Name
+	}
+
+	// A degraded result that declares a net unrouted is consistent exactly
+	// when that transport is indeed missing: each declared failure consumes
+	// one expectation.
+	if d := res.Degradation; d != nil {
+		for _, f := range d.FailedNets {
+			k := key{f.FromID, f.ToID}
+			r.check()
+			if expected[k] == 0 {
+				r.add("degradation-report", fmt.Sprintf(
+					"declared failed net %s matches no expected transport", f))
+				continue
+			}
+			expected[k]--
+		}
 	}
 	for k, want := range expected {
 		r.check()
@@ -73,9 +97,14 @@ func checkFlow(r *Report, res *core.Result) {
 		}
 	}
 
+	declaredFails := 0
+	if res.Degradation != nil {
+		declaredFails = len(res.Degradation.FailedNets)
+	}
 	r.check()
-	if res.FailedRoutes != 0 {
-		r.add("failed-routes", fmt.Sprintf("%d transport(s) could not be routed", res.FailedRoutes))
+	if res.FailedRoutes != declaredFails {
+		r.add("failed-routes", fmt.Sprintf("%d transport(s) could not be routed, %d declared in the degradation report",
+			res.FailedRoutes, declaredFails))
 	}
 
 	checkEvents(r, res)

@@ -5,35 +5,52 @@ import (
 
 	"mfsynth/internal/assays"
 	"mfsynth/internal/core"
+	"mfsynth/internal/fault"
 	"mfsynth/internal/place"
 )
 
 // FuzzPipeline drives randomly generated assays through the complete
-// schedule→place→route→simulate pipeline and audits every result against
-// the full invariant catalogue. Any violation is a real pipeline bug; the
-// failure message embeds the assay in the assays text format so it can be
-// saved and replayed with `mfsynth -assay <file> -verify`.
+// schedule→place→route→simulate pipeline — optionally on a chip with a
+// seeded valve defect set — and audits every result against the full
+// invariant catalogue. Any violation is a real pipeline bug; the failure
+// message embeds the assay in the assays text format so it can be saved
+// and replayed with `mfsynth -assay <file> -verify`.
 func FuzzPipeline(f *testing.F) {
-	f.Add(int64(1), uint8(4), uint8(0), uint8(12))
-	f.Add(int64(2), uint8(6), uint8(1), uint8(14))
-	f.Add(int64(7), uint8(8), uint8(2), uint8(16))
-	f.Add(int64(42), uint8(3), uint8(1), uint8(13))
-	f.Fuzz(func(t *testing.T, seed int64, mixOps, detects, gridSize uint8) {
+	f.Add(int64(1), uint8(4), uint8(0), uint8(12), int64(0), uint8(0))
+	f.Add(int64(2), uint8(6), uint8(1), uint8(14), int64(0), uint8(0))
+	f.Add(int64(7), uint8(8), uint8(2), uint8(16), int64(0), uint8(0))
+	f.Add(int64(42), uint8(3), uint8(1), uint8(13), int64(0), uint8(0))
+	f.Add(int64(5), uint8(5), uint8(1), uint8(14), int64(11), uint8(5))
+	f.Fuzz(func(t *testing.T, seed int64, mixOps, detects, gridSize uint8, faultSeed int64, faultRate uint8) {
 		// Clamp to the density regime the router handles without capacity
 		// failures: a failed route on an oversubscribed chip is an honest
 		// pipeline outcome, not the silent corruption this fuzzer hunts.
 		mo := 1 + int(mixOps)%8
 		det := int(detects) % 3
 		g := 12 + int(gridSize)%5
+		rate := float64(int(faultRate)%8) / 100
+
+		var fs *fault.Set
+		if rate > 0 {
+			fs = fault.Generate(faultSeed, fault.GenOptions{
+				Grid: g, Rate: rate, KeepPorts: true,
+			})
+		}
 
 		a := assays.Random(seed, assays.RandomOptions{MixOps: mo, Detects: det})
 		res, err := core.Synthesize(a, core.Options{
-			Place: place.Config{Grid: g, Mode: place.Greedy},
+			Place:  place.Config{Grid: g, Mode: place.Greedy},
+			Faults: fs,
 		})
 		if err != nil {
+			if !fs.Empty() {
+				// A defect set can make a random assay honestly
+				// infeasible; only a healthy chip must always succeed.
+				t.Skipf("synthesis under %d faults: %v", fs.Len(), err)
+			}
 			t.Fatalf("synthesis failed: %v\nassay:\n%s", err, DumpAssay(a))
 		}
-		if res.FailedRoutes > 0 {
+		if fs.Empty() && res.FailedRoutes > 0 {
 			t.Skipf("chip capacity exceeded (%d failed routes)", res.FailedRoutes)
 		}
 		if rep := Conformance(res); !rep.Clean() {

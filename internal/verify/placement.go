@@ -19,6 +19,17 @@ func checkPlacement(r *Report, res *core.Result) {
 	m := res.Mapping
 	bounds := grid.RectWH(0, 0, res.Grid, res.Grid)
 
+	dropped := map[int]bool{}
+	for _, id := range m.Dropped {
+		dropped[id] = true
+	}
+	declaredDrop := map[string]bool{}
+	if res.Degradation != nil {
+		for _, n := range res.Degradation.DroppedOps {
+			declaredDrop[n] = true
+		}
+	}
+
 	var placed []int
 	for _, op := range a.Ops() {
 		if op.Kind == graph.Input || op.Kind == graph.Output {
@@ -27,6 +38,9 @@ func checkPlacement(r *Report, res *core.Result) {
 		pl, ok := m.Placements[op.ID]
 		r.check()
 		if !ok {
+			if dropped[op.ID] && declaredDrop[op.Name] {
+				continue // a best-effort drop the degradation report owns up to
+			}
 			r.add("unplaced-op", fmt.Sprintf("operation %s has no device", op.Name))
 			continue
 		}
@@ -76,6 +90,15 @@ func checkPlacement(r *Report, res *core.Result) {
 			}
 			r.add("device-overlap", fmt.Sprintf("%s (%v) and %s (%v) conflict in space and time",
 				a.Op(x).Name, px, a.Op(y).Name, py))
+		}
+	}
+
+	// Every mapping-level drop must be owned by the degradation report.
+	for _, id := range m.Dropped {
+		r.check()
+		if !declaredDrop[a.Op(id).Name] {
+			r.add("degradation-report", fmt.Sprintf(
+				"mapping drops %s but the degradation report does not declare it", a.Op(id).Name))
 		}
 	}
 }

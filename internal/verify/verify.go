@@ -57,7 +57,7 @@ var Catalogue = []Invariant{
 	{"schedule-makespan", "§2 problem formulation", "the reported makespan is the maximum finish time"},
 	{"instance-conflict", "§2 optimal binding", "operations bound to the same dedicated instance never overlap in execution time"},
 	{"instance-limit", "§2 policy", "no more instances of a mixer size (or detectors) than the policy provides"},
-	{"unplaced-op", "(1)", "every on-chip operation is mapped to exactly one dynamic device"},
+	{"unplaced-op", "(1)", "every on-chip operation is mapped to exactly one dynamic device, unless declared dropped by a best-effort degraded run"},
 	{"off-chip", "(10)-(11)", "every device footprint plus its one-valve wall band lies on the chip"},
 	{"undersized-device", "§3.2", "a device's peristaltic ring holds at least the operation's fluid volume"},
 	{"window-mismatch", "§3.3", "the mapping's device lifetime equals the schedule-derived window (storage start to operation finish)"},
@@ -72,10 +72,14 @@ var Catalogue = []Invariant{
 	{"storage-crossing", "§3.5, Alg.1 L14-L15", "cells a path borrows from an active storage fit the storage's free space for the transport duration"},
 	{"unrouted-edge", "§2 problem formulation", "every fluid edge of the assay is realised by exactly as many transports as the assay has parallel edges"},
 	{"undrained-product", "§2 problem formulation", "every childless on-chip product is drained to an output port exactly once"},
-	{"failed-routes", "Alg.1 L10-L19", "the result declares no failed routes"},
+	{"failed-routes", "Alg.1 L10-L19", "every failed route is itemised in the degradation report; none are silent"},
+	{"degradation-report", "graceful degradation", "the degradation report is consistent with the result: declared failed nets correspond to missing transports and declared drops to unmapped operations"},
 	{"event-mismatch", "§4 evaluation", "the event log re-derived from schedule, mapping and transports matches the recorded one"},
 	{"wear-accounting", "§4 settings 1-2", "per-valve actuation counts re-derived from first principles match the result's chip replay in both settings"},
 	{"metric-mismatch", "§4 Table 1", "vs_max, pump-only maxima and the used-valve count match the re-derived counts in both settings"},
+	{"faulty-footprint", "§3.2 fault admissibility", "no stuck-closed valve lies inside any device footprint (hence no ring or in situ storage), and no stuck-open valve serves on a ring or wall band"},
+	{"faulty-path", "Alg.1 L10-L19", "no routed transport path crosses a stuck-closed or stuck-open valve"},
+	{"wear-threshold", "reliability model", "every wear-out valve's replayed actuation total stays within its threshold, unless the degradation report declares the overrun"},
 }
 
 // Report is the outcome of one conformance audit.
@@ -148,6 +152,7 @@ func Conformance(res *core.Result) *Report {
 	checkRouting(r, res)
 	checkFlow(r, res)
 	checkWear(r, res)
+	checkFaults(r, res)
 	sortViolations(r)
 	return r
 }

@@ -22,6 +22,7 @@
 package mfsynth
 
 import (
+	"context"
 	"io"
 
 	"mfsynth/internal/arch"
@@ -30,6 +31,7 @@ import (
 	"mfsynth/internal/contam"
 	"mfsynth/internal/control"
 	"mfsynth/internal/core"
+	"mfsynth/internal/fault"
 	"mfsynth/internal/graph"
 	"mfsynth/internal/obs"
 	"mfsynth/internal/place"
@@ -37,6 +39,7 @@ import (
 	"mfsynth/internal/schedule"
 	"mfsynth/internal/sim"
 	"mfsynth/internal/svg"
+	"mfsynth/internal/synerr"
 	"mfsynth/internal/verify"
 	"mfsynth/internal/wear"
 )
@@ -170,6 +173,101 @@ type MetricsSnapshot = obs.Snapshot
 func Synthesize(a *Assay, opts Options) (*Result, error) {
 	return core.Synthesize(a, opts)
 }
+
+// SynthesizeCtx is Synthesize with cancellation: every phase checks ctx and
+// a cancelled run returns an error matching ErrDeadline.
+func SynthesizeCtx(ctx context.Context, a *Assay, opts Options) (*Result, error) {
+	return core.SynthesizeCtx(ctx, a, opts)
+}
+
+// Synthesis error taxonomy: match with errors.Is regardless of which phase
+// produced the error (the phase is recoverable via SynthesisPhase).
+var (
+	// ErrInfeasible marks instances no mapper rung could place.
+	ErrInfeasible = synerr.ErrInfeasible
+	// ErrDeadline marks runs cut short by context cancellation or expiry.
+	ErrDeadline = synerr.ErrDeadline
+	// ErrUnroutable marks transports with no admissible path.
+	ErrUnroutable = synerr.ErrUnroutable
+)
+
+// SynthesisPhase extracts the pipeline phase ("schedule", "place", "milp",
+// "route") an error originated in, or "" for untyped errors.
+func SynthesisPhase(err error) string { return synerr.Phase(err) }
+
+// FaultKind classifies valve defects.
+type FaultKind = fault.Kind
+
+// Valve defect kinds.
+const (
+	// StuckClosed valves never open: obstacles to chambers and paths.
+	StuckClosed = fault.StuckClosed
+	// StuckOpen valves never close: unusable as ring, wall or path cells.
+	StuckOpen = fault.StuckOpen
+	// WearOut valves fail after a bounded number of actuations.
+	WearOut = fault.WearOut
+)
+
+// Fault is one defective valve.
+type Fault = fault.Fault
+
+// FaultSet is an immutable per-chip defect map; nil means a healthy chip.
+type FaultSet = fault.Set
+
+// NewFaultSet builds a defect map for a gridSize×gridSize chip.
+func NewFaultSet(gridSize int, faults ...Fault) *FaultSet {
+	return fault.NewSet(gridSize, faults...)
+}
+
+// FaultGenOptions parameterises GenerateFaults.
+type FaultGenOptions = fault.GenOptions
+
+// GenerateFaults draws a random defect set, deterministic in the seed.
+func GenerateFaults(seed int64, opts FaultGenOptions) *FaultSet {
+	return fault.Generate(seed, opts)
+}
+
+// ParseFaults reads a defect set in the fault-spec text format
+// ("grid N", then "stuck-closed X Y" / "stuck-open X Y" /
+// "wear-out X Y THRESHOLD" lines; '#' comments).
+func ParseFaults(r io.Reader) (*FaultSet, error) { return fault.Parse(r) }
+
+// WriteFaults serialises a defect set in the fault-spec text format.
+func WriteFaults(w io.Writer, fs *FaultSet) error { return fault.Write(w, fs) }
+
+// Degradation is the structured report of a degraded synthesis: the ladder
+// rung accepted, failed attempts, unrouted nets, dropped operations and
+// wear-out promotions. Nil on Result.Degradation means a nominal run.
+type Degradation = core.Degradation
+
+// DegradationLevel orders the graceful-degradation ladder.
+type DegradationLevel = core.DegradationLevel
+
+// Degradation levels, in escalation order.
+const (
+	DegradeNone    = core.DegradeNone
+	DegradeRelaxed = core.DegradeRelaxed
+	DegradeGreedy  = core.DegradeGreedy
+	DegradePartial = core.DegradePartial
+)
+
+// FailedNet is one transport a degraded result could not route.
+type FailedNet = core.FailedNet
+
+// CampaignOptions parameterises a fault-injection campaign.
+type CampaignOptions = report.CampaignOptions
+
+// Campaign aggregates a fault-injection campaign's outcomes.
+type Campaign = report.Campaign
+
+// RunCampaign synthesizes the case repeatedly against seeded random defect
+// sets and reports success rate, degradation levels and metric yield.
+func RunCampaign(c Case, policy int, opts CampaignOptions) (*Campaign, error) {
+	return report.RunCampaign(c, policy, opts)
+}
+
+// RenderCampaign formats a campaign as a one-line text summary.
+func RenderCampaign(c *Campaign) string { return report.RenderCampaign(c) }
 
 // TraditionalDesign is the dedicated-device baseline of the paper.
 type TraditionalDesign = baseline.Design
