@@ -60,4 +60,20 @@ bench-parallel:
 bench-json:
 	go run ./cmd/mfbench -table1 -json BENCH_table1.json
 
-.PHONY: tier1 tier1-race tier2 tier3 tier4 tier5 bench-parallel bench-json
+# Hot-path micro-benchmarks (LP node solves, branch and bound, router),
+# refreshing the committed BENCH_micro.txt snapshot.
+bench:
+	go test -run '^$$' -bench=. -benchmem -count=5 ./internal/lp/ ./internal/milp/ ./internal/route/ | tee BENCH_micro.txt
+
+# Perf gate: re-run Table 1 and the micro-benchmarks and compare against
+# the committed snapshots — synthesis results must match exactly, and the
+# gated work counters (simplex pivots, Dijkstra pops) and per-benchmark
+# allocation counts may not regress by more than 10%.
+bench-gate:
+	go run ./cmd/mfbench -table1 -json .bench-fresh.json
+	go test -run '^$$' -bench=. -benchmem -count=1 ./internal/lp/ ./internal/milp/ ./internal/route/ > .bench-fresh-micro.txt
+	go run ./tools/benchgate -old BENCH_table1.json -new .bench-fresh.json \
+		-micro-old BENCH_micro.txt -micro-new .bench-fresh-micro.txt
+	rm -f .bench-fresh.json .bench-fresh-micro.txt
+
+.PHONY: tier1 tier1-race tier2 tier3 tier4 tier5 bench-parallel bench-json bench bench-gate

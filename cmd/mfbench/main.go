@@ -438,6 +438,9 @@ type table1Row struct {
 	OurValves      int     `json:"our_valves"`
 	ImpVPct        float64 `json:"impv_pct"`
 	RuntimeSeconds float64 `json:"runtime_seconds"`
+	// PhaseSeconds splits the runtime over the synthesis pipeline phases
+	// ("schedule", "place", "route").
+	PhaseSeconds map[string]float64 `json:"phase_seconds,omitempty"`
 }
 
 type table1AvgJSON struct {
@@ -472,6 +475,7 @@ func writeTable1JSON(path string, rows []*mfsynth.Table1Row, opts mfsynth.Table1
 			OurValves:      r.OurValves,
 			ImpVPct:        r.ImpV,
 			RuntimeSeconds: r.Runtime.Seconds(),
+			PhaseSeconds:   r.Phases,
 		})
 	}
 	out.Averages.Imp1Pct, out.Averages.Imp2Pct, out.Averages.ImpVPct = mfsynth.Table1Averages(rows)

@@ -161,6 +161,10 @@ type Result struct {
 	Degradation *Degradation
 	// Runtime is the wall-clock synthesis time.
 	Runtime time.Duration
+	// PhaseSeconds is the wall-clock time spent in each pipeline phase
+	// (keys "schedule", "place", "route"), accumulated over wear-promotion
+	// rounds. Route time includes the actuation simulation.
+	PhaseSeconds map[string]float64
 
 	opts Options
 }
@@ -228,6 +232,7 @@ func SynthesizeCtx(ctx context.Context, a *graph.Assay, opts Options) (res *Resu
 	// promote over-threshold wear-out valves to obstacles, repeat.
 	working := opts.Faults
 	var worn []grid.Point
+	var phaseAcc map[string]float64
 	for round := 0; ; round++ {
 		attemptOpts := opts
 		attemptOpts.Faults = working
@@ -235,6 +240,10 @@ func SynthesizeCtx(ctx context.Context, a *graph.Assay, opts Options) (res *Resu
 		if err != nil {
 			return nil, err
 		}
+		for k, v := range phaseAcc {
+			res.PhaseSeconds[k] += v
+		}
+		phaseAcc = res.PhaseSeconds
 		over := wearExceeded(res, working)
 		if len(over) == 0 {
 			break
@@ -268,6 +277,8 @@ func SynthesizeCtx(ctx context.Context, a *graph.Assay, opts Options) (res *Resu
 // synthesizeAttempt runs one schedule→place→route→simulate pass against a
 // fixed working fault set.
 func synthesizeAttempt(ctx context.Context, a *graph.Assay, opts Options, root *obs.Span) (*Result, error) {
+	phases := map[string]float64{}
+	t0 := time.Now()
 	schedSp := root.Start("schedule")
 	sched, err := schedule.ListCtx(ctx, a, schedule.Options{
 		TransportDelay: opts.TransportDelay,
@@ -275,11 +286,14 @@ func synthesizeAttempt(ctx context.Context, a *graph.Assay, opts Options, root *
 		Obs:            schedSp,
 	})
 	schedSp.End()
+	phases["schedule"] = time.Since(t0).Seconds()
 	if err != nil {
 		return nil, err
 	}
 
+	t0 = time.Now()
 	mapping, deg, err := placeLadder(ctx, sched, opts, root)
+	phases["place"] = time.Since(t0).Seconds()
 	if err != nil {
 		return nil, err
 	}
@@ -300,6 +314,7 @@ func synthesizeAttempt(ctx context.Context, a *graph.Assay, opts Options, root *
 		d.escalate(DegradePartial)
 	}
 
+	t0 = time.Now()
 	routeSp := root.Start("route")
 	err = res.routeAndSimulate(ctx, routeSp)
 	routeSp.End()
@@ -311,6 +326,8 @@ func synthesizeAttempt(ctx context.Context, a *graph.Assay, opts Options, root *
 	res.computeMetrics()
 	simSp.Set(obs.KV("events", len(res.Events)))
 	simSp.End()
+	phases["route"] = time.Since(t0).Seconds()
+	res.PhaseSeconds = phases
 	return res, nil
 }
 
@@ -507,6 +524,11 @@ func (r *Result) routeAndSimulate(ctx context.Context, sp *obs.Span) error {
 	// immutable within a run.
 	faulty := r.opts.Faults.UnroutableCells()
 
+	// One router for the whole run: the flat grids are sized once and only
+	// reset between nets, so the per-net cost is a few memclr calls instead
+	// of fresh allocations.
+	router := route.New(chip.Bounds())
+
 	// Route time step by time step.
 	for i := 0; i < len(demands); {
 		j := i
@@ -515,7 +537,7 @@ func (r *Result) routeAndSimulate(ctx context.Context, sp *obs.Span) error {
 		}
 		stepSp := sp.Start("route.step",
 			obs.KV("t", demands[i].t), obs.KV("nets", j-i))
-		err := r.routeStep(ctx, chip, demands[i].t, demands[i:j], faulty, stepSp, ro)
+		err := r.routeStep(ctx, router, demands[i].t, demands[i:j], faulty, stepSp, ro)
 		stepSp.End()
 		if err != nil {
 			return err
@@ -571,7 +593,7 @@ type net struct {
 // unroutable net is not an error: it is counted, itemised in
 // Degradation.FailedNets and marked on the span, and routing continues —
 // the rest of the step's fluid still moves.
-func (r *Result) routeStep(ctx context.Context, chip *arch.Chip, t int, nets []net, faulty []grid.Point, sp *obs.Span, ro *routeObs) error {
+func (r *Result) routeStep(ctx context.Context, router *route.Router, t int, nets []net, faulty []grid.Point, sp *obs.Span, ro *routeObs) error {
 	m := r.Mapping
 	for _, n := range nets {
 		if err := ctx.Err(); err != nil {
@@ -588,7 +610,7 @@ func (r *Result) routeStep(ctx context.Context, chip *arch.Chip, t int, nets []n
 			})
 			continue
 		}
-		router := route.New(chip.Bounds())
+		router.Reset()
 		router.BlockFaulty(faulty)
 		// Build obstacles: devices alive at t. Ring cells of every device
 		// actuate anyway, so they are preferred path material whenever the
@@ -660,6 +682,8 @@ func (r *Result) routeNet(router *route.Router, n net, t int, ro *routeObs) (rou
 		if err != nil {
 			return nil, err
 		}
+		// Rip up the lowest violating storage id: the choice steers the
+		// re-route, so it must not depend on map iteration order.
 		violated := -1
 		for sid, cells := range router.StoragesTouched(path) {
 			if n.exclude[sid] {
@@ -669,9 +693,8 @@ func (r *Result) routeNet(router *route.Router, n net, t int, ro *routeObs) (rou
 			if tl == nil {
 				continue
 			}
-			if !tl.CanOverlap(cells, t, t+delay) {
+			if !tl.CanOverlap(cells, t, t+delay) && (violated < 0 || sid < violated) {
 				violated = sid
-				break
 			}
 		}
 		if violated < 0 {

@@ -1,0 +1,67 @@
+package lp
+
+import "testing"
+
+// childBenchSetup solves the medium LP's root and finds a variable whose
+// fixing to zero leaves the child feasible — the canonical branch-and-bound
+// child solve the warm path exists for.
+func childBenchSetup(b *testing.B) (*Problem, *WarmSnap, *WarmArena, Var) {
+	b.Helper()
+	p := buildMediumLP()
+	wa := NewWarmArena()
+	sol, snap, err := p.SolveScratchRetain(nil, wa)
+	if err != nil || sol.Status != Optimal || snap == nil {
+		b.Fatalf("root solve: status %v snap %v err %v", sol.Status, snap != nil, err)
+	}
+	w := NewWarmSolver(p)
+	for v := 0; v < p.NumVars(); v++ {
+		if sol.X[v] < 1e-9 {
+			continue
+		}
+		res := w.Resolve(snap, []BoundDelta{{Var: Var(v), Lo: 0, Hi: 0}})
+		if res.Status == Optimal {
+			return p, snap, wa, Var(v)
+		}
+	}
+	b.Fatal("no fixable variable found")
+	return nil, nil, nil, 0
+}
+
+// BenchmarkChildSolveCold is the pre-warm-start branch-and-bound node
+// profile: one bound tightening, then a from-scratch two-phase solve.
+func BenchmarkChildSolveCold(b *testing.B) {
+	p, snap, wa, v := childBenchSetup(b)
+	defer wa.Release(snap)
+	scratch := NewScratch()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.SetBounds(v, 0, 0)
+		s, err := p.SolveScratch(scratch)
+		p.SetBounds(v, 0, 1)
+		if err != nil || s.Status != Optimal {
+			b.Fatalf("status %v err %v", s.Status, err)
+		}
+	}
+}
+
+// BenchmarkChildSolveWarm is the warm-started node profile: the same
+// tightening re-solved dual-feasibly from the parent's frozen optimum,
+// plus the solution materialisation the search consumes.
+func BenchmarkChildSolveWarm(b *testing.B) {
+	p, snap, wa, v := childBenchSetup(b)
+	defer wa.Release(snap)
+	w := NewWarmSolver(p)
+	delta := []BoundDelta{{Var: v, Lo: 0, Hi: 0}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := w.Resolve(snap, delta)
+		if res.Status != Optimal {
+			b.Fatalf("status %v", res.Status)
+		}
+		if sol := w.Solution(res.Obj, res.Iters); sol.Status != Optimal {
+			b.Fatalf("solution status %v", sol.Status)
+		}
+	}
+}

@@ -142,3 +142,38 @@ func (p *Problem) SolveScratch(scratch *Scratch) (*Solution, error) {
 	}
 	return pr.expand(p, sol), nil
 }
+
+// SolveScratchRetain is SolveScratch that additionally freezes the final
+// simplex tableau as a warm-start seed for child-node re-solves. To keep
+// the tableau columns mapped 1:1 onto problem variables — the layout the
+// warm re-solver expects — it solves the problem full-space, skipping
+// presolve: fixed variables (lower == upper) have zero range after the
+// tableau's bound shift and are never priced into the basis, so they cost
+// column space but no pivots. The snapshot is available whenever the solve
+// ends Optimal; otherwise it is nil and callers use the cold path. The
+// caller owns the returned snapshot and must Release it to wa.
+func (p *Problem) SolveScratchRetain(scratch *Scratch, wa *WarmArena) (*Solution, *WarmSnap, error) {
+	for i := range p.rows {
+		for _, t := range p.rows[i] {
+			if int(t.Var) < 0 || int(t.Var) >= p.NumVars() {
+				return nil, nil, fmt.Errorf("%w: row %d references unknown variable %d", ErrBadModel, i, t.Var)
+			}
+		}
+	}
+	if p.NumVars() == 0 {
+		sol, err := p.SolveScratch(scratch)
+		return sol, nil, err
+	}
+	t, err := newTableau(p, scratch)
+	if err != nil {
+		return nil, nil, err
+	}
+	sol, err := t.solve()
+	if err != nil {
+		return nil, nil, err
+	}
+	if sol.Status != Optimal {
+		return sol, nil, nil
+	}
+	return sol, snapFromTableau(t, wa), nil
+}

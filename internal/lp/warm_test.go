@@ -1,0 +1,165 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randomBoxLP builds a random bounded LP that is feasible by construction
+// (rows are ≤/≥ constraints anchored at an interior point).
+func randomBoxLP(rng *rand.Rand) *Problem {
+	p := NewProblem()
+	n := 3 + rng.Intn(6)
+	m := 2 + rng.Intn(6)
+	anchor := make([]float64, n)
+	for j := 0; j < n; j++ {
+		lo := float64(rng.Intn(5))
+		hi := lo + 1 + float64(rng.Intn(9))
+		c := float64(rng.Intn(11) - 5)
+		p.AddVar("", lo, hi, c)
+		anchor[j] = lo + (hi-lo)*rng.Float64()
+	}
+	for i := 0; i < m; i++ {
+		var terms []Term
+		lhs := 0.0
+		for j := 0; j < n; j++ {
+			if rng.Intn(2) == 0 {
+				continue
+			}
+			coef := float64(rng.Intn(7) - 3)
+			if coef == 0 {
+				continue
+			}
+			terms = append(terms, Term{Var: Var(j), Coef: coef})
+			lhs += coef * anchor[j]
+		}
+		if len(terms) == 0 {
+			continue
+		}
+		if rng.Intn(2) == 0 {
+			p.AddRow(terms, LE, lhs+float64(rng.Intn(4)))
+		} else {
+			p.AddRow(terms, GE, lhs-float64(rng.Intn(4)))
+		}
+	}
+	return p
+}
+
+// TestWarmResolveMatchesCold checks the core warm-start contract: after a
+// bound tightening, a dual-simplex re-solve from the parent optimum agrees
+// with a from-scratch solve of the tightened problem — same status, and on
+// Optimal the same objective.
+func TestWarmResolveMatchesCold(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	wa := NewWarmArena()
+	tried, warmOK := 0, 0
+	for trial := 0; trial < 500; trial++ {
+		p := randomBoxLP(rng)
+		sol, snap, err := p.SolveScratchRetain(nil, wa)
+		if err != nil {
+			t.Fatalf("trial %d: root solve: %v", trial, err)
+		}
+		if sol.Status != Optimal || snap == nil {
+			continue
+		}
+		// Tighten one to three variables the way branching would.
+		var deltas []BoundDelta
+		sLo, sHi := p.BoundsSnapshot()
+		nTight := 1 + rng.Intn(3)
+		for k := 0; k < nTight; k++ {
+			v := Var(rng.Intn(p.NumVars()))
+			lo, hi := p.Bounds(v)
+			if hi-lo < 1 {
+				continue
+			}
+			cut := math.Floor(lo + (hi-lo)*rng.Float64())
+			if rng.Intn(2) == 0 {
+				hi = math.Max(lo, cut)
+			} else {
+				lo = math.Min(hi, cut+1)
+			}
+			if lo > hi {
+				continue
+			}
+			p.SetBounds(v, lo, hi)
+			deltas = append(deltas, BoundDelta{Var: v, Lo: lo, Hi: hi})
+		}
+		if len(deltas) == 0 {
+			p.RestoreBounds(sLo, sHi)
+			wa.Release(snap)
+			continue
+		}
+		tried++
+
+		cold, err := p.SolveScratch(nil)
+		if err != nil {
+			t.Fatalf("trial %d: cold child solve: %v", trial, err)
+		}
+		w := NewWarmSolver(p)
+		res := w.Resolve(snap, deltas)
+		switch res.Status {
+		case Optimal:
+			if cold.Status != Optimal {
+				t.Fatalf("trial %d: warm Optimal obj=%g but cold status %v", trial, res.Obj, cold.Status)
+			}
+			if math.Abs(res.Obj-cold.Obj) > 1e-6 {
+				t.Fatalf("trial %d: warm obj %g != cold obj %g (deltas %v)", trial, res.Obj, cold.Obj, deltas)
+			}
+			warmOK++
+			// A snapshot of the child optimum must itself be a valid parent.
+			child := w.Snapshot(wa)
+			w2 := NewWarmSolver(p)
+			res2 := w2.Resolve(child, nil)
+			if res2.Status != Optimal || math.Abs(res2.Obj-cold.Obj) > 1e-6 {
+				t.Fatalf("trial %d: re-resolve from child snapshot: status %v obj %g want %g",
+					trial, res2.Status, res2.Obj, cold.Obj)
+			}
+			wa.Release(child)
+		case Infeasible:
+			if cold.Status != Infeasible {
+				t.Fatalf("trial %d: warm Infeasible but cold status %v obj %g", trial, cold.Status, cold.Obj)
+			}
+		case IterLimit:
+			// Allowed: the caller falls back to the cold path.
+		default:
+			t.Fatalf("trial %d: unexpected warm status %v", trial, res.Status)
+		}
+		p.RestoreBounds(sLo, sHi)
+		wa.Release(snap)
+	}
+	if tried < 100 {
+		t.Fatalf("too few usable trials: %d", tried)
+	}
+	if warmOK < tried/2 {
+		t.Fatalf("warm path succeeded on only %d/%d trials", warmOK, tried)
+	}
+}
+
+// TestObjectiveFloor checks the row-free bound is valid and exact on a
+// model where it is attained.
+func TestObjectiveFloor(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVar("x", 1, 5, 2)  // cheapest at lower: 2*1
+	y := p.AddVar("y", 0, 3, -4) // cheapest at upper: -4*3
+	p.AddVar("z", 0, 10, 0)
+	p.AddObjOffset(7)
+	if got, want := p.ObjectiveFloor(), 7.0+2-12; got != want {
+		t.Fatalf("floor = %g, want %g", got, want)
+	}
+	// The floor must lower-bound the LP optimum of any feasible model.
+	p.AddRow([]Term{{x, 1}, {y, 1}}, GE, 4)
+	sol, err := p.Solve()
+	if err != nil || sol.Status != Optimal {
+		t.Fatalf("solve: %v %v", sol, err)
+	}
+	if fl := p.ObjectiveFloor(); fl > sol.Obj+1e-9 {
+		t.Fatalf("floor %g exceeds optimum %g", fl, sol.Obj)
+	}
+	// Unbounded-above negative-cost variable: floor is -Inf.
+	q := NewProblem()
+	q.AddVar("u", 0, Inf, -1)
+	if fl := q.ObjectiveFloor(); !math.IsInf(fl, -1) {
+		t.Fatalf("floor = %g, want -Inf", fl)
+	}
+}

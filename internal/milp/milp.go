@@ -174,6 +174,18 @@ type Options struct {
 	// simplex pivots, incumbent updates, deadline checks, bound-gap
 	// histogram) on its trace. Observation never changes results.
 	Obs *obs.Span
+	// ColdLP disables the warm-start machinery (objective-floor fathoming,
+	// dual-simplex re-solves from parent bases, warm infeasibility prunes):
+	// every node pays a from-scratch LP solve, as the search did before
+	// warm-starting existed. Both modes are exact searches over the same
+	// model and agree on final incumbents and statuses; the explored trees
+	// may differ where a relaxation has several optimal vertices (the two
+	// solvers can branch from different ones). The switch exists for
+	// benchmarking and differential tests.
+	ColdLP bool
+	// Arenas, when non-nil, supplies reusable solver state shared across
+	// Solve calls (see Arenas). Nil means a private bundle per solve.
+	Arenas *Arenas
 }
 
 // Result is the outcome of a MILP solve.
@@ -199,13 +211,22 @@ func (m *Model) Solve(opts Options) (*Result, error) {
 	}
 	sp := opts.Obs.Start("milp.solve",
 		obs.KV("vars", m.NumVars()), obs.KV("rows", m.NumRows()))
+	ar := opts.Arenas
+	if ar == nil {
+		ar = NewArenas()
+	}
+	scratch, warm := ar.lane(0, m.lp)
 	s := &search{
 		m:        m,
 		maxNodes: maxNodes,
 		absGap:   opts.AbsGap,
 		bestObj:  math.Inf(1),
 		bound:    math.Inf(-1),
-		scratch:  lp.NewScratch(),
+		coldLP:   opts.ColdLP,
+		arenas:   ar,
+		scratch:  scratch,
+		warm:     warm,
+		snaps:    ar.snaps,
 		span:     sp,
 		gapHist:  sp.Metrics().Histogram("milp.bound_gap", []float64{0.5, 1, 2, 4, 8, 16}),
 	}
@@ -227,7 +248,6 @@ func (m *Model) Solve(opts Options) (*Result, error) {
 			s.bestX = append([]float64(nil), opts.Incumbent...)
 		}
 	}
-
 	// Save root bounds to restore afterwards.
 	saved := make([][2]float64, m.NumVars())
 	for v := range saved {
@@ -244,7 +264,7 @@ func (m *Model) Solve(opts Options) (*Result, error) {
 	if workers := par.Workers(opts.Workers); workers > 1 {
 		st, err = s.runParallel(workers)
 	} else {
-		st, err = s.node()
+		st, err = s.node(nil, nil)
 	}
 	if err != nil {
 		sp.Set(obs.KV("error", err.Error()))
@@ -286,6 +306,12 @@ func (s *search) flushObs(res *Result) {
 	mm.Counter("milp.simplex_pivots").Add(s.pivots)
 	mm.Counter("milp.incumbents").Add(s.incumbents)
 	mm.Counter("milp.deadline_checks").Add(s.deadlineChecks)
+	mm.Counter("milp.floor_fathoms").Add(s.floorFathoms)
+	mm.Counter("milp.warm_fathoms").Add(s.warmFathoms)
+	mm.Counter("milp.warm_resolves").Add(s.warmResolves)
+	mm.Counter("milp.warm_infeasible").Add(s.warmInfeasible)
+	mm.Counter("milp.warm_failures").Add(s.warmFailures)
+	mm.Counter("milp.warm_fail_pivots").Add(s.warmFailPivots)
 	s.span.Set(obs.KV("status", res.Status.String()), obs.KV("nodes", res.Nodes))
 	if !math.IsInf(res.Bound, 0) {
 		s.span.Set(obs.KV("bound", res.Bound))
@@ -372,25 +398,81 @@ type search struct {
 
 	// Observability accumulators, flushed once by flushObs. All are
 	// touched only by the merge goroutine (serial recursion or the
-	// parallel processing sequence), except the parallel rounds' LP
-	// accounting which runParallel sums after each join.
+	// parallel processing sequence), which also keeps them identical to a
+	// serial run: parallel speculative work that serial would not perform
+	// is never counted.
 	span           *obs.Span
 	gapHist        *obs.Histogram // relaxation gap above the root bound
 	lpSolves       int64
 	pivots         int64
 	incumbents     int64
 	deadlineChecks int64
+	floorFathoms   int64 // nodes pruned by the objective floor, no LP at all
+	warmFathoms    int64 // nodes pruned by a warm dual re-solve's bound
+	warmInfeasible int64 // nodes pruned by a warm infeasibility certificate
+	warmResolves   int64 // warm re-solves attempted
+	warmFailures   int64 // warm re-solves that fell back to the cold path
+	warmFailPivots int64 // pivots spent inside those failed re-solves
 
-	// scratch is the tableau arena reused across the serial recursion's
-	// node solves (parallel workers carry their own, see parallel.go).
+	// coldLP disables floor fathoming and warm re-solves (Options.ColdLP).
+	coldLP bool
+	// arenas is the reusable solver state (Options.Arenas or private).
+	arenas *Arenas
+	// scratch is lane 0's tableau arena, reused across the serial
+	// recursion's node solves (parallel workers use lanes 1..W).
 	scratch *lp.Scratch
+	// warm is lane 0's dual-simplex re-solver.
+	warm *lp.WarmSolver
+	// snaps pools the frozen node tableaus warm re-solves start from.
+	snaps *lp.WarmArena
 	// rootLo/rootHi snapshot the root bounds for replaying node deltas
 	// (parallel mode only).
 	rootLo, rootHi []float64
 }
 
-// node solves the relaxation under the current bounds and recurses.
-func (s *search) node() (nodeStatus, error) {
+// boundMargin is the safety margin on the early warm fathoming checks
+// (objective floor, warm re-solve bound): a node is pruned before its LP
+// solution is even materialised only when the bound clears the fathoming
+// threshold by this much. Bounds inside the margin flow into the regular
+// fathom check instead, so a hair's-breadth call is made by exactly the
+// same comparison the cold path uses.
+const boundMargin = 1e-6
+
+// fathomThreshold returns the value at or above which a node bound prunes
+// the node: the exact constant serial fathoming has always used (incumbent
+// minus 1e-9, or minus AbsGap when set).
+func (s *search) fathomThreshold() float64 {
+	if math.IsInf(s.bestObj, 1) {
+		return math.Inf(1)
+	}
+	t := s.bestObj - 1e-9
+	if s.absGap > 0 && s.bestObj-s.absGap < t {
+		t = s.bestObj - s.absGap
+	}
+	return t
+}
+
+// node solves the relaxation under the current bounds and recurses. parent
+// is the frozen optimal tableau of the parent node (nil at the root or
+// below a node whose tableau could not be kept) and own the bound
+// tightenings this node adds to it; together they feed the warm-start
+// ladder that replaces the from-scratch LP solve:
+//
+//  1. objective floor — O(n) over the bounds, no tableau at all;
+//  2. warm dual re-solve from the parent basis — usually a handful of
+//     pivots; an Optimal outcome IS the node's LP solve and an Infeasible
+//     one prunes the node outright;
+//  3. cold two-phase solve — the root, warm failures (iteration cap,
+//     numerical doubt) and ColdLP mode.
+//
+// Warm and cold solves of the same node agree on the LP value to far
+// better than any fathoming tolerance, so the two modes explore the same
+// decisions wherever the optimum is unique; at degenerate alternate optima
+// the vertex (and hence the branching order) may differ, but both modes
+// remain exact branch-and-bound searches over the same model — final
+// incumbents and statuses agree (see TestWarmMatchesCold and the
+// conformance suite).
+func (s *search) node(parent *lp.WarmSnap, own []lp.BoundDelta) (nodeStatus, error) {
 	if s.nodes >= s.maxNodes {
 		return nodeLimit, nil
 	}
@@ -407,12 +489,71 @@ func (s *search) node() (nodeStatus, error) {
 	}
 	s.nodes++
 
-	sol, err := s.m.lp.SolveScratch(s.scratch)
-	if err != nil {
-		return nodeDone, err
+	warmMode := !s.coldLP
+	thresh := s.fathomThreshold()
+
+	if warmMode && !math.IsInf(thresh, 1) {
+		if fl := s.m.lp.ObjectiveFloor(); fl >= thresh+boundMargin {
+			s.floorFathoms++
+			if !s.rootSet {
+				// The floor is a valid (if weak) lower bound on the optimum.
+				s.bound = fl
+				s.rootSet = true
+			}
+			return nodeDone, nil
+		}
 	}
-	s.lpSolves++
-	s.pivots += int64(sol.Iters)
+
+	var sol *lp.Solution
+	var retained *lp.WarmSnap
+	warmValid := false // warm solver's tableau holds this node's optimum
+	if warmMode && parent != nil && len(own) > 0 {
+		res := s.warm.Resolve(parent, own)
+		s.warmResolves++
+		s.pivots += int64(res.Iters)
+		switch res.Status {
+		case lp.Optimal:
+			if !math.IsInf(thresh, 1) && res.Obj >= thresh+boundMargin {
+				s.warmFathoms++
+				return nodeDone, nil
+			}
+			sol = s.warm.Solution(res.Obj, res.Iters)
+			warmValid = true
+		case lp.Infeasible:
+			// A violated row with no eligible entering column certifies the
+			// tightened box empty: prune without a cold solve.
+			s.warmInfeasible++
+			return nodeDone, nil
+		default:
+			// IterLimit (cap or numerical doubt) falls through to the cold
+			// path.
+			s.warmFailures++
+			s.warmFailPivots += int64(res.Iters)
+		}
+	}
+	if sol == nil {
+		var err error
+		if warmMode {
+			sol, retained, err = s.m.lp.SolveScratchRetain(s.scratch, s.snaps)
+		} else {
+			sol, err = s.m.lp.SolveScratch(s.scratch)
+		}
+		if err != nil {
+			return nodeDone, err
+		}
+		s.lpSolves++
+		s.pivots += int64(sol.Iters)
+	}
+	// nodeSnap freezes this node's optimum for its children, preferring the
+	// cold tableau (available whenever presolve was a no-op; numerically
+	// fresh) over re-freezing the warm re-solve.
+	var nodeSnap *lp.WarmSnap
+	defer func() {
+		if nodeSnap != retained {
+			s.snaps.Release(retained)
+		}
+		s.snaps.Release(nodeSnap)
+	}()
 	switch sol.Status {
 	case lp.Infeasible:
 		return nodeDone, nil
@@ -434,7 +575,8 @@ func (s *search) node() (nodeStatus, error) {
 	// SOS1 branching first: splitting a fractional selection group in two
 	// kills far more symmetric subtrees per node than fixing one binary.
 	if branches := s.chooseSOS1(sol); branches[0] != nil {
-		return s.exploreBranches(branches)
+		nodeSnap = s.pickSnap(retained, warmValid)
+		return s.exploreBranches(branches, nodeSnap)
 	}
 
 	// Find the most fractional integer variable.
@@ -475,12 +617,13 @@ func (s *search) node() (nodeStatus, error) {
 	if sol.X[branch]-floor > 0.5 {
 		first, second = second, first
 	}
+	nodeSnap = s.pickSnap(retained, warmValid)
 	for _, side := range [][2]float64{first, second} {
 		if side[0] > side[1] {
 			continue
 		}
 		s.m.lp.SetBounds(v, side[0], side[1])
-		cst, err := s.node()
+		cst, err := s.node(nodeSnap, []lp.BoundDelta{{Var: v, Lo: side[0], Hi: side[1]}})
 		s.m.lp.SetBounds(v, lo, hi)
 		if err != nil {
 			return nodeDone, err
@@ -493,6 +636,19 @@ func (s *search) node() (nodeStatus, error) {
 		}
 	}
 	return nodeDone, nil
+}
+
+// pickSnap chooses the tableau to freeze for a branching node's children:
+// the cold solve's retained tableau when available, else a snapshot of the
+// warm re-solve's optimum, else nothing (children start cold).
+func (s *search) pickSnap(retained *lp.WarmSnap, warmValid bool) *lp.WarmSnap {
+	if retained != nil {
+		return retained
+	}
+	if warmValid {
+		return s.warm.Snapshot(s.snaps)
+	}
+	return nil
 }
 
 // noteIncumbent records an incumbent improvement: a counter bump and a

@@ -17,33 +17,53 @@ import (
 //
 //   - the frontier is an explicit DFS stack of nodes, each node carrying
 //     the bound changes that define it relative to the root;
-//   - each synchronized round solves the LP relaxations of the unsolved
-//     nodes nearest the top of the stack concurrently (one lp.Problem
-//     clone + tableau arena per worker);
+//   - each synchronized round prefetches the unsolved nodes nearest the
+//     top of the stack concurrently (one lp.Problem clone + solver lane
+//     per worker), running the same solve ladder as the serial search:
+//     objective floor, warm dual re-solve from the parent's frozen basis
+//     (whose Optimal outcome IS the node's LP solution and whose
+//     Infeasible outcome is a prune certificate), cold LP solve for the
+//     root and warm failures — skipping the later rungs when an earlier
+//     one already resolves the node;
 //   - nodes are then *processed* strictly in stack (= serial DFS) order by
 //     a single goroutine: fathoming against the incumbent, incumbent
 //     updates, branching-variable selection and child creation all happen
 //     in that sequential merge.
 //
-// Because an LP relaxation depends only on the node's bounds — never on
-// the incumbent — and every stacked node is eventually processed (the
-// serial recursion also visits both children of every branch), the
-// speculative solves are never wasted and the processing sequence is
-// bit-identical to the serial recursion: same incumbent trajectory, same
-// branching decisions, same node count, same Result. The only divergence
-// is wall-clock-dependent (Options.Timeout), exactly as in serial mode.
+// The merge replays the serial decision ladder with the *current*
+// incumbent, reusing the prefetched results. This is sound because the
+// incumbent only improves between prefetch and processing, which only ever
+// *eases* the fathoming threshold: a prune predicted at prefetch time
+// still holds at processing time, so a skipped cold solve is never missed.
+// Work accounting (LP solves, pivots, warm re-solves) happens at
+// processing time and counts exactly what the serial recursion would have
+// done at that node — speculative overshoot is never observed — so the
+// milp.* counters, the incumbent trajectory, the branching decisions and
+// the Result are all bit-identical to a serial run. The only divergence is
+// wall-clock-dependent (Options.Timeout), exactly as in serial mode.
 //
 // bbNode is one frontier entry.
 type bbNode struct {
-	deltas []boundDelta // bound changes from the root, in application order
-	sol    *lp.Solution // prefetched relaxation (nil until a round solves it)
-	err    error
-}
+	deltas []lp.BoundDelta // bound changes from the root, in application order
+	// ownStart marks where this node's own deltas begin: deltas[:ownStart]
+	// came from ancestors, deltas[ownStart:] from the branch that created
+	// this node (the warm re-solve applies only the suffix to the parent
+	// tableau).
+	ownStart int
 
-// boundDelta is one SetBounds call replayed onto a clone.
-type boundDelta struct {
-	v      lp.Var
-	lo, hi float64
+	// parent is the creating node's frozen optimum (reference-counted;
+	// released once the warm re-solve has consumed it).
+	parent *lp.WarmSnap
+
+	// Prefetched state, written by one worker, read by the merge.
+	prefetched bool
+	predFathom bool // an early ladder rung guarantees this node is pruned
+	warmDone   bool
+	warmSol    bool // sol came from the warm re-solve, not a cold solve
+	warmRes    lp.WarmResult
+	snap       *lp.WarmSnap // this node's own frozen optimum, for children
+	sol        *lp.Solution
+	err        error
 }
 
 // runParallel drives the synchronized-round frontier search with the given
@@ -51,10 +71,13 @@ type boundDelta struct {
 func (s *search) runParallel(workers int) (nodeStatus, error) {
 	s.rootLo, s.rootHi = s.m.lp.BoundsSnapshot()
 	clones := make([]*lp.Problem, workers)
-	arenas := make([]*lp.Scratch, workers)
+	scratches := make([]*lp.Scratch, workers)
+	warms := make([]*lp.WarmSolver, workers)
 	for i := range clones {
 		clones[i] = s.m.lp.Clone()
-		arenas[i] = lp.NewScratch()
+		// Lanes 1..W belong to the workers (lane 0 is this merge
+		// goroutine); claimed here, before any concurrency.
+		scratches[i], warms[i] = s.arenas.lane(i+1, clones[i])
 	}
 
 	stack := []*bbNode{{}}
@@ -65,35 +88,24 @@ func (s *search) runParallel(workers int) (nodeStatus, error) {
 		// speculative waste (short of a node/time limit aborting the run).
 		pending = pending[:0]
 		for i := len(stack) - 1; i >= 0 && len(pending) < workers; i-- {
-			if nd := stack[i]; nd.sol == nil && nd.err == nil {
+			if nd := stack[i]; !nd.prefetched {
 				pending = append(pending, nd)
 			}
 		}
 		if len(pending) > 0 {
 			batch := pending
+			// The fathoming threshold the workers prune against is captured
+			// once per round on the merge goroutine: deterministic, and
+			// never easier than the threshold at processing time.
+			roundThresh := s.fathomThreshold()
 			// The work fn never errors, so a non-nil return is a recovered
 			// worker panic surfaced by the pool — abort the solve with it.
 			poolErr := par.Do(workers, len(batch), func(slot, i int) error {
-				nd := batch[i]
-				cl := clones[slot]
-				cl.RestoreBounds(s.rootLo, s.rootHi)
-				for _, d := range nd.deltas {
-					cl.SetBounds(d.v, d.lo, d.hi)
-				}
-				nd.sol, nd.err = cl.SolveScratch(arenas[slot])
+				s.prefetch(batch[i], clones[slot], scratches[slot], warms[slot], roundThresh)
 				return nil
 			})
 			if poolErr != nil {
 				return nodeDone, poolErr
-			}
-			// LP accounting happens here (not in processNode) because the
-			// parallel rounds own the solves; summed after the join, on the
-			// merge goroutine.
-			for _, nd := range batch {
-				if nd.sol != nil {
-					s.lpSolves++
-					s.pivots += int64(nd.sol.Iters)
-				}
 			}
 		}
 
@@ -114,36 +126,160 @@ func (s *search) runParallel(workers int) (nodeStatus, error) {
 	return nodeDone, nil
 }
 
+// prefetch runs the solve ladder for one node on a worker: floor check,
+// warm dual re-solve from the parent basis, cold solve — each rung skipped
+// when an earlier one already resolved the node. A warm Optimal outcome is
+// the node's LP solution (materialised right here, on the worker); a warm
+// Infeasible outcome is a prune certificate; only the root, nodes below an
+// unsnapshottable parent and warm failures pay the cold solve.
+func (s *search) prefetch(nd *bbNode, cl *lp.Problem, scr *lp.Scratch, wsol *lp.WarmSolver, roundThresh float64) {
+	nd.prefetched = true
+	cl.RestoreBounds(s.rootLo, s.rootHi)
+	for _, d := range nd.deltas {
+		cl.SetBounds(d.Var, d.Lo, d.Hi)
+	}
+	warmMode := !s.coldLP
+	if warmMode && !math.IsInf(roundThresh, 1) {
+		if fl := cl.ObjectiveFloor(); fl >= roundThresh+boundMargin {
+			nd.predFathom = true // the merge floor check will prune first
+			s.snaps.Release(nd.parent)
+			nd.parent = nil
+			return
+		}
+	}
+	if warmMode && nd.parent != nil && nd.ownStart < len(nd.deltas) {
+		nd.warmRes = wsol.Resolve(nd.parent, nd.deltas[nd.ownStart:])
+		nd.warmDone = true
+		s.snaps.Release(nd.parent)
+		nd.parent = nil
+		switch nd.warmRes.Status {
+		case lp.Optimal:
+			if !math.IsInf(roundThresh, 1) && nd.warmRes.Obj >= roundThresh+boundMargin {
+				nd.predFathom = true // the merge warm-bound check prunes first
+				return
+			}
+			nd.sol = wsol.Solution(nd.warmRes.Obj, nd.warmRes.Iters)
+			nd.warmSol = true
+			nd.snap = wsol.Snapshot(s.snaps)
+			return
+		case lp.Infeasible:
+			nd.predFathom = true // the merge prunes on the certificate
+			return
+		}
+		// IterLimit (cap or numerical doubt): fall through to the cold solve.
+	}
+	if warmMode {
+		var retained *lp.WarmSnap
+		nd.sol, retained, nd.err = cl.SolveScratchRetain(scr, s.snaps)
+		if retained != nil {
+			s.snaps.Release(nd.snap)
+			nd.snap = retained
+		}
+	} else {
+		nd.sol, nd.err = cl.SolveScratch(scr)
+	}
+}
+
+// releaseNode drops a node's snapshot references (safe on nils).
+func (s *search) releaseNode(nd *bbNode) {
+	s.snaps.Release(nd.snap)
+	nd.snap = nil
+	s.snaps.Release(nd.parent)
+	nd.parent = nil
+}
+
 // processNode applies the exact per-node logic of the serial node() to a
 // prefetched node and returns the children to push (first-explored first).
 // It runs on the merge goroutine only.
 func (s *search) processNode(nd *bbNode) (nodeStatus, []*bbNode, error) {
 	if s.nodes >= s.maxNodes {
+		s.releaseNode(nd)
 		return nodeLimit, nil, nil
 	}
 	if s.hasDeadline {
 		s.deadlineChecks++
 		if time.Now().After(s.deadline) {
+			s.releaseNode(nd)
 			return nodeLimit, nil, nil
 		}
 	}
 	if s.hasCtx {
 		if err := s.ctx.Err(); err != nil {
+			s.releaseNode(nd)
 			return nodeLimit, nil, synerr.Deadline("milp", err)
 		}
 	}
 	s.nodes++
 
+	warmMode := !s.coldLP
+	thresh := s.fathomThreshold()
+
+	// chooseSOS1, CheckFeasible, Bounds and the floor check read the
+	// model's bound state; materialise this node's bounds there (the merge
+	// is sequential, and Solve restores the root bounds on return).
+	s.applyNodeBounds(nd)
+
+	if warmMode && !math.IsInf(thresh, 1) {
+		if fl := s.m.lp.ObjectiveFloor(); fl >= thresh+boundMargin {
+			s.floorFathoms++
+			if !s.rootSet {
+				s.bound = fl
+				s.rootSet = true
+			}
+			s.releaseNode(nd)
+			return nodeDone, nil, nil
+		}
+	}
+	if nd.warmDone {
+		// Replay the serial warm accounting and decisions with the live
+		// threshold (never easier than the prefetch round's).
+		s.warmResolves++
+		s.pivots += int64(nd.warmRes.Iters)
+		switch nd.warmRes.Status {
+		case lp.Optimal:
+			if !math.IsInf(thresh, 1) && nd.warmRes.Obj >= thresh+boundMargin {
+				s.warmFathoms++
+				s.releaseNode(nd)
+				return nodeDone, nil, nil
+			}
+		case lp.Infeasible:
+			s.warmInfeasible++
+			s.releaseNode(nd)
+			return nodeDone, nil, nil
+		default:
+			s.warmFailures++
+			s.warmFailPivots += int64(nd.warmRes.Iters)
+		}
+	}
+
 	if nd.err != nil {
+		s.releaseNode(nd)
 		return nodeDone, nil, nd.err
 	}
+	if nd.sol == nil {
+		// Unreachable: a prefetch-predicted prune always holds at
+		// processing time (the threshold only eases). Recover by solving
+		// on the merge lane rather than crashing.
+		nd.sol, nd.err = s.m.lp.SolveScratch(s.scratch)
+		if nd.err != nil {
+			s.releaseNode(nd)
+			return nodeDone, nil, nd.err
+		}
+	}
 	sol := nd.sol
+	if !nd.warmSol {
+		s.lpSolves++
+		s.pivots += int64(sol.Iters)
+	}
 	switch sol.Status {
 	case lp.Infeasible:
+		s.releaseNode(nd)
 		return nodeDone, nil, nil
 	case lp.Unbounded:
+		s.releaseNode(nd)
 		return nodeUnbounded, nil, nil
 	case lp.IterLimit:
+		s.releaseNode(nd)
 		return nodeLimit, nil, nil
 	}
 	if !s.rootSet {
@@ -152,23 +288,21 @@ func (s *search) processNode(nd *bbNode) (nodeStatus, []*bbNode, error) {
 	}
 	s.gapHist.Observe(sol.Obj - s.bound)
 	if sol.Obj >= s.bestObj-1e-9 || (s.absGap > 0 && sol.Obj >= s.bestObj-s.absGap) {
+		s.releaseNode(nd)
 		return nodeDone, nil, nil // fathom by bound
 	}
-
-	// chooseSOS1, CheckFeasible and Bounds read the model's bound state;
-	// materialise this node's bounds there (the merge is sequential, and
-	// Solve restores the root bounds on return).
-	s.applyNodeBounds(nd)
 
 	if branches := s.chooseSOS1(sol); branches[0] != nil {
 		children := make([]*bbNode, 0, 2)
 		for _, fix := range branches {
-			child := &bbNode{deltas: extendDeltas(nd.deltas, len(fix))}
+			child := &bbNode{deltas: extendDeltas(nd.deltas, len(fix)), ownStart: len(nd.deltas)}
 			for _, v := range fix {
-				child.deltas = append(child.deltas, boundDelta{v: v, lo: 0, hi: 0})
+				child.deltas = append(child.deltas, lp.BoundDelta{Var: v, Lo: 0, Hi: 0})
 			}
+			s.adoptChild(child, nd)
 			children = append(children, child)
 		}
+		s.releaseNode(nd)
 		return nodeDone, children, nil
 	}
 
@@ -190,6 +324,7 @@ func (s *search) processNode(nd *bbNode) (nodeStatus, []*bbNode, error) {
 			s.bestX = roundInts(s.m, sol.X)
 			s.noteIncumbent()
 		}
+		s.releaseNode(nd)
 		return nodeDone, nil, nil
 	}
 
@@ -216,25 +351,37 @@ func (s *search) processNode(nd *bbNode) (nodeStatus, []*bbNode, error) {
 		if side[0] > side[1] {
 			continue
 		}
-		child := &bbNode{deltas: extendDeltas(nd.deltas, 1)}
-		child.deltas = append(child.deltas, boundDelta{v: v, lo: side[0], hi: side[1]})
+		child := &bbNode{deltas: extendDeltas(nd.deltas, 1), ownStart: len(nd.deltas)}
+		child.deltas = append(child.deltas, lp.BoundDelta{Var: v, Lo: side[0], Hi: side[1]})
+		s.adoptChild(child, nd)
 		children = append(children, child)
 	}
+	s.releaseNode(nd)
 	return nodeDone, children, nil
+}
+
+// adoptChild hands nd's frozen optimum to a freshly created child as its
+// warm-start parent (one snapshot reference per child).
+func (s *search) adoptChild(child, nd *bbNode) {
+	if nd.snap == nil {
+		return
+	}
+	s.snaps.AddRef(nd.snap)
+	child.parent = nd.snap
 }
 
 // applyNodeBounds materialises nd's bound state on the model's LP.
 func (s *search) applyNodeBounds(nd *bbNode) {
 	s.m.lp.RestoreBounds(s.rootLo, s.rootHi)
 	for _, d := range nd.deltas {
-		s.m.lp.SetBounds(d.v, d.lo, d.hi)
+		s.m.lp.SetBounds(d.Var, d.Lo, d.Hi)
 	}
 }
 
 // extendDeltas copies a parent delta chain with room for extra entries
 // (children must not share backing arrays — both sides append).
-func extendDeltas(parent []boundDelta, extra int) []boundDelta {
-	out := make([]boundDelta, len(parent), len(parent)+extra)
+func extendDeltas(parent []lp.BoundDelta, extra int) []lp.BoundDelta {
+	out := make([]lp.BoundDelta, len(parent), len(parent)+extra)
 	copy(out, parent)
 	return out
 }

@@ -85,16 +85,20 @@ func (s *search) chooseSOS1(sol *lp.Solution) [2]branchSet {
 	return [2]branchSet{left, right}
 }
 
-// exploreBranches recurses into both zero-fix sets, restoring bounds.
-func (s *search) exploreBranches(branches [2]branchSet) (nodeStatus, error) {
+// exploreBranches recurses into both zero-fix sets, restoring bounds. snap
+// is the branching node's frozen tableau (may be nil), handed to both
+// children as their warm-start parent.
+func (s *search) exploreBranches(branches [2]branchSet, snap *lp.WarmSnap) (nodeStatus, error) {
 	for _, fix := range branches {
 		saved := make([][2]float64, len(fix))
+		own := make([]lp.BoundDelta, len(fix))
 		for i, v := range fix {
 			lo, hi := s.m.lp.Bounds(v)
 			saved[i] = [2]float64{lo, hi}
 			s.m.lp.SetBounds(v, 0, 0)
+			own[i] = lp.BoundDelta{Var: v, Lo: 0, Hi: 0}
 		}
-		st, err := s.node()
+		st, err := s.node(snap, own)
 		for i, v := range fix {
 			s.m.lp.SetBounds(v, saved[i][0], saved[i][1])
 		}

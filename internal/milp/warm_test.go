@@ -1,0 +1,170 @@
+package milp
+
+import (
+	"math"
+	"testing"
+)
+
+// assertSameAnswer compares a warm solve against the cold reference. Both
+// are exact searches over the same model, so they must agree on the status
+// and on the proven optimum; the explored trees (and hence node counts and
+// which alternate optimum becomes the incumbent) may differ where a
+// relaxation has several optimal vertices, so those are not compared.
+// Instead the warm incumbent is independently checked feasible in the
+// model at its claimed objective.
+func assertSameAnswer(t *testing.T, label string, seed int64, m *Model, cold, warm *Result) {
+	t.Helper()
+	if warm.Status != cold.Status {
+		t.Fatalf("%s seed %d: status %v, cold %v", label, seed, warm.Status, cold.Status)
+	}
+	if (warm.X == nil) != (cold.X == nil) {
+		t.Fatalf("%s seed %d: incumbent presence %v vs %v", label, seed, warm.X != nil, cold.X != nil)
+	}
+	if cold.X != nil {
+		if math.Abs(warm.Obj-cold.Obj) > 1e-6 {
+			t.Fatalf("%s seed %d: obj %g, cold %g", label, seed, warm.Obj, cold.Obj)
+		}
+		ok, obj := m.CheckFeasible(warm.X)
+		if !ok {
+			t.Fatalf("%s seed %d: warm incumbent infeasible", label, seed)
+		}
+		if math.Abs(obj-warm.Obj) > 1e-6 {
+			t.Fatalf("%s seed %d: warm incumbent evaluates to %g, claimed %g", label, seed, obj, warm.Obj)
+		}
+	}
+	if warm.Status == Optimal && warm.Bound > warm.Obj+1e-6 {
+		t.Fatalf("%s seed %d: bound %g exceeds optimum %g", label, seed, warm.Bound, warm.Obj)
+	}
+}
+
+// assertGapAnswer is assertSameAnswer for gap-fathomed searches: with
+// AbsGap set both runs stop at the first incumbent within the gap of the
+// bound, so their objectives need only agree to within the gap.
+func assertGapAnswer(t *testing.T, label string, seed int64, m *Model, gap float64, cold, warm *Result) {
+	t.Helper()
+	if warm.Status != cold.Status {
+		t.Fatalf("%s seed %d: status %v, cold %v", label, seed, warm.Status, cold.Status)
+	}
+	if (warm.X == nil) != (cold.X == nil) {
+		t.Fatalf("%s seed %d: incumbent presence %v vs %v", label, seed, warm.X != nil, cold.X != nil)
+	}
+	if cold.X != nil {
+		if math.Abs(warm.Obj-cold.Obj) > gap+1e-6 {
+			t.Fatalf("%s seed %d: obj %g and cold %g differ by more than the gap %g", label, seed, warm.Obj, cold.Obj, gap)
+		}
+		ok, obj := m.CheckFeasible(warm.X)
+		if !ok {
+			t.Fatalf("%s seed %d: warm incumbent infeasible", label, seed)
+		}
+		if math.Abs(obj-warm.Obj) > 1e-6 {
+			t.Fatalf("%s seed %d: warm incumbent evaluates to %g, claimed %g", label, seed, obj, warm.Obj)
+		}
+	}
+}
+
+// assertIdentical pins the serial-vs-parallel oracle within one mode:
+// worker count must never change anything — status, node count, objective
+// and incumbent vector are all bit-identical.
+func assertIdentical(t *testing.T, label string, seed int64, serial, parallel *Result) {
+	t.Helper()
+	if parallel.Status != serial.Status {
+		t.Fatalf("%s seed %d: status %v, serial %v", label, seed, parallel.Status, serial.Status)
+	}
+	if parallel.Nodes != serial.Nodes {
+		t.Fatalf("%s seed %d: nodes %d, serial %d", label, seed, parallel.Nodes, serial.Nodes)
+	}
+	if parallel.Obj != serial.Obj {
+		t.Fatalf("%s seed %d: obj %g, serial %g", label, seed, parallel.Obj, serial.Obj)
+	}
+	if (parallel.X == nil) != (serial.X == nil) {
+		t.Fatalf("%s seed %d: incumbent presence %v vs %v", label, seed, parallel.X != nil, serial.X != nil)
+	}
+	for i := range serial.X {
+		if parallel.X[i] != serial.X[i] {
+			t.Fatalf("%s seed %d: x[%d] = %g, serial %g", label, seed, i, parallel.X[i], serial.X[i])
+		}
+	}
+	if parallel.Bound != serial.Bound {
+		t.Fatalf("%s seed %d: bound %g, serial %g", label, seed, parallel.Bound, serial.Bound)
+	}
+}
+
+// TestWarmMatchesCold is the warm-start correctness property: branch and
+// bound with the warm ladder (objective floors, dual re-solves as the node
+// LP, warm infeasibility prunes) reaches exactly the answer the all-cold
+// search reaches — same status, same proven optimum, an independently
+// feasible incumbent — serially and in parallel, with and without
+// AbsGap/Incumbent, across a battery of fuzzed models. Worker count within
+// warm mode must change nothing at all (bit-identity). A single Arenas is
+// shared by every warm solve, exercising cross-model buffer and snapshot
+// reuse as the rolling-horizon mapper does.
+func TestWarmMatchesCold(t *testing.T) {
+	shared := NewArenas()
+	for seed := int64(1); seed <= 60; seed++ {
+		cold, err := randomMILP(seed).Solve(Options{ColdLP: true, Workers: 1})
+		if err != nil {
+			t.Fatalf("seed %d cold: %v", seed, err)
+		}
+		mw := randomMILP(seed)
+		warm, err := mw.Solve(Options{Workers: 1, Arenas: shared})
+		if err != nil {
+			t.Fatalf("seed %d warm: %v", seed, err)
+		}
+		assertSameAnswer(t, "serial", seed, mw, cold, warm)
+		warmPar, err := randomMILP(seed).Solve(Options{Workers: 4, Arenas: shared})
+		if err != nil {
+			t.Fatalf("seed %d warm parallel: %v", seed, err)
+		}
+		assertIdentical(t, "parallel", seed, warm, warmPar)
+
+		// The incumbent-seeded, gap-fathomed configuration the placement
+		// models use — the one where early fathoming actually fires.
+		if cold.X == nil {
+			continue
+		}
+		opts := Options{AbsGap: 0.999, Incumbent: cold.X}
+		coldInc, err := randomMILP(seed).Solve(withColdLP(withWorkers(opts, 1)))
+		if err != nil {
+			t.Fatalf("seed %d cold incumbent: %v", seed, err)
+		}
+		mwi := randomMILP(seed)
+		warmInc, err := mwi.Solve(withArenas(withWorkers(opts, 1), shared))
+		if err != nil {
+			t.Fatalf("seed %d warm incumbent: %v", seed, err)
+		}
+		assertGapAnswer(t, "serial+incumbent", seed, mwi, opts.AbsGap, coldInc, warmInc)
+		warmIncPar, err := randomMILP(seed).Solve(withArenas(withWorkers(opts, 3), shared))
+		if err != nil {
+			t.Fatalf("seed %d warm incumbent parallel: %v", seed, err)
+		}
+		assertIdentical(t, "parallel+incumbent", seed, warmInc, warmIncPar)
+	}
+}
+
+func withColdLP(o Options) Options {
+	o.ColdLP = true
+	return o
+}
+
+func withArenas(o Options, a *Arenas) Options {
+	o.Arenas = a
+	return o
+}
+
+// TestWarmParallelNodeLimit pins serial-vs-parallel bit-identity under a
+// node budget: the frontier search must hit MaxNodes at the same node as
+// the serial recursion, yielding the same partial result.
+func TestWarmParallelNodeLimit(t *testing.T) {
+	for seed := int64(80); seed <= 95; seed++ {
+		opts := Options{MaxNodes: 5}
+		w1, err := randomMILP(seed).Solve(withWorkers(opts, 1))
+		if err != nil {
+			t.Fatalf("seed %d serial: %v", seed, err)
+		}
+		w4, err := randomMILP(seed).Solve(withWorkers(opts, 4))
+		if err != nil {
+			t.Fatalf("seed %d parallel: %v", seed, err)
+		}
+		assertIdentical(t, "limit", seed, w1, w4)
+	}
+}

@@ -2,6 +2,7 @@ package place
 
 import (
 	"fmt"
+	"sort"
 
 	"mfsynth/internal/arch"
 	"mfsynth/internal/grid"
@@ -111,8 +112,21 @@ func (pr *problem) solveBatch(free []int, fixed map[int]arch.Placement, pump map
 		m.AddSOS1(om.vars)           // branch by splitting the candidate set
 	}
 	// Constraints (2) and (9): w bounds the accumulated peristaltic load.
-	for pt, terms := range coordCover {
-		row := append(append([]milp.Term(nil), terms...), milp.T(w, -1))
+	// Row order must not depend on map iteration: the simplex pivot path
+	// (and with it the perf gate's work counters) follows the row order,
+	// even though the optimum does not.
+	pts := make([]grid.Point, 0, len(coordCover))
+	for pt := range coordCover {
+		pts = append(pts, pt)
+	}
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].Y != pts[j].Y {
+			return pts[i].Y < pts[j].Y
+		}
+		return pts[i].X < pts[j].X
+	})
+	for _, pt := range pts {
+		row := append(append([]milp.Term(nil), coordCover[pt]...), milp.T(w, -1))
 		m.AddRow(row, milp.LE, float64(-pump[pt]))
 	}
 
@@ -176,6 +190,8 @@ func (pr *problem) solveBatch(free []int, fixed map[int]arch.Placement, pump map
 		AbsGap:    0.999, // w counts whole operations
 		Workers:   pr.cfg.Workers,
 		Obs:       opts.obs,
+		ColdLP:    pr.cfg.ColdLP,
+		Arenas:    pr.arenas,
 	})
 	if err != nil {
 		return nil, info, err

@@ -29,6 +29,7 @@ import (
 	"mfsynth/internal/arch"
 	"mfsynth/internal/fault"
 	"mfsynth/internal/graph"
+	"mfsynth/internal/milp"
 	"mfsynth/internal/obs"
 	"mfsynth/internal/schedule"
 	"mfsynth/internal/storage"
@@ -70,9 +71,16 @@ type Config struct {
 	Mode Mode
 	// BatchSize is the rolling-horizon batch length (default 6).
 	BatchSize int
-	// MaxNodes bounds branch-and-bound nodes per ILP (default 4000).
+	// MaxNodes bounds branch-and-bound nodes per ILP (default 1024). It is
+	// the primary give-up budget for models the search cannot crack (the
+	// fallback ladder then relaxes the model or reverts to greedy):
+	// machine-independent, deterministic, and — with warm-started node
+	// solves — cheap to exhaust. SolveTimeout is the wall-clock backstop.
 	MaxNodes int
-	// SolveTimeout bounds each ILP solve (default 20s).
+	// SolveTimeout bounds each ILP solve (default 120s). It is a loose
+	// wall-clock backstop: MaxNodes is meant to bind first, so that the
+	// point where a hopeless search gives up is deterministic and the
+	// work counters the perf gate tracks are machine-independent.
 	SolveTimeout time.Duration
 	// RootStride thins the candidate lattice for operations without placed
 	// parents (default 2; 1 = every position).
@@ -108,6 +116,12 @@ type Config struct {
 	// the last rung of core's degradation ladder. Only the greedy paths
 	// honour it; the ILP modes still require a complete assignment.
 	BestEffort bool
+	// ColdLP disables the branch-and-bound warm-start machinery
+	// (milp.Options.ColdLP): every node pays a from-scratch LP solve.
+	// Both modes are exact searches that agree on final incumbents and
+	// statuses (and hence on placements); the switch exists for
+	// benchmarking and differential tests.
+	ColdLP bool
 }
 
 func (c Config) withDefaults() Config {
@@ -118,10 +132,10 @@ func (c Config) withDefaults() Config {
 		c.BatchSize = 6
 	}
 	if c.MaxNodes == 0 {
-		c.MaxNodes = 4000
+		c.MaxNodes = 1024
 	}
 	if c.SolveTimeout == 0 {
-		c.SolveTimeout = 20 * time.Second
+		c.SolveTimeout = 120 * time.Second
 	}
 	if c.RootStride == 0 {
 		c.RootStride = 2
@@ -260,6 +274,12 @@ type problem struct {
 	d    int // routing-convenient distance
 
 	forbidden map[pairKey]bool // (child,parent) pairs that may not overlap
+
+	// arenas carries the branch-and-bound solver state (tableau arenas,
+	// warm-start lanes, snapshot pool) across every ILP solve of this
+	// mapping — the rolling-horizon windows reuse buffers instead of
+	// reallocating them per batch.
+	arenas *milp.Arenas
 }
 
 func newProblem(res *schedule.Result, cfg Config) (*problem, error) {
@@ -274,6 +294,7 @@ func newProblem(res *schedule.Result, cfg Config) (*problem, error) {
 		pump:      map[int]bool{},
 		stor:      map[int]*storage.Timeline{},
 		forbidden: map[pairKey]bool{},
+		arenas:    milp.NewArenas(),
 	}
 	a := res.Assay
 	var volumes []int

@@ -38,6 +38,9 @@ type Row struct {
 	OurValves       int     // #v (ours)
 	ImpV            float64 // valve-count improvement, percent
 	Runtime         time.Duration
+	// Phases is the wall-clock split of Runtime over the synthesis
+	// pipeline phases ("schedule", "place", "route").
+	Phases map[string]float64
 }
 
 // RowOptions tunes the synthesis side of a row.
@@ -115,6 +118,7 @@ func Table1Row(c assays.Case, policy int, opts RowOptions) (*Row, error) {
 		Vs2Pump:    res.VsPump2,
 		OurValves:  res.UsedValves,
 		Runtime:    res.Runtime,
+		Phases:     res.PhaseSeconds,
 	}
 	row.Imp1 = improvement(des.VsTmax, res.VsMax1)
 	row.Imp2 = improvement(des.VsTmax, res.VsMax2)

@@ -1,0 +1,62 @@
+package route
+
+import (
+	"testing"
+
+	"mfsynth/internal/grid"
+)
+
+// benchRouter is the surface shared by the flat Router and the retained
+// map-based oracle, so both run the identical benchmark scenario.
+type benchRouter interface {
+	BlockFaulty([]grid.Point)
+	Prefer([]grid.Point)
+	Block(grid.Rect)
+	AddStorage(int, grid.Rect)
+	Route(sources, targets []grid.Point) (Path, error)
+	Commit(Path)
+}
+
+var benchBounds = grid.Rect{X0: 0, Y0: 0, X1: 16, Y1: 16}
+
+// runBenchScenario routes six nets across a 16×16 chip with obstacles, a
+// storage, preferred cells and committed-path crossings — the shape of one
+// time step's routing in the synthesis pipeline.
+func runBenchScenario(b *testing.B, ro benchRouter) {
+	ro.BlockFaulty([]grid.Point{{X: 5, Y: 5}, {X: 10, Y: 3}})
+	ro.Block(grid.RectWH(7, 7, 2, 2))
+	ro.Block(grid.RectWH(3, 11, 3, 2))
+	ro.AddStorage(0, grid.RectWH(12, 10, 2, 2))
+	ro.Prefer([]grid.Point{{X: 2, Y: 2}, {X: 2, Y: 3}, {X: 13, Y: 2}, {X: 13, Y: 3}})
+	for i := 0; i < 6; i++ {
+		src := []grid.Point{{X: 0, Y: 2 + 2*i}}
+		tgt := []grid.Point{{X: 15, Y: 13 - 2*i}}
+		p, err := ro.Route(src, tgt)
+		if err != nil {
+			b.Fatalf("net %d: %v", i, err)
+		}
+		ro.Commit(p)
+	}
+}
+
+// BenchmarkRouteNetsMap is the pre-flat-grid router profile: hash-map cell
+// state and a container/heap priority queue, one fresh router per scenario
+// (the old pipeline allocated a router per net).
+func BenchmarkRouteNetsMap(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		runBenchScenario(b, newMapRouter(benchBounds))
+	}
+}
+
+// BenchmarkRouteNetsFlat is the flat-array router profile: bitset and
+// epoch-stamped grids with a manual binary heap, one pooled router reset
+// between scenarios as the pipeline reuses it between nets.
+func BenchmarkRouteNetsFlat(b *testing.B) {
+	ro := New(benchBounds)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ro.Reset()
+		runBenchScenario(b, ro)
+	}
+}

@@ -21,7 +21,7 @@ func TestFaultyCellsAvoided(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, c := range p {
-		if r.faulty[c] {
+		if r.faulty.get(r.idx(c)) {
 			t.Fatalf("path crosses faulty cell %v", c)
 		}
 	}

@@ -1,0 +1,170 @@
+package route
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"mfsynth/internal/grid"
+)
+
+// randPoint draws a point in bounds.
+func randPoint(rng *rand.Rand, b grid.Rect) grid.Point {
+	return grid.Point{X: b.X0 + rng.Intn(b.W()), Y: b.Y0 + rng.Intn(b.H())}
+}
+
+// randRect draws a small rectangle overlapping bounds.
+func randRect(rng *rand.Rand, b grid.Rect) grid.Rect {
+	p := randPoint(rng, b)
+	return grid.RectWH(p.X, p.Y, 1+rng.Intn(3), 1+rng.Intn(3))
+}
+
+// TestFlatMatchesMap drives the flat-array router and the retained
+// map-based implementation through identical randomized scenarios —
+// obstacles, faulty valves, storages (some later blocked), preferred
+// rings, committed and ripped paths, multi-terminal queries — and requires
+// identical paths, identical errors and identical pop counts from every
+// Route call.
+func TestFlatMatchesMap(t *testing.T) {
+	for seed := int64(1); seed <= 150; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		b := grid.Rect{X0: 0, Y0: 0, X1: 4 + rng.Intn(12), Y1: 4 + rng.Intn(12)}
+		if rng.Intn(4) == 0 { // exercise non-zero origins too
+			b.X0, b.Y0, b.X1, b.Y1 = b.X0+3, b.Y0+2, b.X1+3, b.Y1+2
+		}
+		flat := New(b)
+		ref := newMapRouter(b)
+
+		// Shared random setup.
+		var faulty []grid.Point
+		for i := rng.Intn(5); i > 0; i-- {
+			faulty = append(faulty, randPoint(rng, b))
+		}
+		flat.BlockFaulty(faulty)
+		ref.BlockFaulty(faulty)
+		for i := rng.Intn(3); i > 0; i-- {
+			r := randRect(rng, b)
+			flat.Block(r)
+			ref.Block(r)
+		}
+		var prefer []grid.Point
+		for i := rng.Intn(10); i > 0; i-- {
+			prefer = append(prefer, randPoint(rng, b))
+		}
+		flat.Prefer(prefer)
+		ref.Prefer(prefer)
+		nStor := rng.Intn(3)
+		for id := 0; id < nStor; id++ {
+			r := randRect(rng, b)
+			flat.AddStorage(id, r)
+			ref.AddStorage(id, r)
+		}
+
+		// A sequence of queries with commits, rips and storage blocks in
+		// between — the shape of a rip-up & re-route loop.
+		var committed []Path
+		for q := 0; q < 6; q++ {
+			ns, nt := 1+rng.Intn(3), 1+rng.Intn(3)
+			var sources, targets []grid.Point
+			for i := 0; i < ns; i++ {
+				sources = append(sources, randPoint(rng, b))
+			}
+			for i := 0; i < nt; i++ {
+				targets = append(targets, randPoint(rng, b))
+			}
+
+			fp, ferr := flat.Route(sources, targets)
+			mp, merr := ref.Route(sources, targets)
+			if fmt.Sprint(ferr) != fmt.Sprint(merr) {
+				t.Fatalf("seed %d q%d: error %v, map %v", seed, q, ferr, merr)
+			}
+			if !reflect.DeepEqual(fp, mp) {
+				t.Fatalf("seed %d q%d: path %v, map %v", seed, q, fp, mp)
+			}
+			if flat.Pops != ref.Pops {
+				t.Fatalf("seed %d q%d: pops %d, map %d", seed, q, flat.Pops, ref.Pops)
+			}
+			if fp == nil {
+				continue
+			}
+			if flat.Crossings(fp) != ref.Crossings(mp) {
+				t.Fatalf("seed %d q%d: crossings diverge", seed, q)
+			}
+			if !reflect.DeepEqual(flat.StoragesTouched(fp), ref.StoragesTouched(mp)) {
+				t.Fatalf("seed %d q%d: storages touched diverge", seed, q)
+			}
+			for id := 0; id < nStor; id++ {
+				if flat.StorageCells(fp, id) != ref.StorageCells(mp, id) {
+					t.Fatalf("seed %d q%d: storage cells diverge for id %d", seed, q, id)
+				}
+			}
+
+			flat.Commit(fp)
+			ref.Commit(mp)
+			committed = append(committed, fp)
+			switch {
+			case rng.Intn(3) == 0 && len(committed) > 0:
+				i := rng.Intn(len(committed))
+				flat.Rip(committed[i])
+				ref.Rip(committed[i])
+			case rng.Intn(4) == 0 && nStor > 0:
+				id := rng.Intn(nStor)
+				flat.BlockStorage(id)
+				ref.BlockStorage(id)
+			}
+		}
+	}
+}
+
+// TestFlatErrors pins the terminal-validation error messages the
+// simulation layer string-matches on.
+func TestFlatErrors(t *testing.T) {
+	b := grid.Rect{X0: 0, Y0: 0, X1: 5, Y1: 5}
+	ro := New(b)
+	if _, err := ro.Route(nil, []grid.Point{{X: 1, Y: 1}}); err == nil || err.Error() != "route: empty terminal set" {
+		t.Fatalf("empty sources: %v", err)
+	}
+	if _, err := ro.Route([]grid.Point{{X: 1, Y: 1}}, nil); err == nil || err.Error() != "route: empty terminal set" {
+		t.Fatalf("empty targets: %v", err)
+	}
+	out := grid.Point{X: 9, Y: 9}
+	if _, err := ro.Route([]grid.Point{{X: 1, Y: 1}}, []grid.Point{out}); err == nil || err.Error() != fmt.Sprintf("route: target %v out of bounds", out) {
+		t.Fatalf("oob target: %v", err)
+	}
+	if _, err := ro.Route([]grid.Point{out}, []grid.Point{{X: 1, Y: 1}}); err == nil || err.Error() != fmt.Sprintf("route: source %v out of bounds", out) {
+		t.Fatalf("oob source: %v", err)
+	}
+}
+
+// TestRouterReset checks a Reset router behaves like a fresh one.
+func TestRouterReset(t *testing.T) {
+	b := grid.Rect{X0: 0, Y0: 0, X1: 8, Y1: 8}
+	ro := New(b)
+	ro.Block(grid.RectWH(2, 0, 1, 7))
+	ro.BlockFaulty([]grid.Point{{X: 5, Y: 5}})
+	ro.AddStorage(0, grid.RectWH(4, 4, 2, 2))
+	ro.Prefer([]grid.Point{{X: 1, Y: 1}})
+	p, err := ro.Route([]grid.Point{{X: 0, Y: 0}}, []grid.Point{{X: 7, Y: 7}})
+	if err != nil || len(p) == 0 {
+		t.Fatalf("route: %v %v", p, err)
+	}
+	ro.Commit(p)
+	ro.Reset()
+	if ro.Pops != 0 {
+		t.Fatalf("Pops not reset: %d", ro.Pops)
+	}
+	fresh := New(b)
+	for q := 0; q < 3; q++ {
+		src := []grid.Point{{X: q, Y: 0}}
+		tgt := []grid.Point{{X: 7, Y: 7 - q}}
+		a, aerr := ro.Route(src, tgt)
+		f, ferr := fresh.Route(src, tgt)
+		if fmt.Sprint(aerr) != fmt.Sprint(ferr) || !reflect.DeepEqual(a, f) {
+			t.Fatalf("q%d: reset router diverges: %v/%v vs %v/%v", q, a, aerr, f, ferr)
+		}
+		if ro.Pops != fresh.Pops {
+			t.Fatalf("q%d: pops %d vs fresh %d", q, ro.Pops, fresh.Pops)
+		}
+	}
+}

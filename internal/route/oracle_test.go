@@ -13,7 +13,7 @@ import (
 func pathCost(ro *Router, p Path) int {
 	c := 0
 	for _, cell := range p[1:] {
-		c += ro.cellCost(cell)
+		c += int(ro.cellCost(ro.idx(cell)))
 	}
 	return c
 }
@@ -43,7 +43,7 @@ func bruteForceCost(ro *Router, sources, targets []grid.Point) int {
 			// A blocked cell can seed a path (terminals may sit on blocked
 			// cells) but is never an intermediate hop; a target is never
 			// expanded because Route returns upon reaching it.
-			if (ro.blocked[p] && dist[p] != 0) || targetSet[p] {
+			if (ro.blocked.get(ro.idx(p)) && dist[p] != 0) || targetSet[p] {
 				continue
 			}
 			for _, d := range dirs {
@@ -51,10 +51,10 @@ func bruteForceCost(ro *Router, sources, targets []grid.Point) int {
 				if !ro.bounds.Contains(n) {
 					continue
 				}
-				if ro.blocked[n] && !targetSet[n] {
+				if ro.blocked.get(ro.idx(n)) && !targetSet[n] {
 					continue
 				}
-				if nd := dp + ro.cellCost(n); nd < valueOr(dist, n, inf) {
+				if nd := dp + int(ro.cellCost(ro.idx(n))); nd < valueOr(dist, n, inf) {
 					dist[n] = nd
 					changed = true
 				}
@@ -151,7 +151,7 @@ func checkAgainstOracle(t *testing.T, ro *Router, sources, targets []grid.Point)
 		if k > 0 && c.Manhattan(p[k-1]) != 1 {
 			t.Fatalf("path discontinuous between %v and %v", p[k-1], c)
 		}
-		if k > 0 && k < len(p)-1 && ro.blocked[c] && !tgtSet[c] {
+		if k > 0 && k < len(p)-1 && ro.blocked.get(ro.idx(c)) && !tgtSet[c] {
 			t.Fatalf("path interior crosses blocked cell %v", c)
 		}
 	}
@@ -197,8 +197,8 @@ func TestRipUpReroute(t *testing.T) {
 			wantPath: true,
 		},
 		{
-			name:    "storage seals corridor",
-			storage: grid.RectWH(2, 0, 2, 6), // full-height storage wall
+			name:       "storage seals corridor",
+			storage:    grid.RectWH(2, 0, 2, 6), // full-height storage wall
 			extraBlock: []grid.Rect{
 				// No gap left anywhere around the storage column.
 			},

@@ -4,10 +4,18 @@
 // previously-routed paths (so parallel transports avoid crossing), optional
 // pass-through of in situ storages that still have free space (Fig. 8), and
 // rip-up & re-route when a storage must become an obstacle.
+//
+// The router state is index-addressed: cell flags live in bitsets and flat
+// slices sized to the grid, and the per-query Dijkstra state (distances,
+// predecessors, terminal sets) is epoch-stamped so a new query costs no
+// clearing. Every pushed heap entry carries a unique (dist, seq) key — a
+// strict total order — so the pop sequence, and with it every path, is
+// independent of heap internals and identical to the map-based
+// implementation this replaced (kept as the test oracle in
+// route_map_test.go).
 package route
 
 import (
-	"container/heap"
 	"fmt"
 
 	"mfsynth/internal/grid"
@@ -40,15 +48,40 @@ var ErrNoPath = fmt.Errorf("route: no path: %w", synerr.ErrUnroutable)
 // Path is a cell sequence from a source terminal to a target terminal.
 type Path []grid.Point
 
+// bitset is a fixed-capacity bit vector over cell indices.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) get(i int) bool { return b[i>>6]&(1<<uint(i&63)) != 0 }
+func (b bitset) set(i int)      { b[i>>6] |= 1 << uint(i&63) }
+func (b bitset) clear() {
+	for i := range b {
+		b[i] = 0
+	}
+}
+
 // Router routes the transports of one time step over the valve lattice.
 type Router struct {
 	bounds grid.Rect
+	w      int // bounds width, for point→index mapping
+	cells  int
 
-	blocked map[grid.Point]bool
-	faulty  map[grid.Point]bool // defective valves: impassable even as terminals
-	storage map[grid.Point]int  // cell -> storage id
-	used    map[grid.Point]int  // cell -> number of committed paths
-	prefer  map[grid.Point]bool // cells whose valves actuate anyway
+	blocked bitset
+	faulty  bitset  // defective valves: impassable even as terminals
+	prefer  bitset  // cells whose valves actuate anyway
+	storage []int32 // cell -> storage id, -1 = none
+	used    []int32 // cell -> number of committed paths
+
+	// Per-query Dijkstra state, epoch-stamped: an entry is valid only when
+	// its stamp equals the current epoch, so starting a query is O(1).
+	epoch    uint32
+	dist     []int32
+	prev     []int32 // predecessor cell index, -1 = none
+	distSeen []uint32
+	isTgt    []uint32
+	isSrc    []uint32
+	heap     []pqItem
 
 	// Pops counts priority-queue extractions across all Route calls on
 	// this router — the Dijkstra work metric the observability layer
@@ -58,14 +91,54 @@ type Router struct {
 
 // New returns a router over the given lattice bounds.
 func New(bounds grid.Rect) *Router {
-	return &Router{
-		bounds:  bounds,
-		blocked: map[grid.Point]bool{},
-		faulty:  map[grid.Point]bool{},
-		storage: map[grid.Point]int{},
-		used:    map[grid.Point]int{},
-		prefer:  map[grid.Point]bool{},
+	n := bounds.W() * bounds.H()
+	if n < 0 {
+		n = 0
 	}
+	ro := &Router{
+		bounds:   bounds,
+		w:        bounds.W(),
+		cells:    n,
+		blocked:  newBitset(n),
+		faulty:   newBitset(n),
+		prefer:   newBitset(n),
+		storage:  make([]int32, n),
+		used:     make([]int32, n),
+		dist:     make([]int32, n),
+		prev:     make([]int32, n),
+		distSeen: make([]uint32, n),
+		isTgt:    make([]uint32, n),
+		isSrc:    make([]uint32, n),
+	}
+	for i := range ro.storage {
+		ro.storage[i] = -1
+	}
+	return ro
+}
+
+// Reset returns the router to its freshly-constructed state (no blocks,
+// storages, committed paths or pop count), keeping every buffer: a pooled
+// router is reused across nets and rip-up iterations instead of
+// reallocating its grids.
+func (ro *Router) Reset() {
+	ro.blocked.clear()
+	ro.faulty.clear()
+	ro.prefer.clear()
+	for i := 0; i < ro.cells; i++ {
+		ro.storage[i] = -1
+		ro.used[i] = 0
+	}
+	ro.Pops = 0
+}
+
+// idx maps an in-bounds point to its cell index.
+func (ro *Router) idx(p grid.Point) int {
+	return (p.Y-ro.bounds.Y0)*ro.w + (p.X - ro.bounds.X0)
+}
+
+// pt maps a cell index back to its point.
+func (ro *Router) pt(i int) grid.Point {
+	return grid.Point{X: ro.bounds.X0 + i%ro.w, Y: ro.bounds.Y0 + i/ro.w}
 }
 
 // BlockFaulty marks defective valves as impassable. Unlike Block, a faulty
@@ -74,41 +147,46 @@ func New(bounds grid.Rect) *Router {
 // just because a transport ends there.
 func (ro *Router) BlockFaulty(cells []grid.Point) {
 	for _, c := range cells {
-		ro.faulty[c] = true
+		if ro.bounds.Contains(c) {
+			ro.faulty.set(ro.idx(c))
+		}
 	}
 }
 
 // Prefer marks cells whose valves are actuated anyway (device rings,
 // already-committed paths of earlier time steps): paths favour them over
-// fresh cells.
+// fresh cells. Out-of-bounds cells are ignored — edge-device rings may
+// overhang the lattice.
 func (ro *Router) Prefer(cells []grid.Point) {
 	for _, c := range cells {
-		ro.prefer[c] = true
+		if ro.bounds.Contains(c) {
+			ro.prefer.set(ro.idx(c))
+		}
 	}
 }
 
 // Block marks every cell of r as impassable (an active device footprint or a
 // full storage).
 func (ro *Router) Block(r grid.Rect) {
-	for _, p := range r.Points() {
-		ro.blocked[p] = true
+	for _, p := range r.Intersect(ro.bounds).Points() {
+		ro.blocked.set(ro.idx(p))
 	}
 }
 
 // AddStorage marks the cells of rect as belonging to storage id: passable
 // with a small penalty until BlockStorage is called.
 func (ro *Router) AddStorage(id int, rect grid.Rect) {
-	for _, p := range rect.Points() {
-		ro.storage[p] = id
+	for _, p := range rect.Intersect(ro.bounds).Points() {
+		ro.storage[ro.idx(p)] = int32(id)
 	}
 }
 
 // BlockStorage turns storage id into an obstacle (Algorithm 1 L15: "Forbid
 // (s,p) from overlapping with each other").
 func (ro *Router) BlockStorage(id int) {
-	for p, sid := range ro.storage {
-		if sid == id {
-			ro.blocked[p] = true
+	for i, sid := range ro.storage {
+		if sid == int32(id) {
+			ro.blocked.set(i)
 		}
 	}
 }
@@ -116,15 +194,19 @@ func (ro *Router) BlockStorage(id int) {
 // Commit records a routed path so later routes see its cells as expensive.
 func (ro *Router) Commit(p Path) {
 	for _, c := range p {
-		ro.used[c]++
+		if ro.bounds.Contains(c) {
+			ro.used[ro.idx(c)]++
+		}
 	}
 }
 
 // Rip removes a previously committed path (rip-up & re-route).
 func (ro *Router) Rip(p Path) {
 	for _, c := range p {
-		if ro.used[c] > 0 {
-			ro.used[c]--
+		if ro.bounds.Contains(c) {
+			if i := ro.idx(c); ro.used[i] > 0 {
+				ro.used[i]--
+			}
 		}
 	}
 }
@@ -134,7 +216,7 @@ func (ro *Router) Rip(p Path) {
 func (ro *Router) StorageCells(p Path, id int) int {
 	n := 0
 	for _, c := range p {
-		if sid, ok := ro.storage[c]; ok && sid == id {
+		if ro.bounds.Contains(c) && ro.storage[ro.idx(c)] == int32(id) {
 			n++
 		}
 	}
@@ -145,8 +227,11 @@ func (ro *Router) StorageCells(p Path, id int) int {
 func (ro *Router) StoragesTouched(p Path) map[int]int {
 	out := map[int]int{}
 	for _, c := range p {
-		if sid, ok := ro.storage[c]; ok {
-			out[sid]++
+		if !ro.bounds.Contains(c) {
+			continue
+		}
+		if sid := ro.storage[ro.idx(c)]; sid >= 0 {
+			out[int(sid)]++
 		}
 	}
 	return out
@@ -160,107 +245,127 @@ func (ro *Router) Route(sources, targets []grid.Point) (Path, error) {
 	if len(sources) == 0 || len(targets) == 0 {
 		return nil, fmt.Errorf("route: empty terminal set")
 	}
-	targetSet := make(map[grid.Point]bool, len(targets))
+	ro.epoch++
+	if ro.epoch == 0 { // stamp wrap-around: invalidate everything once
+		for i := range ro.distSeen {
+			ro.distSeen[i], ro.isTgt[i], ro.isSrc[i] = 0, 0, 0
+		}
+		ro.epoch = 1
+	}
+	ep := ro.epoch
+	liveTargets := 0
 	for _, t := range targets {
 		if !ro.bounds.Contains(t) {
 			return nil, fmt.Errorf("route: target %v out of bounds", t)
 		}
-		if ro.faulty[t] {
+		i := ro.idx(t)
+		if ro.faulty.get(i) {
 			continue
 		}
-		targetSet[t] = true
+		if ro.isTgt[i] != ep {
+			ro.isTgt[i] = ep
+			liveTargets++
+		}
 	}
-	if len(targetSet) == 0 {
+	if liveTargets == 0 {
 		return nil, ErrNoPath // every target cell is a dead valve
 	}
 
-	dist := map[grid.Point]int{}
-	prev := map[grid.Point]grid.Point{}
-	var pq pqueue
+	ro.heap = ro.heap[:0]
 	seq := 0
-	push := func(p grid.Point, d int, from grid.Point, hasFrom bool) {
-		if old, ok := dist[p]; ok && old <= d {
+	push := func(i int, d int32, from int32) {
+		if ro.distSeen[i] == ep && ro.dist[i] <= d {
 			return
 		}
-		dist[p] = d
-		if hasFrom {
-			prev[p] = from
-		}
+		ro.distSeen[i] = ep
+		ro.dist[i] = d
+		ro.prev[i] = from
 		seq++
-		heap.Push(&pq, pqItem{p: p, dist: d, seq: seq})
+		ro.heapPush(pqItem{dist: d, seq: int32(seq), cell: int32(i)})
 	}
 	for _, s := range sources {
 		if !ro.bounds.Contains(s) {
 			return nil, fmt.Errorf("route: source %v out of bounds", s)
 		}
-		if ro.faulty[s] {
+		i := ro.idx(s)
+		if ro.faulty.get(i) {
 			continue
 		}
-		push(s, 0, grid.Point{}, false)
+		ro.isSrc[i] = ep
+		push(i, 0, -1)
 	}
 
-	dirs := []grid.Point{{X: 1, Y: 0}, {X: -1, Y: 0}, {X: 0, Y: 1}, {X: 0, Y: -1}}
-	for pq.Len() > 0 {
-		it := heap.Pop(&pq).(pqItem)
+	// Neighbour index offsets in the expansion order +x, -x, +y, -y; the
+	// first/last column guards keep ±x from wrapping across rows.
+	for len(ro.heap) > 0 {
+		it := ro.heapPop()
 		ro.Pops++
-		if it.dist > dist[it.p] {
+		i := int(it.cell)
+		if it.dist > ro.dist[i] {
 			continue // stale entry
 		}
-		if targetSet[it.p] {
-			return ro.walkBack(it.p, sources, prev), nil
+		if ro.isTgt[i] == ep {
+			return ro.walkBack(i), nil
 		}
-		for _, d := range dirs {
-			n := it.p.Add(d)
-			if !ro.bounds.Contains(n) {
-				continue
-			}
-			if ro.faulty[n] {
-				continue
-			}
-			if ro.blocked[n] && !targetSet[n] {
-				continue
-			}
-			push(n, it.dist+ro.cellCost(n), it.p, true)
+		d := it.dist
+		x := i % ro.w
+		if x+1 < ro.w {
+			ro.expand(i+1, d, int32(i), push)
+		}
+		if x > 0 {
+			ro.expand(i-1, d, int32(i), push)
+		}
+		if i+ro.w < ro.cells {
+			ro.expand(i+ro.w, d, int32(i), push)
+		}
+		if i-ro.w >= 0 {
+			ro.expand(i-ro.w, d, int32(i), push)
 		}
 	}
 	return nil, ErrNoPath
 }
 
-// cellCost returns the cost of entering cell p.
-func (ro *Router) cellCost(p grid.Point) int {
-	c := FreshCost
-	if ro.prefer[p] {
-		c = PreferredCost
+// expand relaxes the edge into cell n at base distance d.
+func (ro *Router) expand(n int, d, from int32, push func(int, int32, int32)) {
+	if ro.faulty.get(n) {
+		return
 	}
-	if _, ok := ro.storage[p]; ok {
-		c += StorageCost
+	if ro.blocked.get(n) && ro.isTgt[n] != ro.epoch {
+		return
 	}
-	c += CrossCost * ro.used[p]
-	return c
+	push(n, d+ro.cellCost(n), from)
 }
 
-// walkBack reconstructs the path ending at t.
-func (ro *Router) walkBack(t grid.Point, sources []grid.Point, prev map[grid.Point]grid.Point) Path {
-	isSource := make(map[grid.Point]bool, len(sources))
-	for _, s := range sources {
-		isSource[s] = true
+// cellCost returns the cost of entering cell i.
+func (ro *Router) cellCost(i int) int32 {
+	c := int32(FreshCost)
+	if ro.prefer.get(i) {
+		c = PreferredCost
 	}
+	if ro.storage[i] >= 0 {
+		c += StorageCost
+	}
+	return c + CrossCost*ro.used[i]
+}
+
+// walkBack reconstructs the path ending at cell t.
+func (ro *Router) walkBack(t int) Path {
+	ep := ro.epoch
 	var rev Path
-	p := t
+	i := t
 	for {
-		rev = append(rev, p)
-		if isSource[p] {
+		rev = append(rev, ro.pt(i))
+		if ro.isSrc[i] == ep {
 			break
 		}
-		q, ok := prev[p]
-		if !ok {
+		if ro.prev[i] < 0 {
 			break
 		}
-		p = q
+		i = int(ro.prev[i])
 	}
 	// Reverse.
-	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
-		rev[i], rev[j] = rev[j], rev[i]
+	for a, b := 0, len(rev)-1; a < b; a, b = a+1, b-1 {
+		rev[a], rev[b] = rev[b], rev[a]
 	}
 	return rev
 }
@@ -269,35 +374,66 @@ func (ro *Router) walkBack(t grid.Point, sources []grid.Point, prev map[grid.Poi
 func (ro *Router) Crossings(p Path) int {
 	n := 0
 	for _, c := range p {
-		if ro.used[c] > 0 {
+		if ro.bounds.Contains(c) && ro.used[ro.idx(c)] > 0 {
 			n++
 		}
 	}
 	return n
 }
 
-// pqueue is a min-heap of (dist, seq) for deterministic Dijkstra.
+// pqItem is one heap entry; (dist, seq) is unique per push, giving the
+// queue a strict total order.
 type pqItem struct {
-	p    grid.Point
-	dist int
-	seq  int
+	dist int32
+	seq  int32
+	cell int32
 }
 
-type pqueue []pqItem
-
-func (q pqueue) Len() int { return len(q) }
-func (q pqueue) Less(i, j int) bool {
-	if q[i].dist != q[j].dist {
-		return q[i].dist < q[j].dist
+func pqLess(a, b pqItem) bool {
+	if a.dist != b.dist {
+		return a.dist < b.dist
 	}
-	return q[i].seq < q[j].seq
+	return a.seq < b.seq
 }
-func (q pqueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *pqueue) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
-func (q *pqueue) Pop() interface{} {
-	old := *q
-	n := len(old)
-	it := old[n-1]
-	*q = old[:n-1]
-	return it
+
+// heapPush inserts it into the router's binary min-heap.
+func (ro *Router) heapPush(it pqItem) {
+	h := append(ro.heap, it)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !pqLess(h[i], h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+	ro.heap = h
+}
+
+// heapPop removes and returns the minimum entry.
+func (ro *Router) heapPop() pqItem {
+	h := ro.heap
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h = h[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && pqLess(h[l], h[small]) {
+			small = l
+		}
+		if r < n && pqLess(h[r], h[small]) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h[i], h[small] = h[small], h[i]
+		i = small
+	}
+	ro.heap = h
+	return top
 }

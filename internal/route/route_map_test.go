@@ -1,0 +1,243 @@
+package route
+
+// The original map-based router, retained verbatim as a differential
+// oracle: TestFlatMatchesMap drives it and the flat-array Router through
+// identical randomized scenarios and requires identical paths, errors and
+// pop counts.
+
+import (
+	"container/heap"
+	"fmt"
+
+	"mfsynth/internal/grid"
+)
+
+type mapRouter struct {
+	bounds grid.Rect
+
+	blocked map[grid.Point]bool
+	faulty  map[grid.Point]bool
+	storage map[grid.Point]int
+	used    map[grid.Point]int
+	prefer  map[grid.Point]bool
+
+	Pops int
+}
+
+func newMapRouter(bounds grid.Rect) *mapRouter {
+	return &mapRouter{
+		bounds:  bounds,
+		blocked: map[grid.Point]bool{},
+		faulty:  map[grid.Point]bool{},
+		storage: map[grid.Point]int{},
+		used:    map[grid.Point]int{},
+		prefer:  map[grid.Point]bool{},
+	}
+}
+
+func (ro *mapRouter) BlockFaulty(cells []grid.Point) {
+	for _, c := range cells {
+		ro.faulty[c] = true
+	}
+}
+
+func (ro *mapRouter) Prefer(cells []grid.Point) {
+	for _, c := range cells {
+		ro.prefer[c] = true
+	}
+}
+
+func (ro *mapRouter) Block(r grid.Rect) {
+	for _, p := range r.Points() {
+		ro.blocked[p] = true
+	}
+}
+
+func (ro *mapRouter) AddStorage(id int, rect grid.Rect) {
+	for _, p := range rect.Points() {
+		ro.storage[p] = id
+	}
+}
+
+func (ro *mapRouter) BlockStorage(id int) {
+	for p, sid := range ro.storage {
+		if sid == id {
+			ro.blocked[p] = true
+		}
+	}
+}
+
+func (ro *mapRouter) Commit(p Path) {
+	for _, c := range p {
+		ro.used[c]++
+	}
+}
+
+func (ro *mapRouter) Rip(p Path) {
+	for _, c := range p {
+		if ro.used[c] > 0 {
+			ro.used[c]--
+		}
+	}
+}
+
+func (ro *mapRouter) StorageCells(p Path, id int) int {
+	n := 0
+	for _, c := range p {
+		if sid, ok := ro.storage[c]; ok && sid == id {
+			n++
+		}
+	}
+	return n
+}
+
+func (ro *mapRouter) StoragesTouched(p Path) map[int]int {
+	out := map[int]int{}
+	for _, c := range p {
+		if sid, ok := ro.storage[c]; ok {
+			out[sid]++
+		}
+	}
+	return out
+}
+
+func (ro *mapRouter) Route(sources, targets []grid.Point) (Path, error) {
+	if len(sources) == 0 || len(targets) == 0 {
+		return nil, fmt.Errorf("route: empty terminal set")
+	}
+	targetSet := make(map[grid.Point]bool, len(targets))
+	for _, t := range targets {
+		if !ro.bounds.Contains(t) {
+			return nil, fmt.Errorf("route: target %v out of bounds", t)
+		}
+		if ro.faulty[t] {
+			continue
+		}
+		targetSet[t] = true
+	}
+	if len(targetSet) == 0 {
+		return nil, ErrNoPath
+	}
+
+	dist := map[grid.Point]int{}
+	prev := map[grid.Point]grid.Point{}
+	var pq mapPqueue
+	seq := 0
+	push := func(p grid.Point, d int, from grid.Point, hasFrom bool) {
+		if old, ok := dist[p]; ok && old <= d {
+			return
+		}
+		dist[p] = d
+		if hasFrom {
+			prev[p] = from
+		}
+		seq++
+		heap.Push(&pq, mapPqItem{p: p, dist: d, seq: seq})
+	}
+	for _, s := range sources {
+		if !ro.bounds.Contains(s) {
+			return nil, fmt.Errorf("route: source %v out of bounds", s)
+		}
+		if ro.faulty[s] {
+			continue
+		}
+		push(s, 0, grid.Point{}, false)
+	}
+
+	dirs := []grid.Point{{X: 1, Y: 0}, {X: -1, Y: 0}, {X: 0, Y: 1}, {X: 0, Y: -1}}
+	for pq.Len() > 0 {
+		it := heap.Pop(&pq).(mapPqItem)
+		ro.Pops++
+		if it.dist > dist[it.p] {
+			continue
+		}
+		if targetSet[it.p] {
+			return ro.walkBack(it.p, sources, prev), nil
+		}
+		for _, d := range dirs {
+			n := it.p.Add(d)
+			if !ro.bounds.Contains(n) {
+				continue
+			}
+			if ro.faulty[n] {
+				continue
+			}
+			if ro.blocked[n] && !targetSet[n] {
+				continue
+			}
+			push(n, it.dist+ro.cellCost(n), it.p, true)
+		}
+	}
+	return nil, ErrNoPath
+}
+
+func (ro *mapRouter) cellCost(p grid.Point) int {
+	c := FreshCost
+	if ro.prefer[p] {
+		c = PreferredCost
+	}
+	if _, ok := ro.storage[p]; ok {
+		c += StorageCost
+	}
+	c += CrossCost * ro.used[p]
+	return c
+}
+
+func (ro *mapRouter) walkBack(t grid.Point, sources []grid.Point, prev map[grid.Point]grid.Point) Path {
+	isSource := make(map[grid.Point]bool, len(sources))
+	for _, s := range sources {
+		isSource[s] = true
+	}
+	var rev Path
+	p := t
+	for {
+		rev = append(rev, p)
+		if isSource[p] {
+			break
+		}
+		q, ok := prev[p]
+		if !ok {
+			break
+		}
+		p = q
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+func (ro *mapRouter) Crossings(p Path) int {
+	n := 0
+	for _, c := range p {
+		if ro.used[c] > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+type mapPqItem struct {
+	p    grid.Point
+	dist int
+	seq  int
+}
+
+type mapPqueue []mapPqItem
+
+func (q mapPqueue) Len() int { return len(q) }
+func (q mapPqueue) Less(i, j int) bool {
+	if q[i].dist != q[j].dist {
+		return q[i].dist < q[j].dist
+	}
+	return q[i].seq < q[j].seq
+}
+func (q mapPqueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *mapPqueue) Push(x interface{}) { *q = append(*q, x.(mapPqItem)) }
+func (q *mapPqueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}

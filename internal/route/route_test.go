@@ -73,7 +73,7 @@ func TestTerminalsMayBeBlocked(t *testing.T) {
 		if src.Contains(c) || dst.Contains(c) {
 			continue
 		}
-		if r.blocked[c] {
+		if r.blocked.get(r.idx(c)) {
 			t.Fatalf("interior path cell %v is blocked", c)
 		}
 		inner++

@@ -1,0 +1,88 @@
+package verify
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"mfsynth/internal/assays"
+	"mfsynth/internal/baseline"
+	"mfsynth/internal/core"
+	"mfsynth/internal/graph"
+	"mfsynth/internal/place"
+	"mfsynth/internal/schedule"
+)
+
+// synthWithLPMode runs one node-capped synthesis with the branch-and-bound
+// warm-start machinery on or off (place.Config.ColdLP).
+func synthWithLPMode(t *testing.T, a *graph.Assay, policy schedule.Resources, grid int, coldLP bool) *core.Result {
+	t.Helper()
+	res, err := core.Synthesize(a, core.Options{
+		Policy: policy,
+		Place: place.Config{Grid: grid, Mode: place.RollingHorizon,
+			MaxNodes: 64, SolveTimeout: time.Hour, ColdLP: coldLP},
+	})
+	if err != nil {
+		t.Fatalf("%s coldLP=%v: %v", a.Name, coldLP, err)
+	}
+	return res
+}
+
+// TestWarmColdPipelineIdentical is the pipeline-level warm-start property:
+// synthesis with warm-started branch and bound must produce the same result
+// — same fingerprint over every scheduling, placement, routing and
+// actuation decision — as synthesis with all-cold LP solves. The pipeline
+// consumes only the solver's incumbent and status, so this holds as long
+// as both search modes land on the same incumbent; the milp-level fuzz
+// suite (TestWarmMatchesCold) checks that answer-equality directly, and
+// this test pins it end to end across the Table 1 benchmarks and a batch
+// of fuzzed assays, all node-capped so runs are deterministic.
+func TestWarmColdPipelineIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("branch-and-bound runs skipped in -short mode")
+	}
+	if raceEnabled {
+		t.Skip("single-configuration determinism property; skipped under -race " +
+			"(no concurrency to check, and the slowdown breaks the package timeout)")
+	}
+	// PCR and MixingTree cover both rolling-horizon regimes (ILP solves
+	// that complete and ones that fall back) at a tier-1-friendly cost;
+	// the dilution benchmarks add minutes without new solver behaviour.
+	for _, name := range []string{"PCR", "MixingTree"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			c, err := assays.ByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			des, err := baseline.Traditional(c, 1, baseline.DefaultCost)
+			if err != nil {
+				t.Fatal(err)
+			}
+			policy := schedule.Resources{Mixers: des.Mixers, Detectors: c.Detectors}
+			warm := synthWithLPMode(t, c.Assay, policy, c.GridSize, false)
+			cold := synthWithLPMode(t, c.Assay, policy, c.GridSize, true)
+			if Fingerprint(warm) != Fingerprint(cold) {
+				t.Errorf("warm and cold LP modes diverge:\n%s",
+					strings.Join(Diff("warm", warm, "cold", cold), "\n"))
+			}
+			if rep := Conformance(warm); !rep.Clean() {
+				t.Errorf("warm conformance: %s", rep)
+			}
+		})
+	}
+	t.Run("fuzzed", func(t *testing.T) {
+		for seed := int64(1); seed <= 4; seed++ {
+			a := assays.Random(seed, assays.RandomOptions{MixOps: 4 + int(seed%3), Detects: 1})
+			warm := synthWithLPMode(t, a, schedule.Resources{}, 14, false)
+			cold := synthWithLPMode(t, a, schedule.Resources{}, 14, true)
+			if Fingerprint(warm) != Fingerprint(cold) {
+				t.Errorf("seed %d: warm and cold LP modes diverge:\n%s",
+					seed, strings.Join(Diff("warm", warm, "cold", cold), "\n"))
+			}
+			if rep := Conformance(warm); !rep.Clean() {
+				t.Errorf("seed %d: warm conformance: %s", seed, rep)
+			}
+		}
+	})
+}

@@ -1,0 +1,253 @@
+// Command benchgate compares a fresh performance snapshot against the
+// committed baseline and fails on regressions, so the perf trajectory in
+// BENCH_table1.json / BENCH_micro.txt is enforced rather than decorative.
+//
+// Two comparisons run, either of which can be omitted:
+//
+//	benchgate -old BENCH_table1.json -new fresh.json \
+//	          -micro-old BENCH_micro.txt -micro-new fresh_micro.txt
+//
+// Table 1 snapshots (-old/-new, written by `mfbench -table1 -json`):
+//
+//   - the synthesis results themselves — every row (minus wall-clock
+//     fields) and the improvement averages — must match EXACTLY: a perf
+//     change that moves a result is a correctness change in disguise;
+//   - gated work counters (simplex pivots, Dijkstra pops by default) must
+//     not grow by more than -threshold (default 10%). Counters are
+//     work-proportional, so they regress on a faster machine too — unlike
+//     wall-clock, which is reported but never gated.
+//
+// Micro snapshots (-micro-old/-micro-new, raw `go test -bench -benchmem`
+// output): allocs/op per benchmark must not grow by more than -threshold.
+// Times are machine-dependent and only reported; allocation counts are a
+// property of the code.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"reflect"
+	"strconv"
+	"strings"
+)
+
+// table1Snapshot mirrors the parts of mfbench's -json layout the gate
+// reads. Rows stay raw so new fields are compared without code changes.
+type table1Snapshot struct {
+	WallSeconds float64                  `json:"wall_seconds"`
+	Rows        []map[string]interface{} `json:"rows"`
+	Averages    map[string]interface{}   `json:"averages"`
+	Metrics     struct {
+		Counters map[string]int64 `json:"counters"`
+	} `json:"metrics"`
+}
+
+// wallClockRowFields are per-row fields that legitimately differ between
+// runs of identical code.
+var wallClockRowFields = []string{"runtime_seconds", "phase_seconds"}
+
+func loadTable1(path string) (*table1Snapshot, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s table1Snapshot
+	if err := json.Unmarshal(raw, &s); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &s, nil
+}
+
+// compareTable1 appends failure messages to *fails and prints an
+// informational summary either way.
+func compareTable1(oldPath, newPath string, gated []string, threshold float64, fails *[]string) error {
+	oldS, err := loadTable1(oldPath)
+	if err != nil {
+		return err
+	}
+	newS, err := loadTable1(newPath)
+	if err != nil {
+		return err
+	}
+
+	if len(oldS.Rows) != len(newS.Rows) {
+		*fails = append(*fails, fmt.Sprintf("table1: %d rows, baseline has %d", len(newS.Rows), len(oldS.Rows)))
+	} else {
+		for i := range oldS.Rows {
+			a, b := stripFields(oldS.Rows[i]), stripFields(newS.Rows[i])
+			if !reflect.DeepEqual(a, b) {
+				*fails = append(*fails, fmt.Sprintf("table1 row %d (%v p%v): results drifted from baseline\n  old: %v\n  new: %v",
+					i, a["case"], a["policy"], a, b))
+			}
+		}
+	}
+	if !reflect.DeepEqual(oldS.Averages, newS.Averages) {
+		*fails = append(*fails, fmt.Sprintf("table1 averages drifted: old %v, new %v", oldS.Averages, newS.Averages))
+	}
+
+	fmt.Printf("wall-clock: %.1fs -> %.1fs (informational)\n", oldS.WallSeconds, newS.WallSeconds)
+	for _, name := range gated {
+		o, okO := oldS.Metrics.Counters[name]
+		n, okN := newS.Metrics.Counters[name]
+		if !okO || !okN {
+			*fails = append(*fails, fmt.Sprintf("counter %s missing (old %v, new %v)", name, okO, okN))
+			continue
+		}
+		fmt.Printf("counter %-24s %12d -> %12d (%+.1f%%)\n", name, o, n, pctChange(o, n))
+		if float64(n) > float64(o)*(1+threshold) {
+			*fails = append(*fails, fmt.Sprintf("counter %s regressed beyond %.0f%%: %d -> %d (%+.1f%%)",
+				name, threshold*100, o, n, pctChange(o, n)))
+		}
+	}
+	return nil
+}
+
+func stripFields(row map[string]interface{}) map[string]interface{} {
+	out := make(map[string]interface{}, len(row))
+	for k, v := range row {
+		out[k] = v
+	}
+	for _, k := range wallClockRowFields {
+		delete(out, k)
+	}
+	return out
+}
+
+func pctChange(o, n int64) float64 {
+	if o == 0 {
+		return 0
+	}
+	return 100 * float64(n-o) / float64(o)
+}
+
+// microStats is one benchmark's averaged -benchmem readings.
+type microStats struct {
+	nsPerOp, allocsPerOp, bytesPerOp float64
+	samples                          int
+}
+
+// parseMicro reads raw `go test -bench -benchmem` output, averaging over
+// repeated -count runs of the same benchmark.
+func parseMicro(path string) (map[string]*microStats, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := map[string]*microStats{}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		// Benchmark lines: Name N t ns/op [b B/op a allocs/op]
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") || fields[3] != "ns/op" {
+			continue
+		}
+		// Strip the -cpu suffix (BenchmarkX-8) so counts are stable across
+		// machines.
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			name = name[:i]
+		}
+		st := out[name]
+		if st == nil {
+			st = &microStats{}
+			out[name] = st
+		}
+		ns, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			continue
+		}
+		st.nsPerOp += ns
+		st.samples++
+		for i := 4; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "B/op":
+				st.bytesPerOp += v
+			case "allocs/op":
+				st.allocsPerOp += v
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for _, st := range out {
+		st.nsPerOp /= float64(st.samples)
+		st.bytesPerOp /= float64(st.samples)
+		st.allocsPerOp /= float64(st.samples)
+	}
+	return out, nil
+}
+
+func compareMicro(oldPath, newPath string, threshold float64, fails *[]string) error {
+	oldM, err := parseMicro(oldPath)
+	if err != nil {
+		return err
+	}
+	newM, err := parseMicro(newPath)
+	if err != nil {
+		return err
+	}
+	for name, o := range oldM {
+		n, ok := newM[name]
+		if !ok {
+			*fails = append(*fails, fmt.Sprintf("micro %s: present in baseline, missing from fresh run", name))
+			continue
+		}
+		fmt.Printf("micro %-36s %10.0f ns/op -> %10.0f   %6.1f allocs/op -> %6.1f\n",
+			name, o.nsPerOp, n.nsPerOp, o.allocsPerOp, n.allocsPerOp)
+		if n.allocsPerOp > o.allocsPerOp*(1+threshold)+0.5 {
+			*fails = append(*fails, fmt.Sprintf("micro %s: allocs/op regressed beyond %.0f%%: %.1f -> %.1f",
+				name, threshold*100, o.allocsPerOp, n.allocsPerOp))
+		}
+	}
+	return nil
+}
+
+func main() {
+	oldT := flag.String("old", "", "baseline Table 1 snapshot (mfbench -table1 -json)")
+	newT := flag.String("new", "", "fresh Table 1 snapshot to gate")
+	oldM := flag.String("micro-old", "", "baseline micro-benchmark output (go test -bench -benchmem)")
+	newM := flag.String("micro-new", "", "fresh micro-benchmark output to gate")
+	threshold := flag.Float64("threshold", 0.10, "allowed fractional growth in gated counters and allocs/op")
+	counters := flag.String("counters", "milp.simplex_pivots,route.dijkstra_pops", "comma-separated work counters to gate")
+	flag.Parse()
+
+	var fails []string
+	if *oldT != "" && *newT != "" {
+		gated := strings.Split(*counters, ",")
+		if err := compareTable1(*oldT, *newT, gated, *threshold, &fails); err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate:", err)
+			os.Exit(2)
+		}
+	}
+	if *oldM != "" && *newM != "" {
+		if err := compareMicro(*oldM, *newM, *threshold, &fails); err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate:", err)
+			os.Exit(2)
+		}
+	}
+	if (*oldT == "") != (*newT == "") || (*oldM == "") != (*newM == "") {
+		fmt.Fprintln(os.Stderr, "benchgate: -old/-new and -micro-old/-micro-new must be given in pairs")
+		os.Exit(2)
+	}
+	if *oldT == "" && *oldM == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: nothing to compare (pass -old/-new and/or -micro-old/-micro-new)")
+		os.Exit(2)
+	}
+	if len(fails) > 0 {
+		fmt.Fprintf(os.Stderr, "\nbenchgate: %d regression(s):\n", len(fails))
+		for _, f := range fails {
+			fmt.Fprintln(os.Stderr, "  -", f)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("benchgate: ok")
+}
