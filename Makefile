@@ -10,15 +10,19 @@ tier2:
 	go vet ./...
 	go test -race ./...
 
-# Tier-3: observability gate — vet, the race suite, and a trace-artefact
-# smoke check: a real mfsynth run must emit Chrome trace_event JSON with all
-# four pipeline phases and per-worker tracks (tracecheck validates it).
+# Tier-3: observability gate — vet, the obs/export/par race suites (the
+# export suite includes the live SSE integration and the concurrent-scrape
+# race test), and two artefact smoke checks on a real mfsynth run: the
+# Chrome trace must carry all four pipeline phases and per-worker tracks,
+# and the live-progress JSONL log must satisfy the stream invariants
+# (tracecheck validates both).
 tier3:
 	go vet ./...
-	go test -race ./internal/obs/ ./internal/par/
-	go run ./cmd/mfsynth -case PCR -workers 2 -trace .tier3-trace.json >/dev/null
+	go test -race ./internal/obs/... ./internal/par/
+	go run ./cmd/mfsynth -case PCR -workers 2 -trace .tier3-trace.json -progress-log .tier3-progress.jsonl >/dev/null
 	go run ./tools/tracecheck -require-workers .tier3-trace.json
-	rm -f .tier3-trace.json
+	go run ./tools/tracecheck -progress .tier3-progress.jsonl
+	rm -f .tier3-trace.json .tier3-progress.jsonl
 
 # The tier-1 contract under the race detector.
 tier1-race:
@@ -65,15 +69,30 @@ bench-json:
 bench:
 	go test -run '^$$' -bench=. -benchmem -count=5 ./internal/lp/ ./internal/milp/ ./internal/route/ | tee BENCH_micro.txt
 
-# Perf gate: re-run Table 1 and the micro-benchmarks and compare against
-# the committed snapshots — synthesis results must match exactly, and the
-# gated work counters (simplex pivots, Dijkstra pops) and per-benchmark
-# allocation counts may not regress by more than 10%.
+# Perf gate: re-run Table 1 with the debug server live and compare against
+# the committed snapshots — synthesis results must match exactly (proving
+# live observability never changes results), the gated work counters
+# (simplex pivots, Dijkstra pops) and per-benchmark allocation counts may
+# not regress by more than 10%, and the obs-on/obs-off overhead benchmark
+# may not exceed 2%. While Table 1 runs, /metrics is scraped until the live
+# B&B gap gauge appears, and the progress log is validated afterwards.
+LIVE_ADDR ?= 127.0.0.1:18080
 bench-gate:
-	go run ./cmd/mfbench -table1 -json .bench-fresh.json
+	go build -o .bench-mfbench ./cmd/mfbench
+	./.bench-mfbench -table1 -json .bench-fresh.json -http $(LIVE_ADDR) -progress-log .bench-progress.jsonl >/dev/null & \
+	pid=$$!; live=0; \
+	while kill -0 $$pid 2>/dev/null; do \
+		if curl -sf http://$(LIVE_ADDR)/metrics | grep -q '^milp_gap '; then live=1; break; fi; \
+		sleep 1; \
+	done; \
+	wait $$pid || exit 1; \
+	[ $$live -eq 1 ] || { echo "bench-gate: /metrics never showed milp_gap mid-run"; exit 1; }
+	go run ./tools/tracecheck -progress .bench-progress.jsonl
 	go test -run '^$$' -bench=. -benchmem -count=1 ./internal/lp/ ./internal/milp/ ./internal/route/ > .bench-fresh-micro.txt
+	go test -run '^$$' -bench ObsOverhead -benchtime 3x -count 3 ./internal/obs/export/ > .bench-overhead.txt
 	go run ./tools/benchgate -old BENCH_table1.json -new .bench-fresh.json \
-		-micro-old BENCH_micro.txt -micro-new .bench-fresh-micro.txt
-	rm -f .bench-fresh.json .bench-fresh-micro.txt
+		-micro-old BENCH_micro.txt -micro-new .bench-fresh-micro.txt \
+		-overhead .bench-overhead.txt
+	rm -f .bench-mfbench .bench-fresh.json .bench-fresh-micro.txt .bench-overhead.txt .bench-progress.jsonl
 
 .PHONY: tier1 tier1-race tier2 tier3 tier4 tier5 bench-parallel bench-json bench bench-gate

@@ -15,7 +15,6 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"io"
 	"log"
 	"os"
 	"runtime"
@@ -44,6 +43,9 @@ func main() {
 		traceOut   = flag.String("trace", "", "write a Chrome trace_event JSON of every synthesis run to this file (load in chrome://tracing or Perfetto)")
 		eventsOut  = flag.String("events", "", "write the span/metric event stream as JSON lines to this file")
 		stats      = flag.Bool("stats", false, "print the span tree and metrics summary to stderr")
+		httpAddr   = flag.String("http", "", "serve live debug endpoints on this address while running: /metrics, /progress (SSE), /debug/pprof, /debug/vars (e.g. :8080)")
+		profDir    = flag.String("profile-dir", "", "capture continuous profiles into this directory: whole-run cpu.pprof plus per-phase heap snapshots")
+		progLog    = flag.String("progress-log", "", "write live progress snapshots as JSON lines to this file (validate with tracecheck -progress)")
 		doVerify   = flag.Bool("verify", false, "audit every Table 1 synthesis result against the conformance catalogue")
 		faultFile  = flag.String("faults", "", "fault-spec file injected into every Table 1 synthesis run")
 		faultSeed  = flag.Int64("fault-seed", 0, "generate a random fault set with this seed (with -fault-rate)")
@@ -54,11 +56,44 @@ func main() {
 	flag.Parse()
 	all := !*figures && !*table1 && !*extensions && *campaign == 0
 
-	// The trace also feeds the -json metrics snapshot, so -json alone
-	// enables it.
+	// The trace also feeds the -json metrics snapshot and every live
+	// endpoint, so any of those flags enables it.
 	var tr *mfsynth.Trace
-	if *traceOut != "" || *eventsOut != "" || *stats || *jsonOut != "" {
+	if *traceOut != "" || *eventsOut != "" || *stats || *jsonOut != "" ||
+		*httpAddr != "" || *profDir != "" || *progLog != "" {
 		tr = mfsynth.NewTrace()
+	}
+
+	if *httpAddr != "" {
+		srv, err := mfsynth.Serve(*httpAddr, tr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		fmt.Printf("debug server on http://%s (/metrics /progress /debug/pprof)\n", srv.Addr())
+	}
+	var stopProgress func() error
+	if *progLog != "" {
+		f, err := os.Create(*progLog)
+		if err != nil {
+			log.Fatal(err)
+		}
+		stop := mfsynth.LogProgress(tr, f)
+		stopProgress = func() error {
+			err := stop()
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			return err
+		}
+	}
+	var prof *mfsynth.Profiler
+	if *profDir != "" {
+		var err error
+		prof, err = mfsynth.StartProfiler(*profDir, tr)
+		if err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	faults, err := loadFaults(*faultFile, *faultSeed, *faultRate)
@@ -79,22 +114,37 @@ func main() {
 		runCampaigns(*campaign, *faultSeed, *faultRate, *fast, *workers, *doVerify, *minSuccess)
 	}
 
-	if *traceOut != "" {
-		if err := writeSink(*traceOut, tr.WriteChromeTrace); err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("wrote %s\n", *traceOut)
-	}
-	if *eventsOut != "" {
-		if err := writeSink(*eventsOut, tr.WriteJSONL); err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("wrote %s\n", *eventsOut)
+	// Flush every sink before deciding the exit status: all sinks are
+	// attempted even when one fails, and the first error is fatal rather
+	// than silently dropped.
+	var sinks mfsynth.SinkSet
+	sinks.Add(*traceOut, tr.WriteChromeTrace)
+	sinks.Add(*eventsOut, tr.WriteJSONL)
+	written, sinkErr := sinks.Flush()
+	for _, p := range written {
+		fmt.Printf("wrote %s\n", p)
 	}
 	if *stats {
-		if err := tr.WriteText(os.Stderr); err != nil {
-			log.Fatal(err)
+		if err := tr.WriteText(os.Stderr); err != nil && sinkErr == nil {
+			sinkErr = err
 		}
+	}
+	if stopProgress != nil {
+		if err := stopProgress(); err != nil && sinkErr == nil {
+			sinkErr = err
+		} else if err == nil {
+			fmt.Printf("wrote %s\n", *progLog)
+		}
+	}
+	if prof != nil {
+		if err := prof.Close(); err != nil && sinkErr == nil {
+			sinkErr = err
+		} else if err == nil {
+			fmt.Printf("wrote profiles to %s\n", *profDir)
+		}
+	}
+	if sinkErr != nil {
+		log.Fatal(sinkErr)
 	}
 	if cellsFailed > 0 {
 		log.Fatalf("%d evaluation cell(s) failed", cellsFailed)
@@ -161,19 +211,6 @@ func runCampaigns(runs int, seed int64, rate float64, fast bool, workers int, do
 		}
 	}
 	fmt.Println()
-}
-
-// writeSink creates path and streams one trace export into it.
-func writeSink(path string, write func(io.Writer) error) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := write(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
 }
 
 // fanout splits the worker budget between a section's independent cells and

@@ -10,7 +10,6 @@ package main
 import (
 	"flag"
 	"fmt"
-	"io"
 	"log"
 	"os"
 	"strings"
@@ -37,6 +36,9 @@ func main() {
 		traceOut  = flag.String("trace", "", "write a Chrome trace_event JSON of the synthesis run to this file (load in chrome://tracing or Perfetto)")
 		eventsOut = flag.String("events", "", "write the span/metric event stream as JSON lines to this file")
 		stats     = flag.Bool("stats", false, "print the span tree and metrics summary to stderr")
+		httpAddr  = flag.String("http", "", "serve live debug endpoints on this address while running: /metrics, /progress (SSE), /debug/pprof, /debug/vars (e.g. :8080)")
+		profDir   = flag.String("profile-dir", "", "capture continuous profiles into this directory: whole-run cpu.pprof plus per-phase heap snapshots")
+		progLog   = flag.String("progress-log", "", "write live progress snapshots as JSON lines to this file (validate with tracecheck -progress)")
 		doVerify  = flag.Bool("verify", false, "audit the result against the full conformance catalogue; exit non-zero on violations")
 		faultFile = flag.String("faults", "", "fault-spec file: defective valves the synthesis must work around")
 		faultSeed = flag.Int64("fault-seed", 0, "generate a random fault set with this seed (with -fault-rate)")
@@ -45,8 +47,41 @@ func main() {
 	flag.Parse()
 
 	var tr *mfsynth.Trace
-	if *traceOut != "" || *eventsOut != "" || *stats {
+	if *traceOut != "" || *eventsOut != "" || *stats ||
+		*httpAddr != "" || *profDir != "" || *progLog != "" {
 		tr = mfsynth.NewTrace()
+	}
+
+	if *httpAddr != "" {
+		srv, err := mfsynth.Serve(*httpAddr, tr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		fmt.Printf("debug server on http://%s (/metrics /progress /debug/pprof)\n", srv.Addr())
+	}
+	var stopProgress func() error
+	if *progLog != "" {
+		f, err := os.Create(*progLog)
+		if err != nil {
+			log.Fatal(err)
+		}
+		stop := mfsynth.LogProgress(tr, f)
+		stopProgress = func() error {
+			err := stop()
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			return err
+		}
+	}
+	var prof *mfsynth.Profiler
+	if *profDir != "" {
+		var err error
+		prof, err = mfsynth.StartProfiler(*profDir, tr)
+		if err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	placeMode, err := parseMode(*mode)
@@ -186,36 +221,37 @@ func main() {
 		}
 		fmt.Printf("wrote %s\n", *dotOut)
 	}
-	if *traceOut != "" {
-		if err := writeSink(*traceOut, tr.WriteChromeTrace); err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("wrote %s\n", *traceOut)
-	}
-	if *eventsOut != "" {
-		if err := writeSink(*eventsOut, tr.WriteJSONL); err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("wrote %s\n", *eventsOut)
+	// Flush every sink before exiting: all sinks are attempted even when
+	// one fails, and the first error is fatal rather than silently dropped.
+	var sinks mfsynth.SinkSet
+	sinks.Add(*traceOut, tr.WriteChromeTrace)
+	sinks.Add(*eventsOut, tr.WriteJSONL)
+	written, sinkErr := sinks.Flush()
+	for _, p := range written {
+		fmt.Printf("wrote %s\n", p)
 	}
 	if *stats {
-		if err := tr.WriteText(os.Stderr); err != nil {
-			log.Fatal(err)
+		if err := tr.WriteText(os.Stderr); err != nil && sinkErr == nil {
+			sinkErr = err
 		}
 	}
-}
-
-// writeSink creates path and streams one trace export into it.
-func writeSink(path string, write func(io.Writer) error) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
+	if stopProgress != nil {
+		if err := stopProgress(); err != nil && sinkErr == nil {
+			sinkErr = err
+		} else if err == nil {
+			fmt.Printf("wrote %s\n", *progLog)
+		}
 	}
-	if err := write(f); err != nil {
-		f.Close()
-		return err
+	if prof != nil {
+		if err := prof.Close(); err != nil && sinkErr == nil {
+			sinkErr = err
+		} else if err == nil {
+			fmt.Printf("wrote profiles to %s\n", *profDir)
+		}
 	}
-	return f.Close()
+	if sinkErr != nil {
+		log.Fatal(sinkErr)
+	}
 }
 
 func parseMode(s string) (mfsynth.PlaceMode, error) {

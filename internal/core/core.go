@@ -19,6 +19,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime/pprof"
 	"sort"
 	"time"
 
@@ -271,19 +272,50 @@ func SynthesizeCtx(ctx context.Context, a *graph.Assay, opts Options) (res *Resu
 	}
 
 	res.Runtime = time.Since(start)
+	opts.Trace.ProgressBus().Update(func(p *obs.Progress) { p.Done = true })
 	return res, nil
+}
+
+// phaseDo runs f under a pprof label marking the pipeline phase, so CPU
+// profiles (continuous capture included, see internal/obs/export) can be
+// filtered and attributed per phase. Labels propagate through the context
+// into spawned worker goroutines.
+func phaseDo(ctx context.Context, phase string, f func(ctx context.Context)) {
+	pprof.Do(ctx, pprof.Labels("mf_phase", phase), f)
 }
 
 // synthesizeAttempt runs one schedule→place→route→simulate pass against a
 // fixed working fault set.
 func synthesizeAttempt(ctx context.Context, a *graph.Assay, opts Options, root *obs.Span) (*Result, error) {
+	bus := opts.Trace.ProgressBus()
 	phases := map[string]float64{}
+	// enterPhase announces the running phase on the progress bus with the
+	// per-phase seconds accumulated so far; the map is cloned per update
+	// (published snapshots are immutable, see obs.Progress).
+	enterPhase := func(name string) {
+		bus.Update(func(p *obs.Progress) {
+			p.Assay = a.Name
+			p.Phase = name
+			p.Done = false
+			cl := make(map[string]float64, len(phases))
+			for k, v := range phases {
+				cl[k] = v
+			}
+			p.Phases = cl
+		})
+	}
+
 	t0 := time.Now()
+	enterPhase("schedule")
 	schedSp := root.Start("schedule")
-	sched, err := schedule.ListCtx(ctx, a, schedule.Options{
-		TransportDelay: opts.TransportDelay,
-		Resources:      opts.Policy,
-		Obs:            schedSp,
+	var sched *schedule.Result
+	var err error
+	phaseDo(ctx, "schedule", func(ctx context.Context) {
+		sched, err = schedule.ListCtx(ctx, a, schedule.Options{
+			TransportDelay: opts.TransportDelay,
+			Resources:      opts.Policy,
+			Obs:            schedSp,
+		})
 	})
 	schedSp.End()
 	phases["schedule"] = time.Since(t0).Seconds()
@@ -292,7 +324,12 @@ func synthesizeAttempt(ctx context.Context, a *graph.Assay, opts Options, root *
 	}
 
 	t0 = time.Now()
-	mapping, deg, err := placeLadder(ctx, sched, opts, root)
+	enterPhase("place")
+	var mapping *place.Mapping
+	var deg *Degradation
+	phaseDo(ctx, "place", func(ctx context.Context) {
+		mapping, deg, err = placeLadder(ctx, sched, opts, root)
+	})
 	phases["place"] = time.Since(t0).Seconds()
 	if err != nil {
 		return nil, err
@@ -315,18 +352,25 @@ func synthesizeAttempt(ctx context.Context, a *graph.Assay, opts Options, root *
 	}
 
 	t0 = time.Now()
+	enterPhase("route")
 	routeSp := root.Start("route")
-	err = res.routeAndSimulate(ctx, routeSp)
+	phaseDo(ctx, "route", func(ctx context.Context) {
+		err = res.routeAndSimulate(ctx, routeSp)
+	})
 	routeSp.End()
 	if err != nil {
 		return nil, err
 	}
 
+	enterPhase("sim")
 	simSp := root.Start("sim")
-	res.computeMetrics()
+	phaseDo(ctx, "sim", func(context.Context) {
+		res.computeMetrics()
+	})
 	simSp.Set(obs.KV("events", len(res.Events)))
 	simSp.End()
 	phases["route"] = time.Since(t0).Seconds()
+	enterPhase("sim") // re-announce with the final route+sim seconds
 	res.PhaseSeconds = phases
 	return res, nil
 }
@@ -414,13 +458,30 @@ func wearExceeded(r *Result, fs *fault.Set) []grid.Point {
 // routeObs bundles the routing-phase instrument handles. Every field is
 // nil-safe, so the zero value (nil trace) adds only nil checks to the loop.
 type routeObs struct {
-	nets      *obs.Counter
-	inPlace   *obs.Counter
-	failed    *obs.Counter
-	pops      *obs.Counter
-	ripups    *obs.Counter
-	crossings *obs.Counter
-	pathLen   *obs.Histogram
+	nets       *obs.Counter
+	inPlace    *obs.Counter
+	failed     *obs.Counter
+	pops       *obs.Counter
+	ripups     *obs.Counter
+	crossings  *obs.Counter
+	wirelength *obs.Counter
+	pathLen    *obs.Histogram
+
+	// Live progress: the registry counters above are cumulative across a
+	// whole trace (e.g. all Table 1 cells), so the bus snapshot carries
+	// its own per-run tallies. All routing runs on one goroutine.
+	bus *obs.ProgressBus
+	run obs.RouteProgress
+}
+
+// publish mirrors the per-run tallies onto the progress bus (fresh
+// sub-struct per update — published snapshots are immutable).
+func (ro *routeObs) publish() {
+	if ro.bus == nil {
+		return
+	}
+	run := ro.run
+	ro.bus.Update(func(p *obs.Progress) { p.Route = &run })
 }
 
 // routeAndSimulate builds the event log: pump events from the schedule and
@@ -432,13 +493,15 @@ func (r *Result) routeAndSimulate(ctx context.Context, sp *obs.Span) error {
 	chip := arch.NewChip(r.Grid, r.Grid)
 	mtr := sp.Metrics()
 	ro := &routeObs{
-		nets:      mtr.Counter("route.nets"),
-		inPlace:   mtr.Counter("route.in_place"),
-		failed:    mtr.Counter("route.failed"),
-		pops:      mtr.Counter("route.dijkstra_pops"),
-		ripups:    mtr.Counter("route.ripups"),
-		crossings: mtr.Counter("route.crossings"),
-		pathLen:   mtr.Histogram("route.path_len", []float64{4, 8, 16, 32, 64}),
+		nets:       mtr.Counter("route_nets_total"),
+		inPlace:    mtr.Counter("route_in_place_total"),
+		failed:     mtr.Counter("route_failed_total"),
+		pops:       mtr.Counter("route_dijkstra_pops_total"),
+		ripups:     mtr.Counter("route_ripups_total"),
+		crossings:  mtr.Counter("route_crossings_total"),
+		wirelength: mtr.Counter("route_wirelength_total"),
+		pathLen:    mtr.Histogram("route_path_len", []float64{4, 8, 16, 32, 64}),
+		bus:        sp.Trace().ProgressBus(),
 	}
 
 	// Pump events at operation start.
@@ -539,6 +602,7 @@ func (r *Result) routeAndSimulate(ctx context.Context, sp *obs.Span) error {
 			obs.KV("t", demands[i].t), obs.KV("nets", j-i))
 		err := r.routeStep(ctx, router, demands[i].t, demands[i:j], faulty, stepSp, ro)
 		stepSp.End()
+		ro.publish()
 		if err != nil {
 			return err
 		}
@@ -600,10 +664,12 @@ func (r *Result) routeStep(ctx context.Context, router *route.Router, t int, net
 			return synerr.Deadline("route", err)
 		}
 		ro.nets.Inc()
+		ro.run.Nets++
 		// In-place transfer: the endpoints share cells (a storage that
 		// overlaps its parent device); the fluid is already in position.
 		if shared := sharedCells(n.from, n.to); len(shared) > 0 {
 			ro.inPlace.Inc()
+			ro.run.InPlace++
 			r.Transports = append(r.Transports, Transport{
 				T: t, From: n.fromName, To: n.toName,
 				FromID: n.fromID, ToID: n.toID, Path: shared, InPlace: true,
@@ -644,6 +710,7 @@ func (r *Result) routeStep(ctx context.Context, router *route.Router, t int, net
 		if errors.Is(err, route.ErrNoPath) {
 			r.FailedRoutes++
 			ro.failed.Inc()
+			ro.run.Failed++
 			d := r.degrade()
 			d.FailedNets = append(d.FailedNets, FailedNet{
 				T: t, From: n.fromName, To: n.toName,
@@ -659,6 +726,8 @@ func (r *Result) routeStep(ctx context.Context, router *route.Router, t int, net
 		}
 		ro.pathLen.Observe(float64(len(path)))
 		ro.crossings.Add(int64(router.Crossings(path)))
+		ro.wirelength.Add(int64(len(path)))
+		ro.run.Wirelength += int64(len(path))
 		r.Transports = append(r.Transports, Transport{
 			T: t, From: n.fromName, To: n.toName,
 			FromID: n.fromID, ToID: n.toID, Path: path,
@@ -702,6 +771,7 @@ func (r *Result) routeNet(router *route.Router, n net, t int, ro *routeObs) (rou
 		}
 		router.BlockStorage(violated)
 		ro.ripups.Inc()
+		ro.run.Ripups++
 	}
 	return nil, route.ErrNoPath
 }

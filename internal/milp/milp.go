@@ -228,7 +228,23 @@ func (m *Model) Solve(opts Options) (*Result, error) {
 		warm:     warm,
 		snaps:    ar.snaps,
 		span:     sp,
-		gapHist:  sp.Metrics().Histogram("milp.bound_gap", []float64{0.5, 1, 2, 4, 8, 16}),
+		gapHist:  sp.Metrics().Histogram("milp_bound_gap", []float64{0.5, 1, 2, 4, 8, 16}),
+	}
+	// Live-progress plumbing: gauges mirror the search state for /metrics
+	// scrapes, and the progress bus (enabled by a debug server or progress
+	// log) receives periodic snapshots. Pulses are side effects of the merge
+	// goroutine only and never influence search decisions, so results stay
+	// bit-identical with telemetry on or off.
+	if mm, bus := sp.Metrics(), opts.Obs.Trace().ProgressBus(); mm != nil || bus != nil {
+		s.pulseOn = true
+		s.bus = bus
+		s.solveID = bus.NextSolve()
+		s.liveNodes = mm.Gauge("milp_nodes")
+		s.liveWarm = mm.Gauge("milp_warm_resolves")
+		s.liveCold = mm.Gauge("milp_cold_solves")
+		s.fgIncumbent = mm.FloatGauge("milp_incumbent")
+		s.fgBound = mm.FloatGauge("milp_bound")
+		s.fgGap = mm.FloatGauge("milp_gap")
 	}
 	if opts.Timeout > 0 {
 		// The deadline existence check is hoisted out of the per-node hot
@@ -295,23 +311,25 @@ func (m *Model) Solve(opts Options) (*Result, error) {
 }
 
 // flushObs records the solve's accumulated counters and result attributes
-// on the trace. No-op when tracing is disabled (nil span).
+// on the trace and emits the final progress pulse. No-op when tracing is
+// disabled (nil span).
 func (s *search) flushObs(res *Result) {
+	s.pulse()
 	mm := s.span.Metrics()
 	if mm == nil {
 		return
 	}
-	mm.Counter("milp.nodes").Add(int64(s.nodes))
-	mm.Counter("milp.lp_solves").Add(s.lpSolves)
-	mm.Counter("milp.simplex_pivots").Add(s.pivots)
-	mm.Counter("milp.incumbents").Add(s.incumbents)
-	mm.Counter("milp.deadline_checks").Add(s.deadlineChecks)
-	mm.Counter("milp.floor_fathoms").Add(s.floorFathoms)
-	mm.Counter("milp.warm_fathoms").Add(s.warmFathoms)
-	mm.Counter("milp.warm_resolves").Add(s.warmResolves)
-	mm.Counter("milp.warm_infeasible").Add(s.warmInfeasible)
-	mm.Counter("milp.warm_failures").Add(s.warmFailures)
-	mm.Counter("milp.warm_fail_pivots").Add(s.warmFailPivots)
+	mm.Counter("milp_nodes_total").Add(int64(s.nodes))
+	mm.Counter("milp_lp_solves_total").Add(s.lpSolves)
+	mm.Counter("milp_simplex_pivots_total").Add(s.pivots)
+	mm.Counter("milp_incumbents_total").Add(s.incumbents)
+	mm.Counter("milp_deadline_checks_total").Add(s.deadlineChecks)
+	mm.Counter("milp_floor_fathoms_total").Add(s.floorFathoms)
+	mm.Counter("milp_warm_fathoms_total").Add(s.warmFathoms)
+	mm.Counter("milp_warm_resolves_total").Add(s.warmResolves)
+	mm.Counter("milp_warm_infeasible_total").Add(s.warmInfeasible)
+	mm.Counter("milp_warm_failures_total").Add(s.warmFailures)
+	mm.Counter("milp_warm_fail_pivots_total").Add(s.warmFailPivots)
 	s.span.Set(obs.KV("status", res.Status.String()), obs.KV("nodes", res.Nodes))
 	if !math.IsInf(res.Bound, 0) {
 		s.span.Set(obs.KV("bound", res.Bound))
@@ -414,6 +432,19 @@ type search struct {
 	warmFailures   int64 // warm re-solves that fell back to the cold path
 	warmFailPivots int64 // pivots spent inside those failed re-solves
 
+	// Live-progress plumbing (pulse). Like the accumulators above, all of
+	// it is touched only by the merge goroutine; pulses mirror state out,
+	// never feed anything back into the search.
+	pulseOn     bool
+	bus         *obs.ProgressBus
+	solveID     int64
+	liveNodes   *obs.Gauge
+	liveWarm    *obs.Gauge
+	liveCold    *obs.Gauge
+	fgIncumbent *obs.FloatGauge
+	fgBound     *obs.FloatGauge
+	fgGap       *obs.FloatGauge
+
 	// coldLP disables floor fathoming and warm re-solves (Options.ColdLP).
 	coldLP bool
 	// arenas is the reusable solver state (Options.Arenas or private).
@@ -488,6 +519,9 @@ func (s *search) node(parent *lp.WarmSnap, own []lp.BoundDelta) (nodeStatus, err
 		}
 	}
 	s.nodes++
+	if s.nodes%pulseEvery == 0 {
+		s.pulse()
+	}
 
 	warmMode := !s.coldLP
 	thresh := s.fathomThreshold()
@@ -651,11 +685,64 @@ func (s *search) pickSnap(retained *lp.WarmSnap, warmValid bool) *lp.WarmSnap {
 	return nil
 }
 
-// noteIncumbent records an incumbent improvement: a counter bump and a
-// point mark on the solve span (the incumbent trajectory in the trace).
+// noteIncumbent records an incumbent improvement: a counter bump, a point
+// mark on the solve span (the incumbent trajectory in the trace) and a
+// progress pulse.
 func (s *search) noteIncumbent() {
 	s.incumbents++
 	s.span.Mark("milp.incumbent", obs.KV("obj", s.bestObj), obs.KV("node", s.nodes))
+	s.pulse()
+}
+
+// pulseEvery is the node interval of periodic progress pulses: frequent
+// enough that /metrics scrapes see a moving picture, rare enough that the
+// modulo check is the only per-node cost.
+const pulseEvery = 256
+
+// pulse mirrors the live search state onto the registry gauges and the
+// progress bus. Runs on the merge goroutine; infinities (no incumbent
+// yet, no root bound yet) are mapped to zeros so snapshots stay
+// JSON-marshalable.
+func (s *search) pulse() {
+	if !s.pulseOn {
+		return
+	}
+	hasInc := s.bestX != nil
+	incumbent, bound, gap := 0.0, 0.0, 0.0
+	if hasInc {
+		incumbent = s.bestObj
+	}
+	if s.rootSet {
+		bound = s.bound
+	}
+	if hasInc && s.rootSet {
+		gap = s.bestObj - s.bound
+	}
+	s.liveNodes.Set(int64(s.nodes))
+	s.liveWarm.Set(s.warmResolves)
+	s.liveCold.Set(s.lpSolves)
+	if s.rootSet {
+		s.fgBound.Set(bound)
+	}
+	if hasInc {
+		s.fgIncumbent.Set(incumbent)
+		if s.rootSet {
+			s.fgGap.Set(gap)
+		}
+	}
+	s.bus.Update(func(p *obs.Progress) {
+		p.MILP = &obs.MILPProgress{
+			Solve:        s.solveID,
+			Nodes:        int64(s.nodes),
+			Incumbent:    incumbent,
+			HasIncumbent: hasInc,
+			Bound:        bound,
+			Gap:          gap,
+			WarmResolves: s.warmResolves,
+			ColdSolves:   s.lpSolves,
+			Incumbents:   s.incumbents,
+		}
+	})
 }
 
 // roundInts snaps integer variables of x to the nearest integer.

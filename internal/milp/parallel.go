@@ -210,6 +210,9 @@ func (s *search) processNode(nd *bbNode) (nodeStatus, []*bbNode, error) {
 		}
 	}
 	s.nodes++
+	if s.nodes%pulseEvery == 0 {
+		s.pulse()
+	}
 
 	warmMode := !s.coldLP
 	thresh := s.fathomThreshold()

@@ -1,0 +1,106 @@
+package export
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+	"sync"
+
+	"mfsynth/internal/obs"
+)
+
+// Profiler implements the -profile-dir capture mode: one whole-run CPU
+// profile (cpu.pprof — phase/worker attribution comes from the
+// runtime/pprof labels the engine sets, see internal/core and
+// internal/par) plus heap snapshots written at every phase transition
+// observed on the progress bus (heap-<phase>.pprof, the live heap at the
+// end of that phase) and a final heap-final.pprof at Close.
+type Profiler struct {
+	dir    string
+	cpu    *os.File
+	cancel func()
+	done   chan struct{}
+
+	mu    sync.Mutex
+	first error
+}
+
+// StartProfiler begins capture into dir, creating it if needed, and
+// enables the trace's progress bus to see phase transitions. Close must
+// be called to finish the CPU profile.
+func StartProfiler(dir string, tr *obs.Trace) (*Profiler, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("profile-dir: %w", err)
+	}
+	f, err := os.Create(filepath.Join(dir, "cpu.pprof"))
+	if err != nil {
+		return nil, fmt.Errorf("profile-dir: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("profile-dir: %w", err)
+	}
+	p := &Profiler{dir: dir, cpu: f, done: make(chan struct{})}
+
+	ch, cancel := tr.EnableProgress().Subscribe(64)
+	p.cancel = cancel
+	go func() {
+		defer close(p.done)
+		last := ""
+		for snap := range ch {
+			if snap.Phase != last {
+				if last != "" {
+					p.writeHeap("heap-" + last + ".pprof")
+				}
+				last = snap.Phase
+			}
+		}
+		if last != "" {
+			p.writeHeap("heap-" + last + ".pprof")
+		}
+	}()
+	return p, nil
+}
+
+// writeHeap dumps the live heap (after a GC, so the numbers are not
+// dominated by collectable garbage) and records the first error.
+func (p *Profiler) writeHeap(name string) {
+	runtime.GC()
+	f, err := os.Create(filepath.Join(p.dir, name))
+	if err != nil {
+		p.note(err)
+		return
+	}
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		p.note(err)
+		f.Close()
+		return
+	}
+	p.note(f.Close())
+}
+
+func (p *Profiler) note(err error) {
+	if err == nil {
+		return
+	}
+	p.mu.Lock()
+	if p.first == nil {
+		p.first = fmt.Errorf("profile-dir: %w", err)
+	}
+	p.mu.Unlock()
+}
+
+// Close stops the CPU profile, writes heap-final.pprof, and returns the
+// first error seen anywhere in the capture.
+func (p *Profiler) Close() error {
+	p.cancel()
+	<-p.done
+	pprof.StopCPUProfile()
+	p.note(p.cpu.Close())
+	p.writeHeap("heap-final.pprof")
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.first
+}

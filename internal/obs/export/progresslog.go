@@ -1,0 +1,53 @@
+package export
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+
+	"mfsynth/internal/obs"
+)
+
+// LogProgress enables the trace's progress bus and streams every
+// snapshot to w as JSON lines until stop is called. stop blocks until
+// the writer goroutine drains and returns the first encode/write error,
+// so a truncated progress log fails the run instead of passing silently
+// (tools/tracecheck -progress validates the resulting file).
+func LogProgress(tr *obs.Trace, w io.Writer) (stop func() error) {
+	bus := tr.EnableProgress()
+	ch, cancel := bus.Subscribe(256)
+	enc := json.NewEncoder(w)
+
+	var (
+		done    = make(chan struct{})
+		firstMu sync.Mutex
+		first   error
+	)
+	go func() {
+		defer close(done)
+		for snap := range ch {
+			if err := enc.Encode(snap); err != nil {
+				firstMu.Lock()
+				if first == nil {
+					first = err
+				}
+				firstMu.Unlock()
+				// Keep draining so the publisher-side drop-oldest
+				// bookkeeping stays cheap, but stop writing.
+				for range ch {
+				}
+				return
+			}
+		}
+	}()
+	var once sync.Once
+	return func() error {
+		once.Do(func() {
+			cancel()
+			<-done
+		})
+		firstMu.Lock()
+		defer firstMu.Unlock()
+		return first
+	}
+}

@@ -1,0 +1,114 @@
+// Package export serves the observability layer live: a Prometheus
+// text-format exposition of the metrics registry, an embedded debug HTTP
+// server (metrics + pprof + expvar + a server-sent-events progress
+// stream), a JSONL progress logger, and per-phase continuous-profiling
+// capture. It sits above internal/obs and below the cmds; the engine
+// itself never imports it.
+package export
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"mfsynth/internal/obs"
+)
+
+// WriteProm writes the registry as Prometheus text exposition format
+// (one `# TYPE` comment plus samples per metric, sorted by name, so the
+// output is deterministic and golden-testable).
+//
+// Registry counters named `*_us_total` carry integer microseconds; they
+// are exposed as `*_seconds_total` with the value divided by 1e6, per
+// the Prometheus base-unit convention. Integer gauges expose their
+// high-water mark as a second `<name>_max` gauge. Histograms expose
+// cumulative `_bucket{le="…"}` samples with the implicit `+Inf` bucket,
+// plus `_sum` and `_count`. A nil or empty registry writes nothing.
+func WriteProm(w io.Writer, m *obs.Metrics) error {
+	snap := m.Snapshot()
+	if snap == nil {
+		return nil
+	}
+	var b strings.Builder
+
+	for _, name := range sortedKeys(snap.Counters) {
+		pname, v := promName(name), float64(snap.Counters[name])
+		if strings.HasSuffix(pname, "_us_total") {
+			pname = strings.TrimSuffix(pname, "_us_total") + "_seconds_total"
+			v /= 1e6
+		}
+		fmt.Fprintf(&b, "# TYPE %s counter\n%s %s\n", pname, pname, fnum(v))
+	}
+	for _, name := range sortedKeys(snap.Gauges) {
+		g := snap.Gauges[name]
+		pname := promName(name)
+		fmt.Fprintf(&b, "# TYPE %s gauge\n%s %s\n", pname, pname, fnum(float64(g.Value)))
+		fmt.Fprintf(&b, "# TYPE %s_max gauge\n%s_max %s\n", pname, pname, fnum(float64(g.Max)))
+	}
+	for _, name := range sortedKeys(snap.FloatGauges) {
+		pname := promName(name)
+		fmt.Fprintf(&b, "# TYPE %s gauge\n%s %s\n", pname, pname, fnum(snap.FloatGauges[name]))
+	}
+	for _, name := range sortedKeys(snap.Histograms) {
+		h := snap.Histograms[name]
+		pname := promName(name)
+		fmt.Fprintf(&b, "# TYPE %s histogram\n", pname)
+		cum := int64(0)
+		for _, bk := range h.Buckets {
+			cum += bk.Count
+			fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", pname, fnum(bk.Le), cum)
+		}
+		cum += h.Overflow
+		fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", pname, cum)
+		fmt.Fprintf(&b, "%s_sum %s\n", pname, fnum(h.Sum))
+		fmt.Fprintf(&b, "%s_count %d\n", pname, h.Count)
+	}
+
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// promName maps a registry name onto the Prometheus metric-name alphabet
+// [a-zA-Z0-9_:], replacing anything else with '_' and prefixing a digit
+// with '_'. Canonical registry names pass through unchanged.
+func promName(name string) string {
+	if name == "" {
+		return "_"
+	}
+	var sb strings.Builder
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+			sb.WriteRune(r)
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				sb.WriteByte('_')
+			}
+			sb.WriteRune(r)
+		default:
+			sb.WriteByte('_')
+		}
+	}
+	return sb.String()
+}
+
+// fnum renders a sample value the way Prometheus expects: shortest
+// round-trip float, no exponent for the common integer case.
+func fnum(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// sortedKeys returns the sorted keys of a string-keyed map.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,97 @@
+package export
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"mfsynth/internal/obs"
+)
+
+// TestWritePromGolden pins the full exposition of a representative
+// registry: section order (counters, gauges, float gauges, histograms),
+// name sorting, the `_us_total` -> `_seconds_total` microsecond
+// conversion, gauge `_max` companions, and cumulative histogram buckets
+// with the implicit +Inf.
+func TestWritePromGolden(t *testing.T) {
+	m := obs.NewMetrics()
+	m.Counter("milp_nodes_total").Add(42)
+	m.Counter("par_w0_busy_us_total").Add(1_500_000)
+	g := m.Gauge("par_queue_depth")
+	g.Set(9)
+	g.Set(3)
+	m.FloatGauge("milp_gap").Set(0.25)
+	h := m.Histogram("route_path_len", []float64{2, 4})
+	h.Observe(1)
+	h.Observe(3)
+	h.Observe(3)
+	h.Observe(99)
+
+	var b strings.Builder
+	if err := WriteProm(&b, m); err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE milp_nodes_total counter
+milp_nodes_total 42
+# TYPE par_w0_busy_seconds_total counter
+par_w0_busy_seconds_total 1.5
+# TYPE par_queue_depth gauge
+par_queue_depth 3
+# TYPE par_queue_depth_max gauge
+par_queue_depth_max 9
+# TYPE milp_gap gauge
+milp_gap 0.25
+# TYPE route_path_len histogram
+route_path_len_bucket{le="2"} 1
+route_path_len_bucket{le="4"} 3
+route_path_len_bucket{le="+Inf"} 4
+route_path_len_sum 106
+route_path_len_count 4
+`
+	if b.String() != want {
+		t.Fatalf("exposition drifted:\n got:\n%s\nwant:\n%s", b.String(), want)
+	}
+}
+
+// TestWritePromEmpty: a nil or empty registry writes nothing.
+func TestWritePromEmpty(t *testing.T) {
+	var b strings.Builder
+	if err := WriteProm(&b, nil); err != nil || b.Len() != 0 {
+		t.Fatalf("nil registry: %q, %v", b.String(), err)
+	}
+	if err := WriteProm(&b, obs.NewMetrics()); err != nil || b.Len() != 0 {
+		t.Fatalf("empty registry: %q, %v", b.String(), err)
+	}
+}
+
+// TestWritePromSanitizesNames: names outside the Prometheus alphabet are
+// mapped into it (legacy dots become underscores, leading digits are
+// escaped) rather than emitted broken.
+func TestWritePromSanitizesNames(t *testing.T) {
+	m := obs.NewMetrics()
+	m.Counter("legacy.dotted-name").Inc()
+	m.Counter("9lives").Inc()
+
+	var b strings.Builder
+	if err := WriteProm(&b, m); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"legacy_dotted_name 1\n", "_9lives 1\n"} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("exposition lacks %q:\n%s", want, b.String())
+		}
+	}
+}
+
+// TestWritePromWriteError: writer failures surface.
+func TestWritePromWriteError(t *testing.T) {
+	m := obs.NewMetrics()
+	m.Counter("c_total").Inc()
+	if err := WriteProm(failWriter{}, m); err == nil {
+		t.Fatal("write error swallowed")
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, errors.New("sink full") }

@@ -1,0 +1,163 @@
+package export
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"sync/atomic"
+
+	"mfsynth/internal/obs"
+)
+
+// Server is the embedded debug/metrics HTTP server of one process. It
+// serves, on a single mux:
+//
+//	/metrics       Prometheus text exposition of the trace's registry
+//	/progress      server-sent-events JSON stream of live Progress snapshots
+//	/progress?once=1  one JSON snapshot (or 204 before the first update)
+//	/debug/pprof/  the standard net/http/pprof handlers
+//	/debug/vars    expvar, including the metrics snapshot as mfsynth_metrics
+//	/healthz       liveness probe
+//
+// Construct with Serve; shut down with Close.
+type Server struct {
+	tr *obs.Trace
+	ln net.Listener
+	hs *http.Server
+}
+
+// Serve starts the debug server on addr ("host:port"; ":0" picks a free
+// port — see Addr) over the given trace, enabling the trace's progress
+// bus so the hot loops start publishing. The server runs until Close.
+func Serve(addr string, tr *obs.Trace) (*Server, error) {
+	if tr == nil {
+		return nil, fmt.Errorf("export: Serve needs a non-nil trace")
+	}
+	tr.EnableProgress()
+	publishExpvar(tr)
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("export: listen %s: %w", addr, err)
+	}
+	s := &Server{tr: tr, ln: ln}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.index)
+	mux.HandleFunc("/metrics", s.metrics)
+	mux.HandleFunc("/progress", s.progress)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+
+	s.hs = &http.Server{Handler: mux}
+	go s.hs.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the bound address, resolving ":0" to the chosen port.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server immediately, dropping open SSE streams.
+func (s *Server) Close() error { return s.hs.Close() }
+
+func (s *Server) index(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	fmt.Fprint(w, `mfsynth debug server
+  /metrics        Prometheus exposition
+  /progress       live progress (SSE; ?once=1 for a single JSON snapshot)
+  /debug/pprof/   profiling
+  /debug/vars     expvar
+  /healthz        liveness
+`)
+}
+
+func (s *Server) metrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	WriteProm(w, s.tr.Metrics())
+}
+
+// progress streams Progress snapshots as server-sent events; a slow
+// client sees the newest snapshots (the bus drops oldest), and the
+// stream runs until the client disconnects. With ?once=1 it instead
+// replies with the latest snapshot as plain JSON.
+func (s *Server) progress(w http.ResponseWriter, r *http.Request) {
+	bus := s.tr.ProgressBus()
+	if r.URL.Query().Get("once") != "" {
+		snap, ok := bus.Latest()
+		if !ok {
+			w.WriteHeader(http.StatusNoContent)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(snap)
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	ch, cancel := bus.Subscribe(64)
+	defer cancel()
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case snap, ok := <-ch:
+			if !ok {
+				return
+			}
+			data, err := json.Marshal(snap)
+			if err != nil {
+				return
+			}
+			if _, err := fmt.Fprintf(w, "data: %s\n\n", data); err != nil {
+				return
+			}
+			fl.Flush()
+		}
+	}
+}
+
+// expvar bridge: /debug/vars gains an mfsynth_metrics variable holding
+// the current registry snapshot. expvar is a process-global namespace,
+// so the variable is published once and reads whichever trace the most
+// recent Serve call installed.
+var (
+	expvarOnce  sync.Once
+	expvarTrace atomic.Pointer[obs.Trace]
+)
+
+func publishExpvar(tr *obs.Trace) {
+	expvarTrace.Store(tr)
+	expvarOnce.Do(func() {
+		expvar.Publish("mfsynth_metrics", expvar.Func(func() any {
+			return expvarTrace.Load().Metrics().Snapshot()
+		}))
+		expvar.Publish("mfsynth_progress", expvar.Func(func() any {
+			snap, ok := expvarTrace.Load().ProgressBus().Latest()
+			if !ok {
+				return nil
+			}
+			return snap
+		}))
+	})
+}

@@ -1,0 +1,36 @@
+package obs
+
+import "testing"
+
+// TestFloatGauge covers the float-valued gauge: nil no-op, last-write-wins
+// semantics, registry identity, and snapshot export.
+func TestFloatGauge(t *testing.T) {
+	var nilG *FloatGauge
+	nilG.Set(3.5)
+	if nilG.Value() != 0 {
+		t.Fatal("nil FloatGauge not inert")
+	}
+	var nilM *Metrics
+	if nilM.FloatGauge("x") != nil {
+		t.Fatal("nil registry handed out a gauge")
+	}
+
+	m := NewMetrics()
+	g := m.FloatGauge("milp_gap")
+	if g.Value() != 0 {
+		t.Fatalf("initial value %g", g.Value())
+	}
+	g.Set(2.5)
+	g.Set(-0.125) // gauges go down; no high-water tracking
+	if g.Value() != -0.125 {
+		t.Fatalf("value %g, want -0.125", g.Value())
+	}
+	if m.FloatGauge("milp_gap") != g {
+		t.Fatal("registry minted a second gauge for the same name")
+	}
+
+	snap := m.Snapshot()
+	if snap == nil || snap.FloatGauges["milp_gap"] != -0.125 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+}

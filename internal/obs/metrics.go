@@ -9,10 +9,17 @@ import (
 // Metrics is a registry of named counters, gauges and histograms. All
 // operations are safe for concurrent use; a nil *Metrics (the disabled
 // path) hands out nil instruments whose methods no-op.
+//
+// Metric names follow the Prometheus convention: snake_case with a unit
+// suffix where one applies (`_total` for counters, `_us` for microsecond
+// quantities — converted to `_seconds` by the exposition writer in
+// internal/obs/export). Legacy dotted names from earlier releases are kept
+// as read aliases in the JSONL sink (see LegacyAliases).
 type Metrics struct {
 	mu       sync.Mutex
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
+	fgauges  map[string]*FloatGauge
 	hists    map[string]*Histogram
 }
 
@@ -21,6 +28,7 @@ func NewMetrics() *Metrics {
 	return &Metrics{
 		counters: map[string]*Counter{},
 		gauges:   map[string]*Gauge{},
+		fgauges:  map[string]*FloatGauge{},
 		hists:    map[string]*Histogram{},
 	}
 }
@@ -50,6 +58,23 @@ func (m *Metrics) Gauge(name string) *Gauge {
 	if !ok {
 		g = &Gauge{}
 		m.gauges[name] = g
+	}
+	m.mu.Unlock()
+	return g
+}
+
+// FloatGauge returns the named float-valued gauge, creating it on first
+// use. Float gauges carry continuous live readings (objective values,
+// bound gaps) that the integer Gauge cannot represent.
+func (m *Metrics) FloatGauge(name string) *FloatGauge {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	g, ok := m.fgauges[name]
+	if !ok {
+		g = &FloatGauge{}
+		m.fgauges[name] = g
 	}
 	m.mu.Unlock()
 	return g
@@ -142,6 +167,25 @@ func (g *Gauge) Max() int64 {
 	return g.max.Load()
 }
 
+// FloatGauge is a point-in-time float64 value (atomic bit-pattern store).
+type FloatGauge struct{ bits atomic.Uint64 }
+
+// Set replaces the value.
+func (g *FloatGauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Value returns the current value (0 before the first Set).
+func (g *FloatGauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
 // Histogram is a fixed-bucket distribution: a sample v lands in the first
 // bucket whose upper bound satisfies v <= bound, or in the overflow bucket
 // beyond the last bound.
@@ -181,9 +225,10 @@ func (h *Histogram) Count() int64 {
 
 // Snapshot is a point-in-time JSON-marshalable copy of a registry.
 type Snapshot struct {
-	Counters   map[string]int64             `json:"counters,omitempty"`
-	Gauges     map[string]GaugeSnapshot     `json:"gauges,omitempty"`
-	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+	Counters    map[string]int64             `json:"counters,omitempty"`
+	Gauges      map[string]GaugeSnapshot     `json:"gauges,omitempty"`
+	FloatGauges map[string]float64           `json:"float_gauges,omitempty"`
+	Histograms  map[string]HistogramSnapshot `json:"histograms,omitempty"`
 }
 
 // GaugeSnapshot is a gauge's exported state.
@@ -215,7 +260,7 @@ func (m *Metrics) Snapshot() *Snapshot {
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if len(m.counters) == 0 && len(m.gauges) == 0 && len(m.hists) == 0 {
+	if len(m.counters) == 0 && len(m.gauges) == 0 && len(m.fgauges) == 0 && len(m.hists) == 0 {
 		return nil
 	}
 	s := &Snapshot{}
@@ -229,6 +274,12 @@ func (m *Metrics) Snapshot() *Snapshot {
 		s.Gauges = make(map[string]GaugeSnapshot, len(m.gauges))
 		for name, g := range m.gauges {
 			s.Gauges[name] = GaugeSnapshot{Value: g.Value(), Max: g.Max()}
+		}
+	}
+	if len(m.fgauges) > 0 {
+		s.FloatGauges = make(map[string]float64, len(m.fgauges))
+		for name, g := range m.fgauges {
+			s.FloatGauges[name] = g.Value()
 		}
 	}
 	if len(m.hists) > 0 {

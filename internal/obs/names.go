@@ -1,0 +1,86 @@
+package obs
+
+// Metric-name hygiene. Registry names were renamed from the original
+// dotted scheme ("milp.simplex_pivots") to Prometheus-lint-clean
+// snake_case with unit suffixes ("milp_simplex_pivots_total"):
+// counters carry `_total`, microsecond counters carry `_us_total` (the
+// exposition writer converts them to `_seconds_total`), gauges and
+// histograms carry no suffix.
+//
+// LegacyAliases maps each renamed metric's new canonical name to its old
+// dotted name. The JSONL sink emits every aliased metric twice — once
+// under each name — for one release, so downstream consumers of the event
+// stream (and committed BENCH_table1.json baselines) have a migration
+// window; tools/benchgate normalises old names through the same table.
+
+// LegacyAliases maps new canonical metric names to the dotted names they
+// replaced. Metrics introduced after the rename have no entry.
+var LegacyAliases = map[string]string{
+	"milp_nodes_total":           "milp.nodes",
+	"milp_lp_solves_total":       "milp.lp_solves",
+	"milp_simplex_pivots_total":  "milp.simplex_pivots",
+	"milp_incumbents_total":      "milp.incumbents",
+	"milp_deadline_checks_total": "milp.deadline_checks",
+	"milp_floor_fathoms_total":   "milp.floor_fathoms",
+	"milp_warm_fathoms_total":    "milp.warm_fathoms",
+	"milp_warm_resolves_total":   "milp.warm_resolves",
+	"milp_warm_infeasible_total": "milp.warm_infeasible",
+	"milp_warm_failures_total":   "milp.warm_failures",
+	"milp_warm_fail_pivots_total": "milp.warm_fail_pivots",
+	"milp_bound_gap":             "milp.bound_gap",
+	"place_ilp_candidates_total": "place.ilp_candidates",
+	"place_repairs_total":        "place.repairs",
+	"place_ilp_solves_total":     "place.ilp_solves",
+	"place_ilp_nodes_total":      "place.ilp_nodes",
+	"place_rc_relaxed_total":     "place.rc_relaxed",
+	"place_greedy_runs_total":    "place.greedy_runs",
+	"schedule_ops_total":         "schedule.ops",
+	"schedule_makespan":          "schedule.makespan",
+	"schedule_instances":         "schedule.instances",
+	"route_nets_total":           "route.nets",
+	"route_in_place_total":       "route.in_place",
+	"route_failed_total":         "route.failed",
+	"route_dijkstra_pops_total":  "route.dijkstra_pops",
+	"route_ripups_total":         "route.ripups",
+	"route_crossings_total":      "route.crossings",
+	"route_path_len":             "route.path_len",
+	"par_queue_depth":            "par.queue_depth",
+	"par_tasks_total":            "par.tasks",
+	// par_wN_busy_us_total aliases are generated per worker id; see
+	// legacyName.
+}
+
+// legacyName returns the dotted pre-rename alias of a canonical metric
+// name, or "" when the metric never had one. Per-worker busy counters are
+// matched structurally (par_w<id>_busy_us_total -> par.w<id>.busy_us).
+func legacyName(name string) string {
+	if old, ok := LegacyAliases[name]; ok {
+		return old
+	}
+	const pre, post = "par_w", "_busy_us_total"
+	if len(name) > len(pre)+len(post) &&
+		name[:len(pre)] == pre && name[len(name)-len(post):] == post {
+		return "par.w" + name[len(pre):len(name)-len(post)] + ".busy_us"
+	}
+	return ""
+}
+
+// CanonicalName maps a legacy dotted metric name back to its canonical
+// snake_case name, returning the input unchanged when it is not a known
+// legacy name. tools/benchgate uses this to compare baselines recorded
+// before the rename against fresh snapshots.
+func CanonicalName(name string) string {
+	if canonical, ok := legacyToCanonical[name]; ok {
+		return canonical
+	}
+	return name
+}
+
+// legacyToCanonical is the inverse of LegacyAliases.
+var legacyToCanonical = func() map[string]string {
+	m := make(map[string]string, len(LegacyAliases))
+	for canonical, old := range LegacyAliases {
+		m[old] = canonical
+	}
+	return m
+}()

@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestLegacyAliasRoundTrip: the rename table inverts cleanly, worker
+// counters alias structurally, and unknown names pass through.
+func TestLegacyAliasRoundTrip(t *testing.T) {
+	for canonical, old := range LegacyAliases {
+		if got := legacyName(canonical); got != old {
+			t.Errorf("legacyName(%s) = %q, want %q", canonical, got, old)
+		}
+		if got := CanonicalName(old); got != canonical {
+			t.Errorf("CanonicalName(%s) = %q, want %q", old, got, canonical)
+		}
+		if got := CanonicalName(canonical); got != canonical {
+			t.Errorf("CanonicalName(%s) changed an already-canonical name to %q", canonical, got)
+		}
+	}
+	if got := legacyName("par_w3_busy_us_total"); got != "par.w3.busy_us" {
+		t.Errorf("worker alias = %q", got)
+	}
+	if got := legacyName("route_wirelength_total"); got != "" {
+		t.Errorf("post-rename metric gained an alias %q", got)
+	}
+	if got := CanonicalName("not.a.metric"); got != "not.a.metric" {
+		t.Errorf("unknown name rewritten to %q", got)
+	}
+}
+
+// TestCanonicalNamesAreHygienic: every canonical name in the table follows
+// the convention the package documents — snake_case (no dots), counters
+// end in _total.
+func TestCanonicalNamesAreHygienic(t *testing.T) {
+	for canonical := range LegacyAliases {
+		if strings.ContainsAny(canonical, ".-") {
+			t.Errorf("canonical name %q is not snake_case", canonical)
+		}
+	}
+}
+
+// TestJSONLCarriesLegacyAliases: the metrics line of the event stream
+// duplicates renamed metrics under their old dotted names with equal
+// values, and leaves un-renamed metrics alone.
+func TestJSONLCarriesLegacyAliases(t *testing.T) {
+	tr := New()
+	stubClock(tr)
+	m := tr.Metrics()
+	m.Counter("milp_nodes_total").Add(7)
+	m.Counter("par_w2_busy_us_total").Add(1500)
+	m.Counter("route_wirelength_total").Add(9) // introduced post-rename: no alias
+	m.Gauge("par_queue_depth").Set(3)
+	m.Histogram("route_path_len", []float64{4, 8}).Observe(5)
+	tr.Start("root").End()
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var snap *Snapshot
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var line struct {
+			Type string    `json:"type"`
+			Data *Snapshot `json:"data"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", sc.Text(), err)
+		}
+		if line.Type == "metrics" {
+			snap = line.Data
+		}
+	}
+	if snap == nil {
+		t.Fatal("no metrics line in the stream")
+	}
+
+	for canon, old := range map[string]string{
+		"milp_nodes_total":     "milp.nodes",
+		"par_w2_busy_us_total": "par.w2.busy_us",
+	} {
+		if snap.Counters[canon] != snap.Counters[old] || snap.Counters[canon] == 0 {
+			t.Errorf("counter alias %s/%s = %d/%d", canon, old, snap.Counters[canon], snap.Counters[old])
+		}
+	}
+	if _, ok := snap.Counters["route_wirelength_total"]; !ok {
+		t.Error("un-renamed counter missing")
+	}
+	if len(snap.Counters) != 5 {
+		t.Errorf("counters = %v, want 2 canonical + 2 aliases + 1 plain", snap.Counters)
+	}
+	if snap.Gauges["par_queue_depth"] != snap.Gauges["par.queue_depth"] {
+		t.Errorf("gauge alias mismatch: %v", snap.Gauges)
+	}
+	if snap.Histograms["route_path_len"].Count != snap.Histograms["route.path_len"].Count ||
+		snap.Histograms["route_path_len"].Count != 1 {
+		t.Errorf("histogram alias mismatch: %v", snap.Histograms)
+	}
+}

@@ -50,6 +50,9 @@ type Trace struct {
 	epoch   time.Time             // wall-clock anchor; span times are offsets
 	clock   func() time.Duration  // monotonic offset source (tests override)
 
+	progressMu sync.Mutex
+	progress   *ProgressBus // nil until EnableProgress
+
 	mu         sync.Mutex
 	nextID     int
 	done       []*Span // ended spans, in End order
@@ -87,6 +90,34 @@ func (t *Trace) Metrics() *Metrics {
 		return nil
 	}
 	return t.metrics
+}
+
+// EnableProgress switches on the live progress bus, creating it on first
+// call (idempotent — later calls return the same bus). Publishers in the
+// hot loops fetch the bus via ProgressBus and see nil until some consumer
+// (the debug HTTP server, a progress log) has enabled it, so the disabled
+// path stays a nil check. Returns nil on a nil trace.
+func (t *Trace) EnableProgress() *ProgressBus {
+	if t == nil {
+		return nil
+	}
+	t.progressMu.Lock()
+	defer t.progressMu.Unlock()
+	if t.progress == nil {
+		t.progress = newProgressBus(func() time.Duration { return t.clock() })
+	}
+	return t.progress
+}
+
+// ProgressBus returns the live progress bus, or nil when EnableProgress
+// has not been called (the nil bus no-ops).
+func (t *Trace) ProgressBus() *ProgressBus {
+	if t == nil {
+		return nil
+	}
+	t.progressMu.Lock()
+	defer t.progressMu.Unlock()
+	return t.progress
 }
 
 // trackLocked interns a track display name. t.mu must be held.

@@ -5,9 +5,9 @@ import "fmt"
 // PoolObserver bridges a worker pool's lifecycle callbacks onto the trace:
 // the pool becomes a span on the caller's track, every task becomes a span
 // on a per-worker "w0", "w1", … track, the number of unstarted tasks is
-// exported as the par.queue_depth gauge, and per-worker busy time
-// accumulates into par.wN.busy_us counters (idle time is the pool duration
-// minus busy time, readable off the trace).
+// exported as the par_queue_depth gauge, and per-worker busy time
+// accumulates into par_wN_busy_us_total counters (idle time is the pool
+// duration minus busy time, readable off the trace).
 //
 // The method set deliberately matches mfsynth/internal/par.Observer so the
 // adapter satisfies it structurally — obs stays free of engine imports.
@@ -37,8 +37,8 @@ func (o *PoolObserver) PoolStart(workers, tasks int) {
 	o.pool = o.parent.Start(o.label, KV("workers", workers), KV("tasks", tasks))
 	o.slots = make([]*Span, workers)
 	m := o.parent.Metrics()
-	o.queue = m.Gauge("par.queue_depth")
-	o.tasks = m.Counter("par.tasks")
+	o.queue = m.Gauge("par_queue_depth")
+	o.tasks = m.Counter("par_tasks_total")
 	o.queue.Set(int64(tasks))
 }
 
@@ -56,7 +56,7 @@ func (o *PoolObserver) TaskDone(slot, i int) {
 	o.slots[slot] = nil
 	sp.End()
 	o.parent.Metrics().
-		Counter(fmt.Sprintf("par.w%d.busy_us", slot)).
+		Counter(fmt.Sprintf("par_w%d_busy_us_total", slot)).
 		Add(sp.Duration().Microseconds())
 }
 

@@ -85,18 +85,18 @@ func TestPoolMetrics(t *testing.T) {
 	root.End()
 
 	m := tr.Metrics()
-	if q := m.Gauge("par.queue_depth"); q.Value() != 0 || q.Max() != 9 {
+	if q := m.Gauge("par_queue_depth"); q.Value() != 0 || q.Max() != 9 {
 		t.Fatalf("queue gauge value=%d max=%d, want 0 and 9", q.Value(), q.Max())
 	}
-	if n := m.Counter("par.tasks").Value(); n != 9 {
-		t.Fatalf("par.tasks = %d, want 9", n)
+	if n := m.Counter("par_tasks_total").Value(); n != 9 {
+		t.Fatalf("par_tasks_total = %d, want 9", n)
 	}
 	// Which slots ran tasks is scheduling-dependent (a fast worker may
 	// drain the whole feed), but every task accrues into some wN counter.
 	snap := m.Snapshot()
 	found := false
 	for name := range snap.Counters {
-		if len(name) > 4 && name[:5] == "par.w" {
+		if len(name) > 5 && name[:5] == "par_w" {
 			found = true
 		}
 	}

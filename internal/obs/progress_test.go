@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestProgressBusNilNoOp exercises the disabled path: a nil bus (no
+// EnableProgress call) must be inert everywhere the hot loops touch it.
+func TestProgressBusNilNoOp(t *testing.T) {
+	var b *ProgressBus
+	if id := b.NextSolve(); id != 0 {
+		t.Fatalf("nil bus NextSolve = %d", id)
+	}
+	b.Update(func(p *Progress) { p.Assay = "x" }) // must not panic
+	if _, ok := b.Latest(); ok {
+		t.Fatal("nil bus has a latest snapshot")
+	}
+	ch, cancel := b.Subscribe(4)
+	if _, ok := <-ch; ok {
+		t.Fatal("nil bus subscription not closed")
+	}
+	cancel()
+	cancel() // idempotent
+
+	// The nil *Trace path hands out a nil bus too.
+	var tr *Trace
+	if tr.EnableProgress() != nil || tr.ProgressBus() != nil {
+		t.Fatal("nil trace returned a progress bus")
+	}
+}
+
+// TestEnableProgressIdempotent: EnableProgress creates the bus once and
+// every later call (and ProgressBus) returns the same one.
+func TestEnableProgressIdempotent(t *testing.T) {
+	tr := New()
+	if tr.ProgressBus() != nil {
+		t.Fatal("bus exists before EnableProgress")
+	}
+	b := tr.EnableProgress()
+	if b == nil {
+		t.Fatal("EnableProgress returned nil")
+	}
+	if tr.EnableProgress() != b || tr.ProgressBus() != b {
+		t.Fatal("EnableProgress is not idempotent")
+	}
+}
+
+// TestProgressBusUpdateLatest: updates stamp Seq and the trace clock, and
+// Latest reflects the newest snapshot.
+func TestProgressBusUpdateLatest(t *testing.T) {
+	tr := New()
+	stubClock(tr)
+	b := tr.EnableProgress()
+
+	if _, ok := b.Latest(); ok {
+		t.Fatal("Latest ok before first Update")
+	}
+	b.Update(func(p *Progress) { p.Assay = "PCR"; p.Phase = "schedule" })
+	snap, ok := b.Latest()
+	if !ok {
+		t.Fatal("Latest not ok after Update")
+	}
+	if snap.Seq != 1 || snap.AtUS != 1000 || snap.Assay != "PCR" || snap.Phase != "schedule" {
+		t.Fatalf("snapshot = %+v, want seq 1 at 1000us", snap)
+	}
+	b.Update(func(p *Progress) { p.Phase = "place" })
+	snap, _ = b.Latest()
+	if snap.Seq != 2 || snap.AtUS != 2000 || snap.Assay != "PCR" || snap.Phase != "place" {
+		t.Fatalf("snapshot = %+v, want seq 2 carrying earlier fields", snap)
+	}
+}
+
+// TestProgressBusNextSolve hands out distinct increasing ids.
+func TestProgressBusNextSolve(t *testing.T) {
+	b := New().EnableProgress()
+	if a, c := b.NextSolve(), b.NextSolve(); a != 1 || c != 2 {
+		t.Fatalf("NextSolve = %d, %d; want 1, 2", a, c)
+	}
+}
+
+// TestProgressBusSubscribe: a subscriber receives published snapshots in
+// order; a late subscriber gets the current snapshot pre-queued.
+func TestProgressBusSubscribe(t *testing.T) {
+	b := New().EnableProgress()
+
+	early, cancelEarly := b.Subscribe(4)
+	defer cancelEarly()
+	if len(early) != 0 {
+		t.Fatal("pre-queue before any update")
+	}
+
+	b.Update(func(p *Progress) { p.Phase = "schedule" })
+	b.Update(func(p *Progress) { p.Phase = "place" })
+	if s := <-early; s.Seq != 1 || s.Phase != "schedule" {
+		t.Fatalf("first delivery = %+v", s)
+	}
+	if s := <-early; s.Seq != 2 || s.Phase != "place" {
+		t.Fatalf("second delivery = %+v", s)
+	}
+
+	late, cancelLate := b.Subscribe(4)
+	defer cancelLate()
+	if s := <-late; s.Seq != 2 || s.Phase != "place" {
+		t.Fatalf("late subscriber pre-queue = %+v, want current snapshot", s)
+	}
+}
+
+// TestProgressBusDropOldest: a full subscriber buffer loses the oldest
+// snapshot, never blocks the publisher, and the newest snapshot is always
+// retained.
+func TestProgressBusDropOldest(t *testing.T) {
+	b := New().EnableProgress()
+	ch, cancel := b.Subscribe(1)
+	defer cancel()
+
+	for i := 0; i < 5; i++ {
+		b.Update(func(p *Progress) {}) // never blocks despite the unread buffer
+	}
+	if s := <-ch; s.Seq != 5 {
+		t.Fatalf("retained snapshot seq = %d, want newest (5)", s.Seq)
+	}
+	if len(ch) != 0 {
+		t.Fatalf("buffer holds %d stale snapshots", len(ch))
+	}
+}
+
+// TestProgressBusCancel: cancel closes the stream, survives double calls,
+// and detaches the subscriber from later updates.
+func TestProgressBusCancel(t *testing.T) {
+	b := New().EnableProgress()
+	ch, cancel := b.Subscribe(1)
+	cancel()
+	cancel()
+	if _, ok := <-ch; ok {
+		t.Fatal("channel not closed by cancel")
+	}
+	b.Update(func(p *Progress) {}) // must not send on the closed channel
+}
+
+// TestProgressJSONShape pins the wire format of a snapshot: the /progress
+// SSE stream and the -progress-log JSONL file both marshal this struct.
+func TestProgressJSONShape(t *testing.T) {
+	tr := New()
+	stubClock(tr)
+	b := tr.EnableProgress()
+	b.Update(func(p *Progress) {
+		p.Assay = "PCR"
+		p.Phase = "place"
+		p.Phases = map[string]float64{"schedule": 0.25}
+		p.MILP = &MILPProgress{Solve: 3, Nodes: 512, Incumbent: 7, HasIncumbent: true, Bound: 6, Gap: 1}
+		p.Route = &RouteProgress{Nets: 10, InPlace: 4, Ripups: 1, Wirelength: 55}
+	})
+	snap, _ := b.Latest()
+	raw, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"seq":1,"at_us":1000,"assay":"PCR","phase":"place",` +
+		`"phases":{"schedule":0.25},` +
+		`"milp":{"solve":3,"nodes":512,"incumbent":7,"has_incumbent":true,"bound":6,"gap":1,"warm_resolves":0,"cold_solves":0,"incumbents":0},` +
+		`"route":{"nets":10,"in_place":4,"failed":0,"ripups":1,"wirelength":55}}`
+	if string(raw) != want {
+		t.Fatalf("snapshot JSON drifted:\n got %s\nwant %s", raw, want)
+	}
+}

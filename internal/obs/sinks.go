@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+// SinkSet collects deferred trace exports — a file path plus the writer
+// that streams one sink format (WriteText, WriteJSONL, WriteChromeTrace,
+// a progress log) — and flushes them together at the end of a run.
+//
+// Sink writes must not fail silently: Flush attempts every registered
+// sink even after one fails (a broken events file should not also cost
+// you the Chrome trace), and returns the first error encountered,
+// wrapped with the offending path. Close errors count — a short write
+// detected at close (full disk) surfaces the same way.
+type SinkSet struct {
+	sinks []deferredSink
+}
+
+type deferredSink struct {
+	path  string
+	write func(io.Writer) error
+}
+
+// Add registers a sink. An empty path is ignored, so flag values can be
+// passed through unconditionally.
+func (s *SinkSet) Add(path string, write func(io.Writer) error) {
+	if path == "" {
+		return
+	}
+	s.sinks = append(s.sinks, deferredSink{path: path, write: write})
+}
+
+// Flush writes every registered sink to its file. All sinks are
+// attempted; written lists the paths that succeeded, in Add order, and
+// err is the first failure (create, write or close).
+func (s *SinkSet) Flush() (written []string, err error) {
+	for _, sk := range s.sinks {
+		if werr := writeFile(sk.path, sk.write); werr != nil {
+			if err == nil {
+				err = werr
+			}
+			continue
+		}
+		written = append(written, sk.path)
+	}
+	return written, err
+}
+
+// writeFile creates path and streams one sink into it, reporting write
+// and close errors alike.
+func writeFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("sink %s: %w", path, err)
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return fmt.Errorf("sink %s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("sink %s: %w", path, err)
+	}
+	return nil
+}

@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestSinkSetFlushAll: every registered sink is written and reported in
+// Add order.
+func TestSinkSetFlushAll(t *testing.T) {
+	dir := t.TempDir()
+	a, b := filepath.Join(dir, "a.json"), filepath.Join(dir, "b.jsonl")
+
+	var s SinkSet
+	s.Add(a, func(w io.Writer) error { _, err := io.WriteString(w, "alpha"); return err })
+	s.Add("", func(io.Writer) error { t.Fatal("empty-path sink ran"); return nil })
+	s.Add(b, func(w io.Writer) error { _, err := io.WriteString(w, "beta"); return err })
+
+	written, err := s.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(written) != 2 || written[0] != a || written[1] != b {
+		t.Fatalf("written = %v, want [%s %s]", written, a, b)
+	}
+	for path, want := range map[string]string{a: "alpha", b: "beta"} {
+		got, err := os.ReadFile(path)
+		if err != nil || string(got) != want {
+			t.Fatalf("%s = %q (%v), want %q", path, got, err, want)
+		}
+	}
+}
+
+// TestSinkSetFirstErrorWins: a failing sink does not stop later sinks and
+// the first error surfaces wrapped with its path.
+func TestSinkSetFirstErrorWins(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	good := filepath.Join(dir, "good.json")
+	boom := errors.New("boom")
+
+	var s SinkSet
+	s.Add(bad, func(io.Writer) error { return boom })
+	s.Add(good, func(w io.Writer) error { _, err := io.WriteString(w, "ok"); return err })
+
+	written, err := s.Flush()
+	if err == nil {
+		t.Fatal("Flush swallowed the sink error")
+	}
+	if !errors.Is(err, boom) {
+		t.Fatalf("error lost the cause: %v", err)
+	}
+	if !strings.Contains(err.Error(), bad) {
+		t.Fatalf("error %q does not name the failing path %s", err, bad)
+	}
+	if len(written) != 1 || written[0] != good {
+		t.Fatalf("written = %v, want the surviving sink only", written)
+	}
+	if got, rerr := os.ReadFile(good); rerr != nil || string(got) != "ok" {
+		t.Fatalf("later sink not written: %q %v", got, rerr)
+	}
+}
+
+// TestSinkSetCreateError: an uncreatable path is an error, not a silent
+// skip.
+func TestSinkSetCreateError(t *testing.T) {
+	var s SinkSet
+	path := filepath.Join(t.TempDir(), "missing", "deep", "x.json")
+	s.Add(path, func(io.Writer) error { return nil })
+	if _, err := s.Flush(); err == nil || !strings.Contains(err.Error(), path) {
+		t.Fatalf("err = %v, want create failure naming %s", err, path)
+	}
+}
+
+// TestSinkSetEmpty: a SinkSet with nothing registered flushes cleanly.
+func TestSinkSetEmpty(t *testing.T) {
+	var s SinkSet
+	if written, err := s.Flush(); err != nil || len(written) != 0 {
+		t.Fatalf("empty Flush = %v, %v", written, err)
+	}
+}

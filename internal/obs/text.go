@@ -74,6 +74,11 @@ func (t *Trace) WriteText(w io.Writer) error {
 			return err
 		}
 	}
+	for _, name := range sortedKeys(snap.FloatGauges) {
+		if _, err := fmt.Fprintf(w, "  %-28s %g\n", name, snap.FloatGauges[name]); err != nil {
+			return err
+		}
+	}
 	for _, name := range sortedKeys(snap.Histograms) {
 		h := snap.Histograms[name]
 		var parts []string

@@ -36,6 +36,8 @@ import (
 	"fmt"
 	"runtime"
 	"runtime/debug"
+	"runtime/pprof"
+	"strconv"
 )
 
 // Workers resolves a worker-count knob: n if positive, otherwise
@@ -149,15 +151,20 @@ func MapCtx[R any](ctx context.Context, workers, n int, fn func(slot, i int) (R,
 
 	// One goroutine per slot pulling indices from a shared feed. The feed
 	// is a plain channel of indices: order of *execution* is arbitrary,
-	// order of *results* is fixed by the index-addressed slices.
+	// order of *results* is fixed by the index-addressed slices. Each
+	// worker runs under an mf_worker pprof label (on top of any labels
+	// already on ctx, e.g. core's mf_phase), so CPU profiles attribute
+	// samples to worker goroutines by slot.
 	feed := make(chan int)
 	done := make(chan struct{}, workers)
 	for slot := 0; slot < workers; slot++ {
 		go func(slot int) {
 			defer func() { done <- struct{}{} }()
-			for i := range feed {
-				run(slot, i)
-			}
+			pprof.Do(ctx, pprof.Labels("mf_worker", strconv.Itoa(slot)), func(context.Context) {
+				for i := range feed {
+					run(slot, i)
+				}
+			})
 		}(slot)
 	}
 	var ctxErr error

@@ -154,7 +154,7 @@ func (pr *problem) multiStartGreedy(sp *obs.Span, free []int, fixed map[int]arch
 	}
 	gsp.Set(obs.KV("max_pump", best.maxPump), obs.KV("rc_relaxed", best.rcRelaxed))
 	gsp.End()
-	gsp.Metrics().Counter("place.greedy_runs").Add(int64(len(variants)))
+	gsp.Metrics().Counter("place_greedy_runs_total").Add(int64(len(variants)))
 	return best.fixed, greedyInfo{maxPump: best.maxPump, rcRelaxed: best.rcRelaxed}, nil
 }
 

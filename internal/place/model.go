@@ -63,7 +63,7 @@ func (pr *problem) solveBatch(free []int, fixed map[int]arch.Placement, pump map
 		oms = append(oms, &opModel{op: op, cands: cands})
 	}
 	opts.obs.Set(obs.KV("candidates", numCands))
-	opts.obs.Metrics().Counter("place.ilp_candidates").Add(int64(numCands))
+	opts.obs.Metrics().Counter("place_ilp_candidates_total").Add(int64(numCands))
 
 	// 2. Model.
 	m := milp.NewModel()

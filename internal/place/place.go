@@ -230,7 +230,7 @@ func MapCtx(ctx context.Context, res *schedule.Result, cfg Config) (*Mapping, er
 		if iter >= maxRepairs {
 			return nil, synerr.Infeasible("place", "storage repair did not converge after %d iterations", maxRepairs)
 		}
-		cfg.Obs.Metrics().Counter("place.repairs").Inc()
+		cfg.Obs.Metrics().Counter("place_repairs_total").Inc()
 		for _, pair := range bad {
 			pr.forbidden[pair] = true
 		}
@@ -245,9 +245,9 @@ func (pr *problem) flushObs(m *Mapping) {
 	if mm == nil {
 		return
 	}
-	mm.Counter("place.ilp_solves").Add(int64(m.Stats.ILPSolves))
-	mm.Counter("place.ilp_nodes").Add(int64(m.Stats.ILPNodes))
-	mm.Counter("place.rc_relaxed").Add(int64(m.Stats.RCRelaxed))
+	mm.Counter("place_ilp_solves_total").Add(int64(m.Stats.ILPSolves))
+	mm.Counter("place_ilp_nodes_total").Add(int64(m.Stats.ILPNodes))
+	mm.Counter("place_rc_relaxed_total").Add(int64(m.Stats.RCRelaxed))
 	sp.Set(obs.KV("mode", m.Stats.Mode.String()),
 		obs.KV("repairs", m.Stats.Repairs),
 		obs.KV("ilp_nodes", m.Stats.ILPNodes),

@@ -206,9 +206,9 @@ func ListCtx(ctx context.Context, a *graph.Assay, opts Options) (*Result, error)
 	opts.Obs.Set(obs.KV("ops", a.Len()), obs.KV("makespan", res.Makespan),
 		obs.KV("instances", len(res.Instances)))
 	if m := opts.Obs.Metrics(); m != nil {
-		m.Counter("schedule.ops").Add(int64(a.Len()))
-		m.Gauge("schedule.makespan").Set(int64(res.Makespan))
-		m.Gauge("schedule.instances").Set(int64(len(res.Instances)))
+		m.Counter("schedule_ops_total").Add(int64(a.Len()))
+		m.Gauge("schedule_makespan").Set(int64(res.Makespan))
+		m.Gauge("schedule_instances").Set(int64(len(res.Instances)))
 	}
 	return res, nil
 }

@@ -34,6 +34,7 @@ import (
 	"mfsynth/internal/fault"
 	"mfsynth/internal/graph"
 	"mfsynth/internal/obs"
+	"mfsynth/internal/obs/export"
 	"mfsynth/internal/place"
 	"mfsynth/internal/report"
 	"mfsynth/internal/schedule"
@@ -167,6 +168,38 @@ func NewTrace() *Trace { return obs.New() }
 // MetricsSnapshot is a point-in-time JSON-marshalable copy of a trace's
 // metrics registry, obtained via trace.Metrics().Snapshot().
 type MetricsSnapshot = obs.Snapshot
+
+// Progress is one live snapshot of a running synthesis: active phase,
+// per-phase wall-clock, B&B incumbent/bound/gap and routing tallies.
+// Obtain a stream via trace.EnableProgress().Subscribe, or let a
+// DebugServer expose it over HTTP.
+type Progress = obs.Progress
+
+// DebugServer is the embedded debug/metrics HTTP server: /metrics
+// (Prometheus exposition), /progress (SSE), /debug/pprof and /debug/vars.
+type DebugServer = export.Server
+
+// Serve starts a DebugServer on addr over the trace, enabling its live
+// progress bus. Close the returned server when the run ends.
+func Serve(addr string, tr *Trace) (*DebugServer, error) { return export.Serve(addr, tr) }
+
+// SinkSet collects deferred trace exports (path + writer) and flushes
+// them together, attempting every sink and surfacing the first write or
+// close error instead of swallowing it.
+type SinkSet = obs.SinkSet
+
+// LogProgress streams live progress snapshots to w as JSON lines until
+// the returned stop function is called; stop reports the first
+// encode/write error. Validate the file with tools/tracecheck -progress.
+func LogProgress(tr *Trace, w io.Writer) (stop func() error) { return export.LogProgress(tr, w) }
+
+// Profiler captures continuous profiles: a whole-run CPU profile plus
+// per-phase heap snapshots (the -profile-dir flag of the cmds).
+type Profiler = export.Profiler
+
+// StartProfiler begins continuous-profile capture into dir; Close it when
+// the run ends.
+func StartProfiler(dir string, tr *Trace) (*Profiler, error) { return export.StartProfiler(dir, tr) }
 
 // Synthesize runs the full reliability-aware synthesis (Algorithm 1):
 // scheduling, dynamic-device mapping, routing, and actuation simulation.

@@ -21,6 +21,18 @@
 // output): allocs/op per benchmark must not grow by more than -threshold.
 // Times are machine-dependent and only reported; allocation counts are a
 // property of the code.
+//
+// Overhead gate (-overhead, raw output of the BenchmarkObsOverhead suite
+// in internal/obs/export): the "on" variant (live tracing, progress bus,
+// draining subscriber, scrape per run) must not run more than
+// -overhead-max (default 2%) slower than "off" (nil trace). This is the
+// only wall-clock-based gate — on/off run interleaved in one process on
+// one machine, so the ratio is meaningful where absolute times are not.
+//
+// Counter names: metric names were renamed to snake_case (see
+// internal/obs.LegacyAliases); snapshots are normalised through
+// obs.CanonicalName on load, so baselines recorded under the old dotted
+// scheme still gate.
 package main
 
 import (
@@ -32,6 +44,8 @@ import (
 	"reflect"
 	"strconv"
 	"strings"
+
+	"mfsynth/internal/obs"
 )
 
 // table1Snapshot mirrors the parts of mfbench's -json layout the gate
@@ -58,6 +72,15 @@ func loadTable1(path string) (*table1Snapshot, error) {
 	if err := json.Unmarshal(raw, &s); err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
+	// Fold legacy dotted counter names onto the canonical snake_case ones
+	// so pre-rename baselines compare against fresh snapshots. When a
+	// snapshot carries both spellings (the JSONL alias window), the two
+	// values are identical and the fold is a no-op.
+	canon := make(map[string]int64, len(s.Metrics.Counters))
+	for name, v := range s.Metrics.Counters {
+		canon[obs.CanonicalName(name)] = v
+	}
+	s.Metrics.Counters = canon
 	return &s, nil
 }
 
@@ -211,18 +234,44 @@ func compareMicro(oldPath, newPath string, threshold float64, fails *[]string) e
 	return nil
 }
 
+// compareOverhead parses BenchmarkObsOverhead/{off,on} readings from a
+// `go test -bench` output file and gates the on/off wall-clock ratio.
+func compareOverhead(path string, max float64, fails *[]string) error {
+	stats, err := parseMicro(path)
+	if err != nil {
+		return err
+	}
+	off := stats["BenchmarkObsOverhead/off"]
+	on := stats["BenchmarkObsOverhead/on"]
+	if off == nil || on == nil {
+		return fmt.Errorf("%s: need both BenchmarkObsOverhead/off and /on readings (have %d benchmarks)", path, len(stats))
+	}
+	delta := on.nsPerOp/off.nsPerOp - 1
+	fmt.Printf("obs overhead: off %.0f ns/op, on %.0f ns/op (%+.2f%%, max +%.1f%%)\n",
+		off.nsPerOp, on.nsPerOp, delta*100, max*100)
+	if delta > max {
+		*fails = append(*fails, fmt.Sprintf("observability overhead %.2f%% exceeds %.1f%%", delta*100, max*100))
+	}
+	return nil
+}
+
 func main() {
 	oldT := flag.String("old", "", "baseline Table 1 snapshot (mfbench -table1 -json)")
 	newT := flag.String("new", "", "fresh Table 1 snapshot to gate")
 	oldM := flag.String("micro-old", "", "baseline micro-benchmark output (go test -bench -benchmem)")
 	newM := flag.String("micro-new", "", "fresh micro-benchmark output to gate")
+	overhead := flag.String("overhead", "", "BenchmarkObsOverhead output to gate (go test -bench ObsOverhead)")
+	overheadMax := flag.Float64("overhead-max", 0.02, "allowed fractional obs-on/obs-off slowdown for -overhead")
 	threshold := flag.Float64("threshold", 0.10, "allowed fractional growth in gated counters and allocs/op")
-	counters := flag.String("counters", "milp.simplex_pivots,route.dijkstra_pops", "comma-separated work counters to gate")
+	counters := flag.String("counters", "milp_simplex_pivots_total,route_dijkstra_pops_total", "comma-separated work counters to gate (legacy dotted names accepted)")
 	flag.Parse()
 
 	var fails []string
 	if *oldT != "" && *newT != "" {
 		gated := strings.Split(*counters, ",")
+		for i, name := range gated {
+			gated[i] = obs.CanonicalName(name)
+		}
 		if err := compareTable1(*oldT, *newT, gated, *threshold, &fails); err != nil {
 			fmt.Fprintln(os.Stderr, "benchgate:", err)
 			os.Exit(2)
@@ -234,12 +283,18 @@ func main() {
 			os.Exit(2)
 		}
 	}
+	if *overhead != "" {
+		if err := compareOverhead(*overhead, *overheadMax, &fails); err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate:", err)
+			os.Exit(2)
+		}
+	}
 	if (*oldT == "") != (*newT == "") || (*oldM == "") != (*newM == "") {
 		fmt.Fprintln(os.Stderr, "benchgate: -old/-new and -micro-old/-micro-new must be given in pairs")
 		os.Exit(2)
 	}
-	if *oldT == "" && *oldM == "" {
-		fmt.Fprintln(os.Stderr, "benchgate: nothing to compare (pass -old/-new and/or -micro-old/-micro-new)")
+	if *oldT == "" && *oldM == "" && *overhead == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: nothing to compare (pass -old/-new, -micro-old/-micro-new and/or -overhead)")
 		os.Exit(2)
 	}
 	if len(fails) > 0 {

@@ -1,15 +1,23 @@
-// Command tracecheck validates a Chrome trace_event JSON file produced by
-// mfsynth -trace / mfbench -trace: it must parse, carry the four pipeline
-// phase slices (schedule, place, route, sim) under a synthesize root, and —
-// with -require-workers — show at least one per-worker track. CI's tier-3
-// target runs it as the trace-artefact smoke check.
+// Command tracecheck validates observability artefacts. In its default
+// mode it checks a Chrome trace_event JSON file produced by mfsynth
+// -trace / mfbench -trace: it must parse, carry the four pipeline phase
+// slices (schedule, place, route, sim) under a synthesize root, and —
+// with -require-workers — show at least one per-worker track. With
+// -progress it instead checks a live-progress JSONL log (mfsynth
+// -progress-log / the /progress SSE payloads): sequence numbers must
+// strictly increase, timestamps must not run backwards, every pipeline
+// phase must appear, and within each B&B solve the node count must not
+// shrink nor the bound gap widen. CI's tier-3 target runs both as the
+// artefact smoke checks.
 //
 // Usage:
 //
 //	tracecheck [-require-workers] trace.json
+//	tracecheck -progress progress.jsonl
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -31,9 +39,14 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("tracecheck: ")
 	requireWorkers := flag.Bool("require-workers", false, "fail unless a per-worker (wN) track is present")
+	progress := flag.Bool("progress", false, "validate a live-progress JSONL log instead of a Chrome trace")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		log.Fatal("usage: tracecheck [-require-workers] trace.json")
+		log.Fatal("usage: tracecheck [-require-workers | -progress] file")
+	}
+	if *progress {
+		checkProgress(flag.Arg(0))
+		return
 	}
 
 	data, err := os.ReadFile(flag.Arg(0))
@@ -92,4 +105,101 @@ func main() {
 
 	fmt.Printf("ok: %d slice names, %d synthesize run(s), %d worker track(s)\n",
 		len(slices), slices["synthesize"], workerTracks)
+}
+
+// progressLine mirrors obs.Progress's wire format (kept in sync by the
+// TestProgressJSONShape golden in internal/obs).
+type progressLine struct {
+	Seq   int64              `json:"seq"`
+	AtUS  int64              `json:"at_us"`
+	Phase string             `json:"phase"`
+	MILP  *milpProgress      `json:"milp"`
+	Done  bool               `json:"done"`
+	Extra map[string]float64 `json:"phases"`
+}
+
+type milpProgress struct {
+	Solve        int64   `json:"solve"`
+	Nodes        int64   `json:"nodes"`
+	HasIncumbent bool    `json:"has_incumbent"`
+	Gap          float64 `json:"gap"`
+}
+
+// checkProgress validates a progress JSONL log: monotone sequencing,
+// full phase coverage, and per-solve B&B invariants (nodes never shrink,
+// the gap never widens once an incumbent exists).
+func checkProgress(path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+
+	var (
+		n          int
+		prev       progressLine
+		phasesSeen = map[string]bool{}
+		lastNodes  = map[int64]int64{}
+		lastGap    = map[int64]float64{}
+		solves     = map[int64]bool{}
+		done       bool
+	)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var p progressLine
+		if err := json.Unmarshal(sc.Bytes(), &p); err != nil {
+			log.Fatalf("%s line %d: bad JSON: %v", path, n+1, err)
+		}
+		n++
+		if n > 1 {
+			if p.Seq <= prev.Seq {
+				log.Fatalf("line %d: seq %d not above previous %d", n, p.Seq, prev.Seq)
+			}
+			if p.AtUS < prev.AtUS {
+				log.Fatalf("line %d: at_us %d runs backwards from %d", n, p.AtUS, prev.AtUS)
+			}
+		}
+		if p.Phase != "" {
+			phasesSeen[p.Phase] = true
+		}
+		if p.MILP != nil {
+			m := p.MILP
+			solves[m.Solve] = true
+			if last, ok := lastNodes[m.Solve]; ok && m.Nodes < last {
+				log.Fatalf("line %d: solve %d node count shrank %d -> %d", n, m.Solve, last, m.Nodes)
+			}
+			lastNodes[m.Solve] = m.Nodes
+			if m.HasIncumbent {
+				if last, ok := lastGap[m.Solve]; ok && m.Gap > last+1e-9 {
+					log.Fatalf("line %d: solve %d gap widened %g -> %g", n, m.Solve, last, m.Gap)
+				}
+				lastGap[m.Solve] = m.Gap
+			}
+		}
+		done = p.Done
+		prev = p
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatal(err)
+	}
+	if n == 0 {
+		log.Fatalf("%s: no progress snapshots", path)
+	}
+	missing := []string{}
+	for _, p := range []string{"schedule", "place", "route", "sim"} {
+		if !phasesSeen[p] {
+			missing = append(missing, p)
+		}
+	}
+	if len(missing) > 0 {
+		log.Fatalf("missing phases %v (saw %v)", missing, phasesSeen)
+	}
+	if !done {
+		log.Fatal("log does not end with a done snapshot")
+	}
+	fmt.Printf("ok: %d snapshots, %d phase(s), %d B&B solve(s)\n", n, len(phasesSeen), len(solves))
 }
