@@ -1,6 +1,7 @@
-# Tier-1: the seed contract — everything builds, all tests pass.
+# Tier-1: the seed contract — everything builds, vets clean, all tests pass.
 tier1:
 	go build ./...
+	go vet ./...
 	go test ./...
 
 # Tier-2: static checks + the full suite under the race detector; the
@@ -55,6 +56,15 @@ tier5:
 	go run ./cmd/mfsynth -case PCR -mode greedy -fault-seed 7 -fault-rate $(FAULT_RATE) -verify >/dev/null
 	go run ./cmd/mfbench -campaign $(CAMPAIGN_RUNS) -fault-rate $(FAULT_RATE) -fast -verify -min-success 0.5
 
+# Tier-6: service gate — the serve suites (queue, cache, coalescing,
+# admission, drain, HTTP/SSE) plus the in-process load test under the race
+# detector, and the daemon's build-and-SIGTERM drain test. LOAD_JOBS sets
+# the concurrent-submission count of the load test (duplicate ratio 50%).
+LOAD_JOBS ?= 200
+tier6:
+	MFSERVE_LOAD_JOBS=$(LOAD_JOBS) go test -race ./internal/serve/ ./cmd/mfserved/
+	go build ./cmd/mfserved ./tools/loadgen
+
 # Serial-vs-parallel engine benchmarks (ns/op and allocs/op per worker count).
 bench-parallel:
 	go test -bench=Parallel -benchmem ./...
@@ -95,4 +105,4 @@ bench-gate:
 		-overhead .bench-overhead.txt
 	rm -f .bench-mfbench .bench-fresh.json .bench-fresh-micro.txt .bench-overhead.txt .bench-progress.jsonl
 
-.PHONY: tier1 tier1-race tier2 tier3 tier4 tier5 bench-parallel bench-json bench bench-gate
+.PHONY: tier1 tier1-race tier2 tier3 tier4 tier5 tier6 bench-parallel bench-json bench bench-gate

@@ -12,12 +12,15 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"runtime"
+	"syscall"
 	"time"
 
 	"mfsynth"
@@ -55,6 +58,13 @@ func main() {
 	)
 	flag.Parse()
 	all := !*figures && !*table1 && !*extensions && *campaign == 0
+
+	// SIGINT/SIGTERM cancels the evaluation through the synthesis
+	// contexts: in-flight cells return early, remaining sections are
+	// skipped, and the sink flushing below still runs so partial traces
+	// are not lost.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	// The trace also feeds the -json metrics snapshot and every live
 	// endpoint, so any of those flags enables it.
@@ -102,16 +112,16 @@ func main() {
 	}
 
 	if *figures || all {
-		printFigures(tr)
+		printFigures(ctx, tr)
 	}
-	if *table1 || all {
-		printTable1(*fast, *workers, *jsonOut, *doVerify, faults, *faultSeed, *faultRate, tr)
+	if (*table1 || all) && ctx.Err() == nil {
+		printTable1(ctx, *fast, *workers, *jsonOut, *doVerify, faults, *faultSeed, *faultRate, tr)
 	}
-	if *extensions || all {
-		printExtensions(*workers, tr)
+	if (*extensions || all) && ctx.Err() == nil {
+		printExtensions(ctx, *workers, tr)
 	}
-	if *campaign > 0 {
-		runCampaigns(*campaign, *faultSeed, *faultRate, *fast, *workers, *doVerify, *minSuccess)
+	if *campaign > 0 && ctx.Err() == nil {
+		runCampaigns(ctx, *campaign, *faultSeed, *faultRate, *fast, *workers, *doVerify, *minSuccess)
 	}
 
 	// Flush every sink before deciding the exit status: all sinks are
@@ -146,6 +156,9 @@ func main() {
 	if sinkErr != nil {
 		log.Fatal(sinkErr)
 	}
+	if ctx.Err() != nil {
+		log.Fatalf("interrupted by signal; partial artefacts were flushed, %d cell(s) unfinished or failed", cellsFailed)
+	}
 	if cellsFailed > 0 {
 		log.Fatalf("%d evaluation cell(s) failed", cellsFailed)
 	}
@@ -171,7 +184,7 @@ func loadFaults(file string, seed int64, rate float64) (*mfsynth.FaultSet, error
 // runCampaigns fault-injects every benchmark `runs` times under policy p1
 // and reports how gracefully the synthesis degrades. With minSuccess > 0 a
 // benchmark whose success rate falls below the bar counts as a failed cell.
-func runCampaigns(runs int, seed int64, rate float64, fast bool, workers int, doVerify bool, minSuccess float64) {
+func runCampaigns(ctx context.Context, runs int, seed int64, rate float64, fast bool, workers int, doVerify bool, minSuccess float64) {
 	if rate <= 0 {
 		rate = 0.05
 	}
@@ -181,6 +194,11 @@ func runCampaigns(runs int, seed int64, rate float64, fast bool, workers int, do
 	}
 	fmt.Printf("== Fault-injection campaign: %d runs/case, rate %.3f, seed %d ==\n", runs, rate, seed)
 	for _, name := range mfsynth.CaseNames() {
+		if ctx.Err() != nil {
+			log.Printf("%s: campaign skipped (interrupted)", name)
+			cellsFailed++
+			continue
+		}
 		c, err := mfsynth.CaseByName(name)
 		if err != nil {
 			log.Print(err)
@@ -229,7 +247,7 @@ func fanout(workers int) (outer, inner int) {
 // execution-speedup future-work direction, the wear/lifetime model and the
 // control-pin analysis. The independent case × policy cells of each section
 // are evaluated concurrently and printed in the fixed serial order.
-func printExtensions(workers int, tr *mfsynth.Trace) {
+func printExtensions(ctx context.Context, workers int, tr *mfsynth.Trace) {
 	outer, inner := fanout(workers)
 	names := mfsynth.CaseNames()
 
@@ -248,7 +266,7 @@ func printExtensions(workers int, tr *mfsynth.Trace) {
 		s   *mfsynth.Speedup
 		err error
 	}
-	speedups, perr := par.Map(outer, len(cells), func(_, i int) (speedRes, error) {
+	speedups, perr := par.MapCtx(ctx, outer, len(cells), func(_, i int) (speedRes, error) {
 		c, err := mfsynth.CaseByName(cells[i].name)
 		if err != nil {
 			return speedRes{err: err}, nil
@@ -258,8 +276,10 @@ func printExtensions(workers int, tr *mfsynth.Trace) {
 	})
 	if perr != nil {
 		// Per-cell errors ride in speedRes; an error here is a recovered
-		// worker panic and must not be dropped.
-		log.Fatal(perr)
+		// worker panic or a cancellation and must not be dropped.
+		log.Printf("speedup extension: %v", perr)
+		cellsFailed++
+		return
 	}
 	var rows []*mfsynth.Speedup
 	for i, r := range speedups {
@@ -279,13 +299,13 @@ func printExtensions(workers int, tr *mfsynth.Trace) {
 	type wearRes struct {
 		trad, ours []int
 	}
-	wearRows, err := par.Map(outer, len(names), func(_, i int) (wearRes, error) {
+	wearRows, err := par.MapCtx(ctx, outer, len(names), func(_, i int) (wearRes, error) {
 		c, _ := mfsynth.CaseByName(names[i])
 		des, err := mfsynth.Traditional(c, 1, mfsynth.DefaultCost)
 		if err != nil {
 			return wearRes{}, err
 		}
-		res, err := mfsynth.Synthesize(c.Assay, mfsynth.Options{
+		res, err := mfsynth.SynthesizeCtx(ctx, c.Assay, mfsynth.Options{
 			Policy:  mfsynth.Resources{Mixers: des.Mixers, Detectors: c.Detectors},
 			Place:   mfsynth.PlaceConfig{Grid: c.GridSize, Mode: mfsynth.GreedyPlace},
 			Workers: inner,
@@ -300,7 +320,9 @@ func printExtensions(workers int, tr *mfsynth.Trace) {
 		}, nil
 	})
 	if err != nil {
-		log.Fatal(err)
+		log.Printf("wear extension: %v", err)
+		cellsFailed++
+		return
 	}
 	for i, wr := range wearRows {
 		rt, ro := model.RunsToFirstWearout(wr.trad), model.RunsToFirstWearout(wr.ours)
@@ -317,9 +339,9 @@ func printExtensions(workers int, tr *mfsynth.Trace) {
 		contam mfsynth.ContaminationReport
 		plan   mfsynth.WashPlan
 	}
-	ctrlRows, err := par.Map(outer, len(names), func(_, i int) (ctrlRes, error) {
+	ctrlRows, err := par.MapCtx(ctx, outer, len(names), func(_, i int) (ctrlRes, error) {
 		c, _ := mfsynth.CaseByName(names[i])
-		res, err := mfsynth.Synthesize(c.Assay, mfsynth.Options{
+		res, err := mfsynth.SynthesizeCtx(ctx, c.Assay, mfsynth.Options{
 			Policy:  mfsynth.Resources{Mixers: c.BaseMixers, Detectors: c.Detectors},
 			Place:   mfsynth.PlaceConfig{Grid: c.GridSize, Mode: mfsynth.GreedyPlace},
 			Workers: inner,
@@ -337,7 +359,9 @@ func printExtensions(workers int, tr *mfsynth.Trace) {
 		}, nil
 	})
 	if err != nil {
-		log.Fatal(err)
+		log.Printf("control extension: %v", err)
+		cellsFailed++
+		return
 	}
 	for i, cr := range ctrlRows {
 		fmt.Printf("%-22s %s\n", names[i], cr.ca)
@@ -358,11 +382,11 @@ func printExtensions(workers int, tr *mfsynth.Trace) {
 		res *mfsynth.Result
 		err error
 	}
-	vitro, verr := par.Map(outer, len(sizes), func(_, i int) (vitroRes, error) {
+	vitro, verr := par.MapCtx(ctx, outer, len(sizes), func(_, i int) (vitroRes, error) {
 		s := sizes[i]
 		a := mfsynth.InVitro(s, s, 8)
 		grid := 12 + 2*(s-2)
-		res, err := mfsynth.Synthesize(a, mfsynth.Options{
+		res, err := mfsynth.SynthesizeCtx(ctx, a, mfsynth.Options{
 			Policy:  mfsynth.Resources{Mixers: map[int]int{8: s}, Detectors: s},
 			Place:   mfsynth.PlaceConfig{Grid: grid, Mode: mfsynth.GreedyPlace},
 			Workers: inner,
@@ -371,7 +395,9 @@ func printExtensions(workers int, tr *mfsynth.Trace) {
 		return vitroRes{a: a, res: res, err: err}, nil
 	})
 	if verr != nil {
-		log.Fatal(verr) // recovered worker panic
+		log.Printf("in-vitro extension: %v", verr)
+		cellsFailed++
+		return
 	}
 	for i, vr := range vitro {
 		s := sizes[i]
@@ -388,7 +414,7 @@ func printExtensions(workers int, tr *mfsynth.Trace) {
 	fmt.Println()
 }
 
-func printFigures(tr *mfsynth.Trace) {
+func printFigures(ctx context.Context, tr *mfsynth.Trace) {
 	fmt.Println("== Fig. 2 vs Fig. 3: dedicated mixer vs valve-role-changing mixer ==")
 	fmt.Println(report.Fig2vs3())
 
@@ -397,13 +423,15 @@ func printFigures(tr *mfsynth.Trace) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := mfsynth.Synthesize(c.Assay, mfsynth.Options{
+	res, err := mfsynth.SynthesizeCtx(ctx, c.Assay, mfsynth.Options{
 		Policy: mfsynth.Resources{Mixers: des.Mixers},
 		Place:  mfsynth.PlaceConfig{Grid: c.GridSize},
 		Trace:  tr,
 	})
 	if err != nil {
-		log.Fatal(err)
+		log.Printf("figures: %v", err)
+		cellsFailed++
+		return
 	}
 
 	fmt.Println("== Fig. 9: scheduling result of case PCR in p1 ==")
@@ -416,7 +444,7 @@ func printFigures(tr *mfsynth.Trace) {
 	fmt.Printf("result: %s\n\n", res)
 }
 
-func printTable1(fast bool, workers int, jsonOut string, doVerify bool, faults *mfsynth.FaultSet, faultSeed int64, faultRate float64, tr *mfsynth.Trace) {
+func printTable1(ctx context.Context, fast bool, workers int, jsonOut string, doVerify bool, faults *mfsynth.FaultSet, faultSeed int64, faultRate float64, tr *mfsynth.Trace) {
 	opts := mfsynth.Table1RowOptions{
 		Workers: workers, Trace: tr, Verify: doVerify,
 		Faults: faults, FaultSeed: faultSeed, FaultRate: faultRate,
@@ -429,10 +457,12 @@ func printTable1(fast bool, workers int, jsonOut string, doVerify bool, faults *
 	}
 	fmt.Println("== Table 1: comparison with optimal binding for traditional designs ==")
 	start := time.Now()
-	rows, err := mfsynth.Table1(opts)
+	rows, err := mfsynth.Table1Ctx(ctx, opts)
 	wall := time.Since(start)
 	if err != nil {
-		log.Fatal(err)
+		log.Printf("table1: %v", err)
+		cellsFailed++
+		return
 	}
 	fmt.Println(mfsynth.RenderTable1(rows))
 	fmt.Printf("wall-clock: %.1fs (workers %d, GOMAXPROCS %d)\n\n",

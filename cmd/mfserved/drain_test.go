@@ -1,0 +1,151 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"mfsynth/internal/serve"
+)
+
+// TestGracefulDrain is the end-to-end shutdown contract: SIGTERM while a
+// job is in flight lets the client read a complete response or a
+// structured cancellation, flushes the job-log sink, and exits 0.
+func TestGracefulDrain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the daemon binary")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "mfserved")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	jobLog := filepath.Join(dir, "jobs.jsonl")
+	cmd := exec.Command(bin,
+		"-addr", "127.0.0.1:0",
+		"-workers", "2",
+		"-drain-timeout", "2s",
+		"-joblog", jobLog)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	// The first stdout line announces the bound address.
+	sc := bufio.NewScanner(stdout)
+	if !sc.Scan() {
+		t.Fatal("daemon exited before announcing its address")
+	}
+	line := sc.Text()
+	addr := line[strings.LastIndex(line, " ")+1:]
+	base := "http://" + addr
+	go func() { // drain remaining stdout so the child never blocks on it
+		for sc.Scan() {
+		}
+	}()
+
+	// Submit a slow job: a monolithic ILP solve comfortably outlives the
+	// SIGTERM we are about to send.
+	body := `{"case":"PCR","policy":1,"options":{"mode":"monolithic"}}`
+	resp, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sub struct {
+		serve.JobView
+		Via string `json:"via"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d: %+v", resp.StatusCode, sub)
+	}
+
+	// Open the event stream first, then pull the rug.
+	eresp, err := http.Get(base + "/v1/jobs/" + sub.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eresp.Body.Close()
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+
+	// The stream must still deliver the terminal state: a complete result
+	// or a structured cancellation, never a dropped connection.
+	var final serve.JobView
+	es := bufio.NewScanner(eresp.Body)
+	sawDone := false
+	for es.Scan() {
+		if !sawDone {
+			sawDone = es.Text() == "event: done"
+			continue
+		}
+		if data, ok := strings.CutPrefix(es.Text(), "data: "); ok {
+			if err := json.Unmarshal([]byte(data), &final); err != nil {
+				t.Fatalf("bad done payload: %v\n%s", err, data)
+			}
+			break
+		}
+	}
+	if !sawDone {
+		t.Fatalf("event stream closed without a done event (read error: %v)", es.Err())
+	}
+	switch final.State {
+	case serve.StateDone:
+		if final.Result == nil || final.Result.Fingerprint == "" {
+			t.Fatalf("done without a result: %+v", final)
+		}
+	case serve.StateCancelled, serve.StateFailed:
+		if final.Error == nil {
+			t.Fatalf("%s without a structured problem: %+v", final.State, final)
+		}
+	default:
+		t.Fatalf("non-terminal state %q after drain", final.State)
+	}
+
+	// The process itself must exit 0 with the job log flushed.
+	exited := make(chan error, 1)
+	go func() { exited <- cmd.Wait() }()
+	select {
+	case err := <-exited:
+		if err != nil {
+			t.Fatalf("daemon exit: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not exit after SIGTERM")
+	}
+
+	data, err := os.ReadFile(jobLog)
+	if err != nil {
+		t.Fatalf("job log not flushed: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) == 0 || lines[0] == "" {
+		t.Fatal("job log is empty")
+	}
+	var logged serve.JobView
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &logged); err != nil {
+		t.Fatalf("job log line is not valid JSON: %v\n%s", err, lines[len(lines)-1])
+	}
+	if logged.ID != sub.ID || logged.State != final.State {
+		t.Fatalf("job log disagrees with the event stream: %+v vs %+v", logged, final)
+	}
+}

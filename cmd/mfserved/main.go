@@ -1,0 +1,157 @@
+// Command mfserved is the synthesis-as-a-service daemon: a long-running
+// HTTP server that queues synthesis jobs, runs them on a bounded worker
+// fleet, caches results by canonical request fingerprint, and sheds load
+// with structured 429/503 problems when over capacity.
+//
+// Usage:
+//
+//	mfserved -addr :8547 -workers 4 -cache 1024
+//	curl -d '{"case":"PCR","policy":1}' http://localhost:8547/v1/jobs
+//	curl http://localhost:8547/v1/jobs/j000001/events   # live SSE progress
+//	curl http://localhost:8547/v1/stats
+//
+// SIGINT/SIGTERM drains gracefully: intake stops (new submissions get
+// 503), queued and running jobs finish within -drain-timeout (stragglers
+// are cancelled through their contexts and answer with a structured
+// cancellation), sinks are flushed, and the process exits 0.
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
+
+	"mfsynth/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("mfserved: ")
+
+	var (
+		addr         = flag.String("addr", ":8547", "HTTP listen address (use 127.0.0.1:0 for an ephemeral port)")
+		workers      = flag.Int("workers", 0, "synthesis worker fleet size (0 = all CPUs); in-flight jobs never exceed this")
+		queueDepth   = flag.Int("queue", 64, "job queue depth; a full queue sheds with 429 + Retry-After")
+		cacheSize    = flag.Int("cache", 512, "result cache entries, keyed by canonical request fingerprint (0 = no cache)")
+		rate         = flag.Float64("rate", 0, "per-client submissions per second (0 = unlimited)")
+		burst        = flag.Int("burst", 16, "per-client submission burst size (with -rate)")
+		maxJobs      = flag.Int("max-jobs", 4096, "retained job records; the oldest finished jobs are forgotten first")
+		deadline     = flag.Duration("deadline", 0, "default per-job synthesis deadline (0 = unbounded; requests may set their own)")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown grace for queued and running jobs")
+		jobLogPath   = flag.String("joblog", "", "append one JSON line per finished job to this file (flushed on drain)")
+	)
+	flag.Parse()
+
+	cfg := serve.Config{
+		Workers:         *workers,
+		QueueDepth:      *queueDepth,
+		CacheEntries:    *cacheSize,
+		RatePerSec:      *rate,
+		Burst:           *burst,
+		MaxJobRecords:   *maxJobs,
+		DefaultDeadline: *deadline,
+	}
+	var sink *jobLogSink
+	if *jobLogPath != "" {
+		var err error
+		sink, err = openJobLog(*jobLogPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.OnJobDone = sink.Log
+	}
+	s := serve.New(cfg)
+
+	// Install the signal handler before announcing readiness: anyone who
+	// has seen the listening line may SIGTERM us and expect a drain.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	httpSrv := &http.Server{Handler: s.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+	// The listening line is a stable contract: tooling (and the drain
+	// test) parses it to learn the bound address.
+	fmt.Printf("mfserved listening on %s\n", ln.Addr())
+
+	select {
+	case <-ctx.Done():
+	case err := <-serveErr:
+		log.Fatal(err)
+	}
+	stop() // a second signal kills immediately instead of waiting out the drain
+
+	log.Printf("signal received; draining (grace %s)", *drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := s.Drain(drainCtx); err != nil {
+		log.Printf("drain grace expired; in-flight jobs cancelled (%v)", err)
+	}
+	// Jobs are all terminal now; let pollers and event streams read their
+	// final state, then close the listener.
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("http serve: %v", err)
+	}
+	if sink != nil {
+		if err := sink.Close(); err != nil {
+			log.Fatalf("flushing job log: %v", err)
+		}
+	}
+	st := s.Stats()
+	log.Printf("drained: %d completed, %d failed, %d cancelled; bye", st.Completed, st.Failed, st.Cancelled)
+}
+
+// jobLogSink appends one JSON line per finished job; Close flushes before
+// the process exits so a drain never loses records.
+type jobLogSink struct {
+	mu sync.Mutex
+	f  *os.File
+	bw *bufio.Writer
+}
+
+func openJobLog(path string) (*jobLogSink, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &jobLogSink{f: f, bw: bufio.NewWriter(f)}, nil
+}
+
+func (s *jobLogSink) Log(v serve.JobView) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	enc := json.NewEncoder(s.bw)
+	if err := enc.Encode(v); err != nil {
+		log.Printf("job log: %v", err)
+	}
+}
+
+func (s *jobLogSink) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.bw.Flush(); err != nil {
+		s.f.Close()
+		return err
+	}
+	return s.f.Close()
+}

@@ -8,11 +8,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"mfsynth"
 )
@@ -45,6 +48,13 @@ func main() {
 		faultRate = flag.Float64("fault-rate", 0, "per-valve defect probability for -fault-seed (e.g. 0.05)")
 	)
 	flag.Parse()
+
+	// SIGINT/SIGTERM cancel the synthesis through the context rather than
+	// killing the process: the run returns a structured error and the sink
+	// flushing below still happens, so a trace or events file from an
+	// interrupted run is valid up to the cut.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	var tr *mfsynth.Trace
 	if *traceOut != "" || *eventsOut != "" || *stats ||
@@ -84,143 +94,150 @@ func main() {
 		}
 	}
 
-	placeMode, err := parseMode(*mode)
-	if err != nil {
-		log.Fatal(err)
-	}
+	// The synthesis body runs inside a closure so every exit path — success,
+	// error, or signal cancellation — falls through to the sink flushing
+	// below instead of log.Fatal-ing past it.
+	run := func() error {
+		placeMode, err := parseMode(*mode)
+		if err != nil {
+			return err
+		}
 
-	var c mfsynth.Case
-	if *assayFile != "" {
-		f, err := os.Open(*assayFile)
-		if err != nil {
-			log.Fatal(err)
+		var c mfsynth.Case
+		if *assayFile != "" {
+			f, err := os.Open(*assayFile)
+			if err != nil {
+				return err
+			}
+			a, err := mfsynth.ParseAssay(f)
+			f.Close()
+			if err != nil {
+				return err
+			}
+			c = mfsynth.Case{Assay: a, GridSize: 12, BaseMixers: map[int]int{}}
+			for _, id := range a.MixOps() {
+				c.BaseMixers[a.Volume(id)] = 1
+			}
+		} else {
+			c, err = mfsynth.CaseByName(*caseName)
+			if err != nil {
+				return err
+			}
 		}
-		a, err := mfsynth.ParseAssay(f)
-		f.Close()
-		if err != nil {
-			log.Fatal(err)
+		if *grid > 0 {
+			c.GridSize = *grid
 		}
-		c = mfsynth.Case{Assay: a, GridSize: 12, BaseMixers: map[int]int{}}
-		for _, id := range a.MixOps() {
-			c.BaseMixers[a.Volume(id)] = 1
-		}
-	} else {
-		c, err = mfsynth.CaseByName(*caseName)
-		if err != nil {
-			log.Fatal(err)
-		}
-	}
-	if *grid > 0 {
-		c.GridSize = *grid
-	}
 
-	// Fault injection: an explicit spec file wins over seeded generation.
-	var faults *mfsynth.FaultSet
-	switch {
-	case *faultFile != "":
-		f, err := os.Open(*faultFile)
-		if err != nil {
-			log.Fatal(err)
+		// Fault injection: an explicit spec file wins over seeded generation.
+		var faults *mfsynth.FaultSet
+		switch {
+		case *faultFile != "":
+			f, err := os.Open(*faultFile)
+			if err != nil {
+				return err
+			}
+			faults, err = mfsynth.ParseFaults(f)
+			f.Close()
+			if err != nil {
+				return err
+			}
+		case *faultRate > 0:
+			faults = mfsynth.GenerateFaults(*faultSeed, mfsynth.FaultGenOptions{
+				Grid: c.GridSize, Rate: *faultRate, KeepPorts: true,
+			})
 		}
-		faults, err = mfsynth.ParseFaults(f)
-		f.Close()
-		if err != nil {
-			log.Fatal(err)
-		}
-	case *faultRate > 0:
-		faults = mfsynth.GenerateFaults(*faultSeed, mfsynth.FaultGenOptions{
-			Grid: c.GridSize, Rate: *faultRate, KeepPorts: true,
+
+		row, err := mfsynth.EvaluateRowCtx(ctx, c, *policy, mfsynth.Table1RowOptions{
+			Mode: placeMode, Grid: c.GridSize, Workers: *workers, Faults: faults,
 		})
-	}
-
-	row, err := mfsynth.EvaluateRow(c, *policy, mfsynth.Table1RowOptions{
-		Mode: placeMode, Grid: c.GridSize, Workers: *workers, Faults: faults,
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	// Re-run the synthesis to get the full result for rendering.
-	des, err := mfsynth.Traditional(c, *policy, mfsynth.DefaultCost)
-	if err != nil {
-		log.Fatal(err)
-	}
-	res, err := mfsynth.Synthesize(c.Assay, mfsynth.Options{
-		Policy:  mfsynth.Resources{Mixers: des.Mixers, Detectors: c.Detectors},
-		Place:   mfsynth.PlaceConfig{Grid: c.GridSize, Mode: placeMode},
-		Workers: *workers,
-		Trace:   tr,
-		Faults:  faults,
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	fmt.Printf("%s (policy p%d, %s mapping, %dx%d valve matrix)\n",
-		c.Assay.Name, *policy, *mode, c.GridSize, c.GridSize)
-	fmt.Printf("  operations:        %s\n", c.Assay.Stats())
-	fmt.Printf("  setting 1:         vs_max %d (pump %d)\n", res.VsMax1, res.VsPump1)
-	fmt.Printf("  setting 2:         vs_max %d (pump %d)\n", res.VsMax2, res.VsPump2)
-	fmt.Printf("  valves used:       %d of %d virtual\n", res.UsedValves, c.GridSize*c.GridSize)
-	if !faults.Empty() {
-		fmt.Printf("  faults injected:   %d defective valve(s)\n", faults.Len())
-	}
-	if res.Degraded() {
-		fmt.Printf("  degradation:       %s\n", res.Degradation)
-	} else if !faults.Empty() {
-		fmt.Printf("  degradation:       none (nominal result despite faults)\n")
-	}
-	if *compare {
-		fmt.Printf("  traditional:       vs_tmax %d with %d valves (#d %d, #m %s)\n",
-			des.VsTmax, des.Valves, des.NumDevices, des.MixVector())
-		fmt.Printf("  improvement:       %.2f%% (setting 1), %.2f%% (setting 2), %.2f%% valves\n",
-			row.Imp1, row.Imp2, row.ImpV)
-	}
-	fmt.Printf("  runtime:           %s\n", res.Runtime.Round(res.Runtime/100+1))
-	if *doVerify {
-		rep := mfsynth.Verify(res)
-		fmt.Printf("  conformance:       %d checks, %d violation(s)\n", rep.Checks, len(rep.Violations))
-		if !rep.Clean() {
-			log.Fatalf("conformance audit failed:\n%s", rep)
-		}
-	}
-
-	if *gantt {
-		fmt.Println("\nScheduling result:")
-		fmt.Println(res.Schedule.Gantt())
-	}
-	if *snapshots {
-		fmt.Println("\nChip snapshots:")
-		for _, t := range res.SnapshotTimes() {
-			fmt.Println(res.Snapshot(t))
-		}
-	}
-	if *svgOut != "" {
-		f, err := os.Create(*svgOut)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		if err := mfsynth.WriteSVG(f, res, mfsynth.SVGOptions{At: -1}); err != nil {
-			log.Fatal(err)
-		}
-		if err := f.Close(); err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("wrote %s\n", *svgOut)
-	}
-	if *dotOut != "" {
-		f, err := os.Create(*dotOut)
+
+		// Re-run the synthesis to get the full result for rendering.
+		des, err := mfsynth.Traditional(c, *policy, mfsynth.DefaultCost)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		if err := mfsynth.WriteDOT(f, c.Assay); err != nil {
-			log.Fatal(err)
+		res, err := mfsynth.SynthesizeCtx(ctx, c.Assay, mfsynth.Options{
+			Policy:  mfsynth.Resources{Mixers: des.Mixers, Detectors: c.Detectors},
+			Place:   mfsynth.PlaceConfig{Grid: c.GridSize, Mode: placeMode},
+			Workers: *workers,
+			Trace:   tr,
+			Faults:  faults,
+		})
+		if err != nil {
+			return err
 		}
-		if err := f.Close(); err != nil {
-			log.Fatal(err)
+
+		fmt.Printf("%s (policy p%d, %s mapping, %dx%d valve matrix)\n",
+			c.Assay.Name, *policy, *mode, c.GridSize, c.GridSize)
+		fmt.Printf("  operations:        %s\n", c.Assay.Stats())
+		fmt.Printf("  setting 1:         vs_max %d (pump %d)\n", res.VsMax1, res.VsPump1)
+		fmt.Printf("  setting 2:         vs_max %d (pump %d)\n", res.VsMax2, res.VsPump2)
+		fmt.Printf("  valves used:       %d of %d virtual\n", res.UsedValves, c.GridSize*c.GridSize)
+		if !faults.Empty() {
+			fmt.Printf("  faults injected:   %d defective valve(s)\n", faults.Len())
 		}
-		fmt.Printf("wrote %s\n", *dotOut)
+		if res.Degraded() {
+			fmt.Printf("  degradation:       %s\n", res.Degradation)
+		} else if !faults.Empty() {
+			fmt.Printf("  degradation:       none (nominal result despite faults)\n")
+		}
+		if *compare {
+			fmt.Printf("  traditional:       vs_tmax %d with %d valves (#d %d, #m %s)\n",
+				des.VsTmax, des.Valves, des.NumDevices, des.MixVector())
+			fmt.Printf("  improvement:       %.2f%% (setting 1), %.2f%% (setting 2), %.2f%% valves\n",
+				row.Imp1, row.Imp2, row.ImpV)
+		}
+		fmt.Printf("  runtime:           %s\n", res.Runtime.Round(res.Runtime/100+1))
+		if *doVerify {
+			rep := mfsynth.Verify(res)
+			fmt.Printf("  conformance:       %d checks, %d violation(s)\n", rep.Checks, len(rep.Violations))
+			if !rep.Clean() {
+				return fmt.Errorf("conformance audit failed:\n%s", rep)
+			}
+		}
+
+		if *gantt {
+			fmt.Println("\nScheduling result:")
+			fmt.Println(res.Schedule.Gantt())
+		}
+		if *snapshots {
+			fmt.Println("\nChip snapshots:")
+			for _, t := range res.SnapshotTimes() {
+				fmt.Println(res.Snapshot(t))
+			}
+		}
+		if *svgOut != "" {
+			f, err := os.Create(*svgOut)
+			if err != nil {
+				return err
+			}
+			if err := mfsynth.WriteSVG(f, res, mfsynth.SVGOptions{At: -1}); err != nil {
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", *svgOut)
+		}
+		if *dotOut != "" {
+			f, err := os.Create(*dotOut)
+			if err != nil {
+				return err
+			}
+			if err := mfsynth.WriteDOT(f, c.Assay); err != nil {
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", *dotOut)
+		}
+		return nil
 	}
+	runErr := run()
 	// Flush every sink before exiting: all sinks are attempted even when
 	// one fails, and the first error is fatal rather than silently dropped.
 	var sinks mfsynth.SinkSet
@@ -249,7 +266,12 @@ func main() {
 			fmt.Printf("wrote profiles to %s\n", *profDir)
 		}
 	}
-	if sinkErr != nil {
+	switch {
+	case runErr != nil && ctx.Err() != nil:
+		log.Fatalf("interrupted by signal; observability sinks were flushed with the partial run (%v)", runErr)
+	case runErr != nil:
+		log.Fatal(runErr)
+	case sinkErr != nil:
 		log.Fatal(sinkErr)
 	}
 }

@@ -75,47 +75,11 @@ func (t *Trace) WriteJSONL(w io.Writer) error {
 		}
 	}
 	if snap := t.metrics.Snapshot(); snap != nil {
-		if err := enc.Encode(jsonlMetrics{Type: "metrics", Data: withLegacyAliases(snap)}); err != nil {
+		if err := enc.Encode(jsonlMetrics{Type: "metrics", Data: snap}); err != nil {
 			return err
 		}
 	}
 	return nil
-}
-
-// withLegacyAliases duplicates every renamed metric under its pre-rename
-// dotted name (see LegacyAliases) so JSONL consumers written against the
-// old scheme keep working for one release. The input snapshot is not
-// modified.
-func withLegacyAliases(snap *Snapshot) *Snapshot {
-	out := &Snapshot{FloatGauges: snap.FloatGauges}
-	if snap.Counters != nil {
-		out.Counters = make(map[string]int64, 2*len(snap.Counters))
-		for name, v := range snap.Counters {
-			out.Counters[name] = v
-			if old := legacyName(name); old != "" {
-				out.Counters[old] = v
-			}
-		}
-	}
-	if snap.Gauges != nil {
-		out.Gauges = make(map[string]GaugeSnapshot, 2*len(snap.Gauges))
-		for name, v := range snap.Gauges {
-			out.Gauges[name] = v
-			if old := legacyName(name); old != "" {
-				out.Gauges[old] = v
-			}
-		}
-	}
-	if snap.Histograms != nil {
-		out.Histograms = make(map[string]HistogramSnapshot, 2*len(snap.Histograms))
-		for name, v := range snap.Histograms {
-			out.Histograms[name] = v
-			if old := legacyName(name); old != "" {
-				out.Histograms[old] = v
-			}
-		}
-	}
-	return out
 }
 
 // attrMap flattens attrs for JSON embedding (last writer wins on key

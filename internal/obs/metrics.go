@@ -13,8 +13,7 @@ import (
 // Metric names follow the Prometheus convention: snake_case with a unit
 // suffix where one applies (`_total` for counters, `_us` for microsecond
 // quantities — converted to `_seconds` by the exposition writer in
-// internal/obs/export). Legacy dotted names from earlier releases are kept
-// as read aliases in the JSONL sink (see LegacyAliases).
+// internal/obs/export).
 type Metrics struct {
 	mu       sync.Mutex
 	counters map[string]*Counter

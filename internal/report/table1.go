@@ -1,6 +1,7 @@
 package report
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -76,6 +77,13 @@ type RowOptions struct {
 
 // Table1Row evaluates one benchmark × policy cell of Table 1.
 func Table1Row(c assays.Case, policy int, opts RowOptions) (*Row, error) {
+	return Table1RowCtx(context.Background(), c, policy, opts)
+}
+
+// Table1RowCtx is Table1Row with cancellation: the synthesis run checks
+// ctx between phases and inside the solvers, so an interrupted evaluation
+// returns promptly with an error matching synerr.ErrDeadline.
+func Table1RowCtx(ctx context.Context, c assays.Case, policy int, opts RowOptions) (*Row, error) {
 	des, err := baseline.Traditional(c, policy, baseline.DefaultCost)
 	if err != nil {
 		return nil, err
@@ -89,7 +97,7 @@ func Table1Row(c assays.Case, policy int, opts RowOptions) (*Row, error) {
 			Grid: grid, Rate: opts.FaultRate, KeepPorts: true,
 		})
 	}
-	res, err := core.Synthesize(c.Assay, core.Options{
+	res, err := core.SynthesizeCtx(ctx, c.Assay, core.Options{
 		Policy:  schedule.Resources{Mixers: des.Mixers, Detectors: c.Detectors},
 		Place:   place.Config{Grid: grid, Mode: opts.Mode},
 		Workers: opts.Workers,
@@ -139,6 +147,13 @@ func improvement(base, ours int) float64 {
 // they are evaluated concurrently; the row order (and every metric) is the
 // same as in a serial run.
 func Table1(opts RowOptions) ([]*Row, error) {
+	return Table1Ctx(context.Background(), opts)
+}
+
+// Table1Ctx is Table1 with cancellation: pending cells are skipped once
+// ctx is cut and in-flight cells return early, so an interrupted
+// evaluation fails promptly instead of finishing the sweep.
+func Table1Ctx(ctx context.Context, opts RowOptions) ([]*Row, error) {
 	type cell struct {
 		c      assays.Case
 		policy int
@@ -160,8 +175,8 @@ func Table1(opts RowOptions) ([]*Row, error) {
 		// serially to avoid oversubscribing the machine.
 		rowOpts.Workers = 1
 	}
-	rows, err := par.Map(workers, len(cells), func(_, i int) (*Row, error) {
-		row, err := Table1Row(cells[i].c, cells[i].policy, rowOpts)
+	rows, err := par.MapCtx(ctx, workers, len(cells), func(_, i int) (*Row, error) {
+		row, err := Table1RowCtx(ctx, cells[i].c, cells[i].policy, rowOpts)
 		if err != nil {
 			return nil, fmt.Errorf("%s p%d: %w", cells[i].c.Assay.Name, cells[i].policy, err)
 		}

@@ -1,0 +1,86 @@
+package serve
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// rateLimiter is per-client token-bucket admission control: each client
+// id owns a bucket refilled at rate tokens/second up to burst. A request
+// costs one token; an empty bucket is a shed (429) with a Retry-After
+// derived from the refill rate, so well-behaved clients back off instead
+// of hammering a collapsing server.
+//
+// Buckets are pruned opportunistically once the table grows past
+// maxClients: any bucket that has been idle long enough to refill
+// completely carries no state worth keeping (a fresh bucket behaves
+// identically), so dropping it cannot grant extra tokens.
+type rateLimiter struct {
+	rate  float64 // tokens per second; <= 0 disables limiting
+	burst float64
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+	now     func() time.Time // injectable clock for tests
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// maxClients bounds the bucket table before idle pruning kicks in.
+const maxClients = 4096
+
+func newRateLimiter(rate float64, burst int) *rateLimiter {
+	if burst < 1 {
+		burst = 1
+	}
+	return &rateLimiter{
+		rate:    rate,
+		burst:   float64(burst),
+		buckets: make(map[string]*bucket),
+		now:     time.Now,
+	}
+}
+
+// Allow spends one token of the client's bucket. When the bucket is
+// empty it returns false and the duration after which one token will be
+// available (the Retry-After hint).
+func (l *rateLimiter) Allow(client string) (ok bool, retryAfter time.Duration) {
+	if l == nil || l.rate <= 0 {
+		return true, 0
+	}
+	now := l.now()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b, ok2 := l.buckets[client]
+	if !ok2 {
+		if len(l.buckets) >= maxClients {
+			l.prune(now)
+		}
+		b = &bucket{tokens: l.burst, last: now}
+		l.buckets[client] = b
+	} else {
+		b.tokens = math.Min(l.burst, b.tokens+now.Sub(b.last).Seconds()*l.rate)
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	need := (1 - b.tokens) / l.rate
+	return false, time.Duration(math.Ceil(need)) * time.Second
+}
+
+// prune drops buckets idle long enough to be full again. Called with the
+// lock held.
+func (l *rateLimiter) prune(now time.Time) {
+	idle := time.Duration(l.burst/l.rate*float64(time.Second)) + time.Second
+	for id, b := range l.buckets {
+		if now.Sub(b.last) > idle {
+			delete(l.buckets, id)
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// resultCache is the LRU result cache, keyed by the canonical request
+// fingerprint (verify.RequestFingerprint). Safe because the engine is
+// deterministic: equal request fingerprints imply bit-identical results,
+// so a cached ResultView can be returned verbatim — its result
+// fingerprint equals what a fresh synthesis of the same request would
+// produce (the load test asserts exactly this).
+type resultCache struct {
+	mu      sync.Mutex
+	cap     int
+	order   *list.List // front = most recently used; values are *cacheEntry
+	entries map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key string
+	res *ResultView
+}
+
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{
+		cap:     capacity,
+		order:   list.New(),
+		entries: make(map[string]*list.Element, capacity),
+	}
+}
+
+// Get returns the cached result for the fingerprint and refreshes its
+// recency. The returned view is shared and must be treated as immutable.
+func (c *resultCache) Get(fp string) (*ResultView, bool) {
+	if c == nil || c.cap <= 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[fp]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).res, true
+}
+
+// Put stores a completed result, evicting the least recently used entry
+// beyond capacity. It reports the number of evictions (0 or 1).
+func (c *resultCache) Put(fp string, res *ResultView) int {
+	if c == nil || c.cap <= 0 {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[fp]; ok {
+		el.Value.(*cacheEntry).res = res
+		c.order.MoveToFront(el)
+		return 0
+	}
+	c.entries[fp] = c.order.PushFront(&cacheEntry{key: fp, res: res})
+	evicted := 0
+	for c.order.Len() > c.cap {
+		back := c.order.Back()
+		c.order.Remove(back)
+		delete(c.entries, back.Value.(*cacheEntry).key)
+		evicted++
+	}
+	return evicted
+}
+
+// Cap is the configured capacity (0 = disabled).
+func (c *resultCache) Cap() int {
+	if c == nil {
+		return 0
+	}
+	return c.cap
+}
+
+// Len is the current entry count.
+func (c *resultCache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

@@ -1,0 +1,149 @@
+package serve
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"sync"
+	"testing"
+
+	"mfsynth/internal/core"
+	"mfsynth/internal/verify"
+)
+
+// loadJobs picks the load-test size: MFSERVE_LOAD_JOBS wins, -short runs
+// the scaled-down CI variant, the default is the full acceptance load.
+func loadJobs(t *testing.T) int {
+	if v := os.Getenv("MFSERVE_LOAD_JOBS"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 2 {
+			t.Fatalf("bad MFSERVE_LOAD_JOBS=%q", v)
+		}
+		return n
+	}
+	if testing.Short() {
+		return 200
+	}
+	return 1000
+}
+
+// TestLoadConcurrentSubmissions is the service's load harness: it fires
+// many concurrent submissions with an exact 50% duplicate ratio and then
+// reconciles every acceptance property of the tier —
+//
+//   - zero failed, cancelled or shed jobs;
+//   - in-flight synthesis never exceeds the worker budget (PeakRunning);
+//   - Fresh equals the number of distinct requests (each synthesized
+//     exactly once) and Coalesced+CacheHits equals the duplicate count;
+//   - every response is bit-identical (same result fingerprint) across
+//     the fresh, coalesced and cached paths, and sampled requests match
+//     a single-shot engine run of the same input.
+func TestLoadConcurrentSubmissions(t *testing.T) {
+	jobs := loadJobs(t)
+	unique := jobs / 2
+	jobs = unique * 2 // exact 50% duplicate ratio
+
+	const workers = 4
+	s := New(Config{Workers: workers, QueueDepth: jobs, CacheEntries: unique})
+	defer s.Close()
+
+	// Each distinct request is the same tiny assay with a distinct pump
+	// actuation count: semantically different options, hence different
+	// request and result fingerprints, at identical synthesis cost.
+	type outcome struct {
+		key int
+		via SubmitOutcome
+		fp  string
+	}
+	order := make([]int, 0, jobs)
+	for k := 0; k < unique; k++ {
+		order = append(order, k, k)
+	}
+	rng := rand.New(rand.NewSource(1))
+	rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+
+	results := make([]outcome, jobs)
+	var wg sync.WaitGroup
+	for i, key := range order {
+		wg.Add(1)
+		go func(i, key int) {
+			defer wg.Done()
+			j, via, _, err := s.Submit(fmt.Sprintf("client%d", i%8), tinyAssay("load"), tinyOpts(10+key), 0)
+			if err != nil {
+				t.Errorf("submit %d: %v", i, err)
+				return
+			}
+			if j == nil {
+				t.Errorf("submit %d shed: %v", i, via)
+				return
+			}
+			<-j.Done()
+			v := j.View()
+			if v.State != StateDone || v.Result == nil {
+				t.Errorf("job %s (req %d): state %s error %+v", j.ID, key, v.State, v.Error)
+				return
+			}
+			results[i] = outcome{key: key, via: via, fp: v.Result.Fingerprint}
+		}(i, key)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	// Bit-identity within each request: all submissions of the same input
+	// returned the same result fingerprint, whichever path served them.
+	byKey := map[int]string{}
+	for _, r := range results {
+		if prev, ok := byKey[r.key]; ok && prev != r.fp {
+			t.Errorf("request %d: fingerprints diverged: %s vs %s", r.key, prev, r.fp)
+		}
+		byKey[r.key] = r.fp
+	}
+
+	// Bit-identity against the engine: sampled requests match a fresh
+	// single-shot run outside the service.
+	sample := unique / 20
+	if sample < 5 {
+		sample = 5
+	}
+	for i := 0; i < sample; i++ {
+		key := (i * unique) / sample
+		direct, err := core.Synthesize(tinyAssay("load"), tinyOpts(10+key))
+		if err != nil {
+			t.Fatalf("single-shot %d: %v", key, err)
+		}
+		if want := verify.Fingerprint(direct); byKey[key] != want {
+			t.Errorf("request %d: service fingerprint %s != single-shot %s", key, byKey[key], want)
+		}
+	}
+
+	// Counter reconciliation with the driver's duplicate ratio.
+	st := s.Stats()
+	if st.PeakRunning > workers {
+		t.Errorf("peak running %d exceeds worker budget %d", st.PeakRunning, workers)
+	}
+	if st.Submitted != int64(jobs) || st.Accepted != int64(jobs) {
+		t.Errorf("submitted %d accepted %d, want %d of each", st.Submitted, st.Accepted, jobs)
+	}
+	if st.Fresh != int64(unique) {
+		t.Errorf("fresh %d, want %d (each distinct request synthesized exactly once)", st.Fresh, unique)
+	}
+	if got, want := st.Coalesced+st.CacheHits, int64(jobs-unique); got != want {
+		t.Errorf("coalesced %d + cache hits %d = %d, want duplicate count %d",
+			st.Coalesced, st.CacheHits, got, want)
+	}
+	if st.Failed != 0 || st.Cancelled != 0 ||
+		st.ShedQueueFull != 0 || st.ShedRateLimited != 0 || st.ShedDraining != 0 || st.BadRequests != 0 {
+		t.Errorf("unexpected failures or sheds: %+v", st)
+	}
+	if st.Completed != int64(jobs-int(st.Coalesced)) {
+		t.Errorf("completed %d, want %d (fresh + cache-hit jobs)", st.Completed, jobs-int(st.Coalesced))
+	}
+	if st.Running != 0 || st.QueueDepth != 0 {
+		t.Errorf("work left behind: %+v", st)
+	}
+	t.Logf("load: %d jobs (%d unique, %d duplicates) — fresh %d, coalesced %d, cached %d, peak running %d/%d",
+		jobs, unique, jobs-unique, st.Fresh, st.Coalesced, st.CacheHits, st.PeakRunning, workers)
+}

@@ -1,0 +1,56 @@
+package serve
+
+import "sync"
+
+// jobQueue is the bounded FIFO feeding the worker fleet. It wraps a
+// buffered channel so workers block cheaply on `range`, and guards pushes
+// with a mutex so the queue can be closed during a drain without racing a
+// concurrent TryPush (send-on-closed-channel is a panic; this makes it a
+// clean rejection instead).
+type jobQueue struct {
+	mu     sync.Mutex
+	ch     chan *Job
+	closed bool
+}
+
+func newJobQueue(depth int) *jobQueue {
+	return &jobQueue{ch: make(chan *Job, depth)}
+}
+
+// TryPush enqueues without blocking. It reports false when the queue is
+// full (the caller sheds load with 429) or closed (the server is
+// draining; the caller replies 503).
+func (q *jobQueue) TryPush(j *Job) (ok, closed bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return false, true
+	}
+	select {
+	case q.ch <- j:
+		return true, false
+	default:
+		return false, false
+	}
+}
+
+// Close stops intake. Jobs already queued still reach the workers; the
+// worker `range` loop exits once the channel drains.
+func (q *jobQueue) Close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if !q.closed {
+		q.closed = true
+		close(q.ch)
+	}
+}
+
+// Chan is the worker-side receive channel.
+func (q *jobQueue) Chan() <-chan *Job { return q.ch }
+
+// Len is the number of queued jobs (approximate under concurrency; used
+// for stats and backpressure hints only).
+func (q *jobQueue) Len() int { return len(q.ch) }
+
+// Cap is the configured queue depth.
+func (q *jobQueue) Cap() int { return cap(q.ch) }

@@ -1,0 +1,210 @@
+package verify
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"mfsynth/internal/core"
+	"mfsynth/internal/fault"
+	"mfsynth/internal/graph"
+	"mfsynth/internal/grid"
+	"mfsynth/internal/obs"
+	"mfsynth/internal/place"
+	"mfsynth/internal/schedule"
+)
+
+func testAssay(t *testing.T) *graph.Assay {
+	t.Helper()
+	a := graph.New("req-test")
+	in1 := a.Add(graph.Input, "s1", 0)
+	in2 := a.Add(graph.Input, "s2", 0)
+	mix := a.Add(graph.Mix, "m1", 3)
+	out := a.Add(graph.Output, "o1", 0)
+	a.Connect(in1, mix, 4)
+	a.Connect(in2, mix, 4)
+	a.Connect(mix, out, 8)
+	return a
+}
+
+func baseOpts() core.Options {
+	return core.Options{
+		Policy: schedule.Resources{Mixers: map[int]int{8: 1}, Detectors: 1},
+		Place:  place.Config{Grid: 12},
+	}
+}
+
+func mustFingerprint(t *testing.T, a *graph.Assay, opts core.Options) string {
+	t.Helper()
+	fp, err := RequestFingerprint(a, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fp
+}
+
+// TestRequestFingerprintDefaultInvariance: a request spelled with zero
+// values hashes identically to one spelling every default explicitly, and
+// to one setting the result-neutral fields (Workers, Trace, Obs). A
+// divergence here would split the result cache into spurious cold entries;
+// a collision in the sensitivity test below would poison it.
+func TestRequestFingerprintDefaultInvariance(t *testing.T) {
+	a := testAssay(t)
+	base := mustFingerprint(t, a, baseOpts())
+
+	cases := []struct {
+		name string
+		mut  func(*core.Options)
+	}{
+		{"explicit transport delay default", func(o *core.Options) { o.TransportDelay = schedule.DefaultTransportDelay }},
+		{"explicit pump actuations default", func(o *core.Options) { o.PumpActuations = core.DefaultPumpActuations }},
+		{"explicit dedicated pump valves default", func(o *core.Options) { o.DedicatedPumpValves = core.DefaultDedicatedPumpValves }},
+		{"explicit max ripups default", func(o *core.Options) { o.MaxRipups = 8 }},
+		{"explicit batch size default", func(o *core.Options) { o.Place.BatchSize = 6 }},
+		{"explicit max nodes default", func(o *core.Options) { o.Place.MaxNodes = 1024 }},
+		{"explicit solve timeout default", func(o *core.Options) { o.Place.SolveTimeout = 120 * time.Second }},
+		{"explicit root stride default", func(o *core.Options) { o.Place.RootStride = 2 }},
+		{"workers is result-neutral", func(o *core.Options) { o.Workers = 7 }},
+		{"place workers is result-neutral", func(o *core.Options) { o.Place.Workers = 3 }},
+		{"trace is result-neutral", func(o *core.Options) { o.Trace = obs.New() }},
+		{"zero-count mixer entry is absent", func(o *core.Options) {
+			o.Policy.Mixers = map[int]int{8: 1, 6: 0}
+		}},
+	}
+	for _, tc := range cases {
+		opts := baseOpts()
+		tc.mut(&opts)
+		if got := mustFingerprint(t, a, opts); got != base {
+			canon, _ := CanonicalRequest(a, opts)
+			t.Errorf("%s: fingerprint changed\ncanonical:\n%s", tc.name, canon)
+		}
+	}
+
+	// Nil vs empty mixer map.
+	optsNil := baseOpts()
+	optsNil.Policy.Mixers = nil
+	optsEmpty := baseOpts()
+	optsEmpty.Policy.Mixers = map[int]int{}
+	if mustFingerprint(t, a, optsNil) != mustFingerprint(t, a, optsEmpty) {
+		t.Error("nil and empty mixer maps hash differently")
+	}
+}
+
+// TestRequestFingerprintSensitivity: every semantically distinct option,
+// fault-spec change and assay mutation produces a distinct fingerprint. A
+// silent collision between two of these would let the serving tier return
+// a cached result for a different problem.
+func TestRequestFingerprintSensitivity(t *testing.T) {
+	a := testAssay(t)
+	seen := map[string]string{
+		"base": mustFingerprint(t, a, baseOpts()),
+	}
+	record := func(name, fp string) {
+		for prev, prevFP := range seen {
+			if prevFP == fp {
+				t.Errorf("%s collides with %s", name, prev)
+			}
+		}
+		seen[name] = fp
+	}
+
+	optCases := []struct {
+		name string
+		mut  func(*core.Options)
+	}{
+		{"detectors", func(o *core.Options) { o.Policy.Detectors = 2 }},
+		{"mixer count", func(o *core.Options) { o.Policy.Mixers = map[int]int{8: 2} }},
+		{"mixer size", func(o *core.Options) { o.Policy.Mixers = map[int]int{4: 1} }},
+		{"transport delay", func(o *core.Options) { o.TransportDelay = 5 }},
+		{"pump actuations", func(o *core.Options) { o.PumpActuations = 20 }},
+		{"dedicated pump valves", func(o *core.Options) { o.DedicatedPumpValves = 4 }},
+		{"storage passthrough", func(o *core.Options) { o.DisableStoragePassthrough = true }},
+		{"max ripups", func(o *core.Options) { o.MaxRipups = 3 }},
+		{"disable degradation", func(o *core.Options) { o.DisableDegradation = true }},
+		{"grid", func(o *core.Options) { o.Place.Grid = 14 }},
+		{"mode monolithic", func(o *core.Options) { o.Place.Mode = place.Monolithic }},
+		{"mode greedy", func(o *core.Options) { o.Place.Mode = place.Greedy }},
+		{"batch size", func(o *core.Options) { o.Place.BatchSize = 4 }},
+		{"max nodes", func(o *core.Options) { o.Place.MaxNodes = 256 }},
+		{"solve timeout", func(o *core.Options) { o.Place.SolveTimeout = time.Minute }},
+		{"root stride", func(o *core.Options) { o.Place.RootStride = 1 }},
+		{"no storage overlap", func(o *core.Options) { o.Place.NoStorageOverlap = true }},
+		{"no routing convenient", func(o *core.Options) { o.Place.NoRoutingConvenient = true }},
+		{"best effort", func(o *core.Options) { o.Place.BestEffort = true }},
+		{"cold lp", func(o *core.Options) { o.Place.ColdLP = true }},
+		{"one stuck-closed fault", func(o *core.Options) {
+			o.Faults = fault.NewSet(12, fault.Fault{At: grid.Point{X: 3, Y: 4}, Kind: fault.StuckClosed})
+		}},
+		{"fault kind", func(o *core.Options) {
+			o.Faults = fault.NewSet(12, fault.Fault{At: grid.Point{X: 3, Y: 4}, Kind: fault.StuckOpen})
+		}},
+		{"fault position", func(o *core.Options) {
+			o.Faults = fault.NewSet(12, fault.Fault{At: grid.Point{X: 4, Y: 3}, Kind: fault.StuckClosed})
+		}},
+		{"wear-out threshold", func(o *core.Options) {
+			o.Faults = fault.NewSet(12, fault.Fault{At: grid.Point{X: 3, Y: 4}, Kind: fault.WearOut, Threshold: 100})
+		}},
+		{"wear-out threshold value", func(o *core.Options) {
+			o.Faults = fault.NewSet(12, fault.Fault{At: grid.Point{X: 3, Y: 4}, Kind: fault.WearOut, Threshold: 200})
+		}},
+	}
+	for _, tc := range optCases {
+		opts := baseOpts()
+		tc.mut(&opts)
+		record("option "+tc.name, mustFingerprint(t, a, opts))
+	}
+
+	// Faults reach the fingerprint through either field.
+	viaPlace := baseOpts()
+	viaPlace.Place.Faults = fault.NewSet(12, fault.Fault{At: grid.Point{X: 3, Y: 4}, Kind: fault.StuckClosed})
+	if got := mustFingerprint(t, a, viaPlace); got != seen["option one stuck-closed fault"] {
+		t.Error("Place.Faults fallback hashes differently from Options.Faults")
+	}
+
+	assayCases := []struct {
+		name string
+		mut  func(a *graph.Assay)
+	}{
+		{"op renamed", func(a *graph.Assay) { a.Op(2).Name = "m1x" }},
+		{"duration", func(a *graph.Assay) { a.Op(2).Duration = 4 }},
+		{"extra op", func(a *graph.Assay) {
+			d := a.Add(graph.Detect, "d1", 2)
+			a.Connect(a.Op(2), d, 8)
+		}},
+	}
+	for _, tc := range assayCases {
+		b := testAssay(t)
+		tc.mut(b)
+		record("assay "+tc.name, mustFingerprint(t, b, baseOpts()))
+	}
+
+	// Edge volume change (rebuild: volumes are set on Connect).
+	b := graph.New("req-test")
+	in1 := b.Add(graph.Input, "s1", 0)
+	in2 := b.Add(graph.Input, "s2", 0)
+	mix := b.Add(graph.Mix, "m1", 3)
+	out := b.Add(graph.Output, "o1", 0)
+	b.Connect(in1, mix, 2)
+	b.Connect(in2, mix, 2)
+	b.Connect(mix, out, 4)
+	record("assay edge volume", mustFingerprint(t, b, baseOpts()))
+}
+
+// TestCanonicalRequestShape: the canonical text carries the labelled
+// sections the fingerprint is defined over, and applies defaults.
+func TestCanonicalRequestShape(t *testing.T) {
+	a := testAssay(t)
+	canon, err := CanonicalRequest(a, baseOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"request v1\n", "assay:\n", "options:\n", "faults:\nnone\n",
+		"transport_delay 3\n", "pump_actuations 40\n", "max_ripups 8\n",
+		"place grid=12 mode=rolling-horizon batch=6 max_nodes=1024",
+	} {
+		if !strings.Contains(canon, want) {
+			t.Errorf("canonical request missing %q:\n%s", want, canon)
+		}
+	}
+}

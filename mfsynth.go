@@ -331,8 +331,20 @@ func EvaluateRow(c Case, policy int, opts Table1RowOptions) (*Table1Row, error) 
 	return report.Table1Row(c, policy, opts)
 }
 
+// EvaluateRowCtx is EvaluateRow with cancellation: an interrupted run
+// returns promptly with an error matching ErrDeadline.
+func EvaluateRowCtx(ctx context.Context, c Case, policy int, opts Table1RowOptions) (*Table1Row, error) {
+	return report.Table1RowCtx(ctx, c, policy, opts)
+}
+
 // Table1 evaluates all four benchmarks under policies p1..p3.
 func Table1(opts Table1RowOptions) ([]*Table1Row, error) { return report.Table1(opts) }
+
+// Table1Ctx is Table1 with cancellation: once ctx is cut, pending cells
+// are skipped and in-flight ones return early.
+func Table1Ctx(ctx context.Context, opts Table1RowOptions) ([]*Table1Row, error) {
+	return report.Table1Ctx(ctx, opts)
+}
 
 // RenderTable1 formats rows as a text table.
 func RenderTable1(rows []*Table1Row) string { return report.Render(rows) }

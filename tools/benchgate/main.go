@@ -28,11 +28,6 @@
 // -overhead-max (default 2%) slower than "off" (nil trace). This is the
 // only wall-clock-based gate — on/off run interleaved in one process on
 // one machine, so the ratio is meaningful where absolute times are not.
-//
-// Counter names: metric names were renamed to snake_case (see
-// internal/obs.LegacyAliases); snapshots are normalised through
-// obs.CanonicalName on load, so baselines recorded under the old dotted
-// scheme still gate.
 package main
 
 import (
@@ -44,8 +39,6 @@ import (
 	"reflect"
 	"strconv"
 	"strings"
-
-	"mfsynth/internal/obs"
 )
 
 // table1Snapshot mirrors the parts of mfbench's -json layout the gate
@@ -72,15 +65,6 @@ func loadTable1(path string) (*table1Snapshot, error) {
 	if err := json.Unmarshal(raw, &s); err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
-	// Fold legacy dotted counter names onto the canonical snake_case ones
-	// so pre-rename baselines compare against fresh snapshots. When a
-	// snapshot carries both spellings (the JSONL alias window), the two
-	// values are identical and the fold is a no-op.
-	canon := make(map[string]int64, len(s.Metrics.Counters))
-	for name, v := range s.Metrics.Counters {
-		canon[obs.CanonicalName(name)] = v
-	}
-	s.Metrics.Counters = canon
 	return &s, nil
 }
 
@@ -263,15 +247,12 @@ func main() {
 	overhead := flag.String("overhead", "", "BenchmarkObsOverhead output to gate (go test -bench ObsOverhead)")
 	overheadMax := flag.Float64("overhead-max", 0.02, "allowed fractional obs-on/obs-off slowdown for -overhead")
 	threshold := flag.Float64("threshold", 0.10, "allowed fractional growth in gated counters and allocs/op")
-	counters := flag.String("counters", "milp_simplex_pivots_total,route_dijkstra_pops_total", "comma-separated work counters to gate (legacy dotted names accepted)")
+	counters := flag.String("counters", "milp_simplex_pivots_total,route_dijkstra_pops_total", "comma-separated work counters to gate")
 	flag.Parse()
 
 	var fails []string
 	if *oldT != "" && *newT != "" {
 		gated := strings.Split(*counters, ",")
-		for i, name := range gated {
-			gated[i] = obs.CanonicalName(name)
-		}
 		if err := compareTable1(*oldT, *newT, gated, *threshold, &fails); err != nil {
 			fmt.Fprintln(os.Stderr, "benchgate:", err)
 			os.Exit(2)

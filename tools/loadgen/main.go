@@ -1,0 +1,323 @@
+// Command loadgen drives a running mfserved instance with a controlled
+// synthesis workload and checks the service-tier invariants from the
+// outside:
+//
+//   - every submission is eventually answered (429s are retried);
+//   - no job fails or is lost;
+//   - in-flight synthesis never exceeds the worker budget (peak_running);
+//   - identical requests are never synthesized twice — the coalesce and
+//     cache counters absorb the entire duplicate ratio;
+//   - returned result fingerprints are consistent per request and, for a
+//     sampled subset, bit-identical to a single-shot in-process run of
+//     the same input.
+//
+// Usage:
+//
+//	mfserved -addr 127.0.0.1:8547 &
+//	loadgen -addr http://127.0.0.1:8547 -jobs 2000 -dup 0.5
+//
+// Exit status 0 when every check holds, 1 otherwise.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"mfsynth/internal/core"
+	"mfsynth/internal/graph"
+	"mfsynth/internal/place"
+	"mfsynth/internal/schedule"
+	"mfsynth/internal/serve"
+	"mfsynth/internal/verify"
+)
+
+// loadAssay is the request body assay: tiny, so synthesis cost is a few
+// milliseconds and the workload stresses the service, not the engine.
+const loadAssay = "assay loadgen\n" +
+	"op s1 input\nop s2 input\nop m1 mix 3\nop o1 output\n" +
+	"edge s1 m1 4\nedge s2 m1 4\nedge m1 o1 8\n"
+
+// requestBody builds the submission for one distinct request key. The
+// pump actuation count varies the request (and result) fingerprint at
+// identical synthesis cost.
+func requestBody(key int) []byte {
+	b, _ := json.Marshal(map[string]any{
+		"assay": loadAssay,
+		"options": map[string]any{
+			"mode":            "greedy",
+			"grid":            10,
+			"mixers":          map[string]int{"8": 1},
+			"pump_actuations": 10 + key,
+		},
+	})
+	return b
+}
+
+// oracleFingerprint runs the same request single-shot through the engine,
+// mirroring how the server resolves it.
+func oracleFingerprint(key int) (string, error) {
+	a := graph.New("loadgen")
+	s1 := a.Add(graph.Input, "s1", 0)
+	s2 := a.Add(graph.Input, "s2", 0)
+	m1 := a.Add(graph.Mix, "m1", 3)
+	o1 := a.Add(graph.Output, "o1", 0)
+	a.Connect(s1, m1, 4)
+	a.Connect(s2, m1, 4)
+	a.Connect(m1, o1, 8)
+	res, err := core.Synthesize(a, core.Options{
+		Policy:         schedule.Resources{Mixers: map[int]int{8: 1}},
+		Place:          place.Config{Grid: 10, Mode: place.Greedy},
+		PumpActuations: 10 + key,
+	})
+	if err != nil {
+		return "", err
+	}
+	return verify.Fingerprint(res), nil
+}
+
+type submitResponse struct {
+	serve.JobView
+	Via string `json:"via"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("loadgen: ")
+
+	var (
+		addr        = flag.String("addr", "http://127.0.0.1:8547", "mfserved base URL")
+		jobs        = flag.Int("jobs", 2000, "total submissions")
+		dup         = flag.Float64("dup", 0.5, "duplicate ratio (0 ≤ dup < 1): fraction of submissions repeating an earlier request")
+		concurrency = flag.Int("concurrency", 64, "concurrent submitting clients")
+		seed        = flag.Int64("seed", 1, "shuffle seed for the submission order")
+		oracle      = flag.Int("oracle", 10, "requests to re-run single-shot in-process and compare fingerprints (0 = skip)")
+	)
+	flag.Parse()
+	if *dup < 0 || *dup >= 1 || *jobs < 1 {
+		log.Fatal("want -jobs >= 1 and 0 <= -dup < 1")
+	}
+	// Accept a bare host:port (as printed by mfserved's listening line).
+	if !strings.Contains(*addr, "://") {
+		*addr = "http://" + *addr
+	}
+
+	unique := *jobs - int(float64(*jobs)**dup)
+	order := make([]int, 0, *jobs)
+	for i := 0; i < *jobs; i++ {
+		order = append(order, i%unique) // keys 0..unique-1, extras are the duplicates
+	}
+	rng := rand.New(rand.NewSource(*seed))
+	rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+
+	before, err := getStats(*addr)
+	if err != nil {
+		log.Fatalf("cannot reach %s: %v", *addr, err)
+	}
+
+	type reply struct {
+		key int
+		fp  string
+		via string
+	}
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		replies = make([]reply, 0, *jobs)
+		fails   []string
+	)
+	fail := func(format string, args ...any) {
+		mu.Lock()
+		fails = append(fails, fmt.Sprintf(format, args...))
+		mu.Unlock()
+	}
+	work := make(chan int)
+	start := time.Now()
+	for w := 0; w < *concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			client := fmt.Sprintf("loadgen-%d", w)
+			for key := range work {
+				fp, via, err := submitAndWait(*addr, client, key)
+				if err != nil {
+					fail("request %d: %v", key, err)
+					continue
+				}
+				mu.Lock()
+				replies = append(replies, reply{key: key, fp: fp, via: via})
+				mu.Unlock()
+			}
+		}(w)
+	}
+	for _, key := range order {
+		work <- key
+	}
+	close(work)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	after, err := getStats(*addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Per-request fingerprint consistency across fresh, coalesced and
+	// cached paths.
+	byKey := map[int]string{}
+	viaCount := map[string]int{}
+	for _, r := range replies {
+		if prev, ok := byKey[r.key]; ok && prev != r.fp {
+			fail("request %d: fingerprints diverged: %s vs %s", r.key, prev, r.fp)
+		}
+		byKey[r.key] = r.fp
+		viaCount[r.via]++
+	}
+	if len(replies) != *jobs {
+		fail("only %d of %d submissions answered", len(replies), *jobs)
+	}
+
+	// Counter reconciliation against the duplicate ratio (deltas, so a
+	// warm daemon works too: a cache warmed by an earlier run only moves
+	// fresh synthesis into cache hits, never the other way).
+	duplicates := *jobs - unique
+	dFresh := after.Fresh - before.Fresh
+	dCoal := after.Coalesced - before.Coalesced
+	dCache := after.CacheHits - before.CacheHits
+	if dFresh+dCoal+dCache != int64(*jobs) {
+		fail("fresh %d + coalesced %d + cache hits %d != %d submissions", dFresh, dCoal, dCache, *jobs)
+	}
+	// The strict "never synthesized twice" identity needs every distinct
+	// request to fit in the result cache; with a smaller cache, evicted
+	// entries legitimately re-synthesize.
+	if unique <= after.CacheCap {
+		if dFresh > int64(unique) {
+			fail("fresh %d > %d distinct requests: an identical request was synthesized twice", dFresh, unique)
+		}
+		if dCoal+dCache < int64(duplicates) {
+			fail("coalesced %d + cache hits %d < %d duplicates", dCoal, dCache, duplicates)
+		}
+	} else {
+		log.Printf("note: %d distinct requests exceed the cache capacity %d; skipping the strict duplicate-absorption checks", unique, after.CacheCap)
+	}
+	if d := after.Failed - before.Failed; d != 0 {
+		fail("%d jobs failed", d)
+	}
+	if d := after.Cancelled - before.Cancelled; d != 0 {
+		fail("%d jobs cancelled", d)
+	}
+	if after.PeakRunning > after.Workers {
+		fail("peak running %d exceeds worker budget %d", after.PeakRunning, after.Workers)
+	}
+
+	// Single-shot oracle: sampled responses are bit-identical to running
+	// the same request directly through the engine.
+	sample := *oracle
+	if sample > unique {
+		sample = unique
+	}
+	for i := 0; i < sample; i++ {
+		key := (i * unique) / sample
+		want, err := oracleFingerprint(key)
+		if err != nil {
+			log.Fatalf("oracle run %d: %v", key, err)
+		}
+		if byKey[key] != want {
+			fail("request %d: service fingerprint %s != single-shot %s", key, byKey[key], want)
+		}
+	}
+
+	fmt.Printf("loadgen: %d jobs (%d unique, %d duplicates) in %s — fresh %d, coalesced %d, cached %d, retried-429 ok; peak running %d/%d; via: %v\n",
+		*jobs, unique, duplicates, elapsed.Round(time.Millisecond),
+		dFresh, dCoal, dCache, after.PeakRunning, after.Workers, viaCount)
+	if len(fails) > 0 {
+		for _, f := range fails {
+			log.Print(f)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("loadgen: all checks passed")
+}
+
+// submitAndWait posts one request, retrying 429 sheds, and waits for its
+// terminal state; it returns the result fingerprint and the submit path.
+func submitAndWait(base, client string, key int) (fp, via string, err error) {
+	var sub submitResponse
+	for attempt := 0; ; attempt++ {
+		req, err := http.NewRequest(http.MethodPost, base+"/v1/jobs", strings.NewReader(string(requestBody(key))))
+		if err != nil {
+			return "", "", err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("X-Client", client)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			return "", "", err
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return "", "", err
+		}
+		switch resp.StatusCode {
+		case http.StatusAccepted, http.StatusOK:
+			if err := json.Unmarshal(body, &sub); err != nil {
+				return "", "", fmt.Errorf("bad submit response: %v", err)
+			}
+		case http.StatusTooManyRequests:
+			if attempt > 1000 {
+				return "", "", fmt.Errorf("shed %d times in a row", attempt)
+			}
+			time.Sleep(10 * time.Millisecond)
+			continue
+		default:
+			return "", "", fmt.Errorf("submit status %d: %s", resp.StatusCode, body)
+		}
+		break
+	}
+
+	view := sub.JobView
+	for !view.State.Terminal() {
+		time.Sleep(5 * time.Millisecond)
+		resp, err := http.Get(base + "/v1/jobs/" + sub.ID)
+		if err != nil {
+			return "", "", err
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return "", "", err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return "", "", fmt.Errorf("poll status %d: %s", resp.StatusCode, body)
+		}
+		if err := json.Unmarshal(body, &view); err != nil {
+			return "", "", err
+		}
+	}
+	if view.State != serve.StateDone || view.Result == nil {
+		return "", "", fmt.Errorf("job %s ended %s: %+v", sub.ID, view.State, view.Error)
+	}
+	return view.Result.Fingerprint, sub.Via, nil
+}
+
+func getStats(base string) (serve.Stats, error) {
+	var st serve.Stats
+	resp, err := http.Get(base + "/v1/stats")
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return st, fmt.Errorf("stats status %d", resp.StatusCode)
+	}
+	return st, json.NewDecoder(resp.Body).Decode(&st)
+}
