@@ -65,6 +65,23 @@ tier6:
 	MFSERVE_LOAD_JOBS=$(LOAD_JOBS) go test -race ./internal/serve/ ./cmd/mfserved/
 	go build ./cmd/mfserved ./tools/loadgen
 
+# Tier-7: portfolio gate — the annealing mapper's property suites
+# (seed determinism across worker counts, accepted-state conformance,
+# cost/report agreement fuzz) and the backend-race suites (deadline
+# incumbent, dead-context failure, deterministic tiebreak, the
+# no-incumbent rescue acceptance test) under the race detector, then a
+# smoke ablation over the generated corpus whose artefact must pass the
+# anneal-vs-ILP quality gate (anneal within 10% of the ILP's peak
+# pressure wherever the ILP completes). Override ABLATION_DEADLINE for
+# a longer per-cell budget.
+ABLATION_DEADLINE ?= 30s
+tier7:
+	go test -race ./internal/anneal/
+	go test -race -run 'TestRace|TestPortfolio|TestSingleBackend|TestPickWinner|TestParseBackends|TestBackendOptions' ./internal/core/
+	go run ./cmd/mfbench -ablation -ablation-deadline $(ABLATION_DEADLINE) -ablation-out .tier7-ablation.json
+	go run ./tools/benchgate -ablation .tier7-ablation.json
+	rm -f .tier7-ablation.json
+
 # Serial-vs-parallel engine benchmarks (ns/op and allocs/op per worker count).
 bench-parallel:
 	go test -bench=Parallel -benchmem ./...
@@ -105,4 +122,4 @@ bench-gate:
 		-overhead .bench-overhead.txt
 	rm -f .bench-mfbench .bench-fresh.json .bench-fresh-micro.txt .bench-overhead.txt .bench-progress.jsonl
 
-.PHONY: tier1 tier1-race tier2 tier3 tier4 tier5 tier6 bench-parallel bench-json bench bench-gate
+.PHONY: tier1 tier1-race tier2 tier3 tier4 tier5 tier6 tier7 bench-parallel bench-json bench bench-gate

@@ -20,6 +20,8 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -55,9 +57,16 @@ func main() {
 		faultRate  = flag.Float64("fault-rate", 0, "per-valve defect probability for -fault-seed / -campaign (e.g. 0.05)")
 		campaign   = flag.Int("campaign", 0, "run a fault-injection campaign with this many seeded runs per benchmark")
 		minSuccess = flag.Float64("min-success", 0, "fail (non-zero exit) when a campaign's success rate drops below this fraction")
+
+		ablation         = flag.Bool("ablation", false, "run the backend-ablation sweep: every instance once per backend (ilp, greedy, anneal) under one deadline")
+		ablationOut      = flag.String("ablation-out", "", "write the ablation sweep as machine-readable JSON to this file (e.g. BENCH_ablation.json; gate with tools/benchgate -ablation)")
+		ablationDeadline = flag.Duration("ablation-deadline", 20*time.Second, "per-backend-run wall-clock cap for -ablation")
+		ablationSizes    = flag.String("ablation-sizes", "", "comma-separated mix-op counts of the generated ablation assays (default 6,9,12)")
+		ablationCases    = flag.String("ablation-cases", "", "comma-separated benchmark cases to add to the ablation sweep (slow; off by default)")
+		annealSeed       = flag.Int64("anneal-seed", 0, "simulated-annealing base seed for -ablation (0 = default 1)")
 	)
 	flag.Parse()
-	all := !*figures && !*table1 && !*extensions && *campaign == 0
+	all := !*figures && !*table1 && !*extensions && *campaign == 0 && !*ablation
 
 	// SIGINT/SIGTERM cancels the evaluation through the synthesis
 	// contexts: in-flight cells return early, remaining sections are
@@ -122,6 +131,9 @@ func main() {
 	}
 	if *campaign > 0 && ctx.Err() == nil {
 		runCampaigns(ctx, *campaign, *faultSeed, *faultRate, *fast, *workers, *doVerify, *minSuccess)
+	}
+	if *ablation && ctx.Err() == nil {
+		printAblation(ctx, *ablationOut, *ablationDeadline, *ablationSizes, *ablationCases, *annealSeed, *workers, *doVerify, tr)
 	}
 
 	// Flush every sink before deciding the exit status: all sinks are
@@ -473,6 +485,134 @@ func printTable1(ctx context.Context, fast bool, workers int, jsonOut string, do
 		}
 		fmt.Printf("wrote %s\n\n", jsonOut)
 	}
+}
+
+// printAblation runs the backend-ablation sweep (-ablation): every
+// instance synthesised once per backend under the same deadline, so the
+// anytime portfolio's rungs can be compared head to head. The JSON
+// artefact (-ablation-out) feeds tools/benchgate -ablation.
+func printAblation(ctx context.Context, out string, deadline time.Duration, sizesCSV, casesCSV string, seed int64, workers int, doVerify bool, tr *mfsynth.Trace) {
+	sizes, err := parseSizes(sizesCSV)
+	if err != nil {
+		log.Printf("ablation: %v", err)
+		cellsFailed++
+		return
+	}
+	opts := mfsynth.AblationOptions{
+		Sizes:    sizes,
+		Seed:     1,
+		Cases:    splitCSV(casesCSV),
+		Deadline: deadline,
+		Anneal:   mfsynth.AnnealOptions{Seed: seed},
+		Workers:  workers,
+		Verify:   doVerify,
+		Trace:    tr,
+	}
+	fmt.Printf("== Backend ablation: ilp vs greedy vs anneal, %s deadline ==\n", deadline)
+	start := time.Now()
+	rows, err := mfsynth.Ablation(ctx, opts)
+	wall := time.Since(start)
+	if err != nil {
+		log.Printf("ablation: %v", err)
+		cellsFailed++
+		return
+	}
+	fmt.Printf("%-18s %5s %5s", "instance", "#op", "grid")
+	for _, b := range mfsynth.Backends() {
+		fmt.Printf(" | %-24s", b)
+	}
+	fmt.Println()
+	for _, r := range rows {
+		fmt.Printf("%-18s %5d %5d", r.Instance, r.Ops, r.Grid)
+		for _, b := range mfsynth.Backends() {
+			c := r.Cell(string(b))
+			switch {
+			case c == nil:
+				fmt.Printf(" | %-24s", "-")
+			case !c.Ok:
+				fmt.Printf(" | %-24s", "failed ("+truncate(c.Err, 14)+")")
+			default:
+				mark := ""
+				if !c.Complete {
+					mark = "*"
+				}
+				fmt.Printf(" | vs1 %-4d #v %-4d %5.1fs%-1s", c.VsMax1, c.UsedValves, c.Seconds, mark)
+			}
+		}
+		fmt.Println()
+	}
+	fmt.Printf("(* = incomplete mapping; wall-clock %.1fs)\n\n", wall.Seconds())
+	if out != "" {
+		if err := writeAblationJSON(out, rows, opts, wall); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n\n", out)
+	}
+}
+
+// parseSizes parses the -ablation-sizes CSV ("" keeps the defaults).
+func parseSizes(csv string) ([]int, error) {
+	var sizes []int
+	for _, f := range splitCSV(csv) {
+		n, err := strconv.Atoi(f)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad -ablation-sizes entry %q", f)
+		}
+		sizes = append(sizes, n)
+	}
+	return sizes, nil
+}
+
+func splitCSV(s string) []string {
+	var fields []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			fields = append(fields, f)
+		}
+	}
+	return fields
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "…"
+}
+
+// ablationJSON is the machine-readable ablation artefact (-ablation-out);
+// tools/benchgate -ablation consumes it.
+type ablationJSON struct {
+	DeadlineSeconds float64                `json:"deadline_seconds"`
+	Seed            int64                  `json:"seed"`
+	AnnealSeed      int64                  `json:"anneal_seed"`
+	Backends        []string               `json:"backends"`
+	WallSeconds     float64                `json:"wall_seconds"`
+	Rows            []*mfsynth.AblationRow `json:"rows"`
+}
+
+func writeAblationJSON(path string, rows []*mfsynth.AblationRow, opts mfsynth.AblationOptions, wall time.Duration) error {
+	out := ablationJSON{
+		DeadlineSeconds: opts.Deadline.Seconds(),
+		Seed:            opts.Seed,
+		AnnealSeed:      opts.Anneal.WithDefaults().Seed,
+		WallSeconds:     wall.Seconds(),
+		Rows:            rows,
+	}
+	for _, b := range mfsynth.Backends() {
+		out.Backends = append(out.Backends, string(b))
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // table1JSON is the machine-readable Table 1 artefact (-json flag).

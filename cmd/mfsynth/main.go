@@ -25,27 +25,31 @@ func main() {
 	log.SetPrefix("mfsynth: ")
 
 	var (
-		caseName  = flag.String("case", "PCR", "benchmark case: "+strings.Join(mfsynth.CaseNames(), ", "))
-		assayFile = flag.String("assay", "", "assay file in the mfsynth text format (overrides -case)")
-		policy    = flag.Int("policy", 1, "traditional-design policy index (1-3), fixes the input schedule")
-		grid      = flag.Int("grid", 0, "valve matrix side length (0 = case default)")
-		mode      = flag.String("mode", "rolling", "mapper: rolling, monolithic, greedy")
-		gantt     = flag.Bool("gantt", false, "print the scheduling result as a Gantt chart")
-		snapshots = flag.Bool("snapshots", false, "print Fig. 10-style chip snapshots")
-		compare   = flag.Bool("compare", true, "print the traditional-design comparison")
-		svgOut    = flag.String("svg", "", "write the chip layout as SVG to this file")
-		dotOut    = flag.String("dot", "", "write the assay graph as Graphviz DOT to this file")
-		workers   = flag.Int("workers", 0, "synthesis worker count (0 = all CPUs, 1 = serial; results are identical)")
-		traceOut  = flag.String("trace", "", "write a Chrome trace_event JSON of the synthesis run to this file (load in chrome://tracing or Perfetto)")
-		eventsOut = flag.String("events", "", "write the span/metric event stream as JSON lines to this file")
-		stats     = flag.Bool("stats", false, "print the span tree and metrics summary to stderr")
-		httpAddr  = flag.String("http", "", "serve live debug endpoints on this address while running: /metrics, /progress (SSE), /debug/pprof, /debug/vars (e.g. :8080)")
-		profDir   = flag.String("profile-dir", "", "capture continuous profiles into this directory: whole-run cpu.pprof plus per-phase heap snapshots")
-		progLog   = flag.String("progress-log", "", "write live progress snapshots as JSON lines to this file (validate with tracecheck -progress)")
-		doVerify  = flag.Bool("verify", false, "audit the result against the full conformance catalogue; exit non-zero on violations")
-		faultFile = flag.String("faults", "", "fault-spec file: defective valves the synthesis must work around")
-		faultSeed = flag.Int64("fault-seed", 0, "generate a random fault set with this seed (with -fault-rate)")
-		faultRate = flag.Float64("fault-rate", 0, "per-valve defect probability for -fault-seed (e.g. 0.05)")
+		caseName   = flag.String("case", "PCR", "benchmark case: "+strings.Join(mfsynth.CaseNames(), ", "))
+		assayFile  = flag.String("assay", "", "assay file in the mfsynth text format (overrides -case)")
+		policy     = flag.Int("policy", 1, "traditional-design policy index (1-3), fixes the input schedule")
+		grid       = flag.Int("grid", 0, "valve matrix side length (0 = case default)")
+		mode       = flag.String("mode", "rolling", "mapper: rolling, monolithic, greedy")
+		gantt      = flag.Bool("gantt", false, "print the scheduling result as a Gantt chart")
+		snapshots  = flag.Bool("snapshots", false, "print Fig. 10-style chip snapshots")
+		compare    = flag.Bool("compare", true, "print the traditional-design comparison")
+		svgOut     = flag.String("svg", "", "write the chip layout as SVG to this file")
+		dotOut     = flag.String("dot", "", "write the assay graph as Graphviz DOT to this file")
+		workers    = flag.Int("workers", 0, "synthesis worker count (0 = all CPUs, 1 = serial; results are identical)")
+		traceOut   = flag.String("trace", "", "write a Chrome trace_event JSON of the synthesis run to this file (load in chrome://tracing or Perfetto)")
+		eventsOut  = flag.String("events", "", "write the span/metric event stream as JSON lines to this file")
+		stats      = flag.Bool("stats", false, "print the span tree and metrics summary to stderr")
+		httpAddr   = flag.String("http", "", "serve live debug endpoints on this address while running: /metrics, /progress (SSE), /debug/pprof, /debug/vars (e.g. :8080)")
+		profDir    = flag.String("profile-dir", "", "capture continuous profiles into this directory: whole-run cpu.pprof plus per-phase heap snapshots")
+		progLog    = flag.String("progress-log", "", "write live progress snapshots as JSON lines to this file (validate with tracecheck -progress)")
+		doVerify   = flag.Bool("verify", false, "audit the result against the full conformance catalogue; exit non-zero on violations")
+		faultFile  = flag.String("faults", "", "fault-spec file: defective valves the synthesis must work around")
+		faultSeed  = flag.Int64("fault-seed", 0, "generate a random fault set with this seed (with -fault-rate)")
+		faultRate  = flag.Float64("fault-rate", 0, "per-valve defect probability for -fault-seed (e.g. 0.05)")
+		backends   = flag.String("backends", "", "anytime backend portfolio in priority order, e.g. ilp,greedy,anneal (empty = single pipeline per -mode)")
+		annealSeed = flag.Int64("anneal-seed", 0, "simulated-annealing base seed (0 = default 1; same seed, same mapping)")
+		annealReps = flag.Int("anneal-replicates", 0, "simulated-annealing restarts (0 = default 8)")
+		deadline   = flag.Duration("deadline", 0, "synthesis wall-clock budget, e.g. 30s (0 = none); with -backends the portfolio returns its best result by then")
 	)
 	flag.Parse()
 
@@ -102,6 +106,16 @@ func main() {
 		if err != nil {
 			return err
 		}
+		portfolio, err := mfsynth.ParseBackends(*backends)
+		if err != nil {
+			return err
+		}
+		annealOpts := mfsynth.AnnealOptions{Seed: *annealSeed, Replicates: *annealReps}
+		if *deadline > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, *deadline)
+			defer cancel()
+		}
 
 		var c mfsynth.Case
 		if *assayFile != "" {
@@ -149,6 +163,7 @@ func main() {
 
 		row, err := mfsynth.EvaluateRowCtx(ctx, c, *policy, mfsynth.Table1RowOptions{
 			Mode: placeMode, Grid: c.GridSize, Workers: *workers, Faults: faults,
+			Backends: portfolio, Anneal: annealOpts,
 		})
 		if err != nil {
 			return err
@@ -160,11 +175,13 @@ func main() {
 			return err
 		}
 		res, err := mfsynth.SynthesizeCtx(ctx, c.Assay, mfsynth.Options{
-			Policy:  mfsynth.Resources{Mixers: des.Mixers, Detectors: c.Detectors},
-			Place:   mfsynth.PlaceConfig{Grid: c.GridSize, Mode: placeMode},
-			Workers: *workers,
-			Trace:   tr,
-			Faults:  faults,
+			Policy:   mfsynth.Resources{Mixers: des.Mixers, Detectors: c.Detectors},
+			Place:    mfsynth.PlaceConfig{Grid: c.GridSize, Mode: placeMode},
+			Workers:  *workers,
+			Trace:    tr,
+			Faults:   faults,
+			Backends: portfolio,
+			Anneal:   annealOpts,
 		})
 		if err != nil {
 			return err
@@ -183,6 +200,22 @@ func main() {
 			fmt.Printf("  degradation:       %s\n", res.Degradation)
 		} else if !faults.Empty() {
 			fmt.Printf("  degradation:       none (nominal result despite faults)\n")
+		}
+		if res.Backend != "" {
+			fmt.Printf("  backend:           %s\n", res.Backend)
+		}
+		if res.Race != nil {
+			for _, l := range res.Race.Lanes {
+				mark := " "
+				if l.Won {
+					mark = "*"
+				}
+				if l.Ok {
+					fmt.Printf("   %s %-7s vs_max1 %-4d %.2fs\n", mark, l.Backend, l.VsMax1, l.Seconds)
+				} else {
+					fmt.Printf("   %s %-7s failed: %s\n", mark, l.Backend, l.Err)
+				}
+			}
 		}
 		if *compare {
 			fmt.Printf("  traditional:       vs_tmax %d with %d valves (#d %d, #m %s)\n",

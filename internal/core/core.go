@@ -86,6 +86,37 @@ type Options struct {
 	// the configured mapper runs, and its failure is the run's failure.
 	// Failed routes and wear overruns are still reported either way.
 	DisableDegradation bool
+	// Backends, when it lists two or more backends, races one full
+	// pipeline per backend concurrently under the caller's context and
+	// returns the best result by (completeness, VsMax1, VsMax2,
+	// UsedValves), ties broken by list order — the anytime portfolio. A
+	// single entry runs that backend alone; empty means the classic
+	// single pipeline with Place.Mode as configured.
+	Backends []Backend
+	// Anneal tunes the simulated-annealing backend (used only when
+	// Backends lists "anneal"); zero fields mean the anneal defaults.
+	Anneal AnnealOptions
+	// mapper overrides the first ladder rung's mapper (set by
+	// backendOptions for the anneal lane; nil means place.MapCtx).
+	mapper func(ctx context.Context, sched *schedule.Result, cfg place.Config) (*place.Mapping, error)
+}
+
+// withDefaults resolves the derived option defaults shared by every
+// entry point (SynthesizeCtx, Complete).
+func (o Options) withDefaults() Options {
+	if o.PumpActuations == 0 {
+		o.PumpActuations = DefaultPumpActuations
+	}
+	if o.DedicatedPumpValves == 0 {
+		o.DedicatedPumpValves = DefaultDedicatedPumpValves
+	}
+	if o.Place.Grid == 0 {
+		o.Place.Grid = 10
+	}
+	if o.Place.Workers == 0 {
+		o.Place.Workers = o.Workers
+	}
+	return o
 }
 
 // EventKind classifies actuation events.
@@ -166,6 +197,13 @@ type Result struct {
 	// (keys "schedule", "place", "route"), accumulated over wear-promotion
 	// rounds. Route time includes the actuation simulation.
 	PhaseSeconds map[string]float64
+	// Backend names the backend that produced this result when
+	// Options.Backends was set ("ilp", "greedy" or "anneal"); empty for
+	// the classic single pipeline.
+	Backend string
+	// Race is the portfolio outcome, non-nil only when two or more
+	// backends raced.
+	Race *RaceReport
 
 	opts Options
 }
@@ -201,18 +239,7 @@ const maxWearRounds = 4
 // Result.Degradation rather than hidden behind an error.
 func SynthesizeCtx(ctx context.Context, a *graph.Assay, opts Options) (res *Result, err error) {
 	start := time.Now()
-	if opts.PumpActuations == 0 {
-		opts.PumpActuations = DefaultPumpActuations
-	}
-	if opts.DedicatedPumpValves == 0 {
-		opts.DedicatedPumpValves = DefaultDedicatedPumpValves
-	}
-	if opts.Place.Grid == 0 {
-		opts.Place.Grid = 10
-	}
-	if opts.Place.Workers == 0 {
-		opts.Place.Workers = opts.Workers
-	}
+	opts = opts.withDefaults()
 	root := opts.Trace.Start("synthesize",
 		obs.KV("assay", a.Name), obs.KV("grid", opts.Place.Grid),
 		obs.KV("workers", opts.Place.Workers))
@@ -229,6 +256,37 @@ func SynthesizeCtx(ctx context.Context, a *graph.Assay, opts Options) (res *Resu
 		root.End()
 	}()
 
+	backends, err := normalizeBackends(opts.Backends)
+	if err != nil {
+		return nil, err
+	}
+	switch len(backends) {
+	case 0:
+		res, err = synthesizeOne(ctx, a, opts, root)
+	case 1:
+		res, err = synthesizeOne(ctx, a, backendOptions(opts, backends[0]), root)
+		if res != nil {
+			res.Backend = string(backends[0])
+		}
+	default:
+		res, err = synthesizeRace(ctx, a, opts, backends, root)
+	}
+	if err != nil {
+		return nil, err
+	}
+	res.Runtime = time.Since(start)
+	// The Done pulse is published exactly once, here — never by the
+	// per-backend pipelines, whose early completion must not end a
+	// progress stream while other race lanes still run.
+	opts.Trace.ProgressBus().Update(func(p *obs.Progress) { p.Done = true })
+	return res, nil
+}
+
+// synthesizeOne runs the classic single pipeline: the wear-promotion
+// loop around schedule→place→route→simulate. It neither applies option
+// defaults nor publishes the final Done pulse — SynthesizeCtx owns both,
+// so race lanes can call this concurrently.
+func synthesizeOne(ctx context.Context, a *graph.Assay, opts Options, root *obs.Span) (res *Result, err error) {
 	// Wear-promotion loop: synthesize, simulate the actuation counts,
 	// promote over-threshold wear-out valves to obstacles, repeat.
 	working := opts.Faults
@@ -270,9 +328,6 @@ func SynthesizeCtx(ctx context.Context, a *graph.Assay, opts Options) (res *Resu
 		})
 		res.degrade().WornValves = worn
 	}
-
-	res.Runtime = time.Since(start)
-	opts.Trace.ProgressBus().Update(func(p *obs.Progress) { p.Done = true })
 	return res, nil
 }
 
@@ -417,7 +472,15 @@ func placeLadder(ctx context.Context, sched *schedule.Result, opts Options, root
 		rg.mutate(&cfg)
 		placeSp := root.Start("place", obs.KV("rung", rg.name))
 		cfg.Obs = placeSp
-		mapping, err := place.MapCtx(ctx, sched, cfg)
+		var mapping *place.Mapping
+		var err error
+		if i == 0 && opts.mapper != nil {
+			// The backend's own mapper owns the first rung (the anneal
+			// lane); the fallback rungs below stay place.MapCtx.
+			mapping, err = opts.mapper(ctx, sched, cfg)
+		} else {
+			mapping, err = place.MapCtx(ctx, sched, cfg)
+		}
 		placeSp.End()
 		if err == nil {
 			var deg *Degradation

@@ -1,0 +1,408 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"mfsynth/internal/anneal"
+	"mfsynth/internal/graph"
+	"mfsynth/internal/obs"
+	"mfsynth/internal/place"
+	"mfsynth/internal/schedule"
+	"mfsynth/internal/synerr"
+)
+
+// Backend names one mapper strategy of the anytime portfolio. The order
+// backends are listed in Options.Backends is their tie-break priority:
+// when two backends produce equally good results, the earlier one wins,
+// which is what keeps the race deterministic regardless of which
+// goroutine finishes first.
+type Backend string
+
+// The portfolio backends.
+const (
+	// BackendILP is the paper's exact mapper (rolling-horizon or
+	// monolithic branch-and-bound, per Place.Mode).
+	BackendILP Backend = "ilp"
+	// BackendGreedy is the constructive multi-start heuristic.
+	BackendGreedy Backend = "greedy"
+	// BackendAnneal is the seeded simulated-annealing mapper
+	// (internal/anneal).
+	BackendAnneal Backend = "anneal"
+)
+
+// Backends returns every known backend in canonical priority order.
+func Backends() []Backend { return []Backend{BackendILP, BackendGreedy, BackendAnneal} }
+
+// ParseBackends parses a comma-separated backend list ("ilp,anneal").
+// The empty string and "none" mean the default single pipeline (no
+// portfolio). Order is preserved — it is the tie-break priority — and
+// duplicates collapse to their first occurrence.
+func ParseBackends(s string) ([]Backend, error) {
+	s = strings.TrimSpace(s)
+	if s == "" || s == "none" {
+		return nil, nil
+	}
+	var out []Backend
+	for _, f := range strings.Split(s, ",") {
+		b := Backend(strings.TrimSpace(f))
+		switch b {
+		case BackendILP, BackendGreedy, BackendAnneal:
+		default:
+			return nil, fmt.Errorf("core: unknown backend %q (want ilp, greedy or anneal)", f)
+		}
+		out = append(out, b)
+	}
+	return normalizeBackends(out)
+}
+
+// normalizeBackends validates and dedupes, preserving first-occurrence
+// order.
+func normalizeBackends(bs []Backend) ([]Backend, error) {
+	var out []Backend
+	seen := map[Backend]bool{}
+	for _, b := range bs {
+		switch b {
+		case BackendILP, BackendGreedy, BackendAnneal:
+		default:
+			return nil, fmt.Errorf("core: unknown backend %q (want ilp, greedy or anneal)", string(b))
+		}
+		if seen[b] {
+			continue
+		}
+		seen[b] = true
+		out = append(out, b)
+	}
+	return out, nil
+}
+
+func backendNames(bs []Backend) string {
+	names := make([]string, len(bs))
+	for i, b := range bs {
+		names[i] = string(b)
+	}
+	return strings.Join(names, ",")
+}
+
+// AnnealOptions tunes the simulated-annealing backend. The zero value
+// means the anneal package defaults, so a zero-valued struct and one with
+// the defaults spelled out fingerprint identically (the canonical-request
+// contract).
+type AnnealOptions struct {
+	// Seed is the base RNG seed (default anneal.DefaultSeed). The result
+	// is a pure function of the seed: same seed, same mapping.
+	Seed int64
+	// Replicates is the number of independent restarts (default 8).
+	Replicates int
+	// Iters is the per-replicate move budget (default 4000).
+	Iters int
+	// InitTemp and Cooling define the geometric temperature schedule
+	// (defaults 1.5 and 0.998).
+	InitTemp float64
+	Cooling  float64
+}
+
+// WithDefaults returns the options with every zero field replaced by its
+// default. verify's canonical request uses it so the fingerprint is
+// stable under spelling out defaults.
+func (a AnnealOptions) WithDefaults() AnnealOptions {
+	if a.Seed == 0 {
+		a.Seed = anneal.DefaultSeed
+	}
+	if a.Replicates == 0 {
+		a.Replicates = anneal.DefaultReplicates
+	}
+	if a.Iters == 0 {
+		a.Iters = anneal.DefaultIters
+	}
+	if a.InitTemp == 0 {
+		a.InitTemp = anneal.DefaultInitTemp
+	}
+	if a.Cooling == 0 {
+		a.Cooling = anneal.DefaultCooling
+	}
+	return a
+}
+
+// backendOptions specialises the run options for one portfolio lane. The
+// ILP lane keeps the configured exact mode; the greedy lane forces the
+// heuristic; the anneal lane installs the annealer as the ladder's first
+// rung with greedy fallbacks (an anneal failure must not cascade into a
+// second expensive search).
+func backendOptions(opts Options, b Backend) Options {
+	o := opts
+	o.Backends = nil
+	o.mapper = nil
+	switch b {
+	case BackendILP:
+		if o.Place.Mode == place.Greedy || o.Place.Mode == place.Annealed {
+			o.Place.Mode = place.RollingHorizon
+		}
+	case BackendGreedy:
+		o.Place.Mode = place.Greedy
+	case BackendAnneal:
+		o.Place.Mode = place.Greedy
+		an := opts.Anneal.WithDefaults()
+		o.mapper = func(ctx context.Context, sched *schedule.Result, cfg place.Config) (*place.Mapping, error) {
+			m, _, err := anneal.MapCtx(ctx, sched, anneal.Config{
+				Place:      cfg,
+				Seed:       an.Seed,
+				Replicates: an.Replicates,
+				Iters:      an.Iters,
+				InitTemp:   an.InitTemp,
+				Cooling:    an.Cooling,
+				Workers:    cfg.Workers,
+				Obs:        cfg.Obs,
+			})
+			return m, err
+		}
+	}
+	return o
+}
+
+// RaceReport records the outcome of an anytime portfolio race, one lane
+// per backend in priority order.
+type RaceReport struct {
+	// Winner is the backend whose result was returned.
+	Winner string `json:"winner"`
+	// Lanes lists every backend's outcome.
+	Lanes []RaceLane `json:"lanes"`
+}
+
+// RaceLane is one backend's outcome within a race.
+type RaceLane struct {
+	Backend string `json:"backend"`
+	// Ok is true when the backend produced a result; Err carries its
+	// failure otherwise (a deadline-expired exact solve, typically).
+	Ok  bool   `json:"ok"`
+	Err string `json:"err,omitempty"`
+	// Seconds is the lane's wall-clock time.
+	Seconds float64 `json:"seconds"`
+	// The result quality, for Ok lanes.
+	VsMax1       int `json:"vs_max1,omitempty"`
+	VsMax2       int `json:"vs_max2,omitempty"`
+	UsedValves   int `json:"used_valves,omitempty"`
+	Dropped      int `json:"dropped,omitempty"`
+	FailedRoutes int `json:"failed_routes,omitempty"`
+	// Won marks the winning lane.
+	Won bool `json:"won,omitempty"`
+}
+
+// raceCost is the quality key a race is judged by, lexicographic best
+// first: completeness (dropped operations plus unrouted nets), then the
+// paper's objective and its tie-breaks. It deliberately matches the
+// report package's Table 1 reading order.
+func raceCost(r *Result) [4]int {
+	return [4]int{
+		len(r.Mapping.Dropped) + r.FailedRoutes,
+		r.VsMax1,
+		r.VsMax2,
+		r.UsedValves,
+	}
+}
+
+func costLess(a, b [4]int) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+// pickWinner returns the index of the best non-nil result, scanning in
+// priority order with a strictly-less comparison — ties go to the
+// earlier backend, so the choice does not depend on finish order.
+// Returns -1 when every lane failed.
+func pickWinner(rs []*Result) int {
+	win := -1
+	var best [4]int
+	for i, r := range rs {
+		if r == nil {
+			continue
+		}
+		c := raceCost(r)
+		if win < 0 || costLess(c, best) {
+			win, best = i, c
+		}
+	}
+	return win
+}
+
+// synthesizeRace runs one full pipeline per backend concurrently under
+// the same context and returns the best result (pickWinner). The race
+// waits for every lane: the caller's deadline is the time bound, and a
+// lane that cannot answer by then fails with ErrDeadline and simply
+// loses — the race itself succeeds as long as one lane finished, which
+// is the anytime contract.
+func synthesizeRace(ctx context.Context, a *graph.Assay, opts Options, backends []Backend, root *obs.Span) (*Result, error) {
+	raceSp := root.Start("race", obs.KV("backends", backendNames(backends)))
+	defer raceSp.End()
+	bus := opts.Trace.ProgressBus()
+
+	var mu sync.Mutex
+	lanes := make([]obs.BackendLane, len(backends))
+	for i, b := range backends {
+		lanes[i] = obs.BackendLane{Backend: string(b), State: "running"}
+	}
+	// publishLocked mirrors the lane states onto the progress bus; mu must
+	// be held (the clone keeps published snapshots immutable).
+	publishLocked := func() {
+		cl := make([]obs.BackendLane, len(lanes))
+		copy(cl, lanes)
+		bus.Update(func(p *obs.Progress) { p.Race = &obs.RaceProgress{Backends: cl} })
+	}
+	mu.Lock()
+	publishLocked()
+	mu.Unlock()
+
+	type lane struct {
+		res *Result
+		err error
+		dur time.Duration
+	}
+	results := make([]lane, len(backends))
+	var wg sync.WaitGroup
+	for i, b := range backends {
+		wg.Add(1)
+		go func(i int, b Backend) {
+			defer wg.Done()
+			sp := raceSp.StartTrack("race:"+string(b), "race.backend",
+				obs.KV("backend", string(b)))
+			t0 := time.Now()
+			var res *Result
+			var err error
+			func() {
+				// Per-lane recovery: one panicking backend loses its lane,
+				// it does not take the race (or the process) down.
+				defer func() {
+					if p := recover(); p != nil {
+						res, err = nil, fmt.Errorf("core: backend %s panic: %v", b, p)
+					}
+				}()
+				res, err = synthesizeOne(ctx, a, backendOptions(opts, b), sp)
+			}()
+			dur := time.Since(t0)
+			if err != nil {
+				sp.Set(obs.KV("error", err.Error()))
+			} else {
+				sp.Set(obs.KV("vs_max1", res.VsMax1), obs.KV("vs_max2", res.VsMax2))
+			}
+			sp.End()
+
+			mu.Lock()
+			results[i] = lane{res: res, err: err, dur: dur}
+			lanes[i].Seconds = dur.Seconds()
+			if err != nil {
+				lanes[i].State = "failed"
+			} else {
+				lanes[i].State = "done"
+				lanes[i].VsMax1 = res.VsMax1
+			}
+			publishLocked()
+			mu.Unlock()
+		}(i, b)
+	}
+	wg.Wait()
+
+	rs := make([]*Result, len(results))
+	for i, l := range results {
+		rs[i] = l.res
+	}
+	win := pickWinner(rs)
+	if win < 0 {
+		// Every lane failed. Surface the highest-priority lane's error;
+		// prefer a non-deadline cause when one exists (it explains more).
+		var first, nonDeadline error
+		for _, l := range results {
+			if l.err == nil {
+				continue
+			}
+			if first == nil {
+				first = l.err
+			}
+			if nonDeadline == nil && !errors.Is(l.err, synerr.ErrDeadline) {
+				nonDeadline = l.err
+			}
+		}
+		if nonDeadline != nil {
+			return nil, nonDeadline
+		}
+		if first != nil {
+			return nil, first
+		}
+		return nil, synerr.Deadline("race", ctx.Err())
+	}
+
+	winner := results[win].res
+	winner.Backend = string(backends[win])
+	report := &RaceReport{Winner: string(backends[win])}
+	for i, l := range results {
+		rl := RaceLane{
+			Backend: string(backends[i]),
+			Seconds: l.dur.Seconds(),
+			Won:     i == win,
+		}
+		if l.err != nil {
+			rl.Err = l.err.Error()
+		} else if l.res != nil {
+			rl.Ok = true
+			rl.VsMax1 = l.res.VsMax1
+			rl.VsMax2 = l.res.VsMax2
+			rl.UsedValves = l.res.UsedValves
+			rl.Dropped = len(l.res.Mapping.Dropped)
+			rl.FailedRoutes = l.res.FailedRoutes
+		}
+		report.Lanes = append(report.Lanes, rl)
+	}
+	winner.Race = report
+
+	mu.Lock()
+	lanes[win].Won = true
+	publishLocked()
+	mu.Unlock()
+	raceSp.Set(obs.KV("winner", string(backends[win])),
+		obs.KV("vs_max1", winner.VsMax1))
+	return winner, nil
+}
+
+// Complete routes and simulates an externally produced mapping against
+// the given schedule, yielding a full Result with the Table 1 metrics —
+// the downstream two thirds of the pipeline without the mapper. The
+// anneal property tests run every accepted annealing state through it so
+// verify.Conformance can audit states the normal flow never surfaces.
+func Complete(ctx context.Context, a *graph.Assay, sched *schedule.Result, m *place.Mapping, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	root := opts.Trace.Start("complete", obs.KV("assay", a.Name))
+	defer root.End()
+	res := &Result{
+		Assay:    a,
+		Schedule: sched,
+		Mapping:  m,
+		Grid:     opts.Place.Grid,
+		opts:     opts,
+	}
+	if len(m.Dropped) > 0 {
+		d := res.degrade()
+		for _, op := range m.Dropped {
+			d.DroppedOps = append(d.DroppedOps, a.Op(op).Name)
+		}
+		sort.Strings(d.DroppedOps)
+		d.escalate(DegradePartial)
+	}
+	start := time.Now()
+	routeSp := root.Start("route")
+	err := res.routeAndSimulate(ctx, routeSp)
+	routeSp.End()
+	if err != nil {
+		return nil, err
+	}
+	res.computeMetrics()
+	res.Runtime = time.Since(start)
+	return res, nil
+}

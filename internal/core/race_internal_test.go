@@ -1,0 +1,121 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"mfsynth/internal/place"
+)
+
+func raceResult(dropped, failedRoutes, vs1, vs2, valves int) *Result {
+	m := &place.Mapping{}
+	for i := 0; i < dropped; i++ {
+		m.Dropped = append(m.Dropped, i)
+	}
+	return &Result{
+		Mapping:      m,
+		FailedRoutes: failedRoutes,
+		VsMax1:       vs1,
+		VsMax2:       vs2,
+		UsedValves:   valves,
+	}
+}
+
+// TestPickWinnerDeterministicTiebreak pins the race's winner selection:
+// strictly better quality wins regardless of position, exact ties go to
+// the earlier (higher-priority) lane, failed lanes are skipped, and an
+// all-failed race has no winner. Nothing here depends on goroutine finish
+// order — that is the point.
+func TestPickWinnerDeterministicTiebreak(t *testing.T) {
+	cases := []struct {
+		name string
+		rs   []*Result
+		want int
+	}{
+		{"all nil", []*Result{nil, nil, nil}, -1},
+		{"empty", nil, -1},
+		{"single", []*Result{raceResult(0, 0, 5, 4, 50)}, 0},
+		{"exact tie goes to first",
+			[]*Result{raceResult(0, 0, 5, 4, 50), raceResult(0, 0, 5, 4, 50)}, 0},
+		{"later strictly better wins",
+			[]*Result{raceResult(0, 0, 5, 4, 50), raceResult(0, 0, 4, 9, 99)}, 1},
+		{"completeness dominates vs_max1",
+			[]*Result{raceResult(1, 0, 1, 1, 10), raceResult(0, 0, 9, 9, 99)}, 1},
+		{"failed routes count as incompleteness",
+			[]*Result{raceResult(0, 2, 1, 1, 10), raceResult(0, 1, 9, 9, 99)}, 1},
+		{"vs_max2 breaks vs_max1 ties",
+			[]*Result{raceResult(0, 0, 5, 4, 50), raceResult(0, 0, 5, 3, 99)}, 1},
+		{"valves break vs_max2 ties",
+			[]*Result{raceResult(0, 0, 5, 4, 50), raceResult(0, 0, 5, 4, 49)}, 1},
+		{"nil lane skipped",
+			[]*Result{nil, raceResult(0, 0, 5, 4, 50), raceResult(0, 0, 5, 4, 50)}, 1},
+	}
+	for _, tc := range cases {
+		if got := pickWinner(tc.rs); got != tc.want {
+			t.Errorf("%s: pickWinner = %d, want %d", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestParseBackends(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    []Backend
+		wantErr bool
+	}{
+		{"", nil, false},
+		{"none", nil, false},
+		{"ilp", []Backend{BackendILP}, false},
+		{"anneal, greedy", []Backend{BackendAnneal, BackendGreedy}, false},
+		{"ilp,greedy,ilp", []Backend{BackendILP, BackendGreedy}, false},
+		{"tabu", nil, true},
+		{"ilp,,greedy", nil, true},
+	}
+	for _, tc := range cases {
+		got, err := ParseBackends(tc.in)
+		if (err != nil) != tc.wantErr {
+			t.Errorf("ParseBackends(%q): err = %v, wantErr %v", tc.in, err, tc.wantErr)
+			continue
+		}
+		if err == nil && !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("ParseBackends(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestBackendOptions checks the per-lane option specialisation: the ILP
+// lane never inherits a heuristic mode, the greedy lane always forces the
+// heuristic, the anneal lane installs its own mapper, and no lane keeps
+// the portfolio list (which would recurse).
+func TestBackendOptions(t *testing.T) {
+	base := Options{
+		Backends: []Backend{BackendILP, BackendAnneal},
+		Place:    place.Config{Grid: 12, Mode: place.Greedy},
+	}
+
+	ilp := backendOptions(base, BackendILP)
+	if ilp.Place.Mode != place.RollingHorizon {
+		t.Errorf("ilp lane mode = %v, want rolling-horizon", ilp.Place.Mode)
+	}
+	if ilp.mapper != nil || ilp.Backends != nil {
+		t.Errorf("ilp lane keeps mapper/backends")
+	}
+
+	base.Place.Mode = place.Monolithic
+	if got := backendOptions(base, BackendILP).Place.Mode; got != place.Monolithic {
+		t.Errorf("ilp lane mode = %v, want the configured monolithic", got)
+	}
+
+	greedy := backendOptions(base, BackendGreedy)
+	if greedy.Place.Mode != place.Greedy || greedy.mapper != nil {
+		t.Errorf("greedy lane: mode %v, mapper %v", greedy.Place.Mode, greedy.mapper != nil)
+	}
+
+	ann := backendOptions(base, BackendAnneal)
+	if ann.mapper == nil {
+		t.Errorf("anneal lane has no mapper")
+	}
+	if ann.Backends != nil {
+		t.Errorf("anneal lane keeps the portfolio list")
+	}
+}

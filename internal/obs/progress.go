@@ -23,8 +23,10 @@ type Progress struct {
 	// Phases holds completed-or-running per-phase wall-clock seconds.
 	Phases map[string]float64 `json:"phases,omitempty"`
 
-	MILP  *MILPProgress  `json:"milp,omitempty"`
-	Route *RouteProgress `json:"route,omitempty"`
+	MILP   *MILPProgress   `json:"milp,omitempty"`
+	Route  *RouteProgress  `json:"route,omitempty"`
+	Anneal *AnnealProgress `json:"anneal,omitempty"`
+	Race   *RaceProgress   `json:"race,omitempty"`
 
 	Done bool `json:"done,omitempty"`
 }
@@ -42,6 +44,37 @@ type MILPProgress struct {
 	WarmResolves int64   `json:"warm_resolves"`
 	ColdSolves   int64   `json:"cold_solves"`
 	Incumbents   int64   `json:"incumbents"`
+}
+
+// AnnealProgress is the live state of the simulated-annealing mapper.
+// Replicates run concurrently and publish independently (replace-only,
+// last writer wins), so a stream shows an interleaving of replicate
+// states rather than a global aggregate; BestMaxPump is the publishing
+// replicate's incumbent objective.
+type AnnealProgress struct {
+	Replicates  int64   `json:"replicates"`
+	Replicate   int64   `json:"replicate"` // publishing replicate index
+	Iter        int64   `json:"iter"`
+	Temp        float64 `json:"temp"`
+	BestMaxPump int64   `json:"best_max_pump"`
+	HasBest     bool    `json:"has_best"`
+	Accepted    int64   `json:"accepted"`
+}
+
+// RaceProgress is the live state of the anytime backend portfolio: one
+// lane per raced backend, in priority order. The slice is replace-only
+// like every Progress sub-struct.
+type RaceProgress struct {
+	Backends []BackendLane `json:"backends"`
+}
+
+// BackendLane is one backend's state within a portfolio race.
+type BackendLane struct {
+	Backend string  `json:"backend"`
+	State   string  `json:"state"` // running, done, failed
+	VsMax1  int     `json:"vs_max1,omitempty"`
+	Seconds float64 `json:"seconds,omitempty"`
+	Won     bool    `json:"won,omitempty"`
 }
 
 // RouteProgress is the live state of the routing phase across time-steps.

@@ -28,6 +28,9 @@ type batchInfo struct {
 	exact     bool
 	rcRelaxed int
 	usedILP   bool
+	// noIncumbent counts solves (this batch's retries included) that hit
+	// the node budget without an incumbent — milp status Limit.
+	noIncumbent int
 }
 
 // opModel holds the per-operation model pieces.
@@ -206,12 +209,19 @@ func (pr *problem) solveBatch(free []int, fixed map[int]arch.Placement, pump map
 	default:
 		// No solution from the ILP. Retry without routing-convenient rows,
 		// then fall back to pure greedy placements.
+		if res.Status == milp.Limit {
+			// The node budget ran out with no incumbent at all: the hard
+			// condition the anytime portfolio targets. Count it before the
+			// fallbacks mask it.
+			info.noIncumbent++
+		}
 		if !opts.noRC {
 			o2 := opts
 			o2.noRC = true
 			placements, inner, err := pr.solveBatch(free, fixed, pump, o2)
 			inner.rcRelaxed += len(free)
 			inner.exact = false
+			inner.noIncumbent += info.noIncumbent
 			return placements, inner, err
 		}
 		placements, ginfo, gerr := pr.multiStartGreedy(opts.obs, free, fixed, pump)

@@ -47,6 +47,10 @@ const (
 	Monolithic
 	// Greedy places operations one by one without search.
 	Greedy
+	// Annealed marks mappings produced by the simulated-annealing backend
+	// (internal/anneal, via the Instance API). place.MapCtx itself never
+	// runs it — passing it to MapCtx is a configuration error.
+	Annealed
 )
 
 // String returns the mode name.
@@ -58,6 +62,8 @@ func (m Mode) String() string {
 		return "monolithic"
 	case Greedy:
 		return "greedy"
+	case Annealed:
+		return "anneal"
 	default:
 		return fmt.Sprintf("mode(%d)", int(m))
 	}
@@ -180,6 +186,13 @@ type Stats struct {
 	RCRelaxed int
 	// Exact is true when every ILP finished with a proven optimum.
 	Exact bool
+	// NoIncumbent counts branch-and-bound solves that exhausted their node
+	// budget without ever holding an incumbent (milp status Limit) — the
+	// hard instances the anytime portfolio exists for. The internal
+	// fallbacks (relaxed model, greedy) usually still produce a mapping,
+	// so a non-zero count with a successful result means the ILP itself
+	// was beaten, not the run.
+	NoIncumbent int
 }
 
 // Map runs the configured mapper with the Algorithm 1 repair loop.
@@ -212,6 +225,9 @@ func MapCtx(ctx context.Context, res *schedule.Result, cfg Config) (*Mapping, er
 			m, err = pr.solveMonolithic(iterSp)
 		case Greedy:
 			m, err = pr.solveGreedy(iterSp)
+		case Annealed:
+			iterSp.End()
+			return nil, fmt.Errorf("place: mode %s is produced by the anneal backend, not by MapCtx", cfg.Mode)
 		default:
 			m, err = pr.solveRolling(iterSp)
 		}

@@ -48,6 +48,7 @@ func (pr *problem) solveRolling(sp *obs.Span) (*Mapping, error) {
 		stats.ILPSolves++
 		stats.ILPNodes += info.nodes
 		stats.RCRelaxed += info.rcRelaxed
+		stats.NoIncumbent += info.noIncumbent
 		if !info.exact {
 			stats.Exact = false
 		}
@@ -89,11 +90,12 @@ func (pr *problem) solveMonolithic(sp *obs.Span) (*Mapping, error) {
 		return nil, err
 	}
 	stats := Stats{
-		Mode:      Monolithic,
-		ILPSolves: 1,
-		ILPNodes:  info.nodes,
-		RCRelaxed: info.rcRelaxed,
-		Exact:     info.exact,
+		Mode:        Monolithic,
+		ILPSolves:   1,
+		ILPNodes:    info.nodes,
+		RCRelaxed:   info.rcRelaxed,
+		Exact:       info.exact,
+		NoIncumbent: info.noIncumbent,
 	}
 	return pr.finishMapping(placements, stats), nil
 }

@@ -73,6 +73,15 @@ type RowOptions struct {
 	// healthy) — the per-cell form of Faults for multi-grid sweeps.
 	FaultSeed int64
 	FaultRate float64
+	// Backends races the anytime backend portfolio on every cell (two or
+	// more entries) or pins a single backend; empty keeps the classic
+	// single pipeline with Mode as configured. Anneal tunes the anneal
+	// backend when it is listed.
+	Backends []core.Backend
+	Anneal   core.AnnealOptions
+	// Deadline caps each cell's synthesis wall-clock (0 = none) — the
+	// portfolio's anytime bound.
+	Deadline time.Duration
 }
 
 // Table1Row evaluates one benchmark × policy cell of Table 1.
@@ -97,12 +106,19 @@ func Table1RowCtx(ctx context.Context, c assays.Case, policy int, opts RowOption
 			Grid: grid, Rate: opts.FaultRate, KeepPorts: true,
 		})
 	}
+	if opts.Deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opts.Deadline)
+		defer cancel()
+	}
 	res, err := core.SynthesizeCtx(ctx, c.Assay, core.Options{
-		Policy:  schedule.Resources{Mixers: des.Mixers, Detectors: c.Detectors},
-		Place:   place.Config{Grid: grid, Mode: opts.Mode},
-		Workers: opts.Workers,
-		Trace:   opts.Trace,
-		Faults:  opts.Faults,
+		Policy:   schedule.Resources{Mixers: des.Mixers, Detectors: c.Detectors},
+		Place:    place.Config{Grid: grid, Mode: opts.Mode},
+		Workers:  opts.Workers,
+		Trace:    opts.Trace,
+		Faults:   opts.Faults,
+		Backends: opts.Backends,
+		Anneal:   opts.Anneal,
 	})
 	if err != nil {
 		return nil, err

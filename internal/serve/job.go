@@ -49,6 +49,12 @@ type ResultView struct {
 	Degraded    bool   `json:"degraded,omitempty"`
 	Degradation string `json:"degradation,omitempty"`
 
+	// Backend names the portfolio backend that produced the result; Race
+	// itemises every lane of an anytime portfolio run. Both are empty for
+	// the classic single pipeline.
+	Backend string           `json:"backend,omitempty"`
+	Race    *core.RaceReport `json:"race,omitempty"`
+
 	// RuntimeSeconds is this job's synthesis wall-clock; zero when the
 	// response was served from the result cache.
 	RuntimeSeconds float64            `json:"runtime_seconds,omitempty"`

@@ -47,6 +47,16 @@ type OptionsSpec struct {
 	DisableStoragePassthrough bool `json:"disable_storage_passthrough,omitempty"`
 	DisableDegradation        bool `json:"disable_degradation,omitempty"`
 
+	// Backends is the anytime-portfolio spec, comma-separated in priority
+	// order ("ilp,greedy,anneal"); empty means the classic single
+	// pipeline. The anneal knobs apply only when "anneal" is listed; all
+	// of them are part of the request fingerprint, so differently
+	// configured portfolios never share a cache entry.
+	Backends         string `json:"backends,omitempty"`
+	AnnealSeed       int64  `json:"anneal_seed,omitempty"`
+	AnnealReplicates int    `json:"anneal_replicates,omitempty"`
+	AnnealIters      int    `json:"anneal_iters,omitempty"`
+
 	// DeadlineSeconds caps this job's synthesis wall-clock; it bounds the
 	// job context, not the fingerprint (a timed-out request is a 504, not
 	// a different problem).
@@ -123,6 +133,17 @@ func (req *JobRequest) resolve() (*graph.Assay, core.Options, time.Duration, err
 	opts.MaxRipups = o.MaxRipups
 	opts.DisableStoragePassthrough = o.DisableStoragePassthrough
 	opts.DisableDegradation = o.DisableDegradation
+
+	backends, err := core.ParseBackends(o.Backends)
+	if err != nil {
+		return nil, opts, 0, fmt.Errorf("bad backends %q: %w", o.Backends, err)
+	}
+	opts.Backends = backends
+	opts.Anneal = core.AnnealOptions{
+		Seed:       o.AnnealSeed,
+		Replicates: o.AnnealReplicates,
+		Iters:      o.AnnealIters,
+	}
 
 	if req.Faults != "" {
 		fs, err := fault.Parse(strings.NewReader(req.Faults))

@@ -396,6 +396,8 @@ func viewOf(res *core.Result) *ResultView {
 		UsedValves:     res.UsedValves,
 		RuntimeSeconds: res.Runtime.Seconds(),
 		PhaseSeconds:   res.PhaseSeconds,
+		Backend:        res.Backend,
+		Race:           res.Race,
 	}
 	if res.Degraded() {
 		v.Degraded = true

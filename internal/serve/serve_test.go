@@ -491,3 +491,82 @@ func getJSON(t *testing.T, url string, into any) {
 		t.Fatalf("bad JSON from %s: %v\n%s", url, err, buf.String())
 	}
 }
+
+// TestBackendCacheIsolation: requests that differ only in their anytime
+// portfolio configuration — backend list, priority order, anneal seed —
+// never share a cache entry, because the request fingerprint hashes the
+// backend and seed options. A collision here would hand a client the
+// other portfolio's result verbatim.
+func TestBackendCacheIsolation(t *testing.T) {
+	s := New(Config{Workers: 2, QueueDepth: 8, CacheEntries: 8})
+	defer s.Close()
+
+	portfolio := tinyOpts(40)
+	portfolio.Backends = []core.Backend{core.BackendGreedy, core.BackendAnneal}
+	portfolio.Anneal = core.AnnealOptions{Replicates: 2, Iters: 200}
+
+	j1, outcome, _, err := s.Submit("c1", tinyAssay("t"), portfolio, 0)
+	if err != nil || outcome != SubmitQueued {
+		t.Fatalf("portfolio submit: outcome %v err %v", outcome, err)
+	}
+	v1 := waitDone(t, j1)
+	if v1.State != StateDone || v1.Result == nil {
+		t.Fatalf("portfolio job: %+v", v1)
+	}
+	if v1.Result.Backend == "" {
+		t.Error("portfolio result has no winning backend")
+	}
+	if v1.Result.Race == nil || len(v1.Result.Race.Lanes) != 2 {
+		t.Fatalf("portfolio result race report: %+v", v1.Result.Race)
+	}
+
+	// Bit-identical resubmission hits the cache.
+	if _, outcome, _, _ := s.Submit("c1", tinyAssay("t"), portfolio, 0); outcome != SubmitCached {
+		t.Fatalf("identical portfolio resubmit should hit the cache, got %v", outcome)
+	}
+
+	// A different anneal seed is a different request.
+	seeded := portfolio
+	seeded.Anneal.Seed = 7
+	if _, outcome, _, _ := s.Submit("c1", tinyAssay("t"), seeded, 0); outcome != SubmitQueued {
+		t.Fatalf("seed change should miss the cache, got %v", outcome)
+	}
+
+	// So is a different priority order (it changes the tie-break).
+	flipped := portfolio
+	flipped.Backends = []core.Backend{core.BackendAnneal, core.BackendGreedy}
+	if _, outcome, _, _ := s.Submit("c1", tinyAssay("t"), flipped, 0); outcome != SubmitQueued {
+		t.Fatalf("backend order change should miss the cache, got %v", outcome)
+	}
+
+	// And so is dropping the portfolio entirely.
+	if _, outcome, _, _ := s.Submit("c1", tinyAssay("t"), tinyOpts(40), 0); outcome != SubmitQueued {
+		t.Fatalf("classic pipeline should miss the portfolio's cache, got %v", outcome)
+	}
+}
+
+// TestResolveBackends: the wire spec round-trips into core options, and
+// an unknown backend is a client error.
+func TestResolveBackends(t *testing.T) {
+	req := JobRequest{
+		Assay: "assay t\nop s1 input\nop s2 input\nop m1 mix 3\nop o1 output\n" +
+			"edge s1 m1 4\nedge s2 m1 4\nedge m1 o1 8\n",
+		Opts: OptionsSpec{Backends: "anneal,ilp", AnnealSeed: 9, AnnealReplicates: 2},
+	}
+	_, opts, _, err := req.resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(opts.Backends) != 2 || opts.Backends[0] != core.BackendAnneal {
+		t.Fatalf("backends: %v", opts.Backends)
+	}
+	if opts.Anneal.Seed != 9 || opts.Anneal.Replicates != 2 {
+		t.Fatalf("anneal options: %+v", opts.Anneal)
+	}
+
+	bad := req
+	bad.Opts.Backends = "ilp,tabu"
+	if _, _, _, err := bad.resolve(); err == nil {
+		t.Fatal("unknown backend accepted")
+	}
+}

@@ -138,6 +138,40 @@ func writeCanonicalOptions(sb *strings.Builder, opts core.Options) {
 		grid, p.Mode, batch, maxNodes, int64(timeout), stride)
 	fmt.Fprintf(sb, "place no_storage_overlap=%v no_routing_convenient=%v best_effort=%v cold_lp=%v\n",
 		p.NoStorageOverlap, p.NoRoutingConvenient, p.BestEffort, p.ColdLP)
+
+	// Portfolio configuration. Order is significant (it is the tie-break
+	// priority) so the list is emitted verbatim after dedup; unknown
+	// backends make the whole line "invalid <name>" — such a request fails
+	// synthesis, so the unreachable cache entry is harmless. The anneal
+	// schedule hashes whenever the anneal backend can run: with no anneal
+	// backend the knobs provably cannot change the result and are elided.
+	backends := "none"
+	annealRuns := false
+	if bs, err := core.ParseBackends(backendsSpec(opts.Backends)); err != nil {
+		backends = "invalid " + backendsSpec(opts.Backends)
+	} else if len(bs) > 0 {
+		backends = backendsSpec(bs)
+		for _, b := range bs {
+			if b == core.BackendAnneal {
+				annealRuns = true
+			}
+		}
+	}
+	fmt.Fprintf(sb, "backends %s\n", backends)
+	if annealRuns {
+		an := opts.Anneal.WithDefaults()
+		fmt.Fprintf(sb, "anneal seed=%d replicates=%d iters=%d init_temp=%g cooling=%g\n",
+			an.Seed, an.Replicates, an.Iters, an.InitTemp, an.Cooling)
+	}
+}
+
+// backendsSpec renders a backend list in the comma-separated flag syntax.
+func backendsSpec(bs []core.Backend) string {
+	parts := make([]string, len(bs))
+	for i, b := range bs {
+		parts[i] = string(b)
+	}
+	return strings.Join(parts, ",")
 }
 
 // RequestFingerprint returns the SHA-256 of the canonical request form,

@@ -70,6 +70,10 @@ func TestRequestFingerprintDefaultInvariance(t *testing.T) {
 		{"zero-count mixer entry is absent", func(o *core.Options) {
 			o.Policy.Mixers = map[int]int{8: 1, 6: 0}
 		}},
+		{"anneal knobs without anneal backend are result-neutral", func(o *core.Options) {
+			o.Anneal.Seed = 99
+			o.Anneal.Replicates = 3
+		}},
 	}
 	for _, tc := range cases {
 		opts := baseOpts()
@@ -87,6 +91,25 @@ func TestRequestFingerprintDefaultInvariance(t *testing.T) {
 	optsEmpty.Policy.Mixers = map[int]int{}
 	if mustFingerprint(t, a, optsNil) != mustFingerprint(t, a, optsEmpty) {
 		t.Error("nil and empty mixer maps hash differently")
+	}
+
+	// Zero-valued anneal knobs hash like the spelled-out defaults (the
+	// anneal backend must be listed for the knobs to hash at all).
+	withAnneal := baseOpts()
+	withAnneal.Backends = []core.Backend{core.BackendAnneal}
+	spelled := withAnneal
+	spelled.Anneal = core.AnnealOptions{}.WithDefaults()
+	if mustFingerprint(t, a, withAnneal) != mustFingerprint(t, a, spelled) {
+		t.Error("zero-valued and spelled-default anneal options hash differently")
+	}
+
+	// Duplicate backends collapse to their first occurrence.
+	dup := baseOpts()
+	dup.Backends = []core.Backend{core.BackendILP, core.BackendILP, core.BackendGreedy}
+	plain := baseOpts()
+	plain.Backends = []core.Backend{core.BackendILP, core.BackendGreedy}
+	if mustFingerprint(t, a, dup) != mustFingerprint(t, a, plain) {
+		t.Error("duplicate backend entries hash differently from the deduped list")
 	}
 }
 
@@ -147,6 +170,32 @@ func TestRequestFingerprintSensitivity(t *testing.T) {
 		{"wear-out threshold value", func(o *core.Options) {
 			o.Faults = fault.NewSet(12, fault.Fault{At: grid.Point{X: 3, Y: 4}, Kind: fault.WearOut, Threshold: 200})
 		}},
+		{"backend greedy alone", func(o *core.Options) {
+			o.Backends = []core.Backend{core.BackendGreedy}
+		}},
+		{"backend portfolio", func(o *core.Options) {
+			o.Backends = []core.Backend{core.BackendILP, core.BackendAnneal}
+		}},
+		{"backend priority order", func(o *core.Options) {
+			o.Backends = []core.Backend{core.BackendAnneal, core.BackendILP}
+		}},
+		{"anneal seed", func(o *core.Options) {
+			o.Backends = []core.Backend{core.BackendAnneal, core.BackendILP}
+			o.Anneal.Seed = 7
+		}},
+		{"anneal replicates", func(o *core.Options) {
+			o.Backends = []core.Backend{core.BackendAnneal, core.BackendILP}
+			o.Anneal.Replicates = 2
+		}},
+		{"anneal iters", func(o *core.Options) {
+			o.Backends = []core.Backend{core.BackendAnneal, core.BackendILP}
+			o.Anneal.Iters = 500
+		}},
+		{"anneal temperature schedule", func(o *core.Options) {
+			o.Backends = []core.Backend{core.BackendAnneal, core.BackendILP}
+			o.Anneal.InitTemp = 3
+			o.Anneal.Cooling = 0.99
+		}},
 	}
 	for _, tc := range optCases {
 		opts := baseOpts()
@@ -202,6 +251,24 @@ func TestCanonicalRequestShape(t *testing.T) {
 		"request v1\n", "assay:\n", "options:\n", "faults:\nnone\n",
 		"transport_delay 3\n", "pump_actuations 40\n", "max_ripups 8\n",
 		"place grid=12 mode=rolling-horizon batch=6 max_nodes=1024",
+		"backends none\n",
+	} {
+		if !strings.Contains(canon, want) {
+			t.Errorf("canonical request missing %q:\n%s", want, canon)
+		}
+	}
+
+	// A portfolio request spells the priority order and the anneal schedule.
+	opts := baseOpts()
+	opts.Backends = []core.Backend{core.BackendAnneal, core.BackendGreedy}
+	opts.Anneal.Seed = 5
+	canon, err = CanonicalRequest(a, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"backends anneal,greedy\n",
+		"anneal seed=5 replicates=8 iters=4000 init_temp=1.5 cooling=0.998\n",
 	} {
 		if !strings.Contains(canon, want) {
 			t.Errorf("canonical request missing %q:\n%s", want, canon)

@@ -147,7 +147,43 @@ const (
 	MonolithicILP = place.Monolithic
 	// GreedyPlace is the constructive heuristic (ablation baseline).
 	GreedyPlace = place.Greedy
+	// AnnealedPlace marks mappings produced by the simulated-annealing
+	// backend (select it via Options.Backends, not PlaceConfig.Mode).
+	AnnealedPlace = place.Annealed
 )
+
+// Backend names one mapper strategy of the anytime backend portfolio:
+// list two or more in Options.Backends to race full pipelines under one
+// deadline and keep the best result, deterministically.
+type Backend = core.Backend
+
+// Portfolio backends, in canonical priority order.
+const (
+	// BackendILP is the paper's exact mapper.
+	BackendILP = core.BackendILP
+	// BackendGreedy is the constructive multi-start heuristic.
+	BackendGreedy = core.BackendGreedy
+	// BackendAnneal is the seeded simulated-annealing mapper.
+	BackendAnneal = core.BackendAnneal
+)
+
+// Backends returns the canonical backend list in priority order.
+func Backends() []Backend { return core.Backends() }
+
+// ParseBackends parses a comma-separated backend list in priority order
+// ("ilp,greedy,anneal"); "" and "none" mean no portfolio.
+func ParseBackends(s string) ([]Backend, error) { return core.ParseBackends(s) }
+
+// AnnealOptions tunes the simulated-annealing backend; zero fields mean
+// the engine defaults. The seed fully determines the annealed mapping.
+type AnnealOptions = core.AnnealOptions
+
+// RaceReport is the outcome of an anytime portfolio race, one lane per
+// backend (Result.Race).
+type RaceReport = core.RaceReport
+
+// RaceLane is one backend's outcome within a race.
+type RaceLane = core.RaceLane
 
 // Options configures Synthesize.
 type Options = core.Options
@@ -352,6 +388,22 @@ func RenderTable1(rows []*Table1Row) string { return report.Render(rows) }
 // Table1Averages returns the mean improvement percentages.
 func Table1Averages(rows []*Table1Row) (imp1, imp2, impV float64) {
 	return report.Averages(rows)
+}
+
+// AblationOptions tunes the backend-ablation sweep: every instance is
+// synthesised once per backend under the same deadline.
+type AblationOptions = report.AblationOptions
+
+// AblationRow is one instance's ablation sweep across the backends.
+type AblationRow = report.AblationRow
+
+// AblationCell is one backend's outcome on one ablation instance.
+type AblationCell = report.AblationCell
+
+// Ablation runs the backend-ablation sweep (the BENCH_ablation.json
+// artefact behind tools/benchgate -ablation).
+func Ablation(ctx context.Context, opts AblationOptions) ([]*AblationRow, error) {
+	return report.Ablation(ctx, opts)
 }
 
 // Role is what a virtual valve is doing at one instant (the paper's

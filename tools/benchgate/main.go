@@ -22,6 +22,12 @@
 // Times are machine-dependent and only reported; allocation counts are a
 // property of the code.
 //
+// Ablation gate (-ablation, written by `mfbench -ablation -ablation-out`):
+// the simulated-annealing backend must produce a result on every instance
+// of the sweep, and on every instance where the exact ILP also completed,
+// the anneal's vs_max1 must stay within -threshold (default 10%) of the
+// ILP's — the quality bar of the anytime portfolio's stochastic rung.
+//
 // Overhead gate (-overhead, raw output of the BenchmarkObsOverhead suite
 // in internal/obs/export): the "on" variant (live tracing, progress bus,
 // draining subscriber, scrape per run) must not run more than
@@ -218,6 +224,82 @@ func compareMicro(oldPath, newPath string, threshold float64, fails *[]string) e
 	return nil
 }
 
+// ablationSnapshot mirrors the parts of mfbench's -ablation-out layout
+// the gate reads (see BENCH_ablation.json).
+type ablationSnapshot struct {
+	DeadlineSeconds float64 `json:"deadline_seconds"`
+	Rows            []struct {
+		Instance string         `json:"instance"`
+		Cells    []ablationCell `json:"cells"`
+	} `json:"rows"`
+}
+
+type ablationCell struct {
+	Backend  string  `json:"backend"`
+	Ok       bool    `json:"ok"`
+	Err      string  `json:"err,omitempty"`
+	Complete bool    `json:"complete"`
+	VsMax1   int     `json:"vs_max1"`
+	Seconds  float64 `json:"seconds"`
+}
+
+// compareAblation gates the anytime-portfolio quality in an ablation
+// snapshot: the anneal backend must succeed on every instance (it is the
+// portfolio's rescue rung — an instance it cannot map undermines the
+// anytime contract), and wherever the exact ILP also produced a complete
+// mapping, the anneal's objective must stay within -threshold of it. A
+// snapshot with no comparable instance passes vacuously, which would hide
+// a broken sweep, so at least one ilp/anneal pair is required.
+func compareAblation(path string, threshold float64, fails *[]string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var s ablationSnapshot
+	if err := json.Unmarshal(raw, &s); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if len(s.Rows) == 0 {
+		*fails = append(*fails, "ablation: snapshot has no rows")
+		return nil
+	}
+	compared := 0
+	for _, row := range s.Rows {
+		var ilp, ann *ablationCell
+		for i := range row.Cells {
+			switch row.Cells[i].Backend {
+			case "ilp":
+				ilp = &row.Cells[i]
+			case "anneal":
+				ann = &row.Cells[i]
+			}
+		}
+		if ann == nil || !ann.Ok {
+			why := "cell missing"
+			if ann != nil {
+				why = ann.Err
+			}
+			*fails = append(*fails, fmt.Sprintf("ablation %s: anneal backend failed (%s)", row.Instance, why))
+			continue
+		}
+		if ilp == nil || !ilp.Ok || !ilp.Complete || !ann.Complete {
+			fmt.Printf("ablation %-18s anneal vs_max1 %4d (ilp not comparable)\n", row.Instance, ann.VsMax1)
+			continue
+		}
+		compared++
+		fmt.Printf("ablation %-18s ilp vs_max1 %4d (%5.1fs)  anneal %4d (%5.1fs)\n",
+			row.Instance, ilp.VsMax1, ilp.Seconds, ann.VsMax1, ann.Seconds)
+		if float64(ann.VsMax1) > float64(ilp.VsMax1)*(1+threshold) {
+			*fails = append(*fails, fmt.Sprintf("ablation %s: anneal vs_max1 %d exceeds ilp %d by more than %.0f%%",
+				row.Instance, ann.VsMax1, ilp.VsMax1, threshold*100))
+		}
+	}
+	if compared == 0 {
+		*fails = append(*fails, "ablation: no instance where both ilp and anneal completed — the quality gate never engaged")
+	}
+	return nil
+}
+
 // compareOverhead parses BenchmarkObsOverhead/{off,on} readings from a
 // `go test -bench` output file and gates the on/off wall-clock ratio.
 func compareOverhead(path string, max float64, fails *[]string) error {
@@ -244,6 +326,7 @@ func main() {
 	newT := flag.String("new", "", "fresh Table 1 snapshot to gate")
 	oldM := flag.String("micro-old", "", "baseline micro-benchmark output (go test -bench -benchmem)")
 	newM := flag.String("micro-new", "", "fresh micro-benchmark output to gate")
+	ablation := flag.String("ablation", "", "ablation snapshot to gate (mfbench -ablation -ablation-out): anneal must succeed everywhere and stay within -threshold of a completed ilp's vs_max1")
 	overhead := flag.String("overhead", "", "BenchmarkObsOverhead output to gate (go test -bench ObsOverhead)")
 	overheadMax := flag.Float64("overhead-max", 0.02, "allowed fractional obs-on/obs-off slowdown for -overhead")
 	threshold := flag.Float64("threshold", 0.10, "allowed fractional growth in gated counters and allocs/op")
@@ -264,6 +347,12 @@ func main() {
 			os.Exit(2)
 		}
 	}
+	if *ablation != "" {
+		if err := compareAblation(*ablation, *threshold, &fails); err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate:", err)
+			os.Exit(2)
+		}
+	}
 	if *overhead != "" {
 		if err := compareOverhead(*overhead, *overheadMax, &fails); err != nil {
 			fmt.Fprintln(os.Stderr, "benchgate:", err)
@@ -274,8 +363,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchgate: -old/-new and -micro-old/-micro-new must be given in pairs")
 		os.Exit(2)
 	}
-	if *oldT == "" && *oldM == "" && *overhead == "" {
-		fmt.Fprintln(os.Stderr, "benchgate: nothing to compare (pass -old/-new, -micro-old/-micro-new and/or -overhead)")
+	if *oldT == "" && *oldM == "" && *overhead == "" && *ablation == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: nothing to compare (pass -old/-new, -micro-old/-micro-new, -ablation and/or -overhead)")
 		os.Exit(2)
 	}
 	if len(fails) > 0 {
