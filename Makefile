@@ -82,6 +82,19 @@ tier7:
 	go run ./tools/benchgate -ablation .tier7-ablation.json
 	rm -f .tier7-ablation.json
 
+# Tier-8: fleet gate — the fleet wear-loop suites under the race detector
+# (closed-loop-outlives-static, campaign determinism, the promoted-valve
+# placement property, telemetry round-trip/errors), then a smoke campaign
+# at the committed defaults whose artefact must pass internal validity
+# (closed strictly outlives static, non-vacuous death, re-syntheses
+# happened) and reproduce the committed BENCH_fleet.json fingerprint
+# bit-identically.
+tier8:
+	go test -race ./internal/fleet/
+	go run ./cmd/mfbench -fleet -fleet-out .tier8-fleet.json
+	go run ./tools/benchgate -fleet .tier8-fleet.json -fleet-baseline BENCH_fleet.json
+	rm -f .tier8-fleet.json
+
 # Serial-vs-parallel engine benchmarks (ns/op and allocs/op per worker count).
 bench-parallel:
 	go test -bench=Parallel -benchmem ./...
@@ -122,4 +135,4 @@ bench-gate:
 		-overhead .bench-overhead.txt
 	rm -f .bench-mfbench .bench-fresh.json .bench-fresh-micro.txt .bench-overhead.txt .bench-progress.jsonl
 
-.PHONY: tier1 tier1-race tier2 tier3 tier4 tier5 tier6 tier7 bench-parallel bench-json bench bench-gate
+.PHONY: tier1 tier1-race tier2 tier3 tier4 tier5 tier6 tier7 tier8 bench-parallel bench-json bench bench-gate

@@ -64,9 +64,20 @@ func main() {
 		ablationSizes    = flag.String("ablation-sizes", "", "comma-separated mix-op counts of the generated ablation assays (default 6,9,12)")
 		ablationCases    = flag.String("ablation-cases", "", "comma-separated benchmark cases to add to the ablation sweep (slow; off by default)")
 		annealSeed       = flag.Int64("anneal-seed", 0, "simulated-annealing base seed for -ablation (0 = default 1)")
+
+		fleetRun     = flag.Bool("fleet", false, "run the fleet wear campaign: static mapping vs the closed-loop collector→analyzer→optimizer→actuator control over whole chip lifetimes")
+		fleetOut     = flag.String("fleet-out", "", "write the fleet campaign as machine-readable JSON to this file (e.g. BENCH_fleet.json; gate with tools/benchgate -fleet)")
+		fleetChips   = flag.Int("fleet-chips", 3, "fleet size for -fleet")
+		fleetRounds  = flag.Int("fleet-rounds", 96, "campaign length for -fleet: each round dispatches one assay per live chip")
+		fleetSeed    = flag.Int64("fleet-seed", 7, "campaign seed for -fleet (valve lives and request stream)")
+		fleetRated   = flag.Int("fleet-rated", 2500, "nominal per-valve life in actuations for -fleet")
+		fleetSpread  = flag.Float64("fleet-spread", 0.05, "fractional per-valve life spread around -fleet-rated")
+		fleetCase    = flag.String("fleet-case", "PCR", "benchmark assay of the -fleet request stream")
+		fleetHorizon = flag.Int("fleet-horizon", 2, "analyzer look-ahead in runs: re-synthesize when a chip's remaining life drops below this")
+		fleetBias    = flag.Float64("fleet-bias", 1, "wear-bias weight the optimizer passes to synthesis (Options.WearBias)")
 	)
 	flag.Parse()
-	all := !*figures && !*table1 && !*extensions && *campaign == 0 && !*ablation
+	all := !*figures && !*table1 && !*extensions && *campaign == 0 && !*ablation && !*fleetRun
 
 	// SIGINT/SIGTERM cancels the evaluation through the synthesis
 	// contexts: in-flight cells return early, remaining sections are
@@ -134,6 +145,9 @@ func main() {
 	}
 	if *ablation && ctx.Err() == nil {
 		printAblation(ctx, *ablationOut, *ablationDeadline, *ablationSizes, *ablationCases, *annealSeed, *workers, *doVerify, tr)
+	}
+	if *fleetRun && ctx.Err() == nil {
+		printFleet(ctx, *fleetOut, *fleetChips, *fleetRounds, *fleetSeed, *fleetRated, *fleetSpread, *fleetCase, *fleetHorizon, *fleetBias, tr)
 	}
 
 	// Flush every sink before deciding the exit status: all sinks are
@@ -548,6 +562,84 @@ func printAblation(ctx context.Context, out string, deadline time.Duration, size
 		}
 		fmt.Printf("wrote %s\n\n", out)
 	}
+}
+
+// printFleet runs the fleet wear campaign (-fleet): the same seeded
+// request stream executed with a static mapping per chip and with the
+// closed-loop wear controller, compared on assays completed before the
+// first chip death. The JSON artefact (-fleet-out) feeds
+// tools/benchgate -fleet.
+func printFleet(ctx context.Context, out string, chips, rounds int, seed int64, rated int, spread float64, caseName string, horizon int, bias float64, tr *mfsynth.Trace) {
+	c, err := mfsynth.CaseByName(caseName)
+	if err != nil {
+		log.Printf("fleet: %v", err)
+		cellsFailed++
+		return
+	}
+	cfg := mfsynth.FleetConfig{
+		Chips:      chips,
+		Grid:       c.GridSize,
+		Seed:       seed,
+		Rounds:     rounds,
+		Rated:      rated,
+		LifeSpread: spread,
+		Horizon:    horizon,
+		WearBias:   bias,
+		Workloads: []mfsynth.FleetWorkload{{
+			Name:  caseName,
+			Assay: c.Assay,
+			// The greedy mapper keeps campaign-scale re-synthesis cheap;
+			// wear steering happens through the prior it is seeded with.
+			Options: mfsynth.Options{Place: mfsynth.PlaceConfig{Mode: mfsynth.GreedyPlace}},
+		}},
+		Trace: tr,
+	}
+	fmt.Printf("== Fleet wear campaign: %d chips, %q stream, rated life %d, seed %d ==\n",
+		chips, caseName, rated, seed)
+	start := time.Now()
+	res, _, err := mfsynth.RunFleet(ctx, cfg)
+	wall := time.Since(start)
+	if err != nil {
+		log.Printf("fleet: %v", err)
+		cellsFailed++
+		return
+	}
+	fmt.Printf("%-12s %8s %8s %8s %10s %8s %8s\n",
+		"mode", "assays†", "total", "death@", "mean-runs", "resynth", "promote")
+	for _, row := range []struct {
+		name string
+		m    mfsynth.FleetModeResult
+	}{{"static", res.Static}, {"closed-loop", res.Closed}} {
+		fmt.Printf("%-12s %8d %8d %8d %10.1f %8d %8d\n",
+			row.name, row.m.AssaysBeforeFirstDeath, row.m.TotalAssays,
+			row.m.FirstDeathRound, row.m.MeanRunsToFirstWearout,
+			row.m.Resyntheses, row.m.Promotions)
+	}
+	fmt.Printf("(† = fleet-wide assays completed before the first chip death)\n")
+	fmt.Printf("closed-loop lifetime extension: %+.1f%% (fingerprint %s, wall-clock %.1fs)\n\n",
+		res.LifetimeExtensionPct, res.Fingerprint[:12], wall.Seconds())
+	if out != "" {
+		if err := writeFleetJSON(out, res); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n\n", out)
+	}
+}
+
+// writeFleetJSON writes the campaign artefact (-fleet-out); the fleet
+// Result is already the machine-readable form, fingerprint included.
+func writeFleetJSON(path string, res *mfsynth.FleetResult) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(res); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // parseSizes parses the -ablation-sizes CSV ("" keeps the defaults).

@@ -9,6 +9,7 @@
 //	curl -d '{"case":"PCR","policy":1}' http://localhost:8547/v1/jobs
 //	curl http://localhost:8547/v1/jobs/j000001/events   # live SSE progress
 //	curl http://localhost:8547/v1/stats
+//	curl http://localhost:8547/metrics                  # Prometheus text format
 //
 // SIGINT/SIGTERM drains gracefully: intake stops (new submissions get
 // 503), queued and running jobs finish within -drain-timeout (stragglers

@@ -96,6 +96,20 @@ type Options struct {
 	// Anneal tunes the simulated-annealing backend (used only when
 	// Backends lists "anneal"); zero fields mean the anneal defaults.
 	Anneal AnnealOptions
+	// WearBias scales how strongly cumulative per-valve wear steers the
+	// placement objective: WearCounts is converted into per-operation load
+	// units (count × WearBias / PumpActuations, rounded) and seeded into
+	// the mapper's load accumulation (place.Config.WearPrior), so a
+	// re-synthesis on a worn chip routes new duty onto lightly-used
+	// valves. 0 disables the bias; 1 weighs past wear equally with new
+	// load. The anneal backend searches per-run cost and ignores the
+	// prior.
+	WearBias float64
+	// WearCounts is the chip's cumulative per-valve actuation counters in
+	// row-major Place.Grid×Place.Grid order (fleet telemetry); consulted
+	// only when WearBias > 0. An explicitly set Place.WearPrior takes
+	// precedence.
+	WearCounts []int
 	// mapper overrides the first ladder rung's mapper (set by
 	// backendOptions for the anneal lane; nil means place.MapCtx).
 	mapper func(ctx context.Context, sched *schedule.Result, cfg place.Config) (*place.Mapping, error)
@@ -116,7 +130,27 @@ func (o Options) withDefaults() Options {
 	if o.Place.Workers == 0 {
 		o.Place.Workers = o.Workers
 	}
+	if o.WearBias > 0 && len(o.WearCounts) > 0 && o.Place.WearPrior == nil {
+		o.Place.WearPrior = WearPriorUnits(o.WearCounts, o.WearBias, o.PumpActuations)
+	}
 	return o
+}
+
+// WearPriorUnits converts cumulative per-valve actuation counters into the
+// per-operation load units place.Config.WearPrior expects, scaled by the
+// bias weight: round(count × bias / pumpActuations). Exported so the
+// canonical-request writer resolves the prior exactly as the engine does.
+func WearPriorUnits(counts []int, bias float64, pumpActuations int) []int {
+	if pumpActuations <= 0 {
+		pumpActuations = DefaultPumpActuations
+	}
+	out := make([]int, len(counts))
+	for i, c := range counts {
+		if c > 0 {
+			out[i] = int(float64(c)*bias/float64(pumpActuations) + 0.5)
+		}
+	}
+	return out
 }
 
 // EventKind classifies actuation events.

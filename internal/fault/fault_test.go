@@ -130,3 +130,41 @@ func TestParseErrors(t *testing.T) {
 		t.Fatalf("got grid %d, %d faults", s.Grid(), s.Len())
 	}
 }
+
+// TestParseErrorLineNumbers checks every parse error names the offending
+// line, and that duplicate coordinates are rejected with both the
+// duplicate's and the original declaration's line numbers.
+func TestParseErrorLineNumbers(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+	}{
+		{"grid nope", "line 1:"},
+		{"grid 8\nstuck-closed 9 0", "line 2:"},
+		{"# c\n\nwear-out 1 2 zero", "line 3:"},
+		{"stuck-open 0 0\nstuck-open 1 1\nflux 2 2", "line 3:"},
+	}
+	for _, c := range cases {
+		_, err := Parse(strings.NewReader(c.in))
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Parse(%q) = %v, want error mentioning %q", c.in, err, c.want)
+		}
+	}
+
+	// Duplicate coordinates: rejected across kinds, both lines named.
+	dup := "grid 8\nstuck-closed 2 3\nwear-out 1 1 50\nstuck-open 2 3"
+	_, err := Parse(strings.NewReader(dup))
+	if err == nil {
+		t.Fatal("duplicate coordinate accepted")
+	}
+	for _, frag := range []string{"line 4:", "duplicate fault for cell (2, 3)", "line 2"} {
+		if !strings.Contains(err.Error(), frag) {
+			t.Errorf("duplicate error %q missing %q", err, frag)
+		}
+	}
+
+	// An exact repeat of the same fault is still a duplicate.
+	if _, err := Parse(strings.NewReader("stuck-open 5 5\nstuck-open 5 5")); err == nil {
+		t.Error("exact duplicate accepted")
+	}
+}

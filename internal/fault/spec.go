@@ -6,6 +6,8 @@ import (
 	"io"
 	"strconv"
 	"strings"
+
+	"mfsynth/internal/grid"
 )
 
 // The text spec format is line-oriented; '#' starts a comment. Lines:
@@ -30,6 +32,7 @@ func Parse(r io.Reader) (*Set, error) {
 	s := NewSet(0)
 	sc := bufio.NewScanner(r)
 	lineno := 0
+	firstLine := map[grid.Point]int{} // cell → line of its first declaration
 	for sc.Scan() {
 		lineno++
 		line := sc.Text()
@@ -83,13 +86,21 @@ func Parse(r io.Reader) (*Set, error) {
 			if s.gridSize > 0 && (f.At.X >= s.gridSize || f.At.Y >= s.gridSize) {
 				return nil, bad("cell %s outside %dx%d grid", f.At, s.gridSize, s.gridSize)
 			}
+			// A Set holds at most one fault per cell, so a repeated
+			// coordinate would silently overwrite the earlier entry —
+			// almost certainly a spec-authoring mistake. Reject it,
+			// naming both lines, regardless of the two kinds involved.
+			if prev, dup := firstLine[f.At]; dup {
+				return nil, bad("duplicate fault for cell (%d, %d): already declared on line %d", f.At.X, f.At.Y, prev)
+			}
+			firstLine[f.At] = lineno
 			s.Add(f)
 		default:
 			return nil, bad("unknown directive %q", fields[0])
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("fault spec line %d: %w", lineno+1, err)
 	}
 	return s, nil
 }

@@ -1,0 +1,383 @@
+package fleet
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"mfsynth/internal/core"
+	"mfsynth/internal/obs"
+	"mfsynth/internal/wear"
+)
+
+// maxRemapAttempts bounds the optimizer's promote-and-retry loop for one
+// request: if after this many re-syntheses the mapping still lands duty on
+// a valve that would overrun during the very next run, the chip is retired.
+const maxRemapAttempts = 4
+
+// ChipSummary is the per-chip slice of a ModeResult.
+type ChipSummary struct {
+	ID          int  `json:"id"`
+	Runs        int  `json:"runs"`
+	Resyntheses int  `json:"resyntheses"`
+	Promotions  int  `json:"promotions"`
+	Dead        bool `json:"dead"`
+	DeathRound  int  `json:"death_round,omitempty"`
+	// MaxCount is the chip's most-worn valve counter at campaign end.
+	MaxCount int `json:"max_count"`
+}
+
+// ModeResult aggregates one campaign mode (static or closed-loop).
+type ModeResult struct {
+	// AssaysBeforeFirstDeath is the fleet-wide number of completed assay
+	// executions at the moment the first chip died (the paper's
+	// first-worn-out-valve service-life notion lifted to fleet level);
+	// equals TotalAssays when no chip died within the campaign.
+	AssaysBeforeFirstDeath int `json:"assays_before_first_death"`
+	// TotalAssays is the fleet-wide number of completed assay executions
+	// over the whole campaign.
+	TotalAssays int `json:"total_assays"`
+	// FirstDeathRound is the 1-based round of the first chip death (0 if
+	// every chip survived the campaign).
+	FirstDeathRound int `json:"first_death_round"`
+	// MeanRunsToFirstWearout is the mean per-chip run count at death;
+	// chips alive at campaign end contribute their (censored) final count.
+	MeanRunsToFirstWearout float64 `json:"mean_runs_to_first_wearout"`
+	// Resyntheses and Promotions total the optimizer's reactions.
+	Resyntheses int `json:"resyntheses"`
+	Promotions  int `json:"promotions"`
+	// Deaths is the number of chips dead at campaign end.
+	Deaths int           `json:"deaths"`
+	Chips  []ChipSummary `json:"chips"`
+}
+
+// Result is a full campaign artefact: both modes on the identical seeded
+// request stream and valve lives, plus the headline comparison.
+type Result struct {
+	Chips      int      `json:"chips"`
+	Grid       int      `json:"grid"`
+	Seed       int64    `json:"seed"`
+	Rounds     int      `json:"rounds"`
+	Rated      int      `json:"rated_actuations"`
+	LifeSpread float64  `json:"life_spread"`
+	Horizon    int      `json:"horizon"`
+	WearBias   float64  `json:"wear_bias"`
+	Workloads  []string `json:"workloads"`
+
+	// Static executes the first-synthesized mapping of each workload for
+	// the chip's whole life, never consulting telemetry.
+	Static ModeResult `json:"static"`
+	// Closed runs the collector→analyzer→optimizer→actuator loop.
+	Closed ModeResult `json:"closed"`
+
+	// LifetimeExtensionPct is the headline number: the closed loop's
+	// assays-before-first-death relative to static, in percent.
+	LifetimeExtensionPct float64 `json:"lifetime_extension_pct"`
+
+	// Fingerprint is the SHA-256 of the artefact with this field blank —
+	// the bit-identical-reproduction contract benchgate -fleet checks.
+	Fingerprint string `json:"fingerprint,omitempty"`
+}
+
+// Run executes the campaign twice — static and closed-loop — on identical
+// seeded valve lives and request streams, and returns the comparison. The
+// final chip states of each mode are also returned (static first) so
+// callers can persist telemetry.
+func Run(ctx context.Context, cfg Config) (*Result, [][]*ChipState, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, nil, err
+	}
+	static, staticChips, err := runMode(ctx, cfg, false)
+	if err != nil {
+		return nil, nil, fmt.Errorf("fleet: static campaign: %w", err)
+	}
+	closed, closedChips, err := runMode(ctx, cfg, true)
+	if err != nil {
+		return nil, nil, fmt.Errorf("fleet: closed-loop campaign: %w", err)
+	}
+	res := &Result{
+		Chips:      cfg.Chips,
+		Grid:       cfg.Grid,
+		Seed:       cfg.Seed,
+		Rounds:     cfg.Rounds,
+		Rated:      cfg.Rated,
+		LifeSpread: cfg.LifeSpread,
+		Horizon:    cfg.Horizon,
+		WearBias:   cfg.WearBias,
+		Static:     static,
+		Closed:     closed,
+	}
+	for _, w := range cfg.Workloads {
+		res.Workloads = append(res.Workloads, w.Name)
+	}
+	if static.AssaysBeforeFirstDeath > 0 {
+		res.LifetimeExtensionPct = 100 * float64(closed.AssaysBeforeFirstDeath-static.AssaysBeforeFirstDeath) /
+			float64(static.AssaysBeforeFirstDeath)
+	}
+	fp, err := fingerprint(res)
+	if err != nil {
+		return nil, nil, err
+	}
+	res.Fingerprint = fp
+	return res, [][]*ChipState{staticChips, closedChips}, nil
+}
+
+// fingerprint hashes the JSON encoding of the artefact with the
+// Fingerprint field blank.
+func fingerprint(r *Result) (string, error) {
+	blank := *r
+	blank.Fingerprint = ""
+	b, err := json.Marshal(&blank)
+	if err != nil {
+		return "", fmt.Errorf("fleet: fingerprint: %w", err)
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// runMode executes one campaign. Per round every live chip receives one
+// assay request; the chip dies when a valve overruns its life mid-run or
+// when no complete mapping exists any more.
+func runMode(ctx context.Context, cfg Config, closed bool) (ModeResult, []*ChipState, error) {
+	mode := "static"
+	if closed {
+		mode = "closed"
+	}
+	m := cfg.Trace.Metrics()
+	chips := make([]*ChipState, cfg.Chips)
+	for i := range chips {
+		chips[i] = newChip(i, cfg)
+	}
+
+	var mr ModeResult
+	completed := 0
+	for round := 1; round <= cfg.Rounds; round++ {
+		if err := ctx.Err(); err != nil {
+			return mr, chips, err
+		}
+		alive := 0
+		for _, chip := range chips {
+			if !chip.Dead {
+				alive++
+			}
+		}
+		if alive == 0 {
+			break
+		}
+		for _, chip := range chips {
+			if chip.Dead {
+				continue
+			}
+			widx := pickWorkload(cfg, chip.ID, round)
+			res, err := ensureMapping(ctx, cfg, chip, widx, closed)
+			if err != nil {
+				if ctx.Err() != nil {
+					return mr, chips, ctx.Err()
+				}
+				// The optimizer ran out of moves: the chip is retired.
+				chip.lastErr = err
+				die(chip, round, &mr, completed, m, mode)
+				continue
+			}
+			// Collector: fold the run's actuation profile into the
+			// chip's lifetime counters.
+			profile := wear.GridCounts(res.ChipAt(-1, 1))
+			overrun := false
+			for i, p := range profile {
+				chip.Counts[i] += p
+				if chip.Counts[i] > chip.lives[i] {
+					overrun = true
+				}
+			}
+			chip.lastProfile = profile
+			if overrun {
+				// A valve wore out mid-run: the assay is lost and the
+				// chip is dead — the event the closed loop exists to
+				// pre-empt.
+				die(chip, round, &mr, completed, m, mode)
+				continue
+			}
+			chip.Runs++
+			completed++
+			m.Counter("fleet_" + mode + "_runs_total").Inc()
+			if closed {
+				analyze(cfg, chip, profile, m)
+			}
+		}
+		publishHealth(chips, m, mode)
+	}
+
+	mr.TotalAssays = completed
+	if mr.FirstDeathRound == 0 {
+		mr.AssaysBeforeFirstDeath = completed
+	}
+	sumRuns := 0
+	for _, chip := range chips {
+		sumRuns += chip.Runs
+		mr.Resyntheses += chip.Resyntheses
+		mr.Promotions += chip.Promotions
+		if chip.Dead {
+			mr.Deaths++
+		}
+		maxCount := 0
+		for _, c := range chip.Counts {
+			if c > maxCount {
+				maxCount = c
+			}
+		}
+		mr.Chips = append(mr.Chips, ChipSummary{
+			ID:          chip.ID,
+			Runs:        chip.Runs,
+			Resyntheses: chip.Resyntheses,
+			Promotions:  chip.Promotions,
+			Dead:        chip.Dead,
+			DeathRound:  chip.DeathRound,
+			MaxCount:    maxCount,
+		})
+	}
+	mr.MeanRunsToFirstWearout = float64(sumRuns) / float64(len(chips))
+	return mr, chips, nil
+}
+
+// die retires a chip and records the fleet-level first-death marker.
+func die(chip *ChipState, round int, mr *ModeResult, completed int, m *obs.Metrics, mode string) {
+	chip.Dead = true
+	chip.DeathRound = round
+	if mr.FirstDeathRound == 0 {
+		mr.FirstDeathRound = round
+		mr.AssaysBeforeFirstDeath = completed
+	}
+	m.Counter("fleet_" + mode + "_deaths_total").Inc()
+}
+
+// pickWorkload selects the request's assay: a pure function of
+// (seed, chip, round) so both modes see the identical stream.
+func pickWorkload(cfg Config, chip, round int) int {
+	if len(cfg.Workloads) == 1 {
+		return 0
+	}
+	h := mix64(mix64(uint64(cfg.Seed)+0x5eed) ^ (uint64(chip)<<32 | uint64(round)))
+	return int(h % uint64(len(cfg.Workloads)))
+}
+
+// ensureMapping is the optimizer + actuator: it returns the chip's active
+// mapping for the workload, synthesizing one when none is installed. In
+// closed-loop mode the synthesis carries the promoted fault set and the
+// wear-bias prior, and a pre-flight check promotes any valve that would
+// overrun during the very next run, walking down the remap ladder before
+// giving up.
+func ensureMapping(ctx context.Context, cfg Config, chip *ChipState, widx int, closed bool) (*core.Result, error) {
+	if res := chip.active[widx]; res != nil {
+		return res, nil
+	}
+	m := cfg.Trace.Metrics()
+	mode := "static"
+	if closed {
+		mode = "closed"
+	}
+	attempts := 1
+	if closed {
+		attempts = maxRemapAttempts
+	}
+	for attempt := 0; attempt < attempts; attempt++ {
+		opts := cfg.Workloads[widx].Options
+		opts.Trace = cfg.Trace
+		if closed {
+			opts.WearBias = cfg.WearBias
+			opts.WearCounts = append([]int(nil), chip.Counts...)
+			if !chip.promoted.Empty() {
+				opts.Faults = chip.promoted.Clone()
+			}
+		}
+		if attempt > 0 || chip.hadMapping[widx] {
+			chip.Resyntheses++
+			m.Counter("fleet_" + mode + "_resyntheses_total").Inc()
+		}
+		res, err := core.SynthesizeCtx(ctx, cfg.Workloads[widx].Assay, opts)
+		if err != nil {
+			return nil, err
+		}
+		if len(res.Mapping.Dropped) > 0 || res.FailedRoutes > 0 {
+			return nil, fmt.Errorf("degraded mapping for %q: %d ops dropped, %d routes failed",
+				cfg.Workloads[widx].Name, len(res.Mapping.Dropped), res.FailedRoutes)
+		}
+		if !closed {
+			chip.active[widx] = res
+			chip.hadMapping[widx] = true
+			return res, nil
+		}
+		// Pre-flight: would the very next run overrun a valve? Promote the
+		// victims and re-synthesize around them.
+		profile := wear.GridCounts(res.ChipAt(-1, 1))
+		over := 0
+		for i, p := range profile {
+			if p > 0 && chip.Counts[i]+p > chip.lives[i] {
+				if chip.promote(i) {
+					m.Counter("fleet_" + mode + "_promotions_total").Inc()
+				}
+				over++
+			}
+		}
+		if over == 0 {
+			// Actuator: install the mapping for subsequent runs.
+			chip.active[widx] = res
+			chip.hadMapping[widx] = true
+			return res, nil
+		}
+	}
+	return nil, fmt.Errorf("no mapping for %q avoids worn-out valves after %d attempts",
+		cfg.Workloads[widx].Name, attempts)
+}
+
+// analyze is the closed loop's analyzer: after a successful run it flags
+// the chip when its remaining life under the active profile falls below
+// the horizon and invalidates the actuator's mappings, so the optimizer
+// re-synthesizes with the fresh counters (the wear bias then steers duty
+// onto lightly-worn valves). Valves that could not even complete one more
+// run of their current duty are spent and retired outright; promoting a
+// broader band here would blind whole regions at once and strand the
+// placer — the pre-flight check in ensureMapping retires further valves
+// precisely when a candidate mapping would overrun them.
+func analyze(cfg Config, chip *ChipState, profile []int, m *obs.Metrics) {
+	if wear.RemainingRuns(chip.Counts, profile, chip.lives) >= cfg.Horizon {
+		return
+	}
+	for i, p := range profile {
+		if p > 0 && chip.Counts[i]+p > chip.lives[i] {
+			if chip.promote(i) {
+				m.Counter("fleet_closed_promotions_total").Inc()
+			}
+		}
+	}
+	chip.active = map[int]*core.Result{}
+}
+
+// publishHealth exports the fleet's remaining-life distribution after each
+// round: the minimum and median remaining runs across live chips.
+func publishHealth(chips []*ChipState, m *obs.Metrics, mode string) {
+	if m == nil {
+		return
+	}
+	var rem []int
+	aliveN := 0
+	for _, chip := range chips {
+		if chip.Dead {
+			continue
+		}
+		aliveN++
+		if chip.lastProfile != nil {
+			rem = append(rem, chip.remainingRuns())
+		}
+	}
+	m.Gauge("fleet_" + mode + "_alive").Set(int64(aliveN))
+	if len(rem) == 0 {
+		return
+	}
+	sort.Ints(rem)
+	m.Gauge("fleet_" + mode + "_remaining_runs_min").Set(int64(rem[0]))
+	m.Gauge("fleet_" + mode + "_remaining_runs_p50").Set(int64(rem[len(rem)/2]))
+}

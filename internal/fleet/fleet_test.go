@@ -1,0 +1,296 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"mfsynth/internal/assays"
+	"mfsynth/internal/core"
+	"mfsynth/internal/fault"
+	"mfsynth/internal/grid"
+	"mfsynth/internal/obs"
+	"mfsynth/internal/place"
+	"mfsynth/internal/wear"
+)
+
+// testConfig builds a small PCR campaign whose rated life is a few runs of
+// the static mapping's hottest valve, so static wears out mid-campaign.
+func testConfig(t *testing.T) Config {
+	t.Helper()
+	pcr := assays.PCR()
+	opts := core.Options{Place: place.Config{Grid: pcr.GridSize, Mode: place.Greedy}}
+	res, err := core.SynthesizeCtx(context.Background(), pcr.Assay, opts)
+	if err != nil {
+		t.Fatalf("baseline synthesis: %v", err)
+	}
+	max := 0
+	for _, c := range wear.GridCounts(res.ChipAt(-1, 1)) {
+		if c > max {
+			max = c
+		}
+	}
+	if max == 0 {
+		t.Fatal("baseline profile actuates nothing")
+	}
+	return Config{
+		Chips:  2,
+		Grid:   pcr.GridSize,
+		Seed:   7,
+		Rounds: 24,
+		// Static survives 3 full runs of the hottest valve and dies
+		// during the 4th.
+		Rated:    3*max + max/2,
+		Horizon:  2,
+		WearBias: 1,
+		Workloads: []Workload{{
+			Name:    "pcr",
+			Assay:   pcr.Assay,
+			Options: core.Options{Place: place.Config{Mode: place.Greedy}},
+		}},
+	}
+}
+
+func TestClosedLoopOutlivesStatic(t *testing.T) {
+	cfg := testConfig(t)
+	trace := obs.New()
+	cfg.Trace = trace
+	res, chips, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Static.FirstDeathRound == 0 {
+		t.Fatalf("static mode never died in %d rounds; the campaign is not stressing wear", cfg.Rounds)
+	}
+	if res.Closed.AssaysBeforeFirstDeath <= res.Static.AssaysBeforeFirstDeath {
+		t.Errorf("closed loop did not outlive static: closed %d assays before first death, static %d",
+			res.Closed.AssaysBeforeFirstDeath, res.Static.AssaysBeforeFirstDeath)
+	}
+	if res.LifetimeExtensionPct <= 0 {
+		t.Errorf("LifetimeExtensionPct = %g, want > 0", res.LifetimeExtensionPct)
+	}
+	if res.Closed.Resyntheses == 0 {
+		t.Error("closed loop performed no re-syntheses; the control loop never reacted")
+	}
+	if res.Closed.Promotions == 0 {
+		t.Error("closed loop promoted no valves")
+	}
+	if res.Static.Resyntheses != 0 || res.Static.Promotions != 0 {
+		t.Errorf("static mode reacted to wear: %d resyntheses, %d promotions",
+			res.Static.Resyntheses, res.Static.Promotions)
+	}
+	if len(chips) != 2 || len(chips[0]) != cfg.Chips || len(chips[1]) != cfg.Chips {
+		t.Fatalf("want 2 modes x %d chips of telemetry", cfg.Chips)
+	}
+
+	// The collector must have published fleet metrics through obs.
+	snap := trace.Metrics().Snapshot()
+	if snap == nil {
+		t.Fatal("no metrics published")
+	}
+	if snap.Counters["fleet_closed_runs_total"] == 0 {
+		t.Error("fleet_closed_runs_total not published")
+	}
+	if snap.Counters["fleet_static_deaths_total"] == 0 {
+		t.Error("fleet_static_deaths_total not published")
+	}
+
+	// Property: no placement footprint of any active mapping covers a
+	// valve the analyzer promoted (the actuator only installs mappings
+	// synthesized around the promoted fault set).
+	for _, chip := range chips[1] {
+		for _, f := range chip.promoted.Faults() {
+			for widx, r := range chip.active {
+				for op, pl := range r.Mapping.Placements {
+					if pl.Footprint().Contains(f.At) {
+						t.Errorf("chip %d workload %d: op %d footprint %v covers promoted valve %v",
+							chip.ID, widx, op, pl.Footprint(), f.At)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestCampaignDeterministic(t *testing.T) {
+	cfg := testConfig(t)
+	a, _, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+	b, _, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("second run: %v", err)
+	}
+	if a.Fingerprint == "" {
+		t.Fatal("empty fingerprint")
+	}
+	if a.Fingerprint != b.Fingerprint {
+		t.Errorf("same seed produced different campaigns: %s vs %s", a.Fingerprint, b.Fingerprint)
+	}
+
+	cfg.Seed = 8
+	c, _, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("reseeded run: %v", err)
+	}
+	if c.Fingerprint == a.Fingerprint && cfg.LifeSpread > 0 {
+		t.Error("different seed produced an identical campaign")
+	}
+}
+
+// TestPromotedValveNeverPlaced is the Promote + re-synthesis property: a
+// synthesis carrying promoted (stuck-closed) valves never places any part
+// of a device footprint — ring, chamber or in situ storage, all subsets of
+// the footprint — on a promoted cell, across many seeded fault patterns.
+func TestPromotedValveNeverPlaced(t *testing.T) {
+	pcr := assays.PCR()
+	for trial := 0; trial < 10; trial++ {
+		promoted := fault.NewSet(pcr.GridSize)
+		var cells []grid.Point
+		for k := 0; promoted.Len() < 5; k++ {
+			h := mix64(uint64(trial)<<16 | uint64(k))
+			pt := grid.Point{X: int(h % uint64(pcr.GridSize)), Y: int((h >> 32) % uint64(pcr.GridSize))}
+			if _, dup := promoted.At(pt); dup {
+				continue
+			}
+			promoted.Promote(pt)
+			cells = append(cells, pt)
+		}
+		res, err := core.SynthesizeCtx(context.Background(), pcr.Assay, core.Options{
+			Faults: promoted,
+			Place:  place.Config{Grid: pcr.GridSize, Mode: place.Greedy},
+		})
+		if err != nil {
+			t.Fatalf("trial %d: synthesis with %v: %v", trial, cells, err)
+		}
+		if len(res.Mapping.Dropped) > 0 || res.FailedRoutes > 0 {
+			t.Fatalf("trial %d: degraded mapping around %v: %d dropped, %d failed routes",
+				trial, cells, len(res.Mapping.Dropped), res.FailedRoutes)
+		}
+		for op, pl := range res.Mapping.Placements {
+			for _, pt := range cells {
+				if pl.Footprint().Contains(pt) {
+					t.Errorf("trial %d: op %d footprint %v covers promoted valve %v",
+						trial, op, pl.Footprint(), pt)
+				}
+			}
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	pcr := assays.PCR()
+	cases := []struct {
+		name string
+		cfg  Config
+		want string
+	}{
+		{"no workloads", Config{}, "at least one workload"},
+		{"nil assay", Config{Workloads: []Workload{{Name: "x"}}}, "has no assay"},
+		{"grid mismatch", Config{Grid: 10, Workloads: []Workload{{
+			Assay: pcr.Assay, Options: core.Options{Place: place.Config{Grid: 12}},
+		}}}, "grid 12 != fleet grid 10"},
+		{"pre-set faults", Config{Workloads: []Workload{{
+			Assay: pcr.Assay, Options: core.Options{Faults: fault.NewSet(12)},
+		}}}, "control loop owns them"},
+		{"bad spread", Config{LifeSpread: 1.5, Workloads: []Workload{{Assay: pcr.Assay}}},
+			"LifeSpread"},
+	}
+	for _, tc := range cases {
+		_, _, err := Run(context.Background(), tc.cfg)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestValveLifeSpread(t *testing.T) {
+	cfg := Config{Seed: 3, Rated: 4000, LifeSpread: 0.1, Grid: 8, Chips: 1}
+	lo, hi := 4000, 4000
+	for v := 0; v < 64; v++ {
+		l := valveLife(cfg, 0, v)
+		if l < lo {
+			lo = l
+		}
+		if l > hi {
+			hi = l
+		}
+		if l != valveLife(cfg, 0, v) {
+			t.Fatal("valveLife not deterministic")
+		}
+	}
+	if lo < 3600 || hi > 4400 {
+		t.Errorf("lives outside Rated·[0.9, 1.1]: min %d max %d", lo, hi)
+	}
+	if lo == hi {
+		t.Error("LifeSpread produced uniform lives")
+	}
+	if valveLife(Config{Seed: 3, Rated: 4000, Grid: 8}, 0, 5) != 4000 {
+		t.Error("zero spread should pin lives at Rated")
+	}
+}
+
+func TestTelemetryRoundTrip(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.Rounds = 6
+	_, chips, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for mode, set := range chips {
+		var buf bytes.Buffer
+		if err := Save(&buf, set); err != nil {
+			t.Fatalf("mode %d: Save: %v", mode, err)
+		}
+		loaded, err := Load(&buf)
+		if err != nil {
+			t.Fatalf("mode %d: Load: %v", mode, err)
+		}
+		if len(loaded) != len(set) {
+			t.Fatalf("mode %d: %d chips loaded, want %d", mode, len(loaded), len(set))
+		}
+		for i, c := range set {
+			l := loaded[i]
+			if l.ID != c.ID || l.Grid != c.Grid || l.Runs != c.Runs ||
+				l.Resyntheses != c.Resyntheses || l.Promotions != c.Promotions ||
+				l.Dead != c.Dead || l.DeathRound != c.DeathRound {
+				t.Errorf("mode %d chip %d: header fields drifted: %+v vs %+v", mode, i, l, c)
+			}
+			if len(l.Counts) != len(c.Counts) {
+				t.Fatalf("mode %d chip %d: %d counters, want %d", mode, i, len(l.Counts), len(c.Counts))
+			}
+			for v := range c.Counts {
+				if l.Counts[v] != c.Counts[v] {
+					t.Fatalf("mode %d chip %d valve %d: counter %d, want %d",
+						mode, i, v, l.Counts[v], c.Counts[v])
+				}
+			}
+		}
+	}
+}
+
+func TestTelemetryErrors(t *testing.T) {
+	cases := []struct {
+		name, in, want string
+	}{
+		{"empty", "", "missing"},
+		{"bad header", "nope\n", "line 1"},
+		{"dup chip", "fleet-telemetry v1\nchip 0 grid 1 runs 0 resyntheses 0 promotions 0 dead 0 deathround 0\ncounts 5\nchip 0 grid 1 runs 0 resyntheses 0 promotions 0 dead 0 deathround 0\ncounts 5\n",
+			"duplicate chip 0: already declared on line 2"},
+		{"short counts", "fleet-telemetry v1\nchip 0 grid 2 runs 0 resyntheses 0 promotions 0 dead 0 deathround 0\ncounts 1 2 3\n",
+			"3 counters, want 4"},
+		{"orphan counts", "fleet-telemetry v1\ncounts 1\n", "without a preceding chip"},
+		{"missing counts", "fleet-telemetry v1\nchip 0 grid 1 runs 0 resyntheses 0 promotions 0 dead 0 deathround 0\n",
+			"missing its counts line"},
+		{"negative", "fleet-telemetry v1\nchip 0 grid 1 runs 0 resyntheses 0 promotions 0 dead 0 deathround 0\ncounts -1\n",
+			"bad counter"},
+	}
+	for _, tc := range cases {
+		_, err := Load(strings.NewReader(tc.in))
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+}

@@ -1,0 +1,51 @@
+package fleet
+
+import (
+	"bytes"
+	"sort"
+	"testing"
+)
+
+// FuzzTelemetry checks the persistence layer's round-trip property: any
+// input Load accepts must Save to a form Load parses back to identical
+// counters — telemetry written by one controller generation is never
+// corrupted by the next.
+func FuzzTelemetry(f *testing.F) {
+	f.Add([]byte("fleet-telemetry v1\nchip 0 grid 2 runs 3 resyntheses 1 promotions 2 dead 0 deathround 0\ncounts 0 40 360 2\n"))
+	f.Add([]byte("fleet-telemetry v1\n# comment\nchip 1 grid 1 runs 0 resyntheses 0 promotions 0 dead 1 deathround 4\ncounts 9\n"))
+	f.Add([]byte("fleet-telemetry v1\n"))
+	f.Add([]byte("chip 0\ncounts"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		chips, err := Load(bytes.NewReader(data))
+		if err != nil {
+			return // malformed input is fine; it just must not panic
+		}
+		// Save canonicalises chip order by ID, so compare against the
+		// sorted view of the loaded set.
+		sort.Slice(chips, func(i, j int) bool { return chips[i].ID < chips[j].ID })
+		var buf bytes.Buffer
+		if err := Save(&buf, chips); err != nil {
+			t.Fatalf("Save of loaded telemetry failed: %v", err)
+		}
+		again, err := Load(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("Load of saved telemetry failed: %v\n%s", err, buf.Bytes())
+		}
+		if len(again) != len(chips) {
+			t.Fatalf("round trip changed chip count: %d vs %d", len(again), len(chips))
+		}
+		for i, c := range chips {
+			l := again[i]
+			if l.ID != c.ID || l.Grid != c.Grid || l.Runs != c.Runs ||
+				l.Resyntheses != c.Resyntheses || l.Promotions != c.Promotions ||
+				l.Dead != c.Dead || l.DeathRound != c.DeathRound {
+				t.Fatalf("chip %d header drifted: %+v vs %+v", i, l, c)
+			}
+			for v := range c.Counts {
+				if l.Counts[v] != c.Counts[v] {
+					t.Fatalf("chip %d valve %d: %d vs %d", i, v, l.Counts[v], c.Counts[v])
+				}
+			}
+		}
+	})
+}

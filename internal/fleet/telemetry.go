@@ -1,0 +1,159 @@
+package fleet
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Telemetry text format, line-oriented like the fault-spec format:
+//
+//	fleet-telemetry v1
+//	chip 0 grid 12 runs 9 resyntheses 2 promotions 3 dead 0 deathround 0
+//	counts 0 0 40 360 ...   (grid² integers, row-major)
+//
+// One chip/counts pair per chip, chips sorted by ID. '#' starts a comment;
+// blank lines are ignored. The format is the persistence layer for the
+// per-chip cumulative actuation counters: a fleet controller saves after
+// every campaign and reloads on restart, so counters survive process
+// lifetimes the way real chips survive reboots of their controller.
+
+const telemetryHeader = "fleet-telemetry v1"
+
+// Save writes the chips' persisted telemetry. Chips are emitted sorted by
+// ID so the output is deterministic regardless of caller order.
+func Save(w io.Writer, chips []*ChipState) error {
+	sorted := make([]*ChipState, len(chips))
+	copy(sorted, chips)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].ID < sorted[j].ID })
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, telemetryHeader)
+	for _, c := range sorted {
+		if len(c.Counts) != c.Grid*c.Grid {
+			return fmt.Errorf("fleet: chip %d has %d counters, want %d for grid %d",
+				c.ID, len(c.Counts), c.Grid*c.Grid, c.Grid)
+		}
+		dead := 0
+		if c.Dead {
+			dead = 1
+		}
+		fmt.Fprintf(bw, "chip %d grid %d runs %d resyntheses %d promotions %d dead %d deathround %d\n",
+			c.ID, c.Grid, c.Runs, c.Resyntheses, c.Promotions, dead, c.DeathRound)
+		bw.WriteString("counts")
+		for _, n := range c.Counts {
+			fmt.Fprintf(bw, " %d", n)
+		}
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+// Load parses telemetry written by Save. Every loaded chip carries the
+// persisted counters and counters only — runtime state (valve lives, the
+// active mappings) is rebuilt by the campaign from its seed.
+func Load(r io.Reader) ([]*ChipState, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	lineno := 0
+	bad := func(format string, args ...any) error {
+		return fmt.Errorf("fleet telemetry line %d: %s", lineno, fmt.Sprintf(format, args...))
+	}
+	sawHeader := false
+	var chips []*ChipState
+	seen := map[int]int{} // chip ID → declaring line
+	var cur *ChipState    // chip awaiting its counts line
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		if line == "" {
+			continue
+		}
+		if !sawHeader {
+			if line != telemetryHeader {
+				return nil, bad("want header %q, got %q", telemetryHeader, line)
+			}
+			sawHeader = true
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "chip":
+			if cur != nil {
+				return nil, bad("chip %d is missing its counts line", cur.ID)
+			}
+			// "chip ID grid G runs R resyntheses S promotions P dead D deathround DR"
+			if len(fields) != 14 {
+				return nil, bad("chip record has %d fields, want 14", len(fields))
+			}
+			keys := []string{"chip", "grid", "runs", "resyntheses", "promotions", "dead", "deathround"}
+			vals := make([]int, len(keys))
+			for i, key := range keys {
+				if fields[2*i] != key {
+					return nil, bad("field %d is %q, want %q", 2*i+1, fields[2*i], key)
+				}
+				v, err := strconv.Atoi(fields[2*i+1])
+				if err != nil || v < 0 {
+					return nil, bad("bad %s value %q", key, fields[2*i+1])
+				}
+				vals[i] = v
+			}
+			id, g, dead := vals[0], vals[1], vals[5]
+			if prev, dup := seen[id]; dup {
+				return nil, bad("duplicate chip %d: already declared on line %d", id, prev)
+			}
+			if g < 1 || g > 1024 {
+				return nil, bad("grid %d out of range", g)
+			}
+			if dead > 1 {
+				return nil, bad("dead flag %d, want 0 or 1", dead)
+			}
+			seen[id] = lineno
+			cur = &ChipState{
+				ID:          id,
+				Grid:        g,
+				Runs:        vals[2],
+				Resyntheses: vals[3],
+				Promotions:  vals[4],
+				Dead:        dead == 1,
+				DeathRound:  vals[6],
+			}
+		case "counts":
+			if cur == nil {
+				return nil, bad("counts line without a preceding chip record")
+			}
+			want := cur.Grid * cur.Grid
+			if len(fields)-1 != want {
+				return nil, bad("chip %d has %d counters, want %d for grid %d",
+					cur.ID, len(fields)-1, want, cur.Grid)
+			}
+			cur.Counts = make([]int, want)
+			for i, f := range fields[1:] {
+				v, err := strconv.Atoi(f)
+				if err != nil || v < 0 {
+					return nil, bad("bad counter %q at index %d", f, i)
+				}
+				cur.Counts[i] = v
+			}
+			chips = append(chips, cur)
+			cur = nil
+		default:
+			return nil, bad("unknown record %q", fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("fleet telemetry line %d: %w", lineno+1, err)
+	}
+	if !sawHeader {
+		return nil, fmt.Errorf("fleet telemetry: empty input (missing %q header)", telemetryHeader)
+	}
+	if cur != nil {
+		return nil, fmt.Errorf("fleet telemetry: chip %d is missing its counts line", cur.ID)
+	}
+	return chips, nil
+}

@@ -42,12 +42,17 @@ type greedyState struct {
 	maxPump   int
 	usedCells int // distinct pump valves touched
 	sumSq     int // Σ load² over valves, the spread tie-breaker
+
+	// wearAware flips the usedCells/sumSq tie-break order: under a wear
+	// prior, spreading load away from worn valves (sumSq, which the prior
+	// inflates) matters more than the manufactured-valve count.
+	wearAware bool
 }
 
 // solveGreedy is the standalone greedy mapper: a multi-start constructive
 // heuristic over all operations.
 func (pr *problem) solveGreedy(sp *obs.Span) (*Mapping, error) {
-	fixed, info, err := pr.multiStartGreedy(sp, pr.ops, map[int]arch.Placement{}, map[grid.Point]int{})
+	fixed, info, err := pr.multiStartGreedy(sp, pr.ops, map[int]arch.Placement{}, pr.seedPump())
 	if err != nil {
 		return nil, err
 	}
@@ -113,6 +118,7 @@ func (pr *problem) runVariant(gv greedyVariant, free []int, fixed map[int]arch.P
 		shapeRot:  gv.shapeRot,
 		noPull:    gv.noPull,
 		packLimit: gv.packLimit,
+		wearAware: pr.wearAware(),
 	}
 	for _, op := range free {
 		if err := pr.greedyPlace(st, op); err != nil {
@@ -147,8 +153,10 @@ func (pr *problem) multiStartGreedy(sp *obs.Span, free []int, fixed map[int]arch
 	// Packing phase: with the achievable worst-case load known, re-place
 	// while preferring already-actuated valves up to that load — the same
 	// worst-case wear with fewer manufactured valves. Pointless at load 1,
-	// where every ring is necessarily fresh.
-	if best.maxPump > 1 {
+	// where every ring is necessarily fresh, and skipped under a wear
+	// prior, where concentrating duty on already-actuated valves is the
+	// opposite of the balancing the prior asks for.
+	if best.maxPump > 1 && !pr.wearAware() {
 		packing := pr.greedyVariants(greedyRuns/2, false, best.maxPump)
 		best, _ = pr.bestVariant(gsp, packing, best, false, free, fixed, pump)
 	}
@@ -238,11 +246,20 @@ func (st *greedyState) better(o *greedyState) bool {
 	if st.rcRelaxed != o.rcRelaxed {
 		return st.rcRelaxed < o.rcRelaxed
 	}
-	if st.usedCells != o.usedCells {
-		return st.usedCells < o.usedCells
-	}
-	if st.sumSq != o.sumSq {
-		return st.sumSq < o.sumSq
+	if st.wearAware {
+		if st.sumSq != o.sumSq {
+			return st.sumSq < o.sumSq
+		}
+		if st.usedCells != o.usedCells {
+			return st.usedCells < o.usedCells
+		}
+	} else {
+		if st.usedCells != o.usedCells {
+			return st.usedCells < o.usedCells
+		}
+		if st.sumSq != o.sumSq {
+			return st.sumSq < o.sumSq
+		}
 	}
 	return !st.noPull && o.noPull
 }

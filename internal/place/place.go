@@ -29,6 +29,7 @@ import (
 	"mfsynth/internal/arch"
 	"mfsynth/internal/fault"
 	"mfsynth/internal/graph"
+	"mfsynth/internal/grid"
 	"mfsynth/internal/milp"
 	"mfsynth/internal/obs"
 	"mfsynth/internal/schedule"
@@ -128,6 +129,15 @@ type Config struct {
 	// statuses (and hence on placements); the switch exists for
 	// benchmarking and differential tests.
 	ColdLP bool
+	// WearPrior, when non-nil, is a Grid×Grid row-major matrix (index
+	// y·Grid+x) of prior per-valve pump load in per-operation units — the
+	// chip's cumulative past actuations divided by the per-operation
+	// actuation count. The mappers seed their per-valve load accumulation
+	// from it, so the minimised objective becomes the *lifetime* maximum
+	// load rather than this run's: new duty is steered onto lightly-worn
+	// valves. A nil or all-zero prior is bit-identical to a fresh chip,
+	// and Mapping.MaxPumpOps always reports this run's load only.
+	WearPrior []int
 }
 
 func (c Config) withDefaults() Config {
@@ -291,6 +301,10 @@ type problem struct {
 
 	forbidden map[pairKey]bool // (child,parent) pairs that may not overlap
 
+	// prior holds Config.WearPrior's non-zero entries by cell; empty on a
+	// fresh chip, so the wear-aware paths cost one length check.
+	prior map[grid.Point]int
+
 	// arenas carries the branch-and-bound solver state (tableau arenas,
 	// warm-start lanes, snapshot pool) across every ILP solve of this
 	// mapping — the rolling-horizon windows reuse buffers instead of
@@ -310,7 +324,22 @@ func newProblem(res *schedule.Result, cfg Config) (*problem, error) {
 		pump:      map[int]bool{},
 		stor:      map[int]*storage.Timeline{},
 		forbidden: map[pairKey]bool{},
+		prior:     map[grid.Point]int{},
 		arenas:    milp.NewArenas(),
+	}
+	if n := len(cfg.WearPrior); n != 0 {
+		if n != cfg.Grid*cfg.Grid {
+			return nil, fmt.Errorf("place: WearPrior has %d entries, want %d for a %dx%d grid",
+				n, cfg.Grid*cfg.Grid, cfg.Grid, cfg.Grid)
+		}
+		for i, v := range cfg.WearPrior {
+			if v < 0 {
+				return nil, fmt.Errorf("place: WearPrior[%d] is negative (%d)", i, v)
+			}
+			if v > 0 {
+				pr.prior[grid.Point{X: i % cfg.Grid, Y: i / cfg.Grid}] = v
+			}
+		}
 	}
 	a := res.Assay
 	var volumes []int
@@ -363,6 +392,50 @@ func DeviceVolume(fluid int) int {
 		v = 4
 	}
 	return v
+}
+
+// seedPump returns the initial per-valve load accumulator every solve
+// starts from: the wear prior's non-zero entries, or an empty map on a
+// fresh chip.
+func (pr *problem) seedPump() map[grid.Point]int {
+	out := make(map[grid.Point]int, len(pr.prior))
+	for pt, n := range pr.prior {
+		out[pt] = n
+	}
+	return out
+}
+
+// wearAware reports whether a wear prior is steering this mapping.
+func (pr *problem) wearAware() bool { return len(pr.prior) > 0 }
+
+// lifetimeMaxPump replays the placements' pump load on top of the wear
+// prior and returns the maximum per-valve total — the quantity the
+// wear-biased mappers minimise (untouched worn valves included, matching
+// the ILP's w ≥ maxPast lower bound).
+func (pr *problem) lifetimeMaxPump(fixed map[int]arch.Placement) int {
+	pump := pr.seedPump()
+	max := 0
+	for _, n := range pump {
+		if n > max {
+			max = n
+		}
+	}
+	for _, op := range pr.ops {
+		if !pr.pump[op] {
+			continue
+		}
+		pl, ok := fixed[op]
+		if !ok {
+			continue
+		}
+		for _, pt := range pl.Ring() {
+			pump[pt]++
+			if pump[pt] > max {
+				max = pump[pt]
+			}
+		}
+	}
+	return max
 }
 
 // overlapsInTime reports whether the device windows of a and b intersect.

@@ -4,7 +4,6 @@ import (
 	"errors"
 
 	"mfsynth/internal/arch"
-	"mfsynth/internal/grid"
 	"mfsynth/internal/obs"
 	"mfsynth/internal/synerr"
 )
@@ -18,7 +17,7 @@ import (
 // from-scratch MILP solver.
 func (pr *problem) solveRolling(sp *obs.Span) (*Mapping, error) {
 	fixed := map[int]arch.Placement{}
-	pump := map[grid.Point]int{}
+	pump := pr.seedPump() // wear prior: past load enters the ILP as constants
 	stats := Stats{Mode: RollingHorizon, Exact: true}
 
 	for start := 0; start < len(pr.ops); start += pr.cfg.BatchSize {
@@ -37,7 +36,7 @@ func (pr *problem) solveRolling(sp *obs.Span) (*Mapping, error) {
 			}
 			// Earlier batches crowded the chip; a full-horizon greedy sees
 			// all couplings at once and regularly still fits.
-			full, ginfo, gerr := pr.multiStartGreedy(sp, pr.ops, map[int]arch.Placement{}, map[grid.Point]int{})
+			full, ginfo, gerr := pr.multiStartGreedy(sp, pr.ops, map[int]arch.Placement{}, pr.seedPump())
 			if gerr != nil {
 				return nil, err
 			}
@@ -68,9 +67,16 @@ func (pr *problem) solveRolling(sp *obs.Span) (*Mapping, error) {
 	result := pr.finishMapping(fixed, stats)
 
 	// Portfolio step: a full-horizon multi-start greedy sees couplings the
-	// per-batch ILPs cannot; keep whichever mapping pumps less.
-	if full, info, err := pr.multiStartGreedy(sp, pr.ops, map[int]arch.Placement{}, map[grid.Point]int{}); err == nil {
-		if info.maxPump < result.MaxPumpOps {
+	// per-batch ILPs cannot; keep whichever mapping pumps less. Under a
+	// wear prior both sides are judged on the lifetime maximum (prior
+	// included) — the greedy's internal counter only covers valves its own
+	// placements touch.
+	if full, info, err := pr.multiStartGreedy(sp, pr.ops, map[int]arch.Placement{}, pr.seedPump()); err == nil {
+		gm, rm := info.maxPump, result.MaxPumpOps
+		if pr.wearAware() {
+			gm, rm = pr.lifetimeMaxPump(full), pr.lifetimeMaxPump(fixed)
+		}
+		if gm < rm {
 			gs := stats
 			gs.RCRelaxed = info.rcRelaxed
 			gs.Exact = false
@@ -82,7 +88,7 @@ func (pr *problem) solveRolling(sp *obs.Span) (*Mapping, error) {
 
 // solveMonolithic solves the paper's single ILP over every operation.
 func (pr *problem) solveMonolithic(sp *obs.Span) (*Mapping, error) {
-	placements, info, err := pr.solveBatch(pr.ops, map[int]arch.Placement{}, map[grid.Point]int{}, batchOpts{
+	placements, info, err := pr.solveBatch(pr.ops, map[int]arch.Placement{}, pr.seedPump(), batchOpts{
 		maxNodes: pr.cfg.MaxNodes,
 		obs:      sp,
 	})

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+
+	"mfsynth/internal/obs/export"
 )
 
 // Handler returns the service's HTTP API:
@@ -14,6 +16,7 @@ import (
 //	GET    /v1/jobs/{id}/events live progress as server-sent events
 //	DELETE /v1/jobs/{id}        cancel (queued or running)
 //	GET    /v1/stats            queue/cache/admission counters
+//	GET    /metrics             the same counters, Prometheus text format
 //	GET    /healthz             liveness ("ok", or "draining" with 503)
 //
 // The rate-limit client identity is the X-Client header when present,
@@ -25,8 +28,21 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return mux
+}
+
+// handleMetrics serves the server-level obs registry in Prometheus text
+// exposition format. Values are projected from the Stats atomics at
+// scrape time, so /metrics and /v1/stats always agree.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	m := s.Metrics()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := export.WriteProm(w, m); err != nil {
+		// Headers are gone by the time a write fails; nothing to salvage.
+		return
+	}
 }
 
 func clientID(r *http.Request) string {

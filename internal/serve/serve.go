@@ -33,6 +33,7 @@ import (
 
 	"mfsynth/internal/core"
 	"mfsynth/internal/graph"
+	"mfsynth/internal/obs"
 	"mfsynth/internal/par"
 	"mfsynth/internal/verify"
 )
@@ -140,6 +141,9 @@ type Server struct {
 	shedQueueFull, shedRateLimited       atomic.Int64
 	shedDraining, badRequests            atomic.Int64
 	completed, failed, cancelled         atomic.Int64
+
+	promMu  sync.Mutex   // serialises scrape-time projection into metrics
+	metrics *obs.Metrics // the GET /metrics registry
 }
 
 // New builds a Server and starts its worker fleet.
@@ -155,6 +159,7 @@ func New(cfg Config) *Server {
 		baseCancel: cancel,
 		jobs:       make(map[string]*Job),
 		inflight:   make(map[string]*Job),
+		metrics:    obs.NewMetrics(),
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
@@ -434,6 +439,57 @@ func (s *Server) Stats() Stats {
 		Failed:          s.failed.Load(),
 		Cancelled:       s.cancelled.Load(),
 	}
+}
+
+// Metrics returns the server-level obs registry backing GET /metrics.
+// Counters are projected into it at scrape time from the same atomics
+// Stats reads, so the two endpoints can never disagree; per-job traces
+// (which feed the /events SSE stream) are deliberately separate.
+func (s *Server) Metrics() *obs.Metrics {
+	s.scrapeMetrics()
+	return s.metrics
+}
+
+// scrapeMetrics projects the Stats snapshot into the Prometheus
+// registry. Gauges are set absolutely; counters advance by the delta
+// since the last scrape so they stay monotonic even under concurrent
+// scrapes (the mutex serialises the read-modify-write).
+func (s *Server) scrapeMetrics() {
+	s.promMu.Lock()
+	defer s.promMu.Unlock()
+	st := s.Stats()
+	m := s.metrics
+	m.Gauge("serve_workers").Set(int64(st.Workers))
+	m.Gauge("serve_queue_depth").Set(int64(st.QueueDepth))
+	m.Gauge("serve_queue_cap").Set(int64(st.QueueCap))
+	m.Gauge("serve_running").Set(int64(st.Running))
+	m.Gauge("serve_running_peak").Set(int64(st.PeakRunning))
+	m.Gauge("serve_cache_entries").Set(int64(st.CacheEntries))
+	m.Gauge("serve_cache_cap").Set(int64(st.CacheCap))
+	var draining int64
+	if st.Draining {
+		draining = 1
+	}
+	m.Gauge("serve_draining").Set(draining)
+	bump := func(name string, v int64) {
+		c := m.Counter(name)
+		if d := v - c.Value(); d > 0 {
+			c.Add(d)
+		}
+	}
+	bump("serve_submitted_total", st.Submitted)
+	bump("serve_accepted_total", st.Accepted)
+	bump("serve_fresh_total", st.Fresh)
+	bump("serve_coalesced_total", st.Coalesced)
+	bump("serve_cache_hits_total", st.CacheHits)
+	bump("serve_cache_evictions_total", st.CacheEvictions)
+	bump("serve_shed_queue_full_total", st.ShedQueueFull)
+	bump("serve_shed_rate_limited_total", st.ShedRateLimited)
+	bump("serve_shed_draining_total", st.ShedDraining)
+	bump("serve_bad_requests_total", st.BadRequests)
+	bump("serve_completed_total", st.Completed)
+	bump("serve_failed_total", st.Failed)
+	bump("serve_cancelled_total", st.Cancelled)
 }
 
 // CountBadRequest records a request rejected before Submit (parse errors

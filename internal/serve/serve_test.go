@@ -570,3 +570,70 @@ func TestResolveBackends(t *testing.T) {
 		t.Fatal("unknown backend accepted")
 	}
 }
+
+// TestMetricsEndpoint checks GET /metrics serves the admission/queue/
+// cache counters in Prometheus text exposition format, agrees with
+// /v1/stats, and stays monotonic across scrapes (the projection adds
+// deltas; a second scrape must not double counters).
+func TestMetricsEndpoint(t *testing.T) {
+	s := New(Config{Workers: 1, QueueDepth: 4, CacheEntries: 4})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	j, outcome, _, err := s.Submit("c", tinyAssay("metrics"), tinyOpts(0), 0)
+	if err != nil || outcome != SubmitQueued {
+		t.Fatalf("submit: %v %v", outcome, err)
+	}
+	select {
+	case <-j.Done():
+	case <-time.After(30 * time.Second):
+		t.Fatal("job did not finish")
+	}
+
+	scrape := func() string {
+		resp, err := http.Get(ts.URL + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("metrics status %d", resp.StatusCode)
+		}
+		if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+			t.Fatalf("metrics content type %q", ct)
+		}
+		var buf bytes.Buffer
+		if _, err := buf.ReadFrom(resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+
+	body := scrape()
+	for _, want := range []string{
+		"# TYPE serve_submitted_total counter",
+		"serve_submitted_total 1",
+		"serve_completed_total 1",
+		"# TYPE serve_workers gauge",
+		"serve_workers 1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("metrics missing %q in:\n%s", want, body)
+		}
+	}
+
+	// A second scrape with no new work must report identical counters:
+	// the delta projection must not re-add already-counted totals.
+	if body2 := scrape(); !strings.Contains(body2, "serve_submitted_total 1") ||
+		!strings.Contains(body2, "serve_completed_total 1") {
+		t.Fatalf("second scrape drifted:\n%s", body2)
+	}
+
+	// And the registry must agree with /v1/stats.
+	var st Stats
+	getJSON(t, ts.URL+"/v1/stats", &st)
+	if st.Submitted != 1 || st.Completed != 1 {
+		t.Fatalf("stats disagree with metrics: %+v", st)
+	}
+}

@@ -139,6 +139,28 @@ func writeCanonicalOptions(sb *strings.Builder, opts core.Options) {
 	fmt.Fprintf(sb, "place no_storage_overlap=%v no_routing_convenient=%v best_effort=%v cold_lp=%v\n",
 		p.NoStorageOverlap, p.NoRoutingConvenient, p.BestEffort, p.ColdLP)
 
+	// Wear prior: past-load placement bias changes placements, so it
+	// hashes — resolved to the per-operation units the engine seeds the
+	// mapper with, in sparse index:units form. A nil, all-zero or
+	// bias-less prior emits "none": all three are provably identical to a
+	// fresh chip.
+	prior := p.WearPrior
+	if prior == nil && opts.WearBias > 0 && len(opts.WearCounts) > 0 {
+		prior = core.WearPriorUnits(opts.WearCounts, opts.WearBias, pump)
+	}
+	sb.WriteString("wear_prior")
+	any := false
+	for i, v := range prior {
+		if v != 0 {
+			fmt.Fprintf(sb, " %d:%d", i, v)
+			any = true
+		}
+	}
+	if !any {
+		sb.WriteString(" none")
+	}
+	sb.WriteByte('\n')
+
 	// Portfolio configuration. Order is significant (it is the tie-break
 	// priority) so the list is emitted verbatim after dedup; unknown
 	// backends make the whole line "invalid <name>" — such a request fails

@@ -124,6 +124,43 @@ func ChipCounts(c *arch.Chip) []int {
 	return out
 }
 
+// GridCounts flattens a chip's per-valve total actuation counters in
+// row-major order (index y·W + x), zeros included — the positional form
+// that place.Config.WearPrior and the fleet telemetry counters use
+// (ChipCounts is the sorted, zero-dropped view of the same data).
+func GridCounts(c *arch.Chip) []int {
+	out := make([]int, c.W*c.H)
+	for y := 0; y < c.H; y++ {
+		for x := 0; x < c.W; x++ {
+			out[y*c.W+x] = c.TotalAt(x, y)
+		}
+	}
+	return out
+}
+
+// RemainingRuns returns how many more executions of an assay with
+// per-valve profile perRun a chip with cumulative counters counts can
+// complete before some valve's total exceeds its life in lives (both
+// positional, same length as counts; a zero life means the rated default
+// is not consulted — pass explicit lives). Returns MaxInt32 when the
+// profile actuates nothing.
+func RemainingRuns(counts, perRun, lives []int) int {
+	remaining := math.MaxInt32
+	for i, p := range perRun {
+		if p == 0 {
+			continue
+		}
+		left := lives[i] - counts[i]
+		if left < 0 {
+			left = 0
+		}
+		if r := left / p; r < remaining {
+			remaining = r
+		}
+	}
+	return remaining
+}
+
 // TraditionalProfile derives the per-valve actuation profile of one assay
 // execution on a traditional design, using the dedicated-mixer model of
 // Fig. 2: per bound operation a mixer's 3 pump valves actuate 40 times, its

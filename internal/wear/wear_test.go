@@ -170,3 +170,60 @@ func TestTraditionalProfileShape(t *testing.T) {
 		t.Errorf("profile max = %d, want vs_tmax %d", prof[0], des.VsTmax)
 	}
 }
+
+// TestGridCounts checks the positional counter view agrees with the
+// sorted zero-dropped ChipCounts on a real synthesized chip.
+func TestGridCounts(t *testing.T) {
+	c := assays.PCR()
+	res, err := core.Synthesize(c.Assay, core.Options{
+		Policy: schedule.Resources{Mixers: map[int]int{8: 2}},
+		Place:  place.Config{Grid: c.GridSize, Mode: place.Greedy},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chip := res.ChipAt(-1, 1)
+	flat := GridCounts(chip)
+	if len(flat) != chip.W*chip.H {
+		t.Fatalf("len = %d, want %d", len(flat), chip.W*chip.H)
+	}
+	nonzero := []int{}
+	for _, v := range flat {
+		if v < 0 {
+			t.Fatalf("negative counter %d", v)
+		}
+		if v > 0 {
+			nonzero = append(nonzero, v)
+		}
+	}
+	want := ChipCounts(chip)
+	if len(nonzero) != len(want) {
+		t.Fatalf("%d nonzero counters, ChipCounts has %d", len(nonzero), len(want))
+	}
+	// Spot-check positional addressing against the chip accessor.
+	if flat[3*chip.W+5] != chip.TotalAt(5, 3) {
+		t.Fatalf("positional mismatch at (5,3)")
+	}
+}
+
+func TestRemainingRuns(t *testing.T) {
+	counts := []int{100, 0, 390}
+	perRun := []int{10, 0, 40}
+	lives := []int{200, 50, 400}
+	// Valve 2 has 10 actuations left at 40/run → 0 full runs remain.
+	if got := RemainingRuns(counts, perRun, lives); got != 0 {
+		t.Errorf("remaining = %d, want 0", got)
+	}
+	// With valve 2 retired from the profile, valve 0 allows 10 more runs.
+	if got := RemainingRuns(counts, []int{10, 0, 0}, lives); got != 10 {
+		t.Errorf("remaining = %d, want 10", got)
+	}
+	// Overrun counters clamp to zero rather than going negative.
+	if got := RemainingRuns([]int{500, 0, 0}, []int{10, 0, 0}, lives); got != 0 {
+		t.Errorf("overrun remaining = %d, want 0", got)
+	}
+	// A profile that actuates nothing never wears out.
+	if got := RemainingRuns(counts, []int{0, 0, 0}, lives); got != math.MaxInt32 {
+		t.Errorf("idle remaining = %d", got)
+	}
+}

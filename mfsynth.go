@@ -32,6 +32,7 @@ import (
 	"mfsynth/internal/control"
 	"mfsynth/internal/core"
 	"mfsynth/internal/fault"
+	"mfsynth/internal/fleet"
 	"mfsynth/internal/graph"
 	"mfsynth/internal/obs"
 	"mfsynth/internal/obs/export"
@@ -404,6 +405,44 @@ type AblationCell = report.AblationCell
 // artefact behind tools/benchgate -ablation).
 func Ablation(ctx context.Context, opts AblationOptions) ([]*AblationRow, error) {
 	return report.Ablation(ctx, opts)
+}
+
+// FleetConfig parameterises a closed-loop fleet wear campaign: N chips
+// executing a seeded stream of assay requests with per-valve cumulative
+// actuation telemetry driving re-synthesis (internal/fleet).
+type FleetConfig = fleet.Config
+
+// FleetWorkload is one assay in a fleet campaign's request mix.
+type FleetWorkload = fleet.Workload
+
+// FleetResult compares a static-mapping campaign against the closed-loop
+// collector→analyzer→optimizer→actuator control loop on the identical
+// seeded request stream (the BENCH_fleet.json artefact behind
+// tools/benchgate -fleet).
+type FleetResult = fleet.Result
+
+// FleetModeResult aggregates one campaign mode (static or closed-loop).
+type FleetModeResult = fleet.ModeResult
+
+// FleetChipState is one chip's persisted wear telemetry.
+type FleetChipState = fleet.ChipState
+
+// RunFleet executes a fleet wear campaign in both modes and returns the
+// comparison plus the final per-chip telemetry (static first, then
+// closed-loop), bit-identically reproducible from FleetConfig.Seed.
+func RunFleet(ctx context.Context, cfg FleetConfig) (*FleetResult, [][]*FleetChipState, error) {
+	return fleet.Run(ctx, cfg)
+}
+
+// SaveFleetTelemetry persists per-chip cumulative actuation counters in
+// the fleet-telemetry text format.
+func SaveFleetTelemetry(w io.Writer, chips []*FleetChipState) error {
+	return fleet.Save(w, chips)
+}
+
+// LoadFleetTelemetry parses telemetry written by SaveFleetTelemetry.
+func LoadFleetTelemetry(r io.Reader) ([]*FleetChipState, error) {
+	return fleet.Load(r)
 }
 
 // Role is what a virtual valve is doing at one instant (the paper's

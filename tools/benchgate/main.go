@@ -28,6 +28,13 @@
 // the anneal's vs_max1 must stay within -threshold (default 10%) of the
 // ILP's — the quality bar of the anytime portfolio's stochastic rung.
 //
+// Fleet gate (-fleet, written by `mfbench -fleet -fleet-out`): the
+// closed-loop wear controller must complete strictly more assays before
+// the first chip death than the static mapping on the same seeded
+// campaign, must actually have re-synthesized, and — when -fleet-baseline
+// names the committed snapshot — must reproduce its fingerprint
+// bit-identically (the campaign is a pure function of its seed).
+//
 // Overhead gate (-overhead, raw output of the BenchmarkObsOverhead suite
 // in internal/obs/export): the "on" variant (live tracing, progress bus,
 // draining subscriber, scrape per run) must not run more than
@@ -300,6 +307,79 @@ func compareAblation(path string, threshold float64, fails *[]string) error {
 	return nil
 }
 
+// fleetSnapshot mirrors the parts of mfbench's -fleet-out layout the gate
+// reads (see BENCH_fleet.json).
+type fleetSnapshot struct {
+	Seed        int64     `json:"seed"`
+	Static      fleetMode `json:"static"`
+	Closed      fleetMode `json:"closed"`
+	ExtensionPc float64   `json:"lifetime_extension_pct"`
+	Fingerprint string    `json:"fingerprint"`
+}
+
+type fleetMode struct {
+	AssaysBeforeFirstDeath int     `json:"assays_before_first_death"`
+	TotalAssays            int     `json:"total_assays"`
+	FirstDeathRound        int     `json:"first_death_round"`
+	MeanRuns               float64 `json:"mean_runs_to_first_wearout"`
+	Resyntheses            int     `json:"resyntheses"`
+}
+
+// compareFleet gates the closed-loop wear controller in a fleet campaign
+// snapshot: the closed loop must complete strictly more assays before the
+// first chip death than the static mapping on the same seeded campaign —
+// otherwise the whole dynamic-device re-mapping machinery buys nothing —
+// and it must actually have re-synthesized (a campaign where the control
+// loop never engaged passes the first check vacuously). The static mode
+// must have died within the campaign; if it survived, the campaign was
+// not stressing wear and the comparison is meaningless. When a baseline
+// snapshot is given, the fresh fingerprint must match it bit-identically:
+// the campaign is a pure function of its seed, so any drift is a
+// determinism regression.
+func compareFleet(path, baselinePath string, fails *[]string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var s fleetSnapshot
+	if err := json.Unmarshal(raw, &s); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	fmt.Printf("fleet (seed %d): static %d assays before first death, closed-loop %d (%+.1f%%), %d re-syntheses\n",
+		s.Seed, s.Static.AssaysBeforeFirstDeath, s.Closed.AssaysBeforeFirstDeath,
+		s.ExtensionPc, s.Closed.Resyntheses)
+	if s.Static.FirstDeathRound == 0 {
+		*fails = append(*fails, "fleet: static mode never died — the campaign does not stress wear, so the comparison is vacuous")
+	}
+	if s.Closed.AssaysBeforeFirstDeath <= s.Static.AssaysBeforeFirstDeath {
+		*fails = append(*fails, fmt.Sprintf("fleet: closed loop did not outlive static (%d <= %d assays before first death)",
+			s.Closed.AssaysBeforeFirstDeath, s.Static.AssaysBeforeFirstDeath))
+	}
+	if s.Closed.Resyntheses == 0 {
+		*fails = append(*fails, "fleet: closed loop never re-synthesized — the control loop did not engage")
+	}
+	if s.Fingerprint == "" {
+		*fails = append(*fails, "fleet: snapshot has no fingerprint")
+	}
+	if baselinePath != "" {
+		braw, err := os.ReadFile(baselinePath)
+		if err != nil {
+			return err
+		}
+		var b fleetSnapshot
+		if err := json.Unmarshal(braw, &b); err != nil {
+			return fmt.Errorf("%s: %w", baselinePath, err)
+		}
+		if b.Fingerprint != s.Fingerprint {
+			*fails = append(*fails, fmt.Sprintf("fleet: fingerprint drifted from baseline (determinism regression): baseline %s, fresh %s",
+				b.Fingerprint, s.Fingerprint))
+		} else {
+			fmt.Printf("fleet fingerprint matches baseline (%.12s…)\n", s.Fingerprint)
+		}
+	}
+	return nil
+}
+
 // compareOverhead parses BenchmarkObsOverhead/{off,on} readings from a
 // `go test -bench` output file and gates the on/off wall-clock ratio.
 func compareOverhead(path string, max float64, fails *[]string) error {
@@ -327,6 +407,8 @@ func main() {
 	oldM := flag.String("micro-old", "", "baseline micro-benchmark output (go test -bench -benchmem)")
 	newM := flag.String("micro-new", "", "fresh micro-benchmark output to gate")
 	ablation := flag.String("ablation", "", "ablation snapshot to gate (mfbench -ablation -ablation-out): anneal must succeed everywhere and stay within -threshold of a completed ilp's vs_max1")
+	fleet := flag.String("fleet", "", "fleet campaign snapshot to gate (mfbench -fleet -fleet-out): closed loop must strictly outlive static")
+	fleetBase := flag.String("fleet-baseline", "", "committed fleet snapshot the fresh -fleet fingerprint must match bit-identically")
 	overhead := flag.String("overhead", "", "BenchmarkObsOverhead output to gate (go test -bench ObsOverhead)")
 	overheadMax := flag.Float64("overhead-max", 0.02, "allowed fractional obs-on/obs-off slowdown for -overhead")
 	threshold := flag.Float64("threshold", 0.10, "allowed fractional growth in gated counters and allocs/op")
@@ -353,6 +435,12 @@ func main() {
 			os.Exit(2)
 		}
 	}
+	if *fleet != "" {
+		if err := compareFleet(*fleet, *fleetBase, &fails); err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate:", err)
+			os.Exit(2)
+		}
+	}
 	if *overhead != "" {
 		if err := compareOverhead(*overhead, *overheadMax, &fails); err != nil {
 			fmt.Fprintln(os.Stderr, "benchgate:", err)
@@ -363,8 +451,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchgate: -old/-new and -micro-old/-micro-new must be given in pairs")
 		os.Exit(2)
 	}
-	if *oldT == "" && *oldM == "" && *overhead == "" && *ablation == "" {
-		fmt.Fprintln(os.Stderr, "benchgate: nothing to compare (pass -old/-new, -micro-old/-micro-new, -ablation and/or -overhead)")
+	if *fleetBase != "" && *fleet == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -fleet-baseline requires -fleet")
+		os.Exit(2)
+	}
+	if *oldT == "" && *oldM == "" && *overhead == "" && *ablation == "" && *fleet == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: nothing to compare (pass -old/-new, -micro-old/-micro-new, -ablation, -fleet and/or -overhead)")
 		os.Exit(2)
 	}
 	if len(fails) > 0 {

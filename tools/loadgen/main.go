@@ -2,7 +2,11 @@
 // synthesis workload and checks the service-tier invariants from the
 // outside:
 //
-//   - every submission is eventually answered (429s are retried);
+//   - every submission is eventually answered: 429/503 sheds are
+//     retried honoring the server's Retry-After hint, with capped
+//     exponential backoff plus jitter when the hint is absent;
+//   - client-side retry counts reconcile exactly with the server's
+//     shed counters (every retry was caused by an observed shed);
 //   - no job fails or is lost;
 //   - in-flight synthesis never exceeds the worker budget (peak_running);
 //   - identical requests are never synthesized twice — the coalesce and
@@ -28,8 +32,10 @@ import (
 	"math/rand"
 	"net/http"
 	"os"
+	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"mfsynth/internal/core"
@@ -89,6 +95,41 @@ type submitResponse struct {
 	Via string `json:"via"`
 }
 
+// Retry policy for shed submissions (429 rate-limit/queue-full, 503
+// draining). The server's Retry-After hint wins when present; otherwise
+// the delay doubles per attempt from retryBase up to retryCap. Either
+// way ±25% jitter keeps a shed worker fleet from re-converging on the
+// same instant.
+const (
+	retryBase   = 10 * time.Millisecond
+	retryCap    = 2 * time.Second
+	maxAttempts = 25
+)
+
+// retried429 and retried503 count shed-and-retried submissions by
+// status, for the final report and for reconciling against the server's
+// own shed counters.
+var retried429, retried503 atomic.Int64
+
+// backoff returns the sleep before retry `attempt` (0-based) given the
+// shed response's Retry-After header (may be empty or malformed).
+func backoff(attempt int, retryAfter string, rng *rand.Rand) time.Duration {
+	d := retryCap
+	if attempt < 20 { // beyond 2^20·base the shift alone exceeds any sane cap
+		if e := retryBase << attempt; e < retryCap {
+			d = e
+		}
+	}
+	if s, err := strconv.Atoi(strings.TrimSpace(retryAfter)); err == nil && s > 0 {
+		d = time.Duration(s) * time.Second
+		if d > retryCap {
+			d = retryCap
+		}
+	}
+	j := int64(d / 4)
+	return d - time.Duration(j) + time.Duration(rng.Int63n(2*j+1))
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("loadgen: ")
@@ -146,8 +187,9 @@ func main() {
 		go func(w int) {
 			defer wg.Done()
 			client := fmt.Sprintf("loadgen-%d", w)
+			wrng := rand.New(rand.NewSource(*seed + int64(w)*7919))
 			for key := range work {
-				fp, via, err := submitAndWait(*addr, client, key)
+				fp, via, err := submitAndWait(*addr, client, key, wrng)
 				if err != nil {
 					fail("request %d: %v", key, err)
 					continue
@@ -218,6 +260,16 @@ func main() {
 		fail("peak running %d exceeds worker budget %d", after.PeakRunning, after.Workers)
 	}
 
+	// Every client-side retry was provoked by exactly one observed shed,
+	// so the tallies must reconcile with the server's shed counters.
+	r429, r503 := retried429.Load(), retried503.Load()
+	if dShed := (after.ShedQueueFull - before.ShedQueueFull) + (after.ShedRateLimited - before.ShedRateLimited); dShed != r429 {
+		fail("client saw %d 429 sheds but the server counted %d", r429, dShed)
+	}
+	if dDrain := after.ShedDraining - before.ShedDraining; dDrain != r503 {
+		fail("client saw %d 503 sheds but the server counted %d", r503, dDrain)
+	}
+
 	// Single-shot oracle: sampled responses are bit-identical to running
 	// the same request directly through the engine.
 	sample := *oracle
@@ -235,9 +287,9 @@ func main() {
 		}
 	}
 
-	fmt.Printf("loadgen: %d jobs (%d unique, %d duplicates) in %s — fresh %d, coalesced %d, cached %d, retried-429 ok; peak running %d/%d; via: %v\n",
+	fmt.Printf("loadgen: %d jobs (%d unique, %d duplicates) in %s — fresh %d, coalesced %d, cached %d, retries 429×%d 503×%d; peak running %d/%d; via: %v\n",
 		*jobs, unique, duplicates, elapsed.Round(time.Millisecond),
-		dFresh, dCoal, dCache, after.PeakRunning, after.Workers, viaCount)
+		dFresh, dCoal, dCache, r429, r503, after.PeakRunning, after.Workers, viaCount)
 	if len(fails) > 0 {
 		for _, f := range fails {
 			log.Print(f)
@@ -247,9 +299,10 @@ func main() {
 	fmt.Println("loadgen: all checks passed")
 }
 
-// submitAndWait posts one request, retrying 429 sheds, and waits for its
-// terminal state; it returns the result fingerprint and the submit path.
-func submitAndWait(base, client string, key int) (fp, via string, err error) {
+// submitAndWait posts one request, retrying 429/503 sheds with
+// Retry-After-aware backoff, and waits for its terminal state; it
+// returns the result fingerprint and the submit path.
+func submitAndWait(base, client string, key int, rng *rand.Rand) (fp, via string, err error) {
 	var sub submitResponse
 	for attempt := 0; ; attempt++ {
 		req, err := http.NewRequest(http.MethodPost, base+"/v1/jobs", strings.NewReader(string(requestBody(key))))
@@ -272,11 +325,19 @@ func submitAndWait(base, client string, key int) (fp, via string, err error) {
 			if err := json.Unmarshal(body, &sub); err != nil {
 				return "", "", fmt.Errorf("bad submit response: %v", err)
 			}
-		case http.StatusTooManyRequests:
-			if attempt > 1000 {
-				return "", "", fmt.Errorf("shed %d times in a row", attempt)
+		case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+			// Count the shed before the budget check so the client-side
+			// tally reconciles with the server's shed counters even when
+			// a request finally gives up.
+			if resp.StatusCode == http.StatusTooManyRequests {
+				retried429.Add(1)
+			} else {
+				retried503.Add(1)
 			}
-			time.Sleep(10 * time.Millisecond)
+			if attempt >= maxAttempts {
+				return "", "", fmt.Errorf("shed %d times in a row (last status %d)", attempt+1, resp.StatusCode)
+			}
+			time.Sleep(backoff(attempt, resp.Header.Get("Retry-After"), rng))
 			continue
 		default:
 			return "", "", fmt.Errorf("submit status %d: %s", resp.StatusCode, body)
